@@ -1,0 +1,102 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation (§7) on the simulator substrate. Each
+// Benchmark* corresponds to one figure; the printed tables mirror the
+// series the paper plots. Absolute numbers differ from the authors'
+// testbed (our substrate is a calibrated simulator); the shapes — who
+// wins, by roughly what factor, where the crossovers fall — are the
+// reproduction target.
+//
+// Run all figures:
+//
+//	go test -bench=. -benchmem
+//
+// The bench lab trains small models (see benchScale); use
+// cmd/lsched-bench -scale paper for paper-scale runs.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchScale keeps `go test -bench=.` within minutes on one core while
+// preserving every experiment's structure.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		TrainEpisodes: 120,
+		TrainQueries:  8,
+		EvalQueries:   20,
+		Threads:       20,
+		Repeats:       1,
+		TuneRounds:    6,
+	}
+}
+
+var (
+	labOnce sync.Once
+	lab     *experiments.Lab
+)
+
+// benchLab is shared across benchmarks so trained agents are reused.
+func benchLab() *experiments.Lab {
+	labOnce.Do(func() {
+		lab = experiments.NewLab(benchScale(), 1)
+	})
+	return lab
+}
+
+// runFigure regenerates one figure and prints its tables once.
+func runFigure(b *testing.B, fig string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(benchLab(), fig)
+		if err != nil {
+			b.Fatalf("figure %s: %v", fig, err)
+		}
+		if i == 0 {
+			for _, t := range tables {
+				fmt.Fprintln(os.Stderr, t.String())
+			}
+		}
+	}
+}
+
+// BenchmarkFig01IntroExample regenerates Fig. 1: the intro example
+// where learned pipeline degrees beat both aggressive critical-path
+// pipelining and Decima-style non-pipelining.
+func BenchmarkFig01IntroExample(b *testing.B) { runFigure(b, "1") }
+
+// BenchmarkFig08TPCH regenerates Fig. 8: the CDF of TPC-H query
+// durations under streaming and batching arrivals for all six
+// schedulers.
+func BenchmarkFig08TPCH(b *testing.B) { runFigure(b, "8") }
+
+// BenchmarkFig09SSB regenerates Fig. 9: the SSB CDFs.
+func BenchmarkFig09SSB(b *testing.B) { runFigure(b, "9") }
+
+// BenchmarkFig10JOB regenerates Fig. 10: the JOB CDFs.
+func BenchmarkFig10JOB(b *testing.B) { runFigure(b, "10") }
+
+// BenchmarkFig11Scaling regenerates Fig. 11: sensitivity to the worker
+// pool size (a) and the inter-query arrival time (b).
+func BenchmarkFig11Scaling(b *testing.B) { runFigure(b, "11") }
+
+// BenchmarkFig12QueryCount regenerates Fig. 12: sensitivity to the
+// number of streaming and batched queries.
+func BenchmarkFig12QueryCount(b *testing.B) { runFigure(b, "12") }
+
+// BenchmarkFig13Overhead regenerates Fig. 13: per-query scheduling
+// latency and learned-agent action counts.
+func BenchmarkFig13Overhead(b *testing.B) { runFigure(b, "13") }
+
+// BenchmarkFig14Training regenerates Fig. 14: episodes-to-quality for
+// LSched vs Decima (a) and the transfer-learning reward curves (b).
+func BenchmarkFig14Training(b *testing.B) { runFigure(b, "14") }
+
+// BenchmarkFig15Ablation regenerates Fig. 15: LSched with each key
+// contribution removed.
+func BenchmarkFig15Ablation(b *testing.B) { runFigure(b, "15") }

@@ -1,0 +1,53 @@
+// Command lsched-bench regenerates the paper's tables and figures on
+// the simulator substrate and prints them as text tables.
+//
+// Usage:
+//
+//	lsched-bench -fig 8              # one figure at quick scale
+//	lsched-bench -fig all -scale paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (1, 8, 9, 10, 11, 12, 13, 14, 15, or all)")
+	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (quick or paper)\n", *scale)
+		os.Exit(2)
+	}
+	lab := experiments.NewLab(sc, *seed)
+
+	figs := []string{*fig}
+	if *fig == "all" {
+		figs = experiments.Figures()
+	}
+	for _, f := range figs {
+		start := time.Now()
+		tables, err := experiments.Run(lab, f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("-- figure %s regenerated in %v --\n\n", f, time.Since(start).Round(time.Millisecond))
+	}
+}

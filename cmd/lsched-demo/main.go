@@ -1,0 +1,112 @@
+// Command lsched-demo schedules one workload under a chosen scheduler
+// and prints the scheduling trace: every decision (execution root,
+// pipeline degree, thread grant) and the resulting per-query durations.
+//
+// Usage:
+//
+//	lsched-demo -bench ssb -queries 6 -sched quickstep
+//	lsched-demo -bench tpch -queries 8 -sched lsched -model tpch.model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// tracer wraps a scheduler and logs its decisions.
+type tracer struct {
+	inner engine.Scheduler
+	n     int
+}
+
+func (t *tracer) Name() string { return t.inner.Name() }
+
+func (t *tracer) OnEvent(st *engine.State, ev engine.Event) []engine.Decision {
+	ds := t.inner.OnEvent(st, ev)
+	for _, d := range ds {
+		if d.RootOpID < 0 {
+			continue
+		}
+		t.n++
+		if t.n <= 40 {
+			q := st.Query(d.QueryID)
+			name := "?"
+			if q != nil {
+				name = q.Plan.QueryName
+			}
+			fmt.Printf("t=%9.3f %-12s q%-3d (%s) root=op%-3d pipeline=%d threads=%d\n",
+				st.Now, ev.Kind, d.QueryID, name, d.RootOpID, d.PipelineDepth, d.Threads)
+		}
+	}
+	return ds
+}
+
+func main() {
+	bench := flag.String("bench", "ssb", "benchmark: tpch, ssb, or job")
+	queries := flag.Int("queries", 6, "number of queries")
+	threads := flag.Int("threads", 16, "worker threads")
+	schedName := flag.String("sched", "quickstep", "scheduler: lsched, fifo, fair, quickstep, criticalpath")
+	model := flag.String("model", "", "checkpoint for -sched lsched (untrained if omitted)")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	pool, err := core.NewPool(core.Benchmark(*bench), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sched engine.Scheduler
+	switch *schedName {
+	case "lsched":
+		agent := core.NewAgent(core.DefaultAgentOptions(*seed))
+		if *model != "" {
+			data, err := os.ReadFile(*model)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := agent.Restore(data); err != nil {
+				log.Fatal(err)
+			}
+		}
+		agent.SetGreedy(true)
+		sched = agent
+	case "fifo":
+		sched = core.FIFO{}
+	case "fair":
+		sched = core.Fair{}
+	case "quickstep":
+		sched = core.Quickstep{}
+	case "criticalpath":
+		sched = core.CriticalPath{}
+	default:
+		log.Fatalf("unknown scheduler %q", *schedName)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	arrivals := core.Streaming(pool.Test, *queries, 0.5, rng)
+	sim := core.NewSim(core.SimConfig{Threads: *threads, Seed: *seed, NoiseFrac: 0.1})
+	tr := &tracer{inner: sched}
+	res, err := sim.Run(tr, arrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tr.n > 40 {
+		fmt.Printf("... (%d more decisions)\n", tr.n-40)
+	}
+	fmt.Printf("\n%d queries completed; makespan %.2f; avg duration %.2f\n",
+		len(res.Durations), res.Makespan, res.AvgDuration())
+	ids := make([]int, 0, len(res.Durations))
+	for id := range res.Durations {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Printf("  query %-3d duration %10.2f\n", id, res.Durations[id])
+	}
+}

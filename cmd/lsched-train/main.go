@@ -1,0 +1,99 @@
+// Command lsched-train trains an LSched (or Decima-baseline) scheduling
+// model for a benchmark at configurable scale and writes the parameter
+// checkpoint to disk, optionally transfer-initializing from a previous
+// checkpoint.
+//
+// Usage:
+//
+//	lsched-train -bench tpch -episodes 2000 -out tpch.model
+//	lsched-train -bench ssb -transfer-from tpch.model -out ssb.model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decima"
+	"repro/internal/lsched"
+)
+
+func main() {
+	bench := flag.String("bench", "tpch", "benchmark: tpch, ssb, or job")
+	episodes := flag.Int("episodes", 500, "training episodes")
+	queries := flag.Int("queries", 20, "queries per training episode (episodes vary around this)")
+	threads := flag.Int("threads", 60, "worker threads")
+	seed := flag.Int64("seed", 1, "seed")
+	out := flag.String("out", "", "checkpoint output path (required)")
+	transferFrom := flag.String("transfer-from", "", "warm-start from this checkpoint with inner layers frozen")
+	baseline := flag.Bool("decima", false, "train the Decima baseline instead of LSched")
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("-out is required")
+	}
+
+	pool, err := core.NewPool(core.Benchmark(*bench), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var agent *core.Agent
+	if *baseline {
+		agent = decima.New(*seed)
+	} else {
+		agent = core.NewAgent(core.DefaultAgentOptions(*seed))
+	}
+	if *transferFrom != "" {
+		data, err := os.ReadFile(*transferFrom)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src := core.NewAgent(core.DefaultAgentOptions(*seed))
+		if err := src.Restore(data); err != nil {
+			log.Fatal(err)
+		}
+		if err := agent.TransferFrom(src); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("transfer-initialized; inner layers frozen")
+	}
+
+	cfg := core.DefaultTrainConfig(*seed)
+	if *baseline {
+		cfg = decima.TrainConfig(cfg)
+	}
+	cfg.Episodes = *episodes
+	cfg.SimCfg = core.SimConfig{Threads: *threads, NoiseFrac: 0.15}
+	nq := *queries
+	cfg.Workload = func(ep int, rng *rand.Rand) []core.Arrival {
+		n := nq/2 + rng.Intn(nq)
+		if ep%4 == 3 {
+			return core.Batch(pool.Train, n, rng)
+		}
+		return core.Streaming(pool.Train, n, 0.2+rng.Float64()*2, rng)
+	}
+	start := time.Now()
+	cfg.OnEpisode = func(ep int, avgReward, avgDur float64) {
+		if (ep+1)%50 == 0 {
+			fmt.Printf("episode %5d  avg reward %10.2f  avg duration %8.2f  (%v elapsed)\n",
+				ep+1, avgReward, avgDur, time.Since(start).Round(time.Second))
+		}
+	}
+	if _, err := lsched.Train(agent, cfg); err != nil {
+		log.Fatal(err)
+	}
+
+	data, err := agent.Checkpoint()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d episodes in %v; checkpoint written to %s (%d bytes)\n",
+		*episodes, time.Since(start).Round(time.Second), *out, len(data))
+}

@@ -1,0 +1,89 @@
+// Streaming: the paper's core evaluation scenario (§7.2) in miniature —
+// a dynamic TPC-H workload where queries arrive with exponential gaps,
+// scheduled by LSched, Decima, the Quickstep heuristic, tuned SelfTune,
+// and fair scheduling. Prints the duration CDF per scheduler.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+)
+
+const (
+	seed    = 7
+	threads = 24
+	queries = 24
+	rate    = 0.5
+)
+
+func main() {
+	pool, err := core.NewPool(core.BenchTPCH, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trainCfg := func(s int64) core.TrainConfig {
+		cfg := core.DefaultTrainConfig(s)
+		cfg.Episodes = 80
+		cfg.SimCfg = core.SimConfig{Threads: threads, NoiseFrac: 0.1}
+		cfg.Workload = func(ep int, rng *rand.Rand) []core.Arrival {
+			return core.Streaming(pool.Train, 10, rate, rng)
+		}
+		return cfg
+	}
+
+	fmt.Println("training LSched...")
+	lsched := core.NewAgent(core.DefaultAgentOptions(seed))
+	if _, err := core.Train(lsched, trainCfg(seed)); err != nil {
+		log.Fatal(err)
+	}
+	lsched.SetGreedy(true)
+
+	fmt.Println("training Decima baseline...")
+	dec := core.NewDecima(seed)
+	if _, err := core.Train(dec, core.DecimaTrainConfig(trainCfg(seed))); err != nil {
+		log.Fatal(err)
+	}
+	dec.SetGreedy(true)
+
+	fmt.Println("tuning SelfTune...")
+	rng := rand.New(rand.NewSource(seed))
+	st, _, err := core.TuneSelfTune(tuneConfig(pool, rng))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-10s %8s %8s %8s %8s\n", "scheduler", "mean", "p50", "p90", "max")
+	for _, s := range []core.Scheduler{lsched, dec, core.Quickstep{}, st, core.Fair{}} {
+		r := rand.New(rand.NewSource(seed))
+		arrivals := core.Streaming(pool.Test, queries, rate, r)
+		sim := core.NewSim(core.SimConfig{Threads: threads, Seed: seed, NoiseFrac: 0.1})
+		res, err := sim.Run(s, arrivals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds := make([]float64, 0, len(res.Durations))
+		for _, d := range res.Durations {
+			ds = append(ds, d)
+		}
+		sort.Float64s(ds)
+		fmt.Printf("%-10s %8.1f %8.1f %8.1f %8.1f\n", s.Name(),
+			res.AvgDuration(), ds[len(ds)/2], ds[int(0.9*float64(len(ds)-1))], ds[len(ds)-1])
+	}
+}
+
+func tuneConfig(pool *core.Pool, rng *rand.Rand) core.SelfTuneConfig {
+	var ws [][]core.Arrival
+	for i := 0; i < 2; i++ {
+		ws = append(ws, core.Streaming(pool.Train, 10, rate, rng))
+	}
+	return core.SelfTuneConfig{
+		Rounds: 10, Restarts: 2, Seed: seed,
+		SimCfg:    core.SimConfig{Threads: threads, NoiseFrac: 0.1},
+		Workloads: ws,
+	}
+}

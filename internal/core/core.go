@@ -1,0 +1,138 @@
+// Package core is the library's public facade: it re-exports the types
+// a downstream user needs to schedule analytical workloads with LSched —
+// plans, engines, schedulers, workloads, and training — without
+// importing each subsystem package individually.
+//
+// The paper's primary contribution (the learned scheduling agent) lives
+// in internal/lsched; core aliases it together with the substrates it
+// depends on. A typical flow:
+//
+//	pool, _ := core.NewPool(core.BenchTPCH, 42)
+//	agent := core.NewAgent(core.DefaultAgentOptions(42))
+//	cfg := core.DefaultTrainConfig(42)
+//	cfg.SimCfg = core.SimConfig{Threads: 60}
+//	cfg.Workload = func(ep int, rng *rand.Rand) []core.Arrival {
+//		return core.Streaming(pool.Train, 40, 0.5, rng)
+//	}
+//	core.Train(agent, cfg)
+//	agent.SetGreedy(true)
+//	sim := core.NewSim(core.SimConfig{Threads: 60, Seed: 7})
+//	res, _ := sim.Run(agent, core.Streaming(pool.Test, 80, 0.5, rng))
+package core
+
+import (
+	"repro/internal/decima"
+	"repro/internal/engine"
+	"repro/internal/heuristics"
+	"repro/internal/lsched"
+	"repro/internal/selftune"
+	"repro/internal/workload"
+)
+
+// Engine types.
+type (
+	// Sim is the virtual-time discrete-event execution engine.
+	Sim = engine.Sim
+	// SimConfig configures a simulator run.
+	SimConfig = engine.SimConfig
+	// SimResult summarizes a simulator run.
+	SimResult = engine.SimResult
+	// Live executes plans against real storage blocks.
+	Live = engine.Live
+	// LiveConfig configures a live engine.
+	LiveConfig = engine.LiveConfig
+	// Arrival pairs a plan with its arrival time.
+	Arrival = engine.Arrival
+	// Scheduler is the policy interface all schedulers implement.
+	Scheduler = engine.Scheduler
+	// Decision is one scheduling decision.
+	Decision = engine.Decision
+	// Event is a scheduling event.
+	Event = engine.Event
+	// State is the scheduler-visible engine state.
+	State = engine.State
+	// CostModel maps work orders to durations and memory.
+	CostModel = engine.CostModel
+)
+
+// Agent types.
+type (
+	// Agent is the LSched learned scheduling agent.
+	Agent = lsched.Agent
+	// AgentOptions configures an agent.
+	AgentOptions = lsched.Options
+	// TrainConfig configures REINFORCE training.
+	TrainConfig = lsched.TrainConfig
+	// TrainResult reports training progress.
+	TrainResult = lsched.TrainResult
+)
+
+// Workload types.
+type (
+	// Pool is a benchmark's train/test query-plan split.
+	Pool = workload.Pool
+	// Benchmark names a supported benchmark.
+	Benchmark = workload.Benchmark
+)
+
+// Benchmarks.
+const (
+	BenchTPCH = workload.BenchTPCH
+	BenchSSB  = workload.BenchSSB
+	BenchJOB  = workload.BenchJOB
+)
+
+// Engine constructors.
+var (
+	NewSim           = engine.NewSim
+	NewLive          = engine.NewLive
+	DefaultCostModel = engine.DefaultCostModel
+)
+
+// Agent constructors and training.
+var (
+	NewAgent            = lsched.New
+	DefaultAgentOptions = lsched.DefaultOptions
+	DefaultTrainConfig  = lsched.DefaultTrainConfig
+	Train               = lsched.Train
+)
+
+// NewDecima builds the Decima baseline agent (GCN encoder, sequential
+// message passing, no pipelining).
+var NewDecima = decima.New
+
+// DecimaTrainConfig adapts a training config to Decima's average-only
+// reward.
+var DecimaTrainConfig = decima.TrainConfig
+
+// TuneSelfTune searches the SelfTune policy's hyper-parameters on
+// training workloads.
+var TuneSelfTune = selftune.Tune
+
+// SelfTuneConfig configures the SelfTune hyper-parameter search.
+type SelfTuneConfig = selftune.TuneConfig
+
+// Heuristic schedulers.
+type (
+	// FIFO runs queries strictly in arrival order.
+	FIFO = heuristics.FIFO
+	// Fair is weighted fair scheduling.
+	Fair = heuristics.Fair
+	// Quickstep is the built-in Quickstep priority scheduler.
+	Quickstep = heuristics.Quickstep
+	// CriticalPath is the critical-path pipelining heuristic.
+	CriticalPath = heuristics.CriticalPath
+	// SJF is the cost-aware shortest-job-first reference policy (not a
+	// paper baseline; an informed-heuristic upper reference).
+	SJF = heuristics.SJF
+)
+
+// Workload constructors.
+var (
+	NewPool   = workload.NewPool
+	Streaming = workload.Streaming
+	Batch     = workload.Batch
+	TPCH      = workload.TPCH
+	SSB       = workload.SSB
+	JOB       = workload.JOB
+)

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the documented public flow: pool, agent,
+// short training, greedy scheduling of a held-out workload.
+func TestFacadeEndToEnd(t *testing.T) {
+	pool, err := NewPool(BenchSSB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent(DefaultAgentOptions(1))
+	cfg := DefaultTrainConfig(1)
+	cfg.Episodes = 3
+	cfg.SimCfg = SimConfig{Threads: 8}
+	cfg.Workload = func(ep int, rng *rand.Rand) []Arrival {
+		return Streaming(pool.Train, 4, 0.5, rng)
+	}
+	if _, err := Train(agent, cfg); err != nil {
+		t.Fatal(err)
+	}
+	agent.SetGreedy(true)
+	rng := rand.New(rand.NewSource(1))
+	sim := NewSim(SimConfig{Threads: 8, Seed: 1})
+	res, err := sim.Run(agent, Streaming(pool.Test, 5, 0.5, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 5 {
+		t.Fatalf("completed %d of 5", len(res.Durations))
+	}
+}
+
+func TestFacadeHeuristicsAndBaselines(t *testing.T) {
+	pool, err := NewPool(BenchTPCH, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range []Scheduler{FIFO{}, Fair{}, Quickstep{}, CriticalPath{}, NewDecima(2)} {
+		sim := NewSim(SimConfig{Threads: 6, Seed: 2})
+		res, err := sim.Run(s, Streaming(pool.Test, 4, 0.5, rng))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(res.Durations) != 4 {
+			t.Fatalf("%s completed %d of 4", s.Name(), len(res.Durations))
+		}
+	}
+}
+
+func TestFacadeBenchmarkGenerators(t *testing.T) {
+	if len(TPCH(1)) != 22 || len(SSB(1)) != 13 || len(JOB()) != 113 {
+		t.Fatal("benchmark generators returned wrong query counts")
+	}
+}

@@ -1,0 +1,165 @@
+// Package costmodel implements the per-operator work-order cost
+// estimation the paper uses for the dynamic O-DUR and O-MEM features: a
+// computationally cheap linear regression fitted over the execution
+// statistics of recently completed work orders (footnote 1 of the paper
+// restricts the fit to a sliding window of the last k observations).
+package costmodel
+
+import "math"
+
+// Window is an online sliding-window simple linear regression of
+// observation value against observation index: given the durations (or
+// memory usages) of the last k completed work orders of one operator, it
+// predicts the next work order's value. With fewer than two points it
+// falls back to the mean; with no points it returns the prior.
+type Window struct {
+	k     int
+	prior float64
+	vals  []float64
+	next  int
+	full  bool
+	seq   int
+}
+
+// NewWindow returns a window of capacity k with the given prior estimate,
+// used until the first observation arrives.
+func NewWindow(k int, prior float64) *Window {
+	if k < 2 {
+		k = 2
+	}
+	return &Window{k: k, prior: prior, vals: make([]float64, 0, k)}
+}
+
+// Observe records a completed work order's measured value.
+func (w *Window) Observe(v float64) {
+	if len(w.vals) < w.k {
+		w.vals = append(w.vals, v)
+	} else {
+		w.vals[w.next] = v
+		w.next = (w.next + 1) % w.k
+		w.full = true
+	}
+	w.seq++
+}
+
+// Count returns how many observations the window currently holds.
+func (w *Window) Count() int { return len(w.vals) }
+
+// ordered returns the window's values oldest-first.
+func (w *Window) ordered() []float64 {
+	if !w.full {
+		return w.vals
+	}
+	out := make([]float64, 0, w.k)
+	out = append(out, w.vals[w.next:]...)
+	out = append(out, w.vals[:w.next]...)
+	return out
+}
+
+// Predict estimates the next work order's value by extrapolating the
+// least-squares line fitted through the windowed observations.
+func (w *Window) Predict() float64 {
+	n := len(w.vals)
+	switch n {
+	case 0:
+		return w.prior
+	case 1:
+		return w.vals[0]
+	}
+	pts := w.ordered()
+	// Fit v = a + b*i over i = 0..n-1, predict at i = n.
+	var sx, sy, sxx, sxy float64
+	for i, v := range pts {
+		x := float64(i)
+		sx += x
+		sy += v
+		sxx += x * x
+		sxy += x * v
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	mean := sy / fn
+	if den == 0 {
+		return mean
+	}
+	b := (fn*sxy - sx*sy) / den
+	a := (sy - b*sx) / fn
+	pred := a + b*fn
+	// A slope fitted on noisy durations can extrapolate below zero or far
+	// beyond anything observed; clamp to a sane band around the window.
+	if pred <= 0 || math.IsNaN(pred) || math.IsInf(pred, 0) {
+		return math.Max(mean, 1e-9)
+	}
+	if pred > 4*mean {
+		pred = 4 * mean
+	}
+	return pred
+}
+
+// Mean returns the window mean (prior when empty).
+func (w *Window) Mean() float64 {
+	if len(w.vals) == 0 {
+		return w.prior
+	}
+	s := 0.0
+	for _, v := range w.vals {
+		s += v
+	}
+	return s / float64(len(w.vals))
+}
+
+// Estimator tracks one Window per (operator) key for durations and memory
+// usage, supplying the O-DUR and O-MEM dynamic features.
+type Estimator struct {
+	k        int
+	durPrior float64
+	memPrior float64
+	dur      map[int]*Window
+	mem      map[int]*Window
+}
+
+// NewEstimator returns an estimator with window size k and the given
+// priors for never-observed operators.
+func NewEstimator(k int, durPrior, memPrior float64) *Estimator {
+	return &Estimator{
+		k: k, durPrior: durPrior, memPrior: memPrior,
+		dur: make(map[int]*Window), mem: make(map[int]*Window),
+	}
+}
+
+// ObserveCompletion folds one finished work order's measured duration and
+// memory usage into the operator's windows.
+func (e *Estimator) ObserveCompletion(opKey int, duration, memory float64) {
+	e.durWin(opKey).Observe(duration)
+	e.memWin(opKey).Observe(memory)
+}
+
+// EstimateDuration predicts the duration of the operator's next work
+// order (footnote 1's regression) multiplied by the remaining work-order
+// count, yielding the O-DUR feature.
+func (e *Estimator) EstimateDuration(opKey, remainingWorkOrders int) float64 {
+	return e.durWin(opKey).Predict() * float64(remainingWorkOrders)
+}
+
+// EstimateMemory is EstimateDuration's analogue for O-MEM.
+func (e *Estimator) EstimateMemory(opKey, remainingWorkOrders int) float64 {
+	return e.memWin(opKey).Predict() * float64(remainingWorkOrders)
+}
+
+func (e *Estimator) durWin(key int) *Window {
+	w, ok := e.dur[key]
+	if !ok {
+		w = NewWindow(e.k, e.durPrior)
+		e.dur[key] = w
+	}
+	return w
+}
+
+func (e *Estimator) memWin(key int) *Window {
+	w, ok := e.mem[key]
+	if !ok {
+		w = NewWindow(e.k, e.memPrior)
+		e.mem[key] = w
+	}
+	return w
+}

@@ -1,0 +1,113 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowPriorAndMean(t *testing.T) {
+	w := NewWindow(4, 7.5)
+	if got := w.Predict(); got != 7.5 {
+		t.Fatalf("empty window predicts %v, want prior 7.5", got)
+	}
+	w.Observe(3)
+	if got := w.Predict(); got != 3 {
+		t.Fatalf("single observation predicts %v, want 3", got)
+	}
+	if w.Mean() != 3 {
+		t.Fatal("wrong mean")
+	}
+}
+
+func TestWindowExtrapolatesTrend(t *testing.T) {
+	w := NewWindow(8, 1)
+	for i := 1; i <= 5; i++ {
+		w.Observe(float64(i)) // 1, 2, 3, 4, 5
+	}
+	got := w.Predict()
+	if math.Abs(got-6) > 1e-9 {
+		t.Fatalf("linear trend predicts %v, want 6", got)
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	w := NewWindow(3, 0)
+	for _, v := range []float64{100, 100, 100, 2, 2, 2} {
+		w.Observe(v)
+	}
+	// Window holds only the last three 2s.
+	if got := w.Predict(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("slid window predicts %v, want 2", got)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count %d, want 3", w.Count())
+	}
+}
+
+func TestWindowClampsWildExtrapolation(t *testing.T) {
+	w := NewWindow(4, 1)
+	// A steep downward trend must not predict a negative duration.
+	for _, v := range []float64{100, 60, 20, 1} {
+		w.Observe(v)
+	}
+	if got := w.Predict(); got <= 0 {
+		t.Fatalf("negative duration predicted: %v", got)
+	}
+	// A steep upward trend is clamped near the window mean.
+	w2 := NewWindow(4, 1)
+	for _, v := range []float64{1, 100, 10000, 100000} {
+		w2.Observe(v)
+	}
+	if got := w2.Predict(); got > 4*w2.Mean()+1e-9 {
+		t.Fatalf("prediction %v exceeds the 4x-mean clamp (mean %v)", got, w2.Mean())
+	}
+}
+
+func TestWindowPredictionAlwaysPositive(t *testing.T) {
+	f := func(vals []float64) bool {
+		w := NewWindow(6, 1)
+		for _, v := range vals {
+			// Durations are wall-clock measurements; bound the property
+			// to physically plausible magnitudes so the least-squares
+			// sums stay finite.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true
+			}
+			w.Observe(math.Abs(v) + 1e-9)
+		}
+		p := w.Predict()
+		return p > 0 && !math.IsNaN(p) && !math.IsInf(p, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatorPerOperatorIsolation(t *testing.T) {
+	e := NewEstimator(4, 1, 1)
+	e.ObserveCompletion(1, 10, 2)
+	e.ObserveCompletion(1, 10, 2)
+	e.ObserveCompletion(2, 100, 50)
+	// Operator 1's estimate reflects its own history only.
+	if got := e.EstimateDuration(1, 3); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("op 1 duration estimate %v, want 30", got)
+	}
+	if got := e.EstimateMemory(1, 2); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("op 1 memory estimate %v, want 4", got)
+	}
+	// Unknown operators fall back to priors.
+	if got := e.EstimateDuration(99, 5); got != 5 {
+		t.Fatalf("unknown op estimate %v, want prior*5 = 5", got)
+	}
+}
+
+func TestWindowMinimumCapacity(t *testing.T) {
+	w := NewWindow(0, 1) // must clamp to at least 2
+	w.Observe(1)
+	w.Observe(2)
+	w.Observe(3)
+	if w.Count() != 2 {
+		t.Fatalf("capacity-clamped window holds %d, want 2", w.Count())
+	}
+}

@@ -1,0 +1,36 @@
+// Package decima implements the Decima baseline (Mao et al., SIGCOMM
+// 2019) in the form the paper characterizes it: an RL scheduler whose
+// encoder is a graph convolutional network with *sequential* message
+// passing (no edge features, no attention), that treats each task as a
+// black box — it cannot pipeline two operators of one query on a thread
+// — and that learns node selection plus a per-job parallelism limit.
+//
+// Rather than duplicating the agent machinery, the baseline is the
+// shared agent with the corresponding switches: UseTCN=false (sequential
+// message passing encoder), UseGAT=false (isotropic aggregation), and
+// DisablePipelining=true (black-box tasks). Training uses the same
+// REINFORCE loop with the average-latency-only reward (W2 = 0), since
+// the tail-latency term is an LSched contribution (§6).
+package decima
+
+import (
+	"repro/internal/lsched"
+)
+
+// New builds a Decima baseline agent.
+func New(seed int64) *lsched.Agent {
+	opts := lsched.DefaultOptions(seed)
+	opts.UseTCN = false
+	opts.UseGAT = false
+	opts.DisablePipelining = true
+	opts.Name = "Decima"
+	return lsched.New(opts)
+}
+
+// TrainConfig adapts an LSched training configuration to Decima's
+// reward: average latency only.
+func TrainConfig(base lsched.TrainConfig) lsched.TrainConfig {
+	base.W1 = 1
+	base.W2 = 0
+	return base
+}

@@ -1,0 +1,290 @@
+package encoder
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// Config sets the encoder's dimensions and ablation switches.
+type Config struct {
+	// OpDim, EdgeDim, QueryDim are the incoming feature widths (from
+	// features.Config).
+	OpDim, EdgeDim, QueryDim int
+	// Hidden is the embedding width used throughout.
+	Hidden int
+	// Layers is the number of stacked tree-convolution layers.
+	Layers int
+	// UseGAT enables the attention re-weighting of Eqs. 3–5; when false
+	// the layer is the isotropic Eq. 2 (the "w/o Graph Attention"
+	// ablation of Fig. 15).
+	UseGAT bool
+	// UseTCN selects the customized tree convolution; when false the
+	// encoder falls back to Decima-style sequential message passing
+	// within each layer (the "w/o Triangle Convolution" ablation).
+	UseTCN bool
+	// UseEdges includes the E-NPB/E-DIR edge terms in the triangle
+	// filter (the paper's Eq. 2 extension over stock tree convolution);
+	// when false the filter degenerates to the node-only form of
+	// Mou et al. — the "edge-aware vs node-only" ablation.
+	UseEdges bool
+}
+
+// DefaultConfig returns the encoder configuration used in experiments.
+func DefaultConfig(opDim, edgeDim, queryDim int) Config {
+	return Config{
+		OpDim: opDim, EdgeDim: edgeDim, QueryDim: queryDim,
+		Hidden: 16, Layers: 2, UseGAT: true, UseTCN: true, UseEdges: true,
+	}
+}
+
+// tcnLayer holds one convolution layer's parameters: the five filter
+// weight vectors of Eq. 2 (parent, right child, right edge, left child,
+// left edge) plus the five GAT attention vectors of Eq. 3.
+type tcnLayer struct {
+	wp, wm, wn, wpm, wpn    *nn.Node
+	bias                    *nn.Node
+	aSelf, aM, aN, aEM, aEN *nn.Node
+}
+
+// Encoder is the Query Encoder network. One Encoder owns its parameters
+// (registered in the shared Params) and is reused across tapes.
+type Encoder struct {
+	cfg      Config
+	inProj   *nn.Dense
+	edgeProj *nn.Dense
+	layers   []*tcnLayer
+	// PQE summarization: per-node and per-edge message nets + output net.
+	pqeNode *nn.MLP
+	pqeEdge *nn.MLP
+	pqeOut  *nn.MLP
+	// AQE summarization.
+	aqeIn  *nn.MLP
+	aqeOut *nn.MLP
+}
+
+// New registers the encoder's parameters under the "enc." prefix.
+func New(p *nn.Params, cfg Config) *Encoder {
+	if cfg.Hidden <= 0 || cfg.Layers <= 0 {
+		panic("encoder: Hidden and Layers must be positive")
+	}
+	h := cfg.Hidden
+	e := &Encoder{
+		cfg:      cfg,
+		inProj:   nn.NewDense(p, "enc.in", cfg.OpDim, h),
+		edgeProj: nn.NewDense(p, "enc.edge", cfg.EdgeDim, h),
+		pqeNode:  nn.NewMLP(p, "enc.pqe.node", h+cfg.OpDim, h, h),
+		pqeEdge:  nn.NewMLP(p, "enc.pqe.edge", h+cfg.EdgeDim, h, h),
+		pqeOut:   nn.NewMLP(p, "enc.pqe.out", h, h, h),
+		aqeIn:    nn.NewMLP(p, "enc.aqe.in", h+cfg.QueryDim, h, h),
+		aqeOut:   nn.NewMLP(p, "enc.aqe.out", h, h, h),
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		pre := fmt.Sprintf("enc.conv%d", l)
+		e.layers = append(e.layers, &tcnLayer{
+			wp:    p.Vector(pre+".wp", h),
+			wm:    p.Vector(pre+".wm", h),
+			wn:    p.Vector(pre+".wn", h),
+			wpm:   p.Vector(pre+".wpm", h),
+			wpn:   p.Vector(pre+".wpn", h),
+			bias:  p.Vector(pre+".bias", h),
+			aSelf: p.Vector(pre+".a.self", 2*h),
+			aM:    p.Vector(pre+".a.m", 2*h),
+			aN:    p.Vector(pre+".a.n", 2*h),
+			aEM:   p.Vector(pre+".a.em", 2*h),
+			aEN:   p.Vector(pre+".a.en", 2*h),
+		})
+	}
+	return e
+}
+
+// Config returns the encoder's configuration.
+func (e *Encoder) Config() Config { return e.cfg }
+
+// QueryEncoding is the encoder output for one query.
+type QueryEncoding struct {
+	QueryID int
+	// NE is the final node embedding per operator (index-parallel to the
+	// snapshot's Ops).
+	NE []*nn.Node
+	// EE is the edge embedding of the operator's first two child edges,
+	// averaged, per operator (zero vector for leaves) — the "NE & EE"
+	// input the predictor heads concatenate per operator.
+	EE []*nn.Node
+	// PQE is the per-query summary embedding.
+	PQE *nn.Node
+}
+
+// Output is the encoder result at one scheduling event.
+type Output struct {
+	PerQuery []QueryEncoding
+	// AQE is the all-queries summary embedding.
+	AQE *nn.Node
+}
+
+// Encode runs the full encoder over a snapshot on the given tape.
+func (e *Encoder) Encode(t *nn.Tape, snap *Snapshot) *Output {
+	out := &Output{}
+	var aqeMsgs []*nn.Node
+	for qi := range snap.Queries {
+		qs := &snap.Queries[qi]
+		enc := e.encodeQuery(t, qs)
+		out.PerQuery = append(out.PerQuery, enc)
+		msg := e.aqeIn.Apply(t, t.Concat(enc.PQE, t.Const(qs.QF)))
+		aqeMsgs = append(aqeMsgs, t.ReLU(msg))
+	}
+	if len(aqeMsgs) == 0 {
+		out.AQE = t.Zeros(e.cfg.Hidden)
+		return out
+	}
+	out.AQE = e.aqeOut.Apply(t, t.MeanOf(aqeMsgs))
+	return out
+}
+
+// encodeQuery runs the single-query encoder (§4.2) and the PQE
+// summarizer for one query.
+func (e *Encoder) encodeQuery(t *nn.Tape, qs *QuerySnapshot) QueryEncoding {
+	n := len(qs.Ops)
+	h := e.cfg.Hidden
+	// Project raw features to the embedding space.
+	emb := make([]*nn.Node, n)
+	for i := range qs.Ops {
+		emb[i] = t.ReLU(e.inProj.Apply(t, t.Const(qs.Ops[i].Feat)))
+	}
+	// Project edge features once; edges are identified by (parent, slot).
+	edgeEmb := make([][2]*nn.Node, n)
+	edgeAvg := make([]*nn.Node, n)
+	zero := t.Zeros(h)
+	for i := range qs.Ops {
+		left, right := childSlots(&qs.Ops[i])
+		if left != nil {
+			edgeEmb[i][0] = t.ReLU(e.edgeProj.Apply(t, t.Const(left.EdgeFeat)))
+		} else {
+			edgeEmb[i][0] = zero
+		}
+		if right != nil {
+			edgeEmb[i][1] = t.ReLU(e.edgeProj.Apply(t, t.Const(right.EdgeFeat)))
+		} else {
+			edgeEmb[i][1] = zero
+		}
+		switch {
+		case left != nil && right != nil:
+			edgeAvg[i] = t.Scale(t.Add(edgeEmb[i][0], edgeEmb[i][1]), 0.5)
+		case left != nil:
+			edgeAvg[i] = edgeEmb[i][0]
+		default:
+			edgeAvg[i] = zero
+		}
+	}
+	// Stacked convolution layers.
+	for _, layer := range e.layers {
+		if e.cfg.UseTCN {
+			emb = e.tcnForward(t, qs, layer, emb, edgeEmb, zero)
+		} else {
+			emb = e.gcnForward(t, qs, layer, emb)
+		}
+	}
+	// PQE: connect every node and edge to a dummy summary node.
+	var msgs []*nn.Node
+	for i := range qs.Ops {
+		m := e.pqeNode.Apply(t, t.Concat(emb[i], t.Const(qs.Ops[i].Feat)))
+		msgs = append(msgs, t.ReLU(m))
+		for _, c := range qs.Ops[i].Children {
+			me := e.pqeEdge.Apply(t, t.Concat(emb[c.OpIdx], t.Const(c.EdgeFeat)))
+			msgs = append(msgs, t.ReLU(me))
+		}
+	}
+	pqe := e.pqeOut.Apply(t, t.MeanOf(msgs))
+	return QueryEncoding{QueryID: qs.QueryID, NE: emb, EE: edgeAvg, PQE: pqe}
+}
+
+// childSlots maps an operator's children onto the triangle filter's two
+// slots. Operators with more than two inputs (e.g. wide unions) keep
+// their first two; plans in this repository are built binary.
+func childSlots(op *OpSnapshot) (left, right *ChildRef) {
+	switch len(op.Children) {
+	case 0:
+		return nil, nil
+	case 1:
+		return &op.Children[0], nil
+	default:
+		return &op.Children[0], &op.Children[1]
+	}
+}
+
+// tcnForward applies one customized tree-convolution layer (Eq. 2),
+// optionally re-weighted by GAT scores (Eq. 5). All nodes use only the
+// previous layer's embeddings, so there is no intra-layer smoothing.
+func (e *Encoder) tcnForward(t *nn.Tape, qs *QuerySnapshot, l *tcnLayer, prev []*nn.Node, edgeEmb [][2]*nn.Node, zero *nn.Node) []*nn.Node {
+	next := make([]*nn.Node, len(prev))
+	for i := range qs.Ops {
+		left, right := childSlots(&qs.Ops[i])
+		var agg *nn.Node
+		if e.cfg.UseGAT {
+			// Weighted embeddings x* = w ⊙ x (Eq. 2's filter terms) …
+			xp := t.Mul(l.wp, prev[i])
+			xn, epn := zero, zero
+			if left != nil {
+				xn = t.Mul(l.wn, prev[left.OpIdx])
+				if e.cfg.UseEdges {
+					epn = t.Mul(l.wpn, edgeEmb[i][0])
+				}
+			}
+			xm, epm := zero, zero
+			if right != nil {
+				xm = t.Mul(l.wm, prev[right.OpIdx])
+				if e.cfg.UseEdges {
+					epm = t.Mul(l.wpm, edgeEmb[i][1])
+				}
+			}
+			// … five pairwise attention scores (Eq. 3, fused kernel),
+			// softmax-normalized across the filter's terms (Eq. 4), then
+			// the weighted aggregation of Eq. 5.
+			logits := t.Concat(
+				t.AttnScore(l.aSelf, xp, xp, 0.2),
+				t.AttnScore(l.aM, xp, xm, 0.2),
+				t.AttnScore(l.aEM, xp, epm, 0.2),
+				t.AttnScore(l.aN, xp, xn, 0.2),
+				t.AttnScore(l.aEN, xp, epn, 0.2),
+			)
+			z := t.Softmax(logits)
+			agg = t.WeightedSum(z, []*nn.Node{xp, xm, epm, xn, epn})
+			agg = t.Add(agg, l.bias)
+		} else {
+			// Isotropic Eq. 2 in one fused accumulate.
+			pairs := [][2]*nn.Node{{l.wp, prev[i]}}
+			if left != nil {
+				pairs = append(pairs, [2]*nn.Node{l.wn, prev[left.OpIdx]})
+				if e.cfg.UseEdges {
+					pairs = append(pairs, [2]*nn.Node{l.wpn, edgeEmb[i][0]})
+				}
+			}
+			if right != nil {
+				pairs = append(pairs, [2]*nn.Node{l.wm, prev[right.OpIdx]})
+				if e.cfg.UseEdges {
+					pairs = append(pairs, [2]*nn.Node{l.wpm, edgeEmb[i][1]})
+				}
+			}
+			agg = t.MulAdd(l.bias, pairs...)
+		}
+		next[i] = t.ReLU(agg)
+	}
+	return next
+}
+
+// gcnForward is the Decima-style alternative used by the "w/o Triangle
+// Convolution" ablation: sequential message passing within the layer —
+// each node fuses its children's embeddings computed in this same layer,
+// which is exactly the over-smoothing pattern §4.2 describes.
+func (e *Encoder) gcnForward(t *nn.Tape, qs *QuerySnapshot, l *tcnLayer, prev []*nn.Node) []*nn.Node {
+	next := make([]*nn.Node, len(prev))
+	for i := range qs.Ops {
+		// Topological order guarantees children are already computed.
+		acc := t.MulAdd(l.bias, [2]*nn.Node{l.wp, prev[i]})
+		for _, c := range qs.Ops[i].Children {
+			acc = t.Add(acc, next[c.OpIdx])
+		}
+		next[i] = t.ReLU(acc)
+	}
+	return next
+}

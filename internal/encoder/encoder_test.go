@@ -1,0 +1,201 @@
+package encoder
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// testSnapshot builds a two-query snapshot: a 3-op chain and a 5-op join.
+func testSnapshot(opDim, edgeDim, qDim int) *Snapshot {
+	feat := func(seed float64) []float64 {
+		v := make([]float64, opDim)
+		for i := range v {
+			v[i] = math.Sin(seed + float64(i))
+		}
+		return v
+	}
+	ef := func(npb float64) []float64 {
+		v := make([]float64, edgeDim)
+		v[0] = npb
+		if edgeDim > 1 {
+			v[1] = 1
+		}
+		return v
+	}
+	qf := func(seed float64) []float64 {
+		v := make([]float64, qDim)
+		for i := range v {
+			v[i] = math.Cos(seed + float64(i))
+		}
+		return v
+	}
+	return &Snapshot{Queries: []QuerySnapshot{
+		{
+			QueryID: 0,
+			QF:      qf(0.1),
+			Ops: []OpSnapshot{
+				{OpID: 0, Feat: feat(1)},
+				{OpID: 1, Feat: feat(2), Children: []ChildRef{{OpIdx: 0, EdgeFeat: ef(1)}}},
+				{OpID: 2, Feat: feat(3), Children: []ChildRef{{OpIdx: 1, EdgeFeat: ef(0)}}},
+			},
+		},
+		{
+			QueryID: 1,
+			QF:      qf(0.7),
+			Ops: []OpSnapshot{
+				{OpID: 0, Feat: feat(4)},
+				{OpID: 1, Feat: feat(5)},
+				{OpID: 2, Feat: feat(6), Children: []ChildRef{{OpIdx: 0, EdgeFeat: ef(0)}}},
+				{OpID: 3, Feat: feat(7), Children: []ChildRef{{OpIdx: 2, EdgeFeat: ef(0)}, {OpIdx: 1, EdgeFeat: ef(1)}}},
+				{OpID: 4, Feat: feat(8), Children: []ChildRef{{OpIdx: 3, EdgeFeat: ef(1)}}},
+			},
+		},
+	}}
+}
+
+func newTestEncoder(t *testing.T, useTCN, useGAT bool) (*Encoder, *nn.Params, Config) {
+	t.Helper()
+	cfg := Config{OpDim: 6, EdgeDim: 2, QueryDim: 4, Hidden: 8, Layers: 2, UseTCN: useTCN, UseGAT: useGAT}
+	p := nn.NewParams(1)
+	return New(p, cfg), p, cfg
+}
+
+func TestEncodeShapes(t *testing.T) {
+	for _, tcn := range []bool{true, false} {
+		for _, gat := range []bool{true, false} {
+			enc, _, cfg := newTestEncoder(t, tcn, gat)
+			snap := testSnapshot(cfg.OpDim, cfg.EdgeDim, cfg.QueryDim)
+			tape := nn.NewTape()
+			out := enc.Encode(tape, snap)
+			if len(out.PerQuery) != 2 {
+				t.Fatalf("expected 2 query encodings, got %d", len(out.PerQuery))
+			}
+			if out.AQE.Len() != cfg.Hidden {
+				t.Fatalf("AQE len %d, want %d", out.AQE.Len(), cfg.Hidden)
+			}
+			for qi, qe := range out.PerQuery {
+				if len(qe.NE) != len(snap.Queries[qi].Ops) {
+					t.Fatalf("query %d: %d node embeddings for %d ops", qi, len(qe.NE), len(snap.Queries[qi].Ops))
+				}
+				if qe.PQE.Len() != cfg.Hidden {
+					t.Fatalf("query %d: PQE len %d", qi, qe.PQE.Len())
+				}
+				for _, ne := range qe.NE {
+					if ne.Len() != cfg.Hidden {
+						t.Fatalf("node embedding len %d", ne.Len())
+					}
+					for _, v := range ne.Val {
+						if math.IsNaN(v) || math.IsInf(v, 0) {
+							t.Fatalf("non-finite embedding value")
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeEmptySnapshot(t *testing.T) {
+	enc, _, cfg := newTestEncoder(t, true, true)
+	tape := nn.NewTape()
+	out := enc.Encode(tape, &Snapshot{})
+	if len(out.PerQuery) != 0 {
+		t.Fatal("expected no query encodings")
+	}
+	if out.AQE.Len() != cfg.Hidden {
+		t.Fatal("AQE must still have the configured width")
+	}
+}
+
+func TestEncodeGradientFlowsToAllParams(t *testing.T) {
+	enc, params, cfg := newTestEncoder(t, true, true)
+	snap := testSnapshot(cfg.OpDim, cfg.EdgeDim, cfg.QueryDim)
+	tape := nn.NewTape()
+	out := enc.Encode(tape, snap)
+	loss := tape.Sum(out.AQE)
+	for _, qe := range out.PerQuery {
+		loss = tape.Add(loss, tape.Sum(qe.PQE))
+		for _, ne := range qe.NE {
+			loss = tape.Add(loss, tape.Sum(ne))
+		}
+	}
+	params.ZeroGrads()
+	tape.Backward(loss)
+	zeroed := 0
+	for _, p := range params.All() {
+		nonzero := false
+		for _, g := range p.Grad {
+			if g != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			zeroed++
+			t.Logf("param %s received no gradient", p.Name())
+		}
+	}
+	// ReLU dead zones may zero a few parameters on one input, but the
+	// vast majority must receive gradient.
+	if zeroed > len(params.All())/4 {
+		t.Fatalf("%d of %d params received no gradient", zeroed, len(params.All()))
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	enc, _, cfg := newTestEncoder(t, true, true)
+	snap := testSnapshot(cfg.OpDim, cfg.EdgeDim, cfg.QueryDim)
+	tape := nn.NewTape()
+	a := enc.Encode(tape, snap).AQE
+	avals := append([]float64(nil), a.Val...)
+	tape.Reset()
+	b := enc.Encode(tape, snap).AQE
+	for i := range avals {
+		if avals[i] != b.Val[i] {
+			t.Fatal("encoding differs across tape resets")
+		}
+	}
+}
+
+func TestGATChangesOutput(t *testing.T) {
+	// With identical parameters, toggling GAT must change the encoding
+	// (the ablation is real, not a no-op).
+	cfg := Config{OpDim: 6, EdgeDim: 2, QueryDim: 4, Hidden: 8, Layers: 2, UseTCN: true, UseGAT: true}
+	pa := nn.NewParams(3)
+	a := New(pa, cfg)
+	cfg2 := cfg
+	cfg2.UseGAT = false
+	pb := nn.NewParams(3) // same seed -> same init
+	b := New(pb, cfg2)
+	snap := testSnapshot(cfg.OpDim, cfg.EdgeDim, cfg.QueryDim)
+	ta, tb := nn.NewTape(), nn.NewTape()
+	va := a.Encode(ta, snap).AQE.Val
+	vb := b.Encode(tb, snap).AQE.Val
+	same := true
+	for i := range va {
+		if math.Abs(va[i]-vb[i]) > 1e-12 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("GAT toggle did not change the encoding")
+	}
+}
+
+func TestChildSlots(t *testing.T) {
+	op := &OpSnapshot{}
+	if l, r := childSlots(op); l != nil || r != nil {
+		t.Fatal("leaf should have no slots")
+	}
+	op.Children = []ChildRef{{OpIdx: 1}}
+	if l, r := childSlots(op); l == nil || r != nil {
+		t.Fatal("single child goes to the left slot")
+	}
+	op.Children = []ChildRef{{OpIdx: 1}, {OpIdx: 2}, {OpIdx: 3}}
+	l, r := childSlots(op)
+	if l.OpIdx != 1 || r.OpIdx != 2 {
+		t.Fatal("first two children fill the slots")
+	}
+}

@@ -1,0 +1,44 @@
+// Package encoder implements LSched's Query Encoder (§4): a customized
+// edge-aware tree convolution (Eq. 2) whose five filter terms are
+// re-weighted by learned graph-attention scores (Eqs. 3–5), followed by
+// the high-level PQE/AQE summarization networks (§4.3).
+//
+// The encoder consumes Snapshots — plain feature tensors captured at a
+// scheduling event — rather than live engine state, so an RL trainer can
+// replay the episode's decisions after it ends and differentiate through
+// the exact inputs the policy saw.
+package encoder
+
+// ChildRef links an operator snapshot to one of its inputs together with
+// the connecting edge's EDF features.
+type ChildRef struct {
+	// OpIdx indexes the child within the owning QuerySnapshot.Ops.
+	OpIdx int
+	// EdgeFeat is the EDF vector (E-NPB, E-DIR).
+	EdgeFeat []float64
+}
+
+// OpSnapshot is one operator's features at a scheduling event.
+type OpSnapshot struct {
+	// OpID is the operator's plan ID (for mapping decisions back).
+	OpID int
+	// Feat is the OPF vector.
+	Feat []float64
+	// Children lists the operator's inputs, children-first order being
+	// guaranteed by the plan's topological operator order.
+	Children []ChildRef
+}
+
+// QuerySnapshot is one running query's features at a scheduling event.
+type QuerySnapshot struct {
+	QueryID int
+	// Ops is in the plan's topological order (children before parents).
+	Ops []OpSnapshot
+	// QF is the query-level feature vector.
+	QF []float64
+}
+
+// Snapshot captures every running query at one scheduling event.
+type Snapshot struct {
+	Queries []QuerySnapshot
+}

@@ -1,0 +1,76 @@
+package engine
+
+import "repro/internal/plan"
+
+// CostModel maps a work order to its base duration and memory footprint
+// in engine units. The simulator perturbs the duration with noise; the
+// live engine ignores this model and measures real execution instead.
+type CostModel struct {
+	// PerType is the base duration of one work order of each operator
+	// kind, before the operator's own CostFactor scaling.
+	PerType [plan.NumOpTypes]float64
+	// MemPerType is the analogous base memory footprint.
+	MemPerType [plan.NumOpTypes]float64
+	// PipelineDiscount multiplies the duration of pipelined work orders
+	// (they skip intermediate materialization and hit warm caches).
+	PipelineDiscount float64
+	// LocalityDiscount multiplies the duration when the executing thread
+	// last ran the same query.
+	LocalityDiscount float64
+	// BufferCapacity is the memory budget; exceeding it with concurrently
+	// active pipelines causes thrashing.
+	BufferCapacity float64
+	// ThrashFactor scales the slowdown per unit of buffer over-commit;
+	// this is what makes over-aggressive pipelining hurt (§5.3.2).
+	ThrashFactor float64
+}
+
+// DefaultCostModel returns the cost model used across experiments. The
+// relative per-type weights were calibrated against the live engine (see
+// engine/live_calibration_test.go): hash builds and sorts are heavy,
+// selects and projections light, probes in between.
+func DefaultCostModel() *CostModel {
+	cm := &CostModel{
+		PipelineDiscount: 0.75,
+		LocalityDiscount: 0.92,
+		BufferCapacity:   600,
+		ThrashFactor:     0.9,
+	}
+	for t := 0; t < plan.NumOpTypes; t++ {
+		cm.PerType[t] = 1.0
+		cm.MemPerType[t] = 1.0
+	}
+	set := func(t plan.OpType, dur, mem float64) {
+		cm.PerType[t] = dur
+		cm.MemPerType[t] = mem
+	}
+	set(plan.TableScan, 0.6, 1.0)
+	set(plan.IndexScan, 0.35, 0.6)
+	set(plan.Select, 0.5, 0.8)
+	set(plan.Project, 0.3, 0.6)
+	set(plan.BuildHash, 1.6, 3.0)
+	set(plan.ProbeHash, 1.0, 1.2)
+	set(plan.NestedLoopJoin, 2.4, 1.5)
+	set(plan.IndexNestedLoopJoin, 0.9, 0.8)
+	set(plan.MergeJoin, 1.1, 1.0)
+	set(plan.Aggregate, 1.2, 2.0)
+	set(plan.FinalizeAggregate, 0.5, 1.0)
+	set(plan.Sort, 1.8, 2.5)
+	set(plan.Union, 0.4, 0.6)
+	set(plan.Materialize, 0.8, 2.0)
+	set(plan.TopK, 0.9, 1.2)
+	set(plan.Window, 1.4, 1.8)
+	set(plan.Distinct, 1.3, 2.2)
+	set(plan.Limit, 0.1, 0.2)
+	return cm
+}
+
+// BaseDuration returns the unperturbed duration of one work order of op.
+func (cm *CostModel) BaseDuration(op *plan.Operator) float64 {
+	return cm.PerType[op.Type] * op.CostFactor
+}
+
+// BaseMemory returns the memory footprint of one work order of op.
+func (cm *CostModel) BaseMemory(op *plan.Operator) float64 {
+	return cm.MemPerType[op.Type] * op.CostFactor
+}

@@ -1,0 +1,442 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Live executes query plans against real storage blocks on a bounded
+// worker pool, under the same Scheduler interface and scheduling events
+// as the simulator. It exists to (a) ground the simulator's cost model
+// in real executions and (b) power the runnable examples: a Select work
+// order really filters tuples, a BuildHash order really builds a hash
+// table, and durations are measured wall-clock.
+//
+// The engine executes one workload per Run call. Queries arrive on the
+// wall clock according to their Arrival offsets (scaled by TimeScale).
+type Live struct {
+	cfg     LiveConfig
+	catalog *storage.Catalog
+}
+
+// LiveConfig configures a live engine.
+type LiveConfig struct {
+	// Threads is the worker pool size.
+	Threads int
+	// TimeScale multiplies arrival offsets to convert workload time
+	// units into wall-clock seconds (e.g. 0.01 compresses a long trace).
+	TimeScale float64
+}
+
+// NewLive builds a live engine over the given catalog.
+func NewLive(catalog *storage.Catalog, cfg LiveConfig) *Live {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	return &Live{cfg: cfg, catalog: catalog}
+}
+
+// liveOpState is the execution-time state of one operator.
+type liveOpState struct {
+	inputs []*storage.Block
+	// outputs collects the operator's produced blocks, consumed by
+	// parents.
+	outputs []*storage.Block
+	// hash is the BuildHash result shared with ProbeHash parents.
+	hash map[int64]int
+	// aggState accumulates partial aggregates.
+	aggState map[int64]float64
+	mu       sync.Mutex
+}
+
+// LiveResult summarizes a live run.
+type LiveResult struct {
+	// Durations maps query ID to wall-clock duration in seconds.
+	Durations map[int]float64
+	// Makespan is the wall-clock length of the whole run in seconds.
+	Makespan float64
+	// WorkOrders counts executed work orders.
+	WorkOrders int
+	// OpDurations records mean per-work-order wall time by operator
+	// type, used to calibrate the simulator's cost model.
+	OpDurations map[plan.OpType]float64
+	// OutputRows maps query ID to the number of rows its sink produced.
+	OutputRows map[int]int
+}
+
+// Run executes the workload under the scheduler. It reuses the
+// simulator's state bookkeeping (QueryState, decisions, availability)
+// but with real block processing and wall-clock time.
+func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
+	// The live engine reuses the Sim event loop with a twist: instead of
+	// cost-model durations, each dispatched work order is really
+	// executed and its measured wall time becomes the virtual duration.
+	// This keeps scheduling semantics identical across engines.
+	ls := &liveRun{
+		live:   lv,
+		states: make(map[int][]*liveOpState),
+		result: &LiveResult{
+			Durations:   make(map[int]float64),
+			OpDurations: make(map[plan.OpType]float64),
+			OutputRows:  make(map[int]int),
+		},
+		opCounts: make(map[plan.OpType]int),
+	}
+	cfg := SimConfig{Threads: lv.cfg.Threads, Seed: 1}
+	sim := NewSim(cfg)
+	sim.executeHook = ls.execute
+	scaled := make([]Arrival, len(arrivals))
+	for i, a := range arrivals {
+		scaled[i] = Arrival{Plan: a.Plan, At: a.At * lv.cfg.TimeScale}
+	}
+	res, err := sim.Run(sched, scaled)
+	if err != nil {
+		return nil, err
+	}
+	for id, d := range res.Durations {
+		ls.result.Durations[id] = d
+	}
+	ls.result.Makespan = res.Makespan
+	ls.result.WorkOrders = res.WorkOrders
+	for t, total := range ls.opTotals {
+		ls.result.OpDurations[t] = total / float64(ls.opCounts[t])
+	}
+	return ls.result, nil
+}
+
+// liveRun carries per-run execution state.
+type liveRun struct {
+	live     *Live
+	mu       sync.Mutex
+	states   map[int][]*liveOpState
+	result   *LiveResult
+	opTotals map[plan.OpType]float64
+	opCounts map[plan.OpType]int
+}
+
+// execute really runs one work order and returns its measured duration
+// (in seconds) and memory estimate. It is invoked by the Sim dispatch
+// hook in place of the cost model.
+func (lr *liveRun) execute(q *QueryState, os *OpState, wo WorkOrder) (dur, mem float64) {
+	lr.mu.Lock()
+	sts, ok := lr.states[q.ID]
+	if !ok {
+		sts = make([]*liveOpState, len(q.Plan.Ops))
+		for i := range sts {
+			sts[i] = &liveOpState{}
+		}
+		lr.states[q.ID] = sts
+	}
+	if lr.opTotals == nil {
+		lr.opTotals = make(map[plan.OpType]float64)
+	}
+	lr.mu.Unlock()
+
+	st := sts[os.Op.ID]
+	start := time.Now()
+	rows := lr.runWorkOrder(q, os.Op, st, wo.BlockIndex)
+	elapsed := time.Since(start).Seconds()
+
+	lr.mu.Lock()
+	lr.opTotals[os.Op.Type] += elapsed
+	lr.opCounts[os.Op.Type]++
+	if len(os.Op.Parents()) == 0 {
+		lr.result.OutputRows[q.ID] += rows
+	}
+	lr.mu.Unlock()
+	return elapsed, float64(rows) / 1000
+}
+
+// inputBlock fetches the wo-th input block of op: from the base relation
+// for leaves, or from the child's outputs otherwise.
+func (lr *liveRun) inputBlock(q *QueryState, op *plan.Operator, st *liveOpState, idx int) *storage.Block {
+	if len(op.Children()) == 0 {
+		if len(op.InputRelations) == 0 {
+			return nil
+		}
+		rel, ok := lr.live.catalog.Relation(op.InputRelations[0])
+		if !ok || len(rel.Blocks) == 0 {
+			return nil
+		}
+		return rel.Blocks[idx%len(rel.Blocks)]
+	}
+	// Non-leaf: draw from the "main" (last, pipelining) child's outputs.
+	child := op.Children()[len(op.Children())-1].Child
+	cs := lr.states[q.ID][child.ID]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if len(cs.outputs) == 0 {
+		return nil
+	}
+	return cs.outputs[idx%len(cs.outputs)]
+}
+
+// keyColumn picks the operator's key column index in a block (first
+// declared column present, else the first int column).
+func keyColumn(op *plan.Operator, b *storage.Block) int {
+	for _, c := range op.Columns {
+		if i := b.Schema.ColumnIndex(c); i >= 0 && b.Schema.Columns[i].Type == storage.Int64Col {
+			return i
+		}
+	}
+	for i, c := range b.Schema.Columns {
+		if c.Type == storage.Int64Col {
+			return i
+		}
+	}
+	return -1
+}
+
+// runWorkOrder executes one (operator, block) unit and returns the rows
+// it produced.
+func (lr *liveRun) runWorkOrder(q *QueryState, op *plan.Operator, st *liveOpState, idx int) int {
+	// FinalizeAggregate consumes its child's aggregate state, not its
+	// output blocks, so it bypasses the block-input path.
+	if op.Type == plan.FinalizeAggregate {
+		return lr.runFinalize(q, op, st)
+	}
+	in := lr.inputBlock(q, op, st, idx)
+	if in == nil || in.NumRows() == 0 {
+		return 0
+	}
+	switch op.Type {
+	case plan.TableScan, plan.IndexScan, plan.Project, plan.Union, plan.Materialize, plan.Limit:
+		out := in // reference copy: columnar blocks are immutable here
+		st.mu.Lock()
+		st.outputs = append(st.outputs, out)
+		st.mu.Unlock()
+		return in.NumRows()
+	case plan.Select:
+		return lr.runSelect(op, st, in)
+	case plan.BuildHash:
+		return lr.runBuild(op, st, in)
+	case plan.ProbeHash, plan.IndexNestedLoopJoin, plan.MergeJoin, plan.NestedLoopJoin:
+		return lr.runProbe(q, op, st, in)
+	case plan.Aggregate, plan.Distinct, plan.Window:
+		return lr.runAggregate(op, st, in)
+	case plan.Sort, plan.TopK:
+		return lr.runSort(op, st, in)
+	default:
+		return in.NumRows()
+	}
+}
+
+func (lr *liveRun) runSelect(op *plan.Operator, st *liveOpState, in *storage.Block) int {
+	pred := op.Pred
+	col := -1
+	if pred.Column != "" {
+		col = in.Schema.ColumnIndex(pred.Column)
+	}
+	if col < 0 || pred.Kind == plan.PredNone {
+		// Benchmark templates carry selectivities rather than literal
+		// predicates; realize the estimate as a range filter over the
+		// key column so live cardinalities track the optimizer's.
+		col = keyColumn(op, in)
+		pred = plan.Predicate{Kind: plan.PredIntLess, Operand: int64(op.Selectivity * 1000)}
+	}
+	if col < 0 {
+		st.mu.Lock()
+		st.outputs = append(st.outputs, in)
+		st.mu.Unlock()
+		return in.NumRows()
+	}
+	kept := make([]int, 0, in.NumRows())
+	vec := &in.Vectors[col]
+	for i := 0; i < in.NumRows(); i++ {
+		if evalPred(pred, vec, i) {
+			kept = append(kept, i)
+		}
+	}
+	out := projectRows(in, kept)
+	st.mu.Lock()
+	st.outputs = append(st.outputs, out)
+	st.mu.Unlock()
+	return len(kept)
+}
+
+func evalPred(p plan.Predicate, v *storage.ColumnVector, i int) bool {
+	switch p.Kind {
+	case plan.PredIntLess:
+		return v.Ints != nil && v.Ints[i] < p.Operand
+	case plan.PredIntGreaterEq:
+		return v.Ints != nil && v.Ints[i] >= p.Operand
+	case plan.PredIntEq:
+		return v.Ints != nil && v.Ints[i] == p.Operand
+	case plan.PredFloatLess:
+		return v.Floats != nil && v.Floats[i] < p.FOperand
+	case plan.PredStringEq:
+		return v.Strings != nil && v.Strings[i] == p.SOperand
+	default:
+		return true
+	}
+}
+
+// projectRows materializes the kept row indices of a block.
+func projectRows(in *storage.Block, rows []int) *storage.Block {
+	out := &storage.Block{
+		Header:  storage.BlockHeader{BlockID: in.Header.BlockID, Relation: in.Header.Relation, Rows: len(rows)},
+		Schema:  in.Schema,
+		Vectors: make([]storage.ColumnVector, len(in.Vectors)),
+	}
+	for ci := range in.Vectors {
+		src := &in.Vectors[ci]
+		dst := &out.Vectors[ci]
+		switch {
+		case src.Ints != nil:
+			dst.Ints = make([]int64, len(rows))
+			for i, r := range rows {
+				dst.Ints[i] = src.Ints[r]
+			}
+		case src.Floats != nil:
+			dst.Floats = make([]float64, len(rows))
+			for i, r := range rows {
+				dst.Floats[i] = src.Floats[r]
+			}
+		case src.Strings != nil:
+			dst.Strings = make([]string, len(rows))
+			for i, r := range rows {
+				dst.Strings[i] = src.Strings[r]
+			}
+		}
+	}
+	return out
+}
+
+func (lr *liveRun) runBuild(op *plan.Operator, st *liveOpState, in *storage.Block) int {
+	col := keyColumn(op, in)
+	if col < 0 {
+		return 0
+	}
+	vec := in.Vectors[col].Ints
+	st.mu.Lock()
+	if st.hash == nil {
+		st.hash = make(map[int64]int, len(vec))
+	}
+	for _, k := range vec {
+		st.hash[k]++
+	}
+	st.outputs = append(st.outputs, in)
+	st.mu.Unlock()
+	return len(vec)
+}
+
+func (lr *liveRun) runProbe(q *QueryState, op *plan.Operator, st *liveOpState, in *storage.Block) int {
+	// Find the build-side child (a BuildHash for hash joins; otherwise
+	// the first blocking child) and probe its table.
+	var build *liveOpState
+	for _, e := range op.Children() {
+		if e.Child.Type == plan.BuildHash || !e.NonPipelineBreaking {
+			build = lr.states[q.ID][e.Child.ID]
+			break
+		}
+	}
+	col := keyColumn(op, in)
+	if col < 0 || in.Vectors[col].Ints == nil {
+		return 0
+	}
+	matched := make([]int, 0, in.NumRows())
+	if build != nil {
+		build.mu.Lock()
+		table := build.hash
+		build.mu.Unlock()
+		if table != nil {
+			for i, k := range in.Vectors[col].Ints {
+				if table[k] > 0 {
+					matched = append(matched, i)
+				}
+			}
+		}
+	}
+	out := projectRows(in, matched)
+	st.mu.Lock()
+	st.outputs = append(st.outputs, out)
+	st.mu.Unlock()
+	return len(matched)
+}
+
+func (lr *liveRun) runAggregate(op *plan.Operator, st *liveOpState, in *storage.Block) int {
+	col := keyColumn(op, in)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.aggState == nil {
+		st.aggState = make(map[int64]float64)
+	}
+	if col < 0 {
+		st.aggState[0] += float64(in.NumRows())
+		return 1
+	}
+	for _, k := range in.Vectors[col].Ints {
+		st.aggState[k]++
+	}
+	return len(st.aggState)
+}
+
+func (lr *liveRun) runFinalize(q *QueryState, op *plan.Operator, st *liveOpState) int {
+	child := op.Children()[0].Child
+	cs := lr.states[q.ID][child.ID]
+	cs.mu.Lock()
+	groups := len(cs.aggState)
+	keys := make([]int64, 0, groups)
+	vals := make([]float64, 0, groups)
+	for k, v := range cs.aggState {
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	cs.mu.Unlock()
+	schema := storage.MustSchema(
+		storage.Column{Name: "group", Type: storage.Int64Col},
+		storage.Column{Name: "value", Type: storage.Float64Col},
+	)
+	out := &storage.Block{
+		Header:  storage.BlockHeader{Relation: "agg:" + q.Plan.QueryName, Rows: groups},
+		Schema:  schema,
+		Vectors: []storage.ColumnVector{{Ints: keys}, {Floats: vals}},
+	}
+	st.mu.Lock()
+	st.outputs = append(st.outputs, out)
+	st.mu.Unlock()
+	return groups
+}
+
+func (lr *liveRun) runSort(op *plan.Operator, st *liveOpState, in *storage.Block) int {
+	col := keyColumn(op, in)
+	if col < 0 || in.Vectors[col].Ints == nil {
+		st.mu.Lock()
+		st.outputs = append(st.outputs, in)
+		st.mu.Unlock()
+		return in.NumRows()
+	}
+	order := make([]int, in.NumRows())
+	for i := range order {
+		order[i] = i
+	}
+	keys := in.Vectors[col].Ints
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	out := projectRows(in, order)
+	st.mu.Lock()
+	st.outputs = append(st.outputs, out)
+	st.mu.Unlock()
+	return in.NumRows()
+}
+
+// Validate checks the catalog has every base relation the plans need.
+func (lv *Live) Validate(plans []*plan.Plan) error {
+	for _, p := range plans {
+		for _, op := range p.Leaves() {
+			for _, rel := range op.InputRelations {
+				if _, ok := lv.catalog.Relation(rel); !ok {
+					return fmt.Errorf("engine: plan %q needs relation %q not in catalog", p.QueryName, rel)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,540 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/plan"
+)
+
+// Arrival pairs a query plan with its arrival time.
+type Arrival struct {
+	Plan *plan.Plan
+	At   float64
+}
+
+// SimConfig configures one simulator run.
+type SimConfig struct {
+	// Threads is the initial worker pool size.
+	Threads int
+	// Cost is the work-order cost model; nil selects DefaultCostModel.
+	Cost *CostModel
+	// NoiseFrac is the +-fraction of uniform noise on work-order
+	// durations (data-dependent variance the optimizer cannot see).
+	NoiseFrac float64
+	// Seed drives the duration noise deterministically.
+	Seed int64
+	// EstimatorWindow is the sliding-window size of the cost estimator
+	// feeding the O-DUR/O-MEM features.
+	EstimatorWindow int
+	// MeasureOverhead records wall-clock time spent inside the scheduler,
+	// for the Fig. 13 overhead experiment.
+	MeasureOverhead bool
+	// MaxTime aborts the run if the virtual clock passes it (0 = off);
+	// a safety net against schedulers that deadlock the queue.
+	MaxTime float64
+	// ThreadChanges grows or shrinks the worker pool at the given
+	// times, firing the §5.2 thread-added/-removed scheduling events.
+	ThreadChanges []ThreadChange
+}
+
+// ThreadChange adjusts the pool size mid-run: Delta workers are added
+// (positive) or retired (negative) at time At. Busy workers finish
+// their current work order before retiring.
+type ThreadChange struct {
+	At    float64
+	Delta int
+}
+
+// SimResult summarizes one simulator run.
+type SimResult struct {
+	// Durations maps query ID to (completion − arrival).
+	Durations map[int]float64
+	// Makespan is the virtual time when the last query completed.
+	Makespan float64
+	// SchedActions counts scheduler decisions that activated a root.
+	SchedActions int
+	// SchedInvocations counts OnEvent calls.
+	SchedInvocations int
+	// SchedOverhead is total wall-clock time inside OnEvent (when
+	// measured).
+	SchedOverhead time.Duration
+	// EventTrace holds (time, #running queries) pairs at every decision,
+	// from which trainers compute the paper's H_d reward terms.
+	EventTrace []TracePoint
+	// WorkOrders counts executed work orders.
+	WorkOrders int
+}
+
+// TracePoint records the system load between consecutive scheduling
+// decisions; the REINFORCE reward (§6) is built from these.
+type TracePoint struct {
+	Time    float64
+	Queries int
+}
+
+// AvgDuration returns the mean query duration of the run.
+func (r *SimResult) AvgDuration() float64 {
+	if len(r.Durations) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, d := range r.Durations {
+		s += d
+	}
+	return s / float64(len(r.Durations))
+}
+
+// simEvent is an entry in the discrete-event queue.
+type simEvent struct {
+	at   float64
+	seq  int // tie-break for determinism
+	kind EventKind
+	// arrival payload
+	arr *Arrival
+	// completion payload
+	stats CompletionStats
+	// pool-change payload
+	delta int
+}
+
+type eventHeap []*simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*simEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the virtual-time discrete-event engine. One Sim runs one
+// workload to completion under one scheduler.
+type Sim struct {
+	cfg      SimConfig
+	cost     *CostModel
+	rng      *rand.Rand
+	state    *State
+	events   eventHeap
+	seq      int
+	nextQID  int
+	result   SimResult
+	observer QueryObserver
+	// runningWOs tracks in-flight work orders per query for grant
+	// enforcement.
+	runningWOs map[int]int
+	// threadBusyUntil lets EvThreadFree fire correctly.
+	arrived int
+	total   int
+	// pendingRetire counts workers awaiting retirement once their
+	// current work order finishes (pool shrink with all workers busy).
+	pendingRetire int
+	// executeHook, when set, replaces the cost model: the live engine
+	// executes the work order for real and returns its measured
+	// (duration, memory). Scheduling semantics stay identical; only the
+	// source of durations changes.
+	executeHook func(q *QueryState, os *OpState, wo WorkOrder) (float64, float64)
+	// afterDispatch, when set, runs after every dispatch round; the
+	// invariant tests use it to verify work conservation at the only
+	// point where it must hold.
+	afterDispatch func()
+}
+
+// NewSim builds a simulator for the given config.
+func NewSim(cfg SimConfig) *Sim {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	cost := cfg.Cost
+	if cost == nil {
+		cost = DefaultCostModel()
+	}
+	window := cfg.EstimatorWindow
+	if window <= 0 {
+		window = 8
+	}
+	s := &Sim{
+		cfg:  cfg,
+		cost: cost,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		state: &State{
+			Estimator: costmodel.NewEstimator(window, 1, 1),
+		},
+		result:     SimResult{Durations: make(map[int]float64)},
+		runningWOs: make(map[int]int),
+	}
+	s.state.Threads = make([]ThreadInfo, cfg.Threads)
+	for i := range s.state.Threads {
+		s.state.Threads[i] = ThreadInfo{ID: i, LastQuery: -1}
+	}
+	return s
+}
+
+// SetObserver attaches a query lifecycle observer (used by RL trainers).
+func (s *Sim) SetObserver(o QueryObserver) { s.observer = o }
+
+// State exposes the engine state, for tests.
+func (s *Sim) State() *State { return s.state }
+
+// Run executes the workload to completion under sched and returns the
+// run summary. It is deterministic for a fixed seed and scheduler.
+func (s *Sim) Run(sched Scheduler, arrivals []Arrival) (*SimResult, error) {
+	s.total = len(arrivals)
+	for _, a := range arrivals {
+		if a.Plan == nil {
+			return nil, fmt.Errorf("engine: nil plan in arrivals")
+		}
+		s.push(&simEvent{at: a.At, kind: EvQueryArrival, arr: &a})
+	}
+	for _, tc := range s.cfg.ThreadChanges {
+		kind := EvThreadAdded
+		if tc.Delta < 0 {
+			kind = EvThreadRemoved
+		}
+		if tc.Delta != 0 {
+			s.push(&simEvent{at: tc.At, kind: kind, delta: tc.Delta})
+		}
+	}
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*simEvent)
+		if s.cfg.MaxTime > 0 && ev.at > s.cfg.MaxTime {
+			return nil, fmt.Errorf("engine: simulation exceeded MaxTime=%v at t=%v (scheduler %q stalled?)", s.cfg.MaxTime, ev.at, sched.Name())
+		}
+		s.state.Now = ev.at
+		switch ev.kind {
+		case EvQueryArrival:
+			s.handleArrival(sched, ev)
+		case EvOperatorDone: // carries a work-order completion
+			s.handleCompletion(sched, ev)
+		case EvThreadAdded, EvThreadRemoved:
+			s.handlePoolChange(sched, ev)
+		}
+		if s.stalled() {
+			return nil, fmt.Errorf("engine: scheduler %q stalled with %d unfinished queries at t=%v",
+				sched.Name(), len(s.state.Queries), s.state.Now)
+		}
+	}
+	s.result.Makespan = s.state.Now
+	res := s.result
+	return &res, nil
+}
+
+// stalled reports a deadlock: no events in flight but queries unfinished.
+func (s *Sim) stalled() bool {
+	return len(s.events) == 0 && len(s.state.Queries) > 0
+}
+
+func (s *Sim) push(e *simEvent) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+func (s *Sim) handleArrival(sched Scheduler, ev *simEvent) {
+	q := newQueryState(s.nextQID, ev.arr.Plan, ev.at)
+	s.nextQID++
+	s.arrived++
+	s.state.Queries = append(s.state.Queries, q)
+	s.invoke(sched, Event{Kind: EvQueryArrival, Time: ev.at, QueryID: q.ID})
+	s.dispatch()
+}
+
+// handlePoolChange grows or shrinks the worker pool and fires the
+// corresponding scheduling event.
+func (s *Sim) handlePoolChange(sched Scheduler, ev *simEvent) {
+	if ev.delta > 0 {
+		for i := 0; i < ev.delta; i++ {
+			s.state.Threads = append(s.state.Threads, ThreadInfo{ID: s.nextThreadID(), LastQuery: -1})
+		}
+	} else {
+		// Retire idle workers immediately; busy ones retire when their
+		// current work order completes.
+		toRetire := -ev.delta
+		for i := len(s.state.Threads) - 1; i >= 0 && toRetire > 0 && len(s.state.Threads) > 1; i-- {
+			if !s.state.Threads[i].Busy {
+				s.state.Threads = append(s.state.Threads[:i], s.state.Threads[i+1:]...)
+				toRetire--
+			}
+		}
+		s.pendingRetire += toRetire
+	}
+	s.invoke(sched, Event{Kind: ev.kind, Time: s.state.Now})
+	s.dispatch()
+}
+
+// nextThreadID returns an ID unused by any current worker.
+func (s *Sim) nextThreadID() int {
+	max := -1
+	for _, t := range s.state.Threads {
+		if t.ID > max {
+			max = t.ID
+		}
+	}
+	return max + 1
+}
+
+// threadByID finds a worker by its stable ID (indices shift when the
+// pool shrinks).
+func (s *Sim) threadByID(id int) *ThreadInfo {
+	for i := range s.state.Threads {
+		if s.state.Threads[i].ID == id {
+			return &s.state.Threads[i]
+		}
+	}
+	return nil
+}
+
+func (s *Sim) handleCompletion(sched Scheduler, ev *simEvent) {
+	st := ev.stats
+	q := s.state.Query(st.WorkOrder.QueryID)
+	thread := s.threadByID(st.ThreadID)
+	if thread != nil && s.pendingRetire > 0 && len(s.state.Threads) > 1 {
+		// A shrink request is outstanding: retire this worker now that
+		// its work order finished.
+		for i := range s.state.Threads {
+			if s.state.Threads[i].ID == st.ThreadID {
+				s.state.Threads = append(s.state.Threads[:i], s.state.Threads[i+1:]...)
+				break
+			}
+		}
+		s.pendingRetire--
+		thread = nil
+	}
+	if thread != nil {
+		thread.Busy = false
+		thread.LastQuery = st.WorkOrder.QueryID
+	}
+	s.result.WorkOrders++
+	if q == nil {
+		// Query was already finalized (cannot happen: the sink finishes
+		// last), but guard anyway.
+		s.dispatch()
+		return
+	}
+	s.runningWOs[q.ID]--
+	os := q.OpStates[st.WorkOrder.OpID]
+	os.Completed++
+	s.state.Estimator.ObserveCompletion(opKey(q.ID, os.Op.ID), st.Duration, st.Memory)
+	opDone := false
+	if os.Completed >= os.TotalWOs {
+		os.Done = true
+		os.Active = false
+		opDone = true
+	}
+	if q.Done() {
+		q.Completion = s.state.Now
+		s.result.Durations[q.ID] = q.Completion - q.Arrival
+		s.removeQuery(q.ID)
+		delete(s.runningWOs, q.ID)
+		if s.observer != nil {
+			s.observer.QueryCompleted(q.ID, q.Arrival, q.Completion)
+		}
+	}
+	if opDone {
+		s.invoke(sched, Event{Kind: EvOperatorDone, Time: s.state.Now, QueryID: st.WorkOrder.QueryID, OpID: st.WorkOrder.OpID})
+	} else if s.pendingDispatch() == 0 {
+		// Thread has nothing runnable: surface a thread-free event so the
+		// scheduler can activate more work.
+		s.invoke(sched, Event{Kind: EvThreadFree, Time: s.state.Now, QueryID: st.WorkOrder.QueryID})
+	}
+	s.dispatch()
+}
+
+func (s *Sim) removeQuery(id int) {
+	for i, q := range s.state.Queries {
+		if q.ID == id {
+			s.state.Queries = append(s.state.Queries[:i], s.state.Queries[i+1:]...)
+			return
+		}
+	}
+}
+
+// invoke calls the scheduler, records the trace point, applies decisions.
+func (s *Sim) invoke(sched Scheduler, ev Event) {
+	s.result.EventTrace = append(s.result.EventTrace, TracePoint{Time: s.state.Now, Queries: len(s.state.Queries)})
+	s.result.SchedInvocations++
+	var decisions []Decision
+	if s.cfg.MeasureOverhead {
+		start := time.Now()
+		decisions = sched.OnEvent(s.state, ev)
+		s.result.SchedOverhead += time.Since(start)
+	} else {
+		decisions = sched.OnEvent(s.state, ev)
+	}
+	for _, d := range decisions {
+		s.apply(d)
+	}
+}
+
+// apply activates the decision's pipeline and updates the thread grant.
+func (s *Sim) apply(d Decision) {
+	q := s.state.Query(d.QueryID)
+	if q == nil {
+		return
+	}
+	if d.Threads > 0 {
+		max := len(s.state.Threads)
+		if d.Threads > max {
+			d.Threads = max
+		}
+		q.AssignedThreads = d.Threads
+	}
+	if d.RootOpID < 0 || d.RootOpID >= len(q.OpStates) {
+		return
+	}
+	root := q.OpStates[d.RootOpID]
+	if root.Done || root.Active {
+		return
+	}
+	// Refuse illegal roots (inputs incomplete) rather than corrupting
+	// availability accounting; schedulers are expected to pick from
+	// SchedulableRoots.
+	for _, e := range root.Op.Children() {
+		if !q.OpStates[e.Child.ID].Done {
+			return
+		}
+	}
+	chain := pipelineChain(q, root.Op, d.PipelineDepth)
+	for i, opID := range chain {
+		os := q.OpStates[opID]
+		os.Active = true
+		os.Pipelined = i > 0
+		q.activationOrder = append(q.activationOrder, opID)
+	}
+	s.result.SchedActions++
+}
+
+// pendingDispatch counts work orders that could be dispatched right now
+// if threads were free.
+func (s *Sim) pendingDispatch() int {
+	n := 0
+	for _, q := range s.state.Queries {
+		for _, opID := range q.activationOrder {
+			n += q.OpStates[opID].availableWOs(q)
+		}
+	}
+	return n
+}
+
+// activeMemory estimates the memory footprint of all currently active
+// operators; over-committing the buffer pool causes thrashing.
+func (s *Sim) activeMemory() float64 {
+	m := 0.0
+	for _, q := range s.state.Queries {
+		for _, os := range q.OpStates {
+			if os.Active && !os.Done {
+				m += s.cost.BaseMemory(os.Op)
+			}
+		}
+	}
+	return m
+}
+
+// dispatch assigns free threads to available work orders, honoring
+// per-query grants and preferring older activations (stable pipelines).
+func (s *Sim) dispatch() {
+	thrash := 1.0
+	if mem := s.activeMemory(); mem > s.cost.BufferCapacity {
+		thrash = 1 + s.cost.ThrashFactor*(mem-s.cost.BufferCapacity)/s.cost.BufferCapacity
+	}
+	for ti := range s.state.Threads {
+		t := &s.state.Threads[ti]
+		if t.Busy {
+			continue
+		}
+		wo, q, os := s.pickWorkOrder(t)
+		if os == nil {
+			continue
+		}
+		os.Dispatched++
+		s.runningWOs[q.ID]++
+		t.Busy = true
+		var dur, mem float64
+		if s.executeHook != nil {
+			dur, mem = s.executeHook(q, os, wo)
+			if dur <= 0 {
+				dur = 1e-9
+			}
+		} else {
+			dur = s.cost.BaseDuration(os.Op)
+			if wo.Pipelined {
+				dur *= s.cost.PipelineDiscount
+			}
+			if t.LastQuery == q.ID {
+				dur *= s.cost.LocalityDiscount
+			}
+			dur *= thrash
+			if s.cfg.NoiseFrac > 0 {
+				dur *= 1 + s.cfg.NoiseFrac*(2*s.rng.Float64()-1)
+			}
+			if dur <= 0 {
+				dur = 1e-6
+			}
+			mem = s.cost.BaseMemory(os.Op)
+		}
+		s.push(&simEvent{
+			at:   s.state.Now + dur,
+			kind: EvOperatorDone,
+			stats: CompletionStats{
+				WorkOrder:  wo,
+				Duration:   dur,
+				Memory:     mem,
+				ThreadID:   t.ID,
+				FinishedAt: s.state.Now + dur,
+			},
+		})
+	}
+	if s.afterDispatch != nil {
+		s.afterDispatch()
+	}
+}
+
+// pickWorkOrder selects the next work order for thread t: prefer the
+// thread's last query (locality), then queries in arrival order; within a
+// query, prefer the oldest activation with available work.
+func (s *Sim) pickWorkOrder(t *ThreadInfo) (WorkOrder, *QueryState, *OpState) {
+	try := func(q *QueryState) (WorkOrder, *OpState) {
+		if s.runningWOs[q.ID] >= q.AssignedThreads {
+			return WorkOrder{}, nil
+		}
+		for _, opID := range q.activationOrder {
+			os := q.OpStates[opID]
+			if os.availableWOs(q) > 0 {
+				return WorkOrder{
+					QueryID:    q.ID,
+					OpID:       opID,
+					BlockIndex: os.Dispatched,
+					Pipelined:  os.Pipelined,
+				}, os
+			}
+		}
+		return WorkOrder{}, nil
+	}
+	if t.LastQuery >= 0 {
+		if q := s.state.Query(t.LastQuery); q != nil {
+			if wo, os := try(q); os != nil {
+				return wo, q, os
+			}
+		}
+	}
+	for _, q := range s.state.Queries {
+		if wo, os := try(q); os != nil {
+			return wo, q, os
+		}
+	}
+	return WorkOrder{}, nil, nil
+}
+
+func opKey(queryID, opID int) int { return queryID*1024 + opID }

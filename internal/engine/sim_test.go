@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// chainPlan builds scan -> select -> select -> agg -> finalize.
+func chainPlan(name string, blocks int) *plan.Plan {
+	b := plan.NewBuilder(name)
+	scan := b.Add(&plan.Operator{Type: plan.TableScan, EstBlocks: blocks})
+	s1 := b.Add(&plan.Operator{Type: plan.Select, EstBlocks: blocks})
+	b.ConnectAuto(scan, s1)
+	s2 := b.Add(&plan.Operator{Type: plan.Select, EstBlocks: blocks})
+	b.ConnectAuto(s1, s2)
+	agg := b.Add(&plan.Operator{Type: plan.Aggregate, EstBlocks: blocks})
+	b.ConnectAuto(s2, agg)
+	fin := b.Add(&plan.Operator{Type: plan.FinalizeAggregate, EstBlocks: 1})
+	b.ConnectAuto(agg, fin)
+	return b.MustBuild()
+}
+
+// joinPlan builds two scans joined by build/probe then aggregated.
+func joinPlan(name string, leftBlocks, rightBlocks int) *plan.Plan {
+	b := plan.NewBuilder(name)
+	l := b.Add(&plan.Operator{Type: plan.TableScan, EstBlocks: leftBlocks})
+	r := b.Add(&plan.Operator{Type: plan.TableScan, EstBlocks: rightBlocks})
+	build := b.Add(&plan.Operator{Type: plan.BuildHash, EstBlocks: leftBlocks})
+	b.ConnectAuto(l, build)
+	probe := b.Add(&plan.Operator{Type: plan.ProbeHash, EstBlocks: rightBlocks})
+	b.Connect(build, probe, false)
+	b.Connect(r, probe, true)
+	agg := b.Add(&plan.Operator{Type: plan.Aggregate, EstBlocks: rightBlocks})
+	b.ConnectAuto(probe, agg)
+	fin := b.Add(&plan.Operator{Type: plan.FinalizeAggregate, EstBlocks: 1})
+	b.ConnectAuto(agg, fin)
+	return b.MustBuild()
+}
+
+// greedyTestSched activates every schedulable root with full pipelining
+// and an even thread split — a minimal well-behaved scheduler for tests.
+type greedyTestSched struct{ depth int }
+
+func (greedyTestSched) Name() string { return "greedy-test" }
+
+func (g greedyTestSched) OnEvent(st *State, _ Event) []Decision {
+	var ds []Decision
+	n := len(st.Queries)
+	if n == 0 {
+		return nil
+	}
+	share := st.TotalThreads() / n
+	if share < 1 {
+		share = 1
+	}
+	for _, q := range st.Queries {
+		for _, root := range q.SchedulableRoots() {
+			ds = append(ds, Decision{QueryID: q.ID, RootOpID: root.ID, PipelineDepth: g.depth, Threads: share})
+		}
+	}
+	return ds
+}
+
+func TestSimSingleQueryCompletes(t *testing.T) {
+	sim := NewSim(SimConfig{Threads: 4, Seed: 1})
+	res, err := sim.Run(greedyTestSched{depth: 4}, []Arrival{{Plan: chainPlan("q", 8), At: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 1 {
+		t.Fatalf("expected 1 completed query, got %d", len(res.Durations))
+	}
+	if res.Durations[0] <= 0 {
+		t.Fatalf("non-positive duration %v", res.Durations[0])
+	}
+	// 8+8+8+8+1 = 33 work orders.
+	if res.WorkOrders != 33 {
+		t.Fatalf("expected 33 work orders, got %d", res.WorkOrders)
+	}
+}
+
+func TestSimJoinPlanRespectsBlocking(t *testing.T) {
+	sim := NewSim(SimConfig{Threads: 2, Seed: 2})
+	res, err := sim.Run(greedyTestSched{depth: 3}, []Arrival{{Plan: joinPlan("j", 4, 6), At: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 1 {
+		t.Fatalf("join query did not complete")
+	}
+}
+
+func TestSimMultiQueryAllComplete(t *testing.T) {
+	var arrivals []Arrival
+	rng := rand.New(rand.NewSource(3))
+	at := 0.0
+	for i := 0; i < 12; i++ {
+		at += rng.ExpFloat64() * 2
+		p := chainPlan("c", 3+rng.Intn(6))
+		if i%2 == 0 {
+			p = joinPlan("j", 2+rng.Intn(4), 3+rng.Intn(5))
+		}
+		arrivals = append(arrivals, Arrival{Plan: p, At: at})
+	}
+	sim := NewSim(SimConfig{Threads: 4, Seed: 4, NoiseFrac: 0.2})
+	res, err := sim.Run(greedyTestSched{depth: 2}, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 12 {
+		t.Fatalf("expected 12 completions, got %d", len(res.Durations))
+	}
+	for id, d := range res.Durations {
+		if d <= 0 {
+			t.Errorf("query %d duration %v", id, d)
+		}
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	run := func() *SimResult {
+		var arrivals []Arrival
+		for i := 0; i < 6; i++ {
+			arrivals = append(arrivals, Arrival{Plan: joinPlan("j", 3, 4), At: float64(i)})
+		}
+		sim := NewSim(SimConfig{Threads: 3, Seed: 42, NoiseFrac: 0.3})
+		res, err := sim.Run(greedyTestSched{depth: 2}, arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan {
+		t.Fatalf("nondeterministic makespan: %v vs %v", a.Makespan, b.Makespan)
+	}
+	for id := range a.Durations {
+		if a.Durations[id] != b.Durations[id] {
+			t.Fatalf("nondeterministic duration for query %d", id)
+		}
+	}
+}
+
+func TestSimPipeliningShortensChainPlan(t *testing.T) {
+	run := func(depth int) float64 {
+		sim := NewSim(SimConfig{Threads: 2, Seed: 7})
+		res, err := sim.Run(greedyTestSched{depth: depth}, []Arrival{{Plan: chainPlan("q", 16), At: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Durations[0]
+	}
+	noPipe := run(0)
+	pipe := run(4)
+	if pipe >= noPipe {
+		t.Fatalf("pipelined run (%v) not faster than unpipelined (%v)", pipe, noPipe)
+	}
+}
+
+func TestSimThrashingPenalizesOverPipelining(t *testing.T) {
+	// With a tiny buffer, activating many memory-heavy operators at once
+	// must slow execution down.
+	cm := DefaultCostModel()
+	cm.BufferCapacity = 2
+	cm.ThrashFactor = 3
+	var arrivals []Arrival
+	for i := 0; i < 4; i++ {
+		arrivals = append(arrivals, Arrival{Plan: chainPlan("q", 8), At: 0})
+	}
+	run := func(depth int) float64 {
+		sim := NewSim(SimConfig{Threads: 4, Seed: 11, Cost: cm})
+		res, err := sim.Run(greedyTestSched{depth: depth}, arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	aggressive := run(4)
+	conservative := run(0)
+	if aggressive <= conservative {
+		t.Fatalf("aggressive pipelining (%v) should thrash vs conservative (%v) under tiny buffer", aggressive, conservative)
+	}
+}
+
+func TestSimStallDetection(t *testing.T) {
+	// A scheduler that never schedules anything must be reported as
+	// stalled, not loop forever.
+	sim := NewSim(SimConfig{Threads: 2, Seed: 5})
+	_, err := sim.Run(nopSched{}, []Arrival{{Plan: chainPlan("q", 4), At: 0}})
+	if err == nil {
+		t.Fatal("expected stall error")
+	}
+}
+
+type nopSched struct{}
+
+func (nopSched) Name() string                     { return "nop" }
+func (nopSched) OnEvent(*State, Event) []Decision { return nil }
+
+func TestSimThreadGrantLimitsParallelism(t *testing.T) {
+	// With 8 threads but a grant of 1, a single query must take roughly
+	// serial time.
+	single := func(grant int) float64 {
+		sched := grantSched{grant: grant}
+		sim := NewSim(SimConfig{Threads: 8, Seed: 13})
+		res, err := sim.Run(&sched, []Arrival{{Plan: chainPlan("q", 16), At: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Durations[0]
+	}
+	serial := single(1)
+	parallel := single(8)
+	if parallel >= serial {
+		t.Fatalf("8-thread grant (%v) not faster than 1-thread grant (%v)", parallel, serial)
+	}
+	if serial/parallel < 2 {
+		t.Fatalf("expected at least 2x speedup, got %vx", serial/parallel)
+	}
+}
+
+type grantSched struct{ grant int }
+
+func (*grantSched) Name() string { return "grant-test" }
+func (g *grantSched) OnEvent(st *State, _ Event) []Decision {
+	var ds []Decision
+	for _, q := range st.Queries {
+		for _, root := range q.SchedulableRoots() {
+			ds = append(ds, Decision{QueryID: q.ID, RootOpID: root.ID, PipelineDepth: 0, Threads: g.grant})
+		}
+	}
+	return ds
+}
+
+func TestSimResultAvgDuration(t *testing.T) {
+	r := &SimResult{Durations: map[int]float64{0: 2, 1: 4}}
+	if got := r.AvgDuration(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("AvgDuration = %v, want 3", got)
+	}
+	empty := &SimResult{Durations: map[int]float64{}}
+	if empty.AvgDuration() != 0 {
+		t.Fatal("empty AvgDuration should be 0")
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// tinyScale makes experiment smoke tests fast; policies are barely
+// trained, but every figure's machinery runs end to end.
+func tinyScale() Scale {
+	return Scale{TrainEpisodes: 4, TrainQueries: 4, EvalQueries: 6, Threads: 8, Repeats: 1, TuneRounds: 2}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "demo", Columns: []string{"name", "value"}}
+	tbl.AddRow("a", 1.5)
+	tbl.AddRow("bee", 2)
+	tbl.Notes = append(tbl.Notes, "hello")
+	s := tbl.String()
+	for _, want := range []string{"== demo ==", "name", "1.50", "bee", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFiguresRegistryComplete(t *testing.T) {
+	figs := Figures()
+	want := []string{"1", "8", "9", "10", "11", "12", "13", "14", "15"}
+	if len(figs) != len(want) {
+		t.Fatalf("registry has %v, want %v", figs, want)
+	}
+	for i, f := range want {
+		if figs[i] != f {
+			t.Fatalf("registry order %v, want %v", figs, want)
+		}
+	}
+	if _, err := Run(NewLab(tinyScale(), 1), "99"); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+}
+
+func TestLabCachesAgents(t *testing.T) {
+	l := NewLab(tinyScale(), 1)
+	a, err := l.LSched(workload.BenchSSB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.LSched(workload.BenchSSB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("lab retrained instead of caching")
+	}
+	p1 := l.Pool(workload.BenchTPCH)
+	p2 := l.Pool(workload.BenchTPCH)
+	if p1 != p2 {
+		t.Fatal("lab rebuilt the pool")
+	}
+}
+
+func TestCompareSchedulersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short")
+	}
+	l := NewLab(tinyScale(), 1)
+	tbl, err := compareSchedulers(l, workload.BenchSSB, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 { // LSched, Decima, Quickstep, SelfTune, Fair, FIFO
+		t.Fatalf("%d rows, want 6:\n%s", len(tbl.Rows), tbl)
+	}
+	for _, row := range tbl.Rows {
+		if row[1] == "0.00" {
+			t.Fatalf("scheduler %s reported zero mean duration", row[0])
+		}
+	}
+}
+
+func TestFig11And12Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short")
+	}
+	l := NewLab(tinyScale(), 2)
+	w, err := Fig11Workers(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Rows) != 5 || len(w.Columns) != 6 {
+		t.Fatalf("fig11a shape: %d rows x %d cols", len(w.Rows), len(w.Columns))
+	}
+	// Thread count is restored after the sweep.
+	if l.Scale.Threads != tinyScale().Threads {
+		t.Fatalf("Fig11Workers leaked Threads=%d", l.Scale.Threads)
+	}
+	qs, err := Fig12QueryCount(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatal("fig12 should return streaming and batch tables")
+	}
+}
+
+func TestFig13OverheadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short")
+	}
+	l := NewLab(tinyScale(), 3)
+	tables, err := Fig13Overhead(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatal("fig13 should return latency and action tables")
+	}
+	if len(tables[1].Rows) != 2 {
+		t.Fatalf("actions table should cover the two learned agents, got %d rows", len(tables[1].Rows))
+	}
+}
+
+func TestScaledCounts(t *testing.T) {
+	l := NewLab(Scale{EvalQueries: 40}, 1)
+	counts := scaledCounts(l)
+	if len(counts) != 5 {
+		t.Fatalf("got %v", counts)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] <= counts[i-1] {
+			t.Fatalf("counts not increasing: %v", counts)
+		}
+	}
+	if counts[3] != 40 {
+		t.Fatalf("fourth sweep point should be EvalQueries, got %v", counts)
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/heuristics"
+	"repro/internal/workload"
+)
+
+// cdfPoints are the CDF levels the comparison tables report, standing in
+// for the paper's CDF curves.
+var cdfPoints = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+
+// compareSchedulers runs every competitor on the benchmark's *test*
+// queries under the given arrival mode and tabulates the CDF of query
+// durations — the format of Figs. 8, 9, and 10.
+func compareSchedulers(l *Lab, b workload.Benchmark, batching, includeFIFO bool) (*Table, error) {
+	ls, err := l.LSched(b)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := l.Decima(b)
+	if err != nil {
+		return nil, err
+	}
+	st, err := l.SelfTune(b)
+	if err != nil {
+		return nil, err
+	}
+	scheds := []engine.Scheduler{ls, dec, heuristics.Quickstep{}, st, heuristics.Fair{}}
+	if includeFIFO {
+		scheds = append(scheds, heuristics.FIFO{})
+	}
+	mode := "streaming"
+	if batching {
+		mode = "batching"
+	}
+	pool := l.Pool(b)
+	gen := func(rng *rand.Rand) []engine.Arrival {
+		if batching {
+			return workload.Batch(pool.Test, l.Scale.EvalQueries, rng)
+		}
+		return workload.Streaming(pool.Test, l.Scale.EvalQueries, 0.5, rng)
+	}
+
+	tbl := &Table{
+		Title:   fmt.Sprintf("%s %s: CDF of query duration (%d queries, %d threads)", b, mode, l.Scale.EvalQueries, l.Scale.Threads),
+		Columns: append([]string{"scheduler", "mean"}, cdfLabels()...),
+	}
+	var decimaMean float64
+	means := map[string]float64{}
+	for _, s := range scheds {
+		stats, err := l.Evaluate(s, gen, false)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{s.Name(), stats.Mean}
+		for _, p := range cdfPoints {
+			row = append(row, pct(stats.Durations, p))
+		}
+		tbl.AddRow(row...)
+		means[s.Name()] = stats.Mean
+		if s.Name() == "Decima" {
+			decimaMean = stats.Mean
+		}
+	}
+	if decimaMean > 0 {
+		imp := (decimaMean - means["LSched"]) / decimaMean * 100
+		tbl.Notes = append(tbl.Notes, fmt.Sprintf("LSched improvement over Decima: %.1f%% (paper: >=35%% streaming / >=50%% batching)", imp))
+	}
+	tbl.Notes = append(tbl.Notes, "paper shape: LSched dominates at every CDF level; FIFO (when shown) is worst by far")
+	return tbl, nil
+}
+
+// Fig08TPCH reproduces Fig. 8: TPC-H streaming and batching CDFs.
+func Fig08TPCH(l *Lab) ([]*Table, error) {
+	stream, err := compareSchedulers(l, workload.BenchTPCH, false, true)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := compareSchedulers(l, workload.BenchTPCH, true, true)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{stream, batch}, nil
+}
+
+// Fig09SSB reproduces Fig. 9: SSB streaming and batching CDFs (FIFO is
+// dropped after Fig. 8, as in the paper).
+func Fig09SSB(l *Lab) ([]*Table, error) {
+	stream, err := compareSchedulers(l, workload.BenchSSB, false, false)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := compareSchedulers(l, workload.BenchSSB, true, false)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{stream, batch}, nil
+}
+
+// Fig10JOB reproduces Fig. 10: JOB streaming and batching CDFs.
+func Fig10JOB(l *Lab) ([]*Table, error) {
+	stream, err := compareSchedulers(l, workload.BenchJOB, false, false)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := compareSchedulers(l, workload.BenchJOB, true, false)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{stream, batch}, nil
+}
+
+func cdfLabels() []string {
+	out := make([]string, len(cdfPoints))
+	for i, p := range cdfPoints {
+		out[i] = fmt.Sprintf("p%.0f", p*100)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/heuristics"
+	"repro/internal/workload"
+)
+
+// evalSet returns the five competitors of the sensitivity experiments
+// (Figs. 11–13: FIFO is excluded after Fig. 8).
+func evalSet(l *Lab, b workload.Benchmark) ([]engine.Scheduler, error) {
+	ls, err := l.LSched(b)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := l.Decima(b)
+	if err != nil {
+		return nil, err
+	}
+	st, err := l.SelfTune(b)
+	if err != nil {
+		return nil, err
+	}
+	return []engine.Scheduler{ls, dec, heuristics.Quickstep{}, st, heuristics.Fair{}}, nil
+}
+
+// Fig11Workers reproduces Fig. 11(a): average TPC-H streaming query
+// duration while scaling the worker pool from 20 to 100 threads.
+func Fig11Workers(l *Lab) (*Table, error) {
+	scheds, err := evalSet(l, workload.BenchTPCH)
+	if err != nil {
+		return nil, err
+	}
+	pool := l.Pool(workload.BenchTPCH)
+	workers := []int{20, 40, 60, 80, 100}
+	tbl := &Table{
+		Title:   "Fig 11(a): avg query duration vs worker threads (TPCH streaming)",
+		Columns: append([]string{"scheduler"}, intLabels(workers)...),
+		Notes: []string{
+			"paper shape: all scale with threads; gaps shrink at very high thread counts where fair sharing suffices",
+		},
+	}
+	for _, s := range scheds {
+		row := []any{s.Name()}
+		for _, w := range workers {
+			saved := l.Scale.Threads
+			l.Scale.Threads = w
+			stats, err := l.Evaluate(s, func(rng *rand.Rand) []engine.Arrival {
+				return workload.Streaming(pool.Test, l.Scale.EvalQueries, 0.5, rng)
+			}, false)
+			l.Scale.Threads = saved
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Mean)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}
+
+// Fig11ArrivalRate reproduces Fig. 11(b): average query duration while
+// varying the inter-query arrival time from heavy overlap to
+// one-query-at-a-time.
+func Fig11ArrivalRate(l *Lab) (*Table, error) {
+	scheds, err := evalSet(l, workload.BenchTPCH)
+	if err != nil {
+		return nil, err
+	}
+	pool := l.Pool(workload.BenchTPCH)
+	// The paper's x-axis is the inter-query arrival time knob 10..400
+	// (log scale); we map it to the exponential gap's expectation.
+	gaps := []float64{10, 50, 100, 200, 400}
+	tbl := &Table{
+		Title:   "Fig 11(b): avg query duration vs inter-query arrival time (TPCH streaming)",
+		Columns: append([]string{"scheduler"}, floatLabels(gaps)...),
+		Notes: []string{
+			"paper shape: durations drop as arrivals spread out; at 400 the system runs ~one query at a time and schedulers converge",
+		},
+	}
+	for _, s := range scheds {
+		row := []any{s.Name()}
+		for _, g := range gaps {
+			// The knob is the expected inter-arrival gap in engine time
+			// units; 10 overlaps heavily, 400 approaches one query at a
+			// time (typical query durations are tens to hundreds of
+			// units).
+			rate := 1.0 / g
+			stats, err := l.Evaluate(s, func(rng *rand.Rand) []engine.Arrival {
+				return workload.Streaming(pool.Test, l.Scale.EvalQueries, rate, rng)
+			}, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Mean)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}
+
+func intLabels(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%d", x)
+	}
+	return out
+}
+
+func floatLabels(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%g", x)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Fig12QueryCount reproduces Fig. 12: average query duration while
+// varying the number of (a) streaming and (b) batched TPC-H queries.
+func Fig12QueryCount(l *Lab) ([]*Table, error) {
+	scheds, err := evalSet(l, workload.BenchTPCH)
+	if err != nil {
+		return nil, err
+	}
+	pool := l.Pool(workload.BenchTPCH)
+	counts := scaledCounts(l)
+	out := make([]*Table, 0, 2)
+	for _, batching := range []bool{false, true} {
+		mode := "streaming"
+		if batching {
+			mode = "batched"
+		}
+		tbl := &Table{
+			Title:   "Fig 12: avg query duration vs number of " + mode + " queries (TPCH)",
+			Columns: append([]string{"scheduler"}, intLabels(counts)...),
+			Notes: []string{
+				"paper shape: near-parity at small counts; degradation sets in once queries outnumber threads, LSched degrades most gracefully",
+			},
+		}
+		for _, s := range scheds {
+			row := []any{s.Name()}
+			for _, n := range counts {
+				stats, err := l.Evaluate(s, func(rng *rand.Rand) []engine.Arrival {
+					if batching {
+						return workload.Batch(pool.Test, n, rng)
+					}
+					return workload.Streaming(pool.Test, n, 0.5, rng)
+				}, false)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, stats.Mean)
+			}
+			tbl.AddRow(row...)
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// scaledCounts maps the paper's 20..100 query sweep onto the lab scale.
+func scaledCounts(l *Lab) []int {
+	base := []float64{0.25, 0.5, 0.75, 1.0, 1.25}
+	counts := make([]int, len(base))
+	for i, f := range base {
+		counts[i] = int(f * float64(l.Scale.EvalQueries))
+		if counts[i] < 2 {
+			counts[i] = 2
+		}
+	}
+	return counts
+}

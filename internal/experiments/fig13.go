@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Fig13Overhead reproduces Fig. 13: (a) wall-clock scheduling latency
+// per query and (b) number of scheduling actions taken by the learned
+// agents, as the streaming TPC-H workload grows.
+func Fig13Overhead(l *Lab) ([]*Table, error) {
+	scheds, err := evalSet(l, workload.BenchTPCH)
+	if err != nil {
+		return nil, err
+	}
+	pool := l.Pool(workload.BenchTPCH)
+	counts := scaledCounts(l)
+
+	latency := &Table{
+		Title:   "Fig 13(a): avg scheduling latency per query, ms (TPCH streaming)",
+		Columns: append([]string{"scheduler"}, intLabels(counts)...),
+		Notes: []string{
+			"paper shape: learned schedulers (LSched, Decima) pay orders of magnitude more per-decision latency than the heuristics, but the end-to-end savings exceed it ~100x",
+		},
+	}
+	actions := &Table{
+		Title:   "Fig 13(b): number of scheduling actions (learned agents)",
+		Columns: append([]string{"scheduler"}, intLabels(counts)...),
+		Notes: []string{
+			"paper shape: action counts grow with the number of queries",
+		},
+	}
+	for _, s := range scheds {
+		latRow := []any{s.Name()}
+		actRow := []any{s.Name()}
+		for _, n := range counts {
+			stats, err := l.Evaluate(s, func(rng *rand.Rand) []engine.Arrival {
+				return workload.Streaming(pool.Test, n, 0.5, rng)
+			}, true)
+			if err != nil {
+				return nil, err
+			}
+			latRow = append(latRow, stats.SchedOverheadPerQueryMS)
+			actRow = append(actRow, int(stats.SchedActions))
+		}
+		latency.AddRow(latRow...)
+		if s.Name() == "LSched" || s.Name() == "Decima" {
+			actions.AddRow(actRow...)
+		}
+	}
+	return []*Table{latency, actions}, nil
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/decima"
+	"repro/internal/engine"
+	"repro/internal/lsched"
+	"repro/internal/workload"
+)
+
+// Fig14Training reproduces Fig. 14(a): average query duration as a
+// function of the training-episode budget, for LSched and Decima. The
+// paper's LSched saturates in ~2000 episodes while Decima needs ~5000;
+// at lab scale we sweep fractions of the configured budget.
+func Fig14Training(l *Lab) (*Table, error) {
+	pool := l.Pool(workload.BenchTPCH)
+	fracs := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	budgets := make([]int, len(fracs))
+	for i, f := range fracs {
+		budgets[i] = int(f * float64(l.Scale.TrainEpisodes))
+		if budgets[i] < 1 {
+			budgets[i] = 1
+		}
+	}
+	tbl := &Table{
+		Title:   "Fig 14(a): avg query duration vs training episodes (TPCH streaming)",
+		Columns: append([]string{"scheduler"}, intLabels(budgets)...),
+		Notes: []string{
+			"paper shape: both improve with episodes; LSched saturates much earlier than Decima (2000 vs 5000 episodes)",
+		},
+	}
+	eval := func(agent *lsched.Agent) (float64, error) {
+		agent.SetGreedy(true)
+		stats, err := l.Evaluate(agent, func(rng *rand.Rand) []engine.Arrival {
+			return workload.Streaming(pool.Test, l.Scale.EvalQueries, 0.5, rng)
+		}, false)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Mean, nil
+	}
+	for _, which := range []string{"LSched", "Decima"} {
+		row := []any{which}
+		// Train an independent agent per budget point; every point gets
+		// its own optimizer run and best-checkpoint selection, as a user
+		// stopping training at that budget would.
+		for _, b := range budgets {
+			var agent *lsched.Agent
+			var cfg lsched.TrainConfig
+			if which == "LSched" {
+				agent = lsched.New(lsched.DefaultOptions(l.Seed))
+				cfg = l.trainConfig(pool, l.Seed)
+			} else {
+				agent = decima.New(l.Seed)
+				cfg = decima.TrainConfig(l.trainConfig(pool, l.Seed))
+			}
+			cfg.Episodes = b
+			if _, err := lsched.Train(agent, cfg); err != nil {
+				return nil, fmt.Errorf("fig14 training %s@%d: %w", which, b, err)
+			}
+			m, err := eval(agent)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, m)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}
+
+// Fig14Transfer reproduces Fig. 14(b): the average training reward per
+// episode when training an SSB scheduler from scratch versus
+// transfer-initialized from the TPCH model with inner layers frozen.
+// Transfer should reach a good reward in roughly half the episodes.
+func Fig14Transfer(l *Lab) (*Table, error) {
+	tpchAgent, err := l.LSched(workload.BenchTPCH)
+	if err != nil {
+		return nil, err
+	}
+	ssbPool := l.Pool(workload.BenchSSB)
+	episodes := l.Scale.TrainEpisodes
+	marks := []int{episodes / 5, 2 * episodes / 5, 3 * episodes / 5, 4 * episodes / 5, episodes}
+	for i := range marks {
+		if marks[i] < 1 {
+			marks[i] = 1
+		}
+	}
+	tbl := &Table{
+		Title:   "Fig 14(b): avg reward vs episodes, SSB from scratch vs transfer from TPCH",
+		Columns: append([]string{"variant"}, intLabels(marks)...),
+		Notes: []string{
+			"paper shape: rewards are negative latency penalties; the transfer curve reaches an effective reward with ~50% fewer episodes",
+		},
+	}
+	runCurve := func(name string, init func(*lsched.Agent) error) error {
+		agent := lsched.New(lsched.DefaultOptions(l.Seed + 5))
+		if init != nil {
+			if err := init(agent); err != nil {
+				return err
+			}
+		}
+		var rewards []float64
+		cfg := l.trainConfig(ssbPool, l.Seed+5)
+		cfg.Episodes = episodes
+		cfg.OnEpisode = func(ep int, avgReward, _ float64) {
+			rewards = append(rewards, avgReward)
+		}
+		if _, err := lsched.Train(agent, cfg); err != nil {
+			return fmt.Errorf("fig14 transfer curve %s: %w", name, err)
+		}
+		row := []any{name}
+		for _, m := range marks {
+			// Smooth with the trailing window up to the mark.
+			lo := m - 5
+			if lo < 0 {
+				lo = 0
+			}
+			row = append(row, meanOf(rewards[lo:m]))
+		}
+		tbl.AddRow(row...)
+		return nil
+	}
+	if err := runCurve("LSched w/o TL", nil); err != nil {
+		return nil, err
+	}
+	if err := runCurve("LSched w TL", func(a *lsched.Agent) error {
+		return a.TransferFrom(tpchAgent)
+	}); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}

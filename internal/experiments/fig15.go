@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/lsched"
+	"repro/internal/workload"
+)
+
+// Fig15Ablation reproduces Fig. 15: the CDF of average query duration
+// for LSched with each key contribution removed — transfer learning,
+// pipelining prediction, graph attention, and the triangle (tree)
+// convolution.
+func Fig15Ablation(l *Lab) (*Table, error) {
+	pool := l.Pool(workload.BenchTPCH)
+	gen := func(rng *rand.Rand) []engine.Arrival {
+		return workload.Streaming(pool.Test, l.Scale.EvalQueries, 0.5, rng)
+	}
+	tbl := &Table{
+		Title:   "Fig 15: LSched ablations (TPCH streaming)",
+		Columns: append([]string{"variant", "mean"}, cdfLabels()...),
+		Notes: []string{
+			"paper shape: removing TCN hurts most (>=2x), then GAT (>=1.5x), then pipelining prediction (+25%), then transfer learning (+10%)",
+		},
+	}
+	addRow := func(name string, s engine.Scheduler) error {
+		stats, err := l.Evaluate(s, gen, false)
+		if err != nil {
+			return fmt.Errorf("fig15 %s: %w", name, err)
+		}
+		row := []any{name, stats.Mean}
+		for _, p := range cdfPoints {
+			row = append(row, pct(stats.Durations, p))
+		}
+		tbl.AddRow(row...)
+		return nil
+	}
+
+	// The complete variation is trained with transfer learning: warm-
+	// start from the SSB model, then train on TPCH with frozen inner
+	// layers, as the figure's blue curve prescribes.
+	ssbAgent, err := l.LSched(workload.BenchSSB)
+	if err != nil {
+		return nil, err
+	}
+	full := lsched.New(lsched.DefaultOptions(l.Seed + 9))
+	if err := full.TransferFrom(ssbAgent); err != nil {
+		return nil, err
+	}
+	if _, err := lsched.Train(full, l.trainConfig(pool, l.Seed+9)); err != nil {
+		return nil, err
+	}
+	full.SetGreedy(true)
+	if err := addRow("LSched", full); err != nil {
+		return nil, err
+	}
+
+	noTL, err := l.LSched(workload.BenchTPCH) // trained from scratch
+	if err != nil {
+		return nil, err
+	}
+	if err := addRow("LSched w/o Transfer Learning", noTL); err != nil {
+		return nil, err
+	}
+
+	variants := []struct {
+		name string
+		mod  func(*lsched.Options)
+	}{
+		{"LSched w/o Pipelining Prediction", func(o *lsched.Options) { o.DisablePipelining = true }},
+		{"LSched w/o Graph Attention", func(o *lsched.Options) { o.UseGAT = false }},
+		{"LSched w/o Triangle Convolution", func(o *lsched.Options) { o.UseTCN = false }},
+	}
+	for _, v := range variants {
+		agent, err := l.Variant(workload.BenchTPCH, v.name, v.mod)
+		if err != nil {
+			return nil, err
+		}
+		if err := addRow(v.name, agent); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one figure.
+type Runner func(*Lab) ([]*Table, error)
+
+// registry maps figure IDs to regenerators.
+var registry = map[string]Runner{
+	"1": func(l *Lab) ([]*Table, error) {
+		t, err := Fig01IntroExample(l)
+		return wrap(t, err)
+	},
+	"8":  Fig08TPCH,
+	"9":  Fig09SSB,
+	"10": Fig10JOB,
+	"11": func(l *Lab) ([]*Table, error) {
+		a, err := Fig11Workers(l)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Fig11ArrivalRate(l)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{a, b}, nil
+	},
+	"12": Fig12QueryCount,
+	"13": Fig13Overhead,
+	"14": func(l *Lab) ([]*Table, error) {
+		a, err := Fig14Training(l)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Fig14Transfer(l)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{a, b}, nil
+	},
+	"15": func(l *Lab) ([]*Table, error) {
+		t, err := Fig15Ablation(l)
+		return wrap(t, err)
+	},
+}
+
+func wrap(t *Table, err error) ([]*Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+// Figures lists the available figure IDs in order.
+func Figures() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return len(out[i]) < len(out[j]) || (len(out[i]) == len(out[j]) && out[i] < out[j])
+	})
+	return out
+}
+
+// Run regenerates the figure with the given ID.
+func Run(l *Lab, fig string) ([]*Table, error) {
+	r, ok := registry[fig]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", fig, Figures())
+	}
+	return r(l)
+}

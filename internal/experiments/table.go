@@ -1,0 +1,75 @@
+// Package experiments contains one regenerator per table and figure in
+// the paper's evaluation (§7). Each Fig* function runs the corresponding
+// experiment on the simulator substrate and returns a Table whose rows
+// mirror the series the paper plots; cmd/lsched-bench and the root
+// bench_test.go drive them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries the expected paper shape for EXPERIMENTS.md.
+	Notes []string
+}
+
+// AddRow appends a formatted row; values may be strings or numbers.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case string:
+			row[i] = x
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		case int:
+			row[i] = fmt.Sprintf("%d", x)
+		default:
+			row[i] = fmt.Sprint(x)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	sb.WriteString("== " + t.Title + " ==\n")
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, v := range r {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	line := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(v)
+			for p := len(v); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}

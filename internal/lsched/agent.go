@@ -1,0 +1,395 @@
+// Package lsched implements the paper's primary contribution: the
+// LSched scheduling agent. It wires the feature extractor (§4.1), Query
+// Encoder (§4.2–4.3), and Scheduling Predictor (§5.3) into an
+// engine.Scheduler, and provides REINFORCE training with the combined
+// average/tail-latency reward (§6) plus layer-freezing transfer learning.
+package lsched
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/encoder"
+	"repro/internal/engine"
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/predictor"
+)
+
+// Options configures an agent. The ablation switches correspond to the
+// Fig. 15 variants.
+type Options struct {
+	// Seed drives parameter initialization and action sampling.
+	Seed int64
+	// Hidden is the embedding width.
+	Hidden int
+	// ConvLayers is the number of stacked convolution layers.
+	ConvLayers int
+	// UseTCN selects the customized tree convolution (false = Decima-
+	// style sequential message passing — the "w/o Triangle Convolution"
+	// ablation).
+	UseTCN bool
+	// UseGAT enables attention re-weighting ("w/o Graph Attention" when
+	// false).
+	UseGAT bool
+	// UseEdges includes the edge terms in the triangle filters; false
+	// degenerates Eq. 2 to stock node-only tree convolution (an extra
+	// ablation beyond Fig. 15).
+	UseEdges bool
+	// DisablePipelining forces pipeline degree 0 ("w/o Pipelining
+	// Prediction" ablation; also part of the Decima baseline).
+	DisablePipelining bool
+	// Greedy selects argmax actions (evaluation); false samples from the
+	// policy (training/exploration).
+	Greedy bool
+	// MaxDecisionsPerEvent bounds the scheduling loop per event.
+	MaxDecisionsPerEvent int
+	// Name overrides the scheduler name (the Decima baseline wraps this
+	// agent under its own name).
+	Name string
+	// FeatCfg sets feature dimensions; zero value selects defaults.
+	FeatCfg features.Config
+}
+
+// DefaultOptions returns the configuration used in the experiments.
+func DefaultOptions(seed int64) Options {
+	return Options{
+		Seed:                 seed,
+		Hidden:               16,
+		ConvLayers:           2,
+		UseTCN:               true,
+		UseGAT:               true,
+		UseEdges:             true,
+		MaxDecisionsPerEvent: 8,
+		FeatCfg:              features.DefaultConfig(),
+	}
+}
+
+// rootChoice records one sampled execution-root action (with its
+// pipeline degree) within an event; earlier picks are banned for later
+// ones (sampling without replacement). pick == len(cands) is the stop
+// action (schedule nothing further at this event); noStop records that
+// stopping was masked out for this choice (the safety rule forcing at
+// least one activation when the system would otherwise idle).
+type rootChoice struct {
+	pick     int
+	pipePick int
+	pipeMax  int
+	noStop   bool
+}
+
+// step records everything needed to replay one scheduling event for
+// REINFORCE: the snapshot the policy saw, the candidate set, the
+// sampled root/pipeline actions, the per-query parallelism buckets
+// (§5.3.3 predicts a degree for every running query), and the event
+// time (for the H_d reward terms).
+type step struct {
+	snap        *encoder.Snapshot
+	cands       []predictor.Candidate
+	roots       []rootChoice
+	grants      []int // parallelism bucket per query, parallel to snap.Queries
+	time        float64
+	liveQueries int
+}
+
+// Agent is the LSched scheduling agent.
+type Agent struct {
+	opts   Options
+	params *nn.Params
+	enc    *encoder.Encoder
+	pred   *predictor.Predictor
+	ext    *features.Extractor
+	rng    *rand.Rand
+	// tape is reused across scheduling events to recycle its arenas.
+	tape *nn.Tape
+
+	recording bool
+	episode   []*step
+}
+
+// New builds an agent with freshly initialized parameters.
+func New(opts Options) *Agent {
+	if opts.Hidden <= 0 {
+		opts.Hidden = 16
+	}
+	if opts.ConvLayers <= 0 {
+		opts.ConvLayers = 2
+	}
+	if opts.MaxDecisionsPerEvent <= 0 {
+		opts.MaxDecisionsPerEvent = 8
+	}
+	if opts.FeatCfg.BlockFeat == 0 {
+		opts.FeatCfg = features.DefaultConfig()
+	}
+	params := nn.NewParams(opts.Seed)
+	ext := features.NewExtractor(opts.FeatCfg)
+	encCfg := encoder.DefaultConfig(opts.FeatCfg.OpDim(), opts.FeatCfg.EdgeDim(), opts.FeatCfg.QueryDim())
+	encCfg.Hidden = opts.Hidden
+	encCfg.Layers = opts.ConvLayers
+	encCfg.UseTCN = opts.UseTCN
+	encCfg.UseGAT = opts.UseGAT
+	encCfg.UseEdges = opts.UseEdges
+	a := &Agent{
+		opts:   opts,
+		params: params,
+		enc:    encoder.New(params, encCfg),
+		pred:   predictor.New(params, predictor.DefaultConfig(opts.Hidden, opts.FeatCfg.QueryDim())),
+		ext:    ext,
+		rng:    rand.New(rand.NewSource(opts.Seed + 7919)),
+		tape:   nn.NewTape(),
+	}
+	return a
+}
+
+// Name implements engine.Scheduler.
+func (a *Agent) Name() string {
+	if a.opts.Name != "" {
+		return a.opts.Name
+	}
+	return "LSched"
+}
+
+// Params exposes the parameter registry (for checkpointing, transfer
+// learning, and tests).
+func (a *Agent) Params() *nn.Params { return a.params }
+
+// Options returns the agent's configuration.
+func (a *Agent) Options() Options { return a.opts }
+
+// SetGreedy toggles argmax action selection.
+func (a *Agent) SetGreedy(g bool) { a.opts.Greedy = g }
+
+// startRecording clears and enables the episode buffer.
+func (a *Agent) startRecording() { a.recording = true; a.episode = a.episode[:0] }
+
+// stopRecording disables the buffer and returns the recorded steps.
+func (a *Agent) stopRecording() []*step {
+	a.recording = false
+	out := a.episode
+	a.episode = nil
+	return out
+}
+
+// buildSnapshot captures the feature tensors of every running query.
+func (a *Agent) buildSnapshot(st *engine.State) *encoder.Snapshot {
+	snap := &encoder.Snapshot{}
+	for _, q := range st.Queries {
+		qs := encoder.QuerySnapshot{QueryID: q.ID, QF: a.ext.Query(st, q)}
+		for _, os := range q.OpStates {
+			op := encoder.OpSnapshot{OpID: os.Op.ID, Feat: a.ext.Operator(st, q, os)}
+			for _, e := range os.Op.Children() {
+				op.Children = append(op.Children, encoder.ChildRef{
+					OpIdx:    e.Child.ID,
+					EdgeFeat: a.ext.Edge(e),
+				})
+			}
+			qs.Ops = append(qs.Ops, op)
+		}
+		snap.Queries = append(snap.Queries, qs)
+	}
+	return snap
+}
+
+// anyActiveWork reports whether any query has an activated, unfinished
+// operator — i.e. whether the engine has something to run even if the
+// scheduler declines to schedule more.
+func anyActiveWork(st *engine.State) bool {
+	for _, q := range st.Queries {
+		for _, os := range q.OpStates {
+			if os.Active && !os.Done {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// candidates lists the schedulable roots across all queries, paired with
+// their current longest pipeline path.
+func candidates(st *engine.State, maxDepth int) []predictor.Candidate {
+	var cands []predictor.Candidate
+	for qi, q := range st.Queries {
+		for _, op := range q.SchedulableRoots() {
+			d := q.Plan.LongestPipelinePathFrom(op)
+			if d > maxDepth {
+				d = maxDepth
+			}
+			cands = append(cands, predictor.Candidate{QIdx: qi, OpIdx: op.ID, OpID: op.ID, MaxDepth: d})
+		}
+	}
+	return cands
+}
+
+// OnEvent implements engine.Scheduler: it encodes the state once, takes
+// up to MaxDecisionsPerEvent root decisions (sampled without
+// replacement, bounded by the free thread count), and then predicts the
+// parallelism degree of every running query (§5.3.3), emitting
+// grant-only decisions so thread shares are re-balanced at each event.
+func (a *Agent) OnEvent(st *engine.State, ev Event) []engine.Decision {
+	if len(st.Queries) == 0 {
+		return nil
+	}
+	cands := candidates(st, a.pred.Config().MaxPipelineDepth)
+	snap := a.buildSnapshot(st)
+	t := a.tape
+	t.Reset()
+	enc := a.enc.Encode(t, snap)
+
+	var decisions []engine.Decision
+	var roots []rootChoice
+	if len(cands) > 0 {
+		// Root logits do not change within one event; sampling without
+		// replacement only needs the ban mask. A trailing stop logit
+		// lets the policy decline to schedule more — deferring work is
+		// how staggered pipelines and buffer headroom are expressed.
+		rootLogits := t.Concat(a.pred.RootLogits(t, enc, cands), a.pred.StopLogit(t, enc))
+		stopIdx := len(cands)
+		banned := make([]bool, len(cands)+1)
+		budget := st.FreeThreads()
+		if budget < 1 {
+			budget = 1
+		}
+		if budget > a.opts.MaxDecisionsPerEvent {
+			budget = a.opts.MaxDecisionsPerEvent
+		}
+		if budget > len(cands) {
+			budget = len(cands)
+		}
+		// Safety: if nothing is running anywhere, stopping without a
+		// single activation would idle the engine forever.
+		mustActivate := !anyActiveWork(st)
+		for iter := 0; iter < budget; iter++ {
+			noStop := mustActivate && iter == 0
+			banned[stopIdx] = noStop
+			pick := a.sampleMasked(rootLogits.Val, banned)
+			if pick < 0 {
+				break
+			}
+			if pick == stopIdx {
+				roots = append(roots, rootChoice{pick: pick})
+				break
+			}
+			c := cands[pick]
+			pipeMax := c.MaxDepth
+			if a.opts.DisablePipelining {
+				pipeMax = 0
+			}
+			pipeLogits := a.pred.PipelineLogits(t, enc, c)
+			pipePick := a.sampleBounded(pipeLogits.Val, pipeMax)
+			decisions = append(decisions, engine.Decision{
+				QueryID:       snap.Queries[c.QIdx].QueryID,
+				RootOpID:      c.OpID,
+				PipelineDepth: pipePick,
+			})
+			roots = append(roots, rootChoice{pick: pick, pipePick: pipePick, pipeMax: pipeMax, noStop: noStop})
+			banned[pick] = true
+		}
+	}
+	// Parallelism degree for every running query.
+	grants := make([]int, len(snap.Queries))
+	for qi := range snap.Queries {
+		parLogits := a.pred.ParallelismLogits(t, enc, qi, snap.Queries[qi].QF)
+		bucket := a.sampleBounded(parLogits.Val, len(parLogits.Val)-1)
+		grants[qi] = bucket
+		decisions = append(decisions, engine.Decision{
+			QueryID:  snap.Queries[qi].QueryID,
+			RootOpID: -1,
+			Threads:  a.pred.BucketThreads(bucket, st.TotalThreads()),
+		})
+	}
+	if a.recording {
+		a.episode = append(a.episode, &step{
+			snap: snap, cands: cands, roots: roots, grants: grants,
+			time: st.Now, liveQueries: len(st.Queries),
+		})
+	}
+	return decisions
+}
+
+// sampleMasked samples (or argmaxes) an index from softmax(logits) with
+// banned entries removed; returns -1 when everything is banned.
+func (a *Agent) sampleMasked(logits []float64, banned []bool) int {
+	best, bestV := -1, math.Inf(-1)
+	max := math.Inf(-1)
+	for i, v := range logits {
+		if banned[i] {
+			continue
+		}
+		if v > max {
+			max = v
+		}
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	if a.opts.Greedy {
+		return best
+	}
+	sum := 0.0
+	probs := make([]float64, len(logits))
+	for i, v := range logits {
+		if banned[i] {
+			continue
+		}
+		probs[i] = math.Exp(v - max)
+		sum += probs[i]
+	}
+	r := a.rng.Float64() * sum
+	for i, p := range probs {
+		if banned[i] {
+			continue
+		}
+		r -= p
+		if r <= 0 {
+			return i
+		}
+	}
+	return best
+}
+
+// sampleBounded samples from softmax(logits[0..bound]) inclusive.
+func (a *Agent) sampleBounded(logits []float64, bound int) int {
+	if bound >= len(logits) {
+		bound = len(logits) - 1
+	}
+	if bound <= 0 {
+		return 0
+	}
+	sub := logits[:bound+1]
+	if a.opts.Greedy {
+		best, bestV := 0, math.Inf(-1)
+		for i, v := range sub {
+			if v > bestV {
+				best, bestV = i, v
+			}
+		}
+		return best
+	}
+	max := math.Inf(-1)
+	for _, v := range sub {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	probs := make([]float64, len(sub))
+	for i, v := range sub {
+		probs[i] = math.Exp(v - max)
+		sum += probs[i]
+	}
+	r := a.rng.Float64() * sum
+	for i, p := range probs {
+		r -= p
+		if r <= 0 {
+			return i
+		}
+	}
+	return bound
+}
+
+// Event aliases engine.Event so callers outside the engine package read
+// naturally.
+type Event = engine.Event

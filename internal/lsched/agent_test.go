@@ -1,0 +1,285 @@
+package lsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+func testArrivals(t *testing.T, n int, seed int64) []engine.Arrival {
+	t.Helper()
+	pool, err := workload.NewPool(workload.BenchTPCH, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return workload.Streaming(pool.Train, n, 0.5, rng)
+}
+
+func TestUntrainedAgentCompletesWorkload(t *testing.T) {
+	agent := New(DefaultOptions(1))
+	sim := engine.NewSim(engine.SimConfig{Threads: 8, Seed: 1, NoiseFrac: 0.1})
+	arrivals := testArrivals(t, 10, 1)
+	res, err := sim.Run(agent, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 10 {
+		t.Fatalf("completed %d of 10 queries", len(res.Durations))
+	}
+	if res.SchedInvocations == 0 || res.SchedActions == 0 {
+		t.Fatalf("agent took no actions: %+v invocations, %+v actions", res.SchedInvocations, res.SchedActions)
+	}
+}
+
+func TestAgentGreedyDeterministic(t *testing.T) {
+	run := func() float64 {
+		agent := New(DefaultOptions(3))
+		agent.SetGreedy(true)
+		sim := engine.NewSim(engine.SimConfig{Threads: 6, Seed: 3})
+		res, err := sim.Run(agent, testArrivals(t, 8, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("greedy agent nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestAgentAblationVariantsRun(t *testing.T) {
+	variants := map[string]func(o *Options){
+		"noTCN":  func(o *Options) { o.UseTCN = false },
+		"noGAT":  func(o *Options) { o.UseGAT = false },
+		"noPipe": func(o *Options) { o.DisablePipelining = true },
+	}
+	for name, mod := range variants {
+		t.Run(name, func(t *testing.T) {
+			opts := DefaultOptions(5)
+			mod(&opts)
+			agent := New(opts)
+			sim := engine.NewSim(engine.SimConfig{Threads: 6, Seed: 5})
+			res, err := sim.Run(agent, testArrivals(t, 6, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Durations) != 6 {
+				t.Fatalf("completed %d of 6", len(res.Durations))
+			}
+		})
+	}
+}
+
+func TestTrainImprovesPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short")
+	}
+	pool, err := workload.NewPool(workload.BenchTPCH, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalArrivals := func() []engine.Arrival {
+		rng := rand.New(rand.NewSource(99))
+		return workload.Streaming(pool.Train, 8, 0.5, rng)
+	}
+	score := func(a *Agent) float64 {
+		was := a.Options().Greedy
+		a.SetGreedy(true)
+		defer a.SetGreedy(was)
+		sim := engine.NewSim(engine.SimConfig{Threads: 8, Seed: 99, NoiseFrac: 0.1})
+		res, err := sim.Run(a, evalArrivals())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgDuration()
+	}
+	agent := New(DefaultOptions(7))
+	untrained := score(agent)
+	cfg := DefaultTrainConfig(7)
+	cfg.Episodes = 30
+	cfg.SimCfg = engine.SimConfig{Threads: 8, NoiseFrac: 0.1}
+	cfg.Workload = func(ep int, rng *rand.Rand) []engine.Arrival {
+		return workload.Streaming(pool.Train, 8, 0.5, rng)
+	}
+	cfg.BaselineKey = func(ep int) int { return ep % 4 }
+	cfg.Eval = func(a *Agent) float64 { return score(a) }
+	cfg.EvalEvery = 10
+	res, err := Train(agent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EpisodeRewards) != 30 {
+		t.Fatalf("expected 30 episode rewards, got %d", len(res.EpisodeRewards))
+	}
+	// Training with checkpoint selection must never hand back a policy
+	// worse than the best it saw — at minimum, no worse than where it
+	// started (modest tolerance for eval noise).
+	trained := score(agent)
+	if trained > untrained*1.1 {
+		t.Fatalf("trained policy (%v) worse than untrained (%v)", trained, untrained)
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	a := New(DefaultOptions(11))
+	data, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(DefaultOptions(12)) // different init
+	if err := b.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	// Same params -> same greedy decisions.
+	runWith := func(ag *Agent) float64 {
+		ag.SetGreedy(true)
+		sim := engine.NewSim(engine.SimConfig{Threads: 4, Seed: 9})
+		res, err := sim.Run(ag, testArrivals(t, 5, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	if x, y := runWith(a), runWith(b); x != y {
+		t.Fatalf("restored agent behaves differently: %v vs %v", x, y)
+	}
+}
+
+func TestTransferFreezesInnerLayers(t *testing.T) {
+	src := New(DefaultOptions(13))
+	dst := New(DefaultOptions(14))
+	if err := dst.TransferFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	frozen, trainable := 0, 0
+	for _, p := range dst.Params().All() {
+		if p.Frozen() {
+			frozen++
+		} else {
+			trainable++
+		}
+	}
+	if frozen == 0 {
+		t.Fatal("transfer learning froze nothing")
+	}
+	if trainable == 0 {
+		t.Fatal("transfer learning left nothing trainable")
+	}
+	// Transferred parameters must equal the source's.
+	for _, p := range dst.Params().All() {
+		srcP, ok := src.Params().Get(p.Name())
+		if !ok {
+			t.Fatalf("param %q missing in source", p.Name())
+		}
+		for i := range p.Val {
+			if p.Val[i] != srcP.Val[i] {
+				t.Fatalf("param %q not copied", p.Name())
+			}
+		}
+	}
+}
+
+func TestEpisodeRewardsTailTerm(t *testing.T) {
+	steps := []*step{
+		{time: 0, liveQueries: 2},
+		{time: 1, liveQueries: 4},
+		{time: 3, liveQueries: 1},
+	}
+	cfg := TrainConfig{W1: 1, W2: 0, TailPercentile: 0.9}
+	r := episodeRewards(steps, 5, cfg)
+	// H = [1*2, 2*4, 2*1] = [2, 8, 2]; with W2=0, r = -H.
+	want := []float64{-2, -8, -2}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("reward[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+	// With the tail term only, rewards shift by the percentile P.
+	cfgTail := TrainConfig{W1: 0, W2: 1, TailPercentile: 0.9}
+	rt := episodeRewards(steps, 5, cfgTail)
+	// P = percentile([2,8,2], .9) = 8 at index int(.9*2)=1 of sorted [2,2,8]
+	// -> sorted[1] = 2. r2 = -(H-P) = [0, -6, 0].
+	wantTail := []float64{0, -6, 0}
+	for i := range wantTail {
+		if rt[i] != wantTail[i] {
+			t.Fatalf("tail reward[%d] = %v, want %v", i, rt[i], wantTail[i])
+		}
+	}
+}
+
+func TestDiscountedReturns(t *testing.T) {
+	got := discountedReturns([]float64{1, 2, 3}, 0.5)
+	want := []float64{1 + 0.5*(2+0.5*3), 2 + 0.5*3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("returns[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAgentGrantsEveryQuery(t *testing.T) {
+	// §5.3.3: the parallelism head predicts a thread grant for every
+	// running query at every event, not just the root's query.
+	agent := New(DefaultOptions(17))
+	granted := map[int]bool{}
+	spy := spySched{inner: agent, onDecision: func(d engine.Decision) {
+		if d.RootOpID < 0 && d.Threads > 0 {
+			granted[d.QueryID] = true
+		}
+	}}
+	sim := engine.NewSim(engine.SimConfig{Threads: 6, Seed: 17})
+	res, err := sim.Run(spy, testArrivals(t, 6, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 6 {
+		t.Fatalf("completed %d of 6", len(res.Durations))
+	}
+	for id := range res.Durations {
+		if !granted[id] {
+			t.Errorf("query %d never received a parallelism grant", id)
+		}
+	}
+}
+
+type spySched struct {
+	inner      engine.Scheduler
+	onDecision func(engine.Decision)
+}
+
+func (s spySched) Name() string { return s.inner.Name() }
+func (s spySched) OnEvent(st *engine.State, ev engine.Event) []engine.Decision {
+	ds := s.inner.OnEvent(st, ev)
+	for _, d := range ds {
+		s.onDecision(d)
+	}
+	return ds
+}
+
+func TestBaselineAdvantages(t *testing.T) {
+	b := newBaseline(0.5)
+	// First episode seeds the baseline: advantages are zero.
+	a1 := b.advantages([]float64{10, 5})
+	for i, v := range a1 {
+		if v != 0 {
+			t.Fatalf("first-episode advantage[%d] = %v, want 0", i, v)
+		}
+	}
+	// A better second episode must yield positive advantages.
+	a2 := b.advantages([]float64{20, 15})
+	for i, v := range a2 {
+		if v <= 0 {
+			t.Fatalf("improved-episode advantage[%d] = %v, want > 0", i, v)
+		}
+	}
+	// A worse third episode must yield negative advantages.
+	a3 := b.advantages([]float64{0, 0})
+	for i, v := range a3 {
+		if v >= 0 {
+			t.Fatalf("worse-episode advantage[%d] = %v, want < 0", i, v)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package lsched
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// Experience is one stored reward experience: the aggregate outcome of
+// an episode (or of an online window between checkpoints), as the
+// paper's Experience Manager records from both training and online
+// modes (§3).
+type Experience struct {
+	// Source labels where the experience came from ("train", "online").
+	Source string
+	// Episode is the training episode number or online checkpoint index.
+	Episode int
+	// AvgReward is the mean per-decision reward.
+	AvgReward float64
+	// AvgDuration is the mean query duration observed.
+	AvgDuration float64
+	// Decisions is the number of scheduling decisions taken.
+	Decisions int
+	// Queries is the number of queries completed.
+	Queries int
+}
+
+// ExperienceManager stores and manages reward experiences from both the
+// training and online modes (§3). It keeps a bounded in-memory ring and
+// supports gob serialization so experiences survive restarts.
+type ExperienceManager struct {
+	mu       sync.Mutex
+	capacity int
+	buf      []Experience
+	next     int
+	full     bool
+	total    int
+}
+
+// NewExperienceManager returns a manager holding up to capacity
+// experiences (oldest evicted first).
+func NewExperienceManager(capacity int) *ExperienceManager {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ExperienceManager{capacity: capacity, buf: make([]Experience, 0, capacity)}
+}
+
+// Record stores one experience.
+func (m *ExperienceManager) Record(e Experience) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total++
+	if len(m.buf) < m.capacity {
+		m.buf = append(m.buf, e)
+		return
+	}
+	m.buf[m.next] = e
+	m.next = (m.next + 1) % m.capacity
+	m.full = true
+}
+
+// Len returns the number of stored experiences.
+func (m *ExperienceManager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.buf)
+}
+
+// Total returns how many experiences were ever recorded.
+func (m *ExperienceManager) Total() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// All returns the stored experiences oldest-first.
+func (m *ExperienceManager) All() []Experience {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Experience, 0, len(m.buf))
+	if m.full {
+		out = append(out, m.buf[m.next:]...)
+		out = append(out, m.buf[:m.next]...)
+	} else {
+		out = append(out, m.buf...)
+	}
+	return out
+}
+
+// MeanReward averages the stored experiences' rewards (0 when empty).
+func (m *ExperienceManager) MeanReward() float64 {
+	all := m.All()
+	if len(all) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, e := range all {
+		s += e.AvgReward
+	}
+	return s / float64(len(all))
+}
+
+// Serialize encodes the stored experiences.
+func (m *ExperienceManager) Serialize() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m.All()); err != nil {
+		return nil, fmt.Errorf("lsched: serialize experiences: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Load replaces the stored experiences with a serialized snapshot.
+func (m *ExperienceManager) Load(data []byte) error {
+	var all []Experience
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&all); err != nil {
+		return fmt.Errorf("lsched: load experiences: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.buf = m.buf[:0]
+	m.next = 0
+	m.full = false
+	for _, e := range all {
+		if len(m.buf) < m.capacity {
+			m.buf = append(m.buf, e)
+		} else {
+			m.buf[m.next] = e
+			m.next = (m.next + 1) % m.capacity
+			m.full = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package lsched
+
+import (
+	"repro/internal/engine"
+	"repro/internal/nn"
+)
+
+// OnlineConfig configures online self-correction (§3): in the online
+// mode, completely executed scheduling decisions are rewarded and used
+// to update the predictor either per query or at user-controlled
+// checkpoints.
+type OnlineConfig struct {
+	// CheckpointEvery applies one policy update after this many
+	// completed queries (1 = query-by-query self-correction).
+	CheckpointEvery int
+	// LR is the online learning rate (typically smaller than training).
+	LR float64
+	// W1, W2, TailPercentile mirror TrainConfig's reward weights.
+	W1, W2         float64
+	TailPercentile float64
+	// GradClip bounds the update norm.
+	GradClip float64
+	// EntropyWeight keeps mild exploration pressure online.
+	EntropyWeight float64
+	// Greedy keeps action selection deterministic while still learning
+	// from outcomes; sampling explores online (riskier but adapts
+	// faster).
+	Greedy bool
+}
+
+// DefaultOnlineConfig returns conservative online-correction settings.
+func DefaultOnlineConfig() OnlineConfig {
+	return OnlineConfig{
+		CheckpointEvery: 10,
+		LR:              5e-4,
+		W1:              0.5,
+		W2:              0.5,
+		TailPercentile:  0.9,
+		GradClip:        1,
+		EntropyWeight:   0,
+	}
+}
+
+// OnlineAgent wraps an Agent to keep learning while it schedules real
+// traffic: it records its decisions, and at every checkpoint replays
+// the window with the paper's reward to nudge the policy toward the
+// live workload. All reward experiences land in the Experience Manager.
+type OnlineAgent struct {
+	agent     *Agent
+	cfg       OnlineConfig
+	opt       *nn.Adam
+	base      *baseline
+	exp       *ExperienceManager
+	completed int
+	windows   int
+	durations []float64
+}
+
+// NewOnlineAgent wraps agent for online self-correction. The wrapped
+// agent's recording buffer is owned by the wrapper from now on.
+func NewOnlineAgent(agent *Agent, cfg OnlineConfig, exp *ExperienceManager) *OnlineAgent {
+	if cfg.CheckpointEvery < 1 {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 5e-4
+	}
+	if cfg.W1+cfg.W2 <= 0 {
+		cfg.W1, cfg.W2 = 0.5, 0.5
+	}
+	if cfg.TailPercentile <= 0 || cfg.TailPercentile >= 1 {
+		cfg.TailPercentile = 0.9
+	}
+	if exp == nil {
+		exp = NewExperienceManager(1024)
+	}
+	agent.SetGreedy(cfg.Greedy)
+	agent.startRecording()
+	return &OnlineAgent{
+		agent: agent,
+		cfg:   cfg,
+		opt:   nn.NewAdam(cfg.LR),
+		base:  newBaseline(0.8),
+		exp:   exp,
+	}
+}
+
+// Name implements engine.Scheduler.
+func (o *OnlineAgent) Name() string { return o.agent.Name() + "+online" }
+
+// Experiences exposes the experience manager.
+func (o *OnlineAgent) Experiences() *ExperienceManager { return o.exp }
+
+// Windows returns how many online updates were applied.
+func (o *OnlineAgent) Windows() int { return o.windows }
+
+// OnEvent implements engine.Scheduler by delegating to the wrapped
+// agent (which records its steps).
+func (o *OnlineAgent) OnEvent(st *engine.State, ev engine.Event) []engine.Decision {
+	return o.agent.OnEvent(st, ev)
+}
+
+// QueryCompleted implements engine.QueryObserver: checkpointing is
+// driven by completed queries, the paper's query-by-query granularity.
+func (o *OnlineAgent) QueryCompleted(queryID int, arrival, completion float64) {
+	o.completed++
+	o.durations = append(o.durations, completion-arrival)
+	if o.completed%o.cfg.CheckpointEvery == 0 {
+		o.checkpoint(completion)
+	}
+}
+
+// checkpoint applies one self-correction update from the recorded
+// window and records the experience.
+func (o *OnlineAgent) checkpoint(now float64) {
+	steps := o.agent.stopRecording()
+	o.agent.startRecording()
+	if len(steps) == 0 {
+		return
+	}
+	tc := TrainConfig{W1: o.cfg.W1, W2: o.cfg.W2, TailPercentile: o.cfg.TailPercentile}
+	rewards := episodeRewards(steps, now, tc)
+	returns := discountedReturns(rewards, 1)
+	advs := o.base.advantages(returns)
+	o.agent.params.ZeroGrads()
+	for i, s := range steps {
+		o.agent.replayStep(s, advs[i], o.cfg.EntropyWeight)
+	}
+	if o.cfg.GradClip > 0 {
+		o.agent.params.ClipGrads(o.cfg.GradClip)
+	}
+	o.opt.Step(o.agent.params)
+	o.windows++
+
+	meanDur := 0.0
+	for _, d := range o.durations {
+		meanDur += d
+	}
+	if len(o.durations) > 0 {
+		meanDur /= float64(len(o.durations))
+	}
+	o.durations = o.durations[:0]
+	o.exp.Record(Experience{
+		Source:      "online",
+		Episode:     o.windows,
+		AvgReward:   mean(rewards),
+		AvgDuration: meanDur,
+		Decisions:   len(steps),
+		Queries:     o.cfg.CheckpointEvery,
+	})
+}

@@ -1,0 +1,79 @@
+package lsched
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestOnlineAgentLearnsWhileServing(t *testing.T) {
+	agent := New(DefaultOptions(23))
+	before, err := agent.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	online := NewOnlineAgent(agent, OnlineConfig{CheckpointEvery: 3, LR: 1e-3, W1: 1, W2: 0}, nil)
+	sim := engine.NewSim(engine.SimConfig{Threads: 8, Seed: 23, NoiseFrac: 0.1})
+	sim.SetObserver(online)
+	res, err := sim.Run(online, testArrivals(t, 12, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 12 {
+		t.Fatalf("completed %d of 12", len(res.Durations))
+	}
+	if online.Windows() < 3 {
+		t.Fatalf("expected >=3 online updates, got %d", online.Windows())
+	}
+	after, err := agent.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) == string(after) {
+		t.Fatal("online self-correction did not change the parameters")
+	}
+	if online.Experiences().Len() != online.Windows() {
+		t.Fatalf("experience manager holds %d records for %d windows",
+			online.Experiences().Len(), online.Windows())
+	}
+	for _, e := range online.Experiences().All() {
+		if e.Source != "online" || e.Decisions == 0 {
+			t.Fatalf("malformed experience %+v", e)
+		}
+	}
+}
+
+func TestExperienceManagerRingAndSerialization(t *testing.T) {
+	m := NewExperienceManager(3)
+	for i := 0; i < 5; i++ {
+		m.Record(Experience{Source: "train", Episode: i, AvgReward: float64(-i)})
+	}
+	if m.Len() != 3 || m.Total() != 5 {
+		t.Fatalf("len %d total %d, want 3 and 5", m.Len(), m.Total())
+	}
+	all := m.All()
+	if all[0].Episode != 2 || all[2].Episode != 4 {
+		t.Fatalf("ring order wrong: %+v", all)
+	}
+	if got := m.MeanReward(); got != -3 {
+		t.Fatalf("mean reward %v, want -3", got)
+	}
+	data, err := m.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewExperienceManager(3)
+	if err := m2.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	restored := m2.All()
+	if len(restored) != 3 || restored[0].Episode != 2 {
+		t.Fatalf("restored %+v", restored)
+	}
+}
+
+func TestExperienceManagerEmptyMean(t *testing.T) {
+	if NewExperienceManager(4).MeanReward() != 0 {
+		t.Fatal("empty manager mean should be 0")
+	}
+}

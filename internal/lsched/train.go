@@ -1,0 +1,412 @@
+package lsched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/nn"
+)
+
+// TrainConfig configures REINFORCE training (§6).
+type TrainConfig struct {
+	// Episodes is the number of training episodes.
+	Episodes int
+	// LR is the Adam learning rate.
+	LR float64
+	// Gamma is the return discount.
+	Gamma float64
+	// EntropyWeight scales the exploration bonus.
+	EntropyWeight float64
+	// W1, W2 weight the average-latency and tail-latency reward terms;
+	// the paper's default is 0.5 / 0.5.
+	W1, W2 float64
+	// TailPercentile is the percentile defining the tail indicator P
+	// (the paper uses the 90th).
+	TailPercentile float64
+	// GradClip bounds the global gradient norm.
+	GradClip float64
+	// Seed drives episode workload sampling.
+	Seed int64
+	// SimCfg is the simulator configuration for training episodes.
+	SimCfg engine.SimConfig
+	// Workload generates the arrivals for episode i.
+	Workload func(episode int, rng *rand.Rand) []engine.Arrival
+	// BaselineKey groups episodes for the reward baseline: episodes with
+	// the same key share a per-step-index baseline. REINFORCE's
+	// advantage estimate is only meaningful when compared against
+	// episodes of the same workload, so generators that cycle a fixed
+	// workload set should key by workload (e.g. episode % K). Nil keys
+	// every episode together.
+	BaselineKey func(episode int) int
+	// MaxStepsPerUpdate caps the replayed decisions per episode (the
+	// most recent are kept) to bound the update cost on long episodes.
+	MaxStepsPerUpdate int
+	// OnEpisode, when set, observes per-episode progress.
+	OnEpisode func(ep int, avgReward, avgDuration float64)
+	// Eval, when set, scores the greedy policy (lower is better) every
+	// EvalEvery episodes; Train restores the best-scoring parameters
+	// before returning. This guards against REINFORCE's tendency to
+	// drift after converging.
+	Eval      func(a *Agent) float64
+	EvalEvery int
+}
+
+// DefaultTrainConfig returns the training defaults used in experiments.
+func DefaultTrainConfig(seed int64) TrainConfig {
+	return TrainConfig{
+		Episodes:          200,
+		LR:                3e-3,
+		Gamma:             1.0,
+		EntropyWeight:     0.01,
+		W1:                0.5,
+		W2:                0.5,
+		TailPercentile:    0.9,
+		GradClip:          5,
+		Seed:              seed,
+		MaxStepsPerUpdate: 400,
+	}
+}
+
+// TrainResult reports training progress.
+type TrainResult struct {
+	// EpisodeRewards is the mean per-decision reward of each episode.
+	EpisodeRewards []float64
+	// EpisodeAvgDurations is the mean query duration of each episode.
+	EpisodeAvgDurations []float64
+}
+
+// Train runs REINFORCE over the agent's policy. Each episode schedules a
+// sampled workload on the simulator with sampling enabled, computes the
+// paper's per-decision rewards, and replays the recorded decisions to
+// update the policy parameters.
+func Train(agent *Agent, cfg TrainConfig) (*TrainResult, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("lsched: TrainConfig.Workload is required")
+	}
+	if cfg.Episodes <= 0 {
+		return nil, fmt.Errorf("lsched: Episodes must be positive")
+	}
+	if cfg.W1+cfg.W2 <= 0 {
+		return nil, fmt.Errorf("lsched: reward weights must not both be zero")
+	}
+	if cfg.TailPercentile <= 0 || cfg.TailPercentile >= 1 {
+		cfg.TailPercentile = 0.9
+	}
+	if cfg.MaxStepsPerUpdate <= 0 {
+		cfg.MaxStepsPerUpdate = 400
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := nn.NewAdam(cfg.LR)
+	res := &TrainResult{}
+	baselines := make(map[int]*baseline)
+	baselineFor := func(ep int) *baseline {
+		key := 0
+		if cfg.BaselineKey != nil {
+			key = cfg.BaselineKey(ep)
+		}
+		b, ok := baselines[key]
+		if !ok {
+			b = newBaseline(0.8)
+			baselines[key] = b
+		}
+		return b
+	}
+
+	wasGreedy := agent.opts.Greedy
+	agent.SetGreedy(false)
+	defer agent.SetGreedy(wasGreedy)
+
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 25
+	}
+	var bestScore float64
+	var bestParams []byte
+	checkpoint := func() error {
+		if cfg.Eval == nil {
+			return nil
+		}
+		agent.SetGreedy(true)
+		score := cfg.Eval(agent)
+		agent.SetGreedy(false)
+		if bestParams == nil || score < bestScore {
+			data, err := agent.params.Serialize()
+			if err != nil {
+				return err
+			}
+			bestScore, bestParams = score, data
+		}
+		return nil
+	}
+
+	for ep := 0; ep < cfg.Episodes; ep++ {
+		arrivals := cfg.Workload(ep, rng)
+		simCfg := cfg.SimCfg
+		// Episodes in the same baseline group replay the same simulator
+		// noise, so return differences reflect the policy, not the
+		// environment draw.
+		if cfg.BaselineKey != nil {
+			simCfg.Seed = cfg.Seed + int64(cfg.BaselineKey(ep))*104729
+		} else {
+			simCfg.Seed = cfg.Seed + int64(ep)*104729
+		}
+		sim := engine.NewSim(simCfg)
+		agent.startRecording()
+		result, err := sim.Run(agent, arrivals)
+		steps := agent.stopRecording()
+		if err != nil {
+			return nil, fmt.Errorf("lsched: training episode %d: %w", ep, err)
+		}
+		if len(steps) == 0 {
+			continue
+		}
+		rewards := episodeRewards(steps, result.Makespan, cfg)
+		avgR := mean(rewards)
+		res.EpisodeRewards = append(res.EpisodeRewards, avgR)
+		res.EpisodeAvgDurations = append(res.EpisodeAvgDurations, result.AvgDuration())
+
+		returns := discountedReturns(rewards, cfg.Gamma)
+		advs := baselineFor(ep).advantages(returns)
+		agent.params.ZeroGrads()
+		keep := steps
+		keepAdvs := advs
+		if n := len(steps); n > cfg.MaxStepsPerUpdate {
+			// Subsample uniformly across the episode so early decisions
+			// (which shape the whole schedule) keep getting gradients.
+			stride := float64(n) / float64(cfg.MaxStepsPerUpdate)
+			keep = make([]*step, 0, cfg.MaxStepsPerUpdate)
+			keepAdvs = make([]float64, 0, cfg.MaxStepsPerUpdate)
+			for k := 0; k < cfg.MaxStepsPerUpdate; k++ {
+				i := int(float64(k) * stride)
+				keep = append(keep, steps[i])
+				keepAdvs = append(keepAdvs, advs[i])
+			}
+		}
+		for i, s := range keep {
+			agent.replayStep(s, keepAdvs[i], cfg.EntropyWeight)
+		}
+		if cfg.GradClip > 0 {
+			agent.params.ClipGrads(cfg.GradClip)
+		}
+		opt.Step(agent.params)
+		if cfg.OnEpisode != nil {
+			cfg.OnEpisode(ep, avgR, result.AvgDuration())
+		}
+		if (ep+1)%evalEvery == 0 {
+			if err := checkpoint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
+	if bestParams != nil {
+		if err := agent.params.Load(bestParams); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// episodeRewards computes the paper's per-decision reward: with H_d =
+// (t_d − t_{d−1})·Q_d and P the episode's TailPercentile of all H
+// values, r_d = (w1·(−H_d) + w2·(−(H_d−P))) / (w1+w2).
+func episodeRewards(steps []*step, makespan float64, cfg TrainConfig) []float64 {
+	h := make([]float64, len(steps))
+	for i, s := range steps {
+		var next float64
+		if i+1 < len(steps) {
+			next = steps[i+1].time
+		} else {
+			next = makespan
+		}
+		dt := next - s.time
+		if dt < 0 {
+			dt = 0
+		}
+		h[i] = dt * float64(s.liveQueries)
+	}
+	p := percentile(h, cfg.TailPercentile)
+	rewards := make([]float64, len(h))
+	wsum := cfg.W1 + cfg.W2
+	for i, hd := range h {
+		r1 := -hd
+		r2 := -(hd - p)
+		rewards[i] = (cfg.W1*r1 + cfg.W2*r2) / wsum
+	}
+	return rewards
+}
+
+// replayStep recomputes the forward pass for one recorded scheduling
+// event and accumulates ∇(−advantage·logπ(event's actions) −
+// entropyW·H(π)). One event bundles the sampled root/pipeline actions
+// plus every query's parallelism choice; the encoder runs once.
+func (a *Agent) replayStep(s *step, advantage, entropyW float64) {
+	t := a.tape
+	t.Reset()
+	enc := a.enc.Encode(t, s.snap)
+
+	logp := t.Zeros(1)
+	ent := t.Zeros(1)
+	if len(s.roots) > 0 {
+		stopIdx := len(s.cands)
+		baseLogits := t.Concat(a.pred.RootLogits(t, enc, s.cands), a.pred.StopLogit(t, enc))
+		banned := make([]bool, len(s.cands)+1)
+		for _, rc := range s.roots {
+			banned[stopIdx] = rc.noStop
+			rootLogits := maskLogits(t, baseLogits, banned)
+			logp = t.Add(logp, t.LogProbAt(rootLogits, rc.pick))
+			ent = t.Add(ent, t.Entropy(rootLogits))
+			if rc.pick == stopIdx {
+				break
+			}
+			pipeLogits := truncate(t, a.pred.PipelineLogits(t, enc, s.cands[rc.pick]), rc.pipeMax+1)
+			logp = t.Add(logp, t.LogProbAt(pipeLogits, rc.pipePick))
+			ent = t.Add(ent, t.Entropy(pipeLogits))
+			banned[rc.pick] = true
+		}
+	}
+	for qi, bucket := range s.grants {
+		parLogits := a.pred.ParallelismLogits(t, enc, qi, s.snap.Queries[qi].QF)
+		logp = t.Add(logp, t.LogProbAt(parLogits, bucket))
+		ent = t.Add(ent, t.Entropy(parLogits))
+	}
+	loss := t.Scale(logp, -advantage)
+	if entropyW > 0 {
+		loss = t.Sub(loss, t.Scale(ent, entropyW))
+	}
+	t.Backward(loss)
+}
+
+// maskLogits pushes banned entries to −∞ (approximated by a large
+// negative constant so gradients stay finite).
+func maskLogits(t *nn.Tape, logits *nn.Node, banned []bool) *nn.Node {
+	mask := make([]float64, logits.Len())
+	for i, b := range banned {
+		if b {
+			mask[i] = -1e9
+		}
+	}
+	return t.Add(logits, t.Const(mask))
+}
+
+// truncate keeps the first n entries of a logits vector.
+func truncate(t *nn.Tape, logits *nn.Node, n int) *nn.Node {
+	if n >= logits.Len() {
+		return logits
+	}
+	parts := make([]*nn.Node, n)
+	for i := 0; i < n; i++ {
+		parts[i] = t.Slice(logits, i)
+	}
+	return t.Concat(parts...)
+}
+
+func discountedReturns(rewards []float64, gamma float64) []float64 {
+	out := make([]float64, len(rewards))
+	g := 0.0
+	for i := len(rewards) - 1; i >= 0; i-- {
+		g = rewards[i] + gamma*g
+		out[i] = g
+	}
+	return out
+}
+
+// baseline is the cross-episode reward baseline that keeps REINFORCE's
+// variance manageable (the paper cites [61], the optimal-baseline line
+// of work; Decima uses the same per-step-index construction): for each
+// decision index it tracks an exponential moving average of the
+// return-to-go across episodes, so an episode that is better than the
+// recent past yields positive advantages and reinforces its actions.
+type baseline struct {
+	decay float64
+	vals  []float64
+	seen  []bool
+	scale float64
+}
+
+func newBaseline(decay float64) *baseline {
+	return &baseline{decay: decay, scale: 1}
+}
+
+// advantages returns (G_i − b_i)/scale and folds G into the baseline.
+func (b *baseline) advantages(returns []float64) []float64 {
+	for len(b.vals) < len(returns) {
+		b.vals = append(b.vals, 0)
+		b.seen = append(b.seen, false)
+	}
+	advs := make([]float64, len(returns))
+	var absSum float64
+	for i, g := range returns {
+		if !b.seen[i] {
+			b.vals[i] = g
+			b.seen[i] = true
+		}
+		advs[i] = g - b.vals[i]
+		absSum += math.Abs(advs[i])
+		b.vals[i] = b.decay*b.vals[i] + (1-b.decay)*g
+	}
+	// Normalize by a running scale so the learning rate is workload-
+	// independent.
+	meanAbs := absSum / float64(len(returns))
+	b.scale = b.decay*b.scale + (1-b.decay)*meanAbs
+	s := b.scale
+	if s < 1e-9 {
+		s = 1e-9
+	}
+	for i := range advs {
+		advs[i] /= s
+	}
+	return advs
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// TransferFrom initializes this agent from a previously trained agent's
+// parameters and freezes the inner layers (§6): every convolution layer
+// and every hidden MLP layer stays fixed; only the layers adjacent to
+// the network inputs and outputs retrain on the new workload.
+func (a *Agent) TransferFrom(src *Agent) error {
+	data, err := src.params.Serialize()
+	if err != nil {
+		return err
+	}
+	if err := a.params.Load(data); err != nil {
+		return err
+	}
+	a.params.Unfreeze()
+	// Freeze inner layers: the convolution stacks and the first (hidden)
+	// layer of each two-layer MLP head; input projections (enc.in,
+	// enc.edge) and final output layers (.l1) stay trainable.
+	a.params.FreezeMatching(".conv", ".l0")
+	return nil
+}
+
+// Checkpoint serializes the agent's parameters.
+func (a *Agent) Checkpoint() ([]byte, error) { return a.params.Serialize() }
+
+// Restore loads parameters produced by Checkpoint.
+func (a *Agent) Restore(data []byte) error { return a.params.Load(data) }

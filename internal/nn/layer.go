@@ -1,0 +1,72 @@
+package nn
+
+import "fmt"
+
+// Dense is a fully connected layer y = act(W·x + b).
+type Dense struct {
+	W, B *Node
+	In   int
+	Out  int
+}
+
+// NewDense registers a dense layer's parameters under the given name
+// prefix.
+func NewDense(p *Params, name string, in, out int) *Dense {
+	return &Dense{
+		W:   p.Matrix(name+".W", out, in),
+		B:   p.Vector(name+".b", out),
+		In:  in,
+		Out: out,
+	}
+}
+
+// Apply runs the layer without an activation.
+func (d *Dense) Apply(t *Tape, x *Node) *Node {
+	if x.Len() != d.In {
+		panic(fmt.Sprintf("nn: Dense %v expects %d inputs, got %d", d.W.Name(), d.In, x.Len()))
+	}
+	return t.Add(t.MatVec(d.W, x), d.B)
+}
+
+// ApplyReLU runs the layer with a ReLU activation.
+func (d *Dense) ApplyReLU(t *Tape, x *Node) *Node {
+	return t.ReLU(d.Apply(t, x))
+}
+
+// MLP is a stack of dense layers with ReLU between hidden layers and a
+// linear output — the fully-connected blocks of the scheduling predictor
+// heads and the PQE/AQE summarizers.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP registers an MLP with the given layer widths. dims must list at
+// least the input and output widths.
+func NewMLP(p *Params, name string, dims ...int) *MLP {
+	if len(dims) < 2 {
+		panic("nn: MLP needs at least input and output dims")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(dims); i++ {
+		m.Layers = append(m.Layers, NewDense(p, fmt.Sprintf("%s.l%d", name, i), dims[i], dims[i+1]))
+	}
+	return m
+}
+
+// Apply runs the MLP: ReLU after every layer except the last.
+func (m *MLP) Apply(t *Tape, x *Node) *Node {
+	for i, l := range m.Layers {
+		if i+1 < len(m.Layers) {
+			x = l.ApplyReLU(t, x)
+		} else {
+			x = l.Apply(t, x)
+		}
+	}
+	return x
+}
+
+// InDim returns the MLP's input width.
+func (m *MLP) InDim() int { return m.Layers[0].In }
+
+// OutDim returns the MLP's output width.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out }

@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Params is a registry of named trainable parameters. Parameter nodes
+// persist across tape passes; their gradients accumulate during Backward
+// and are consumed by an Optimizer.
+type Params struct {
+	byName map[string]*Node
+	order  []string
+	rng    *rand.Rand
+}
+
+// NewParams returns an empty registry seeded deterministically.
+func NewParams(seed int64) *Params {
+	return &Params{byName: make(map[string]*Node), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Matrix registers (or returns the existing) rows×cols parameter matrix
+// with Glorot-uniform initialization.
+func (p *Params) Matrix(name string, rows, cols int) *Node {
+	if n, ok := p.byName[name]; ok {
+		if n.Rows != rows || n.Cols != cols {
+			panic(fmt.Sprintf("nn: param %q re-declared %dx%d, was %dx%d", name, rows, cols, n.Rows, n.Cols))
+		}
+		return n
+	}
+	n := &Node{
+		Val:   make([]float64, rows*cols),
+		Grad:  make([]float64, rows*cols),
+		Rows:  rows,
+		Cols:  cols,
+		param: true,
+		name:  name,
+	}
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range n.Val {
+		n.Val[i] = (2*p.rng.Float64() - 1) * limit
+	}
+	p.byName[name] = n
+	p.order = append(p.order, name)
+	return n
+}
+
+// Vector registers (or returns) a length-n parameter vector initialized
+// near zero.
+func (p *Params) Vector(name string, n int) *Node {
+	if node, ok := p.byName[name]; ok {
+		if node.Len() != n {
+			panic(fmt.Sprintf("nn: param %q re-declared len %d, was %d", name, n, node.Len()))
+		}
+		return node
+	}
+	node := &Node{
+		Val:   make([]float64, n),
+		Grad:  make([]float64, n),
+		Rows:  n,
+		Cols:  1,
+		param: true,
+		name:  name,
+	}
+	limit := math.Sqrt(3.0 / float64(n))
+	for i := range node.Val {
+		node.Val[i] = (2*p.rng.Float64() - 1) * limit * 0.1
+	}
+	p.byName[name] = node
+	p.order = append(p.order, name)
+	return node
+}
+
+// Get returns a parameter by name.
+func (p *Params) Get(name string) (*Node, bool) {
+	n, ok := p.byName[name]
+	return n, ok
+}
+
+// All returns parameters in registration order.
+func (p *Params) All() []*Node {
+	out := make([]*Node, 0, len(p.order))
+	for _, name := range p.order {
+		out = append(out, p.byName[name])
+	}
+	return out
+}
+
+// ZeroGrads clears accumulated gradients.
+func (p *Params) ZeroGrads() {
+	for _, n := range p.byName {
+		for i := range n.Grad {
+			n.Grad[i] = 0
+		}
+	}
+}
+
+// GradNorm returns the L2 norm of all gradients, for clipping.
+func (p *Params) GradNorm() float64 {
+	s := 0.0
+	for _, n := range p.byName {
+		for _, g := range n.Grad {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGrads rescales gradients so their global L2 norm is at most max.
+func (p *Params) ClipGrads(max float64) {
+	norm := p.GradNorm()
+	if norm <= max || norm == 0 {
+		return
+	}
+	scale := max / norm
+	for _, n := range p.byName {
+		for i := range n.Grad {
+			n.Grad[i] *= scale
+		}
+	}
+}
+
+// FreezeMatching marks every parameter whose name contains any of the
+// substrings as frozen — the transfer-learning mechanism of §6 (freeze
+// inner layers, retrain input/output-adjacent ones). It returns how many
+// parameters were frozen.
+func (p *Params) FreezeMatching(substrings ...string) int {
+	n := 0
+	for _, node := range p.byName {
+		for _, s := range substrings {
+			if strings.Contains(node.name, s) {
+				node.SetFrozen(true)
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Unfreeze clears all freeze marks.
+func (p *Params) Unfreeze() {
+	for _, node := range p.byName {
+		node.SetFrozen(false)
+	}
+}
+
+// savedParam is the gob wire form of one parameter.
+type savedParam struct {
+	Name string
+	Rows int
+	Cols int
+	Val  []float64
+}
+
+// Serialize encodes all parameter values (not gradients or freeze marks)
+// for checkpointing and transfer learning.
+func (p *Params) Serialize() ([]byte, error) {
+	saved := make([]savedParam, 0, len(p.order))
+	names := append([]string(nil), p.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		n := p.byName[name]
+		saved = append(saved, savedParam{Name: name, Rows: n.Rows, Cols: n.Cols, Val: append([]float64(nil), n.Val...)})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(saved); err != nil {
+		return nil, fmt.Errorf("nn: serialize: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Load restores parameter values previously produced by Serialize.
+// Parameters present in the snapshot but not yet registered are created;
+// shape mismatches are errors.
+func (p *Params) Load(data []byte) error {
+	var saved []savedParam
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&saved); err != nil {
+		return fmt.Errorf("nn: load: %w", err)
+	}
+	for _, s := range saved {
+		n, ok := p.byName[s.Name]
+		if !ok {
+			n = p.Matrix(s.Name, s.Rows, s.Cols)
+		}
+		if n.Rows != s.Rows || n.Cols != s.Cols {
+			return fmt.Errorf("nn: load: param %q shape %dx%d, snapshot %dx%d", s.Name, n.Rows, n.Cols, s.Rows, s.Cols)
+		}
+		copy(n.Val, s.Val)
+	}
+	return nil
+}

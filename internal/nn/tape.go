@@ -1,0 +1,612 @@
+// Package nn is the neural-network substrate standing in for the paper's
+// TensorFlow dependency: a small tape-based reverse-mode automatic
+// differentiation engine over float64 vectors and matrices, plus dense
+// layers and optimizers. It implements exactly the operations the LSched
+// encoder (Eqs. 2–5) and predictor heads need: matrix-vector products,
+// Hadamard products, concatenation, ReLU/LeakyReLU, softmax, and scalar
+// reductions.
+//
+// Tapes recycle their node and float storage across Reset calls: the
+// scheduler runs one forward pass per scheduling event, so allocation
+// pressure — not FLOPs — would otherwise dominate.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is one value in the computation graph: a column vector (Cols==1)
+// or a matrix, with storage in row-major order. Gradients accumulate in
+// Grad during Backward.
+type Node struct {
+	Val  []float64
+	Grad []float64
+	Rows int
+	Cols int
+
+	backward func()
+	// param marks trainable parameters (receive gradient updates).
+	param bool
+	// frozen parameters participate in forward/backward but are skipped
+	// by optimizers — the transfer-learning freeze (§6).
+	frozen bool
+	name   string
+}
+
+// Len returns the number of elements.
+func (n *Node) Len() int { return len(n.Val) }
+
+// IsParam reports whether the node is a trainable parameter.
+func (n *Node) IsParam() bool { return n.param }
+
+// Frozen reports whether the parameter is excluded from updates.
+func (n *Node) Frozen() bool { return n.frozen }
+
+// SetFrozen toggles transfer-learning freezing for a parameter.
+func (n *Node) SetFrozen(f bool) { n.frozen = f }
+
+// Name returns the parameter's registered name ("" for intermediates).
+func (n *Node) Name() string { return n.name }
+
+const slabSize = 1 << 16
+
+// Tape records the computation graph for one forward pass and replays it
+// in reverse for gradients. Parameters live outside the tape (they
+// persist across passes); intermediate nodes come from the tape's arena
+// and are recycled by Reset.
+type Tape struct {
+	nodes []*Node
+	// node arena
+	pool    []*Node
+	poolIdx int
+	// float slabs
+	slabs   [][]float64
+	slabIdx int
+	slabOff int
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset recycles all recorded intermediates so the tape can run another
+// forward pass. Nodes obtained before the Reset must not be used after
+// it. Parameter nodes are unaffected.
+func (t *Tape) Reset() {
+	t.nodes = t.nodes[:0]
+	t.poolIdx = 0
+	t.slabIdx = 0
+	t.slabOff = 0
+}
+
+// alloc hands out a zeroed float slice from the slab arena.
+func (t *Tape) alloc(n int) []float64 {
+	if n > slabSize {
+		return make([]float64, n)
+	}
+	for t.slabIdx < len(t.slabs) && t.slabOff+n > slabSize {
+		t.slabIdx++
+		t.slabOff = 0
+	}
+	if t.slabIdx == len(t.slabs) {
+		t.slabs = append(t.slabs, make([]float64, slabSize))
+	}
+	s := t.slabs[t.slabIdx][t.slabOff : t.slabOff+n : t.slabOff+n]
+	t.slabOff += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// node hands out a recycled Node with zeroed Val/Grad of length n.
+func (t *Tape) node(n int) *Node {
+	var nd *Node
+	if t.poolIdx < len(t.pool) {
+		nd = t.pool[t.poolIdx]
+	} else {
+		nd = &Node{}
+		t.pool = append(t.pool, nd)
+	}
+	t.poolIdx++
+	nd.Val = t.alloc(n)
+	nd.Grad = t.alloc(n)
+	nd.Rows = n
+	nd.Cols = 1
+	nd.backward = nil
+	nd.param = false
+	nd.frozen = false
+	nd.name = ""
+	t.nodes = append(t.nodes, nd)
+	return nd
+}
+
+// Const introduces an input vector (no gradient flows into it).
+func (t *Tape) Const(vals []float64) *Node {
+	out := t.node(len(vals))
+	copy(out.Val, vals)
+	return out
+}
+
+// Zeros introduces an all-zero vector of length n.
+func (t *Tape) Zeros(n int) *Node { return t.node(n) }
+
+// Backward seeds the given scalar node with gradient 1 and propagates
+// gradients to every node recorded on the tape (and to parameters).
+func (t *Tape) Backward(loss *Node) {
+	if loss.Len() != 1 {
+		panic(fmt.Sprintf("nn: Backward on non-scalar node of length %d", loss.Len()))
+	}
+	loss.Grad[0] = 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		if t.nodes[i].backward != nil {
+			t.nodes[i].backward()
+		}
+	}
+}
+
+func sameLen(a, b *Node, op string) {
+	if a.Len() != b.Len() {
+		panic(fmt.Sprintf("nn: %s length mismatch %d vs %d", op, a.Len(), b.Len()))
+	}
+}
+
+// Add returns a+b elementwise.
+func (t *Tape) Add(a, b *Node) *Node {
+	sameLen(a, b, "Add")
+	out := t.node(a.Len())
+	for i := range out.Val {
+		out.Val[i] = a.Val[i] + b.Val[i]
+	}
+	out.backward = func() {
+		for i, g := range out.Grad {
+			a.Grad[i] += g
+			b.Grad[i] += g
+		}
+	}
+	return out
+}
+
+// Sub returns a-b elementwise.
+func (t *Tape) Sub(a, b *Node) *Node {
+	sameLen(a, b, "Sub")
+	out := t.node(a.Len())
+	for i := range out.Val {
+		out.Val[i] = a.Val[i] - b.Val[i]
+	}
+	out.backward = func() {
+		for i, g := range out.Grad {
+			a.Grad[i] += g
+			b.Grad[i] -= g
+		}
+	}
+	return out
+}
+
+// Mul returns the Hadamard (elementwise) product a⊙b — the product the
+// paper's tree-convolution filters (Eq. 2) and attention scores (Eq. 3)
+// are built from.
+func (t *Tape) Mul(a, b *Node) *Node {
+	sameLen(a, b, "Mul")
+	out := t.node(a.Len())
+	for i := range out.Val {
+		out.Val[i] = a.Val[i] * b.Val[i]
+	}
+	out.backward = func() {
+		for i, g := range out.Grad {
+			a.Grad[i] += g * b.Val[i]
+			b.Grad[i] += g * a.Val[i]
+		}
+	}
+	return out
+}
+
+// Scale returns s*a for a constant scalar s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	out := t.node(a.Len())
+	for i := range out.Val {
+		out.Val[i] = s * a.Val[i]
+	}
+	out.backward = func() {
+		for i, g := range out.Grad {
+			a.Grad[i] += s * g
+		}
+	}
+	return out
+}
+
+// ScaleBy returns s*a where s is a scalar node (gradient flows into s).
+func (t *Tape) ScaleBy(a *Node, s *Node) *Node {
+	if s.Len() != 1 {
+		panic("nn: ScaleBy needs a scalar node")
+	}
+	out := t.node(a.Len())
+	for i := range out.Val {
+		out.Val[i] = s.Val[0] * a.Val[i]
+	}
+	out.backward = func() {
+		for i, g := range out.Grad {
+			a.Grad[i] += s.Val[0] * g
+			s.Grad[0] += a.Val[i] * g
+		}
+	}
+	return out
+}
+
+// MatVec returns W·x for matrix W (Rows×Cols) and vector x (len Cols).
+func (t *Tape) MatVec(w, x *Node) *Node {
+	if w.Cols != x.Len() {
+		panic(fmt.Sprintf("nn: MatVec dims %dx%d · %d", w.Rows, w.Cols, x.Len()))
+	}
+	out := t.node(w.Rows)
+	for r := 0; r < w.Rows; r++ {
+		s := 0.0
+		row := w.Val[r*w.Cols : (r+1)*w.Cols]
+		for c, xv := range x.Val {
+			s += row[c] * xv
+		}
+		out.Val[r] = s
+	}
+	out.backward = func() {
+		for r := 0; r < w.Rows; r++ {
+			g := out.Grad[r]
+			if g == 0 {
+				continue
+			}
+			row := w.Val[r*w.Cols : (r+1)*w.Cols]
+			grow := w.Grad[r*w.Cols : (r+1)*w.Cols]
+			for c, xv := range x.Val {
+				grow[c] += g * xv
+				x.Grad[c] += g * row[c]
+			}
+		}
+	}
+	return out
+}
+
+// Concat concatenates vectors into one vector.
+func (t *Tape) Concat(parts ...*Node) *Node {
+	n := 0
+	for _, p := range parts {
+		n += p.Len()
+	}
+	// Copy the variadic slice: callers may reuse their backing array.
+	held := make([]*Node, len(parts))
+	copy(held, parts)
+	out := t.node(n)
+	off := 0
+	for _, p := range held {
+		copy(out.Val[off:], p.Val)
+		off += p.Len()
+	}
+	out.backward = func() {
+		off := 0
+		for _, p := range held {
+			for i := range p.Val {
+				p.Grad[i] += out.Grad[off+i]
+			}
+			off += p.Len()
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x) elementwise.
+func (t *Tape) ReLU(a *Node) *Node {
+	out := t.node(a.Len())
+	for i, v := range a.Val {
+		if v > 0 {
+			out.Val[i] = v
+		}
+	}
+	out.backward = func() {
+		for i, g := range out.Grad {
+			if a.Val[i] > 0 {
+				a.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// LeakyReLU applies x>0 ? x : slope*x elementwise (the GAT nonlinearity).
+func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
+	out := t.node(a.Len())
+	for i, v := range a.Val {
+		if v > 0 {
+			out.Val[i] = v
+		} else {
+			out.Val[i] = slope * v
+		}
+	}
+	out.backward = func() {
+		for i, g := range out.Grad {
+			if a.Val[i] > 0 {
+				a.Grad[i] += g
+			} else {
+				a.Grad[i] += slope * g
+			}
+		}
+	}
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func (t *Tape) Tanh(a *Node) *Node {
+	out := t.node(a.Len())
+	for i, v := range a.Val {
+		out.Val[i] = math.Tanh(v)
+	}
+	out.backward = func() {
+		for i, g := range out.Grad {
+			a.Grad[i] += g * (1 - out.Val[i]*out.Val[i])
+		}
+	}
+	return out
+}
+
+// Sum reduces a vector to a scalar.
+func (t *Tape) Sum(a *Node) *Node {
+	out := t.node(1)
+	for _, v := range a.Val {
+		out.Val[0] += v
+	}
+	out.backward = func() {
+		g := out.Grad[0]
+		for i := range a.Grad {
+			a.Grad[i] += g
+		}
+	}
+	return out
+}
+
+// Mean reduces a vector to its mean.
+func (t *Tape) Mean(a *Node) *Node {
+	s := t.Sum(a)
+	return t.Scale(s, 1/float64(a.Len()))
+}
+
+// MeanOf averages vectors of equal length elementwise — the message
+// aggregation of the PQE/AQE summarization networks.
+func (t *Tape) MeanOf(parts []*Node) *Node {
+	if len(parts) == 0 {
+		panic("nn: MeanOf with no inputs")
+	}
+	held := make([]*Node, len(parts))
+	copy(held, parts)
+	out := t.node(held[0].Len())
+	inv := 1 / float64(len(held))
+	for _, p := range held {
+		sameLen(p, held[0], "MeanOf")
+		for i, v := range p.Val {
+			out.Val[i] += v * inv
+		}
+	}
+	out.backward = func() {
+		for _, p := range held {
+			for i := range p.Val {
+				p.Grad[i] += out.Grad[i] * inv
+			}
+		}
+	}
+	return out
+}
+
+// Slice extracts the element at idx as a scalar node.
+func (t *Tape) Slice(a *Node, idx int) *Node {
+	if idx < 0 || idx >= a.Len() {
+		panic(fmt.Sprintf("nn: Slice index %d out of %d", idx, a.Len()))
+	}
+	out := t.node(1)
+	out.Val[0] = a.Val[idx]
+	out.backward = func() {
+		a.Grad[idx] += out.Grad[0]
+	}
+	return out
+}
+
+// Softmax returns the softmax of a vector (numerically stabilized).
+func (t *Tape) Softmax(a *Node) *Node {
+	out := t.node(a.Len())
+	max := math.Inf(-1)
+	for _, v := range a.Val {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range a.Val {
+		e := math.Exp(v - max)
+		out.Val[i] = e
+		sum += e
+	}
+	for i := range out.Val {
+		out.Val[i] /= sum
+	}
+	out.backward = func() {
+		// dL/dx_i = y_i * (g_i - sum_j g_j y_j)
+		dot := 0.0
+		for j, g := range out.Grad {
+			dot += g * out.Val[j]
+		}
+		for i := range a.Grad {
+			a.Grad[i] += out.Val[i] * (out.Grad[i] - dot)
+		}
+	}
+	return out
+}
+
+// LogProbAt returns log(softmax(logits)[idx]) as a scalar node — the
+// REINFORCE building block: loss contributions are −advantage·logπ(a).
+func (t *Tape) LogProbAt(logits *Node, idx int) *Node {
+	if idx < 0 || idx >= logits.Len() {
+		panic(fmt.Sprintf("nn: LogProbAt index %d out of %d", idx, logits.Len()))
+	}
+	max := math.Inf(-1)
+	for _, v := range logits.Val {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for _, v := range logits.Val {
+		sum += math.Exp(v - max)
+	}
+	lse := max + math.Log(sum)
+	out := t.node(1)
+	out.Val[0] = logits.Val[idx] - lse
+	out.backward = func() {
+		g := out.Grad[0]
+		if g == 0 {
+			return
+		}
+		for i, v := range logits.Val {
+			p := math.Exp(v - lse)
+			if i == idx {
+				logits.Grad[i] += g * (1 - p)
+			} else {
+				logits.Grad[i] += g * (-p)
+			}
+		}
+	}
+	return out
+}
+
+// Entropy returns the entropy of softmax(logits) as a scalar node, used
+// as an exploration bonus during REINFORCE training.
+func (t *Tape) Entropy(logits *Node) *Node {
+	p := t.Softmax(logits)
+	out := t.node(1)
+	logs := make([]float64, p.Len())
+	for i, v := range p.Val {
+		if v > 1e-12 {
+			logs[i] = math.Log(v)
+			out.Val[0] -= v * logs[i]
+		}
+	}
+	out.backward = func() {
+		g := out.Grad[0]
+		if g == 0 {
+			return
+		}
+		for i := range p.Val {
+			p.Grad[i] += g * (-(logs[i] + 1))
+		}
+	}
+	return out
+}
+
+// AttnScore is the fused Eq. 3 kernel: it returns the scalar
+// Σ_k LeakyReLU(a_k · concat(xp, x)_k) without materializing the
+// concatenation, the Hadamard product, or the activation as separate
+// tape nodes. a must have length len(xp)+len(x).
+func (t *Tape) AttnScore(a, xp, x *Node, slope float64) *Node {
+	if a.Len() != xp.Len()+x.Len() {
+		panic(fmt.Sprintf("nn: AttnScore dims %d vs %d+%d", a.Len(), xp.Len(), x.Len()))
+	}
+	out := t.node(1)
+	h := xp.Len()
+	s := 0.0
+	for i, v := range xp.Val {
+		p := a.Val[i] * v
+		if p > 0 {
+			s += p
+		} else {
+			s += slope * p
+		}
+	}
+	for i, v := range x.Val {
+		p := a.Val[h+i] * v
+		if p > 0 {
+			s += p
+		} else {
+			s += slope * p
+		}
+	}
+	out.Val[0] = s
+	out.backward = func() {
+		g := out.Grad[0]
+		if g == 0 {
+			return
+		}
+		for i, v := range xp.Val {
+			d := g
+			if a.Val[i]*v <= 0 {
+				d *= slope
+			}
+			a.Grad[i] += d * v
+			xp.Grad[i] += d * a.Val[i]
+		}
+		for i, v := range x.Val {
+			d := g
+			if a.Val[h+i]*v <= 0 {
+				d *= slope
+			}
+			a.Grad[h+i] += d * v
+			x.Grad[i] += d * a.Val[h+i]
+		}
+	}
+	return out
+}
+
+// WeightedSum is the fused Eq. 5 kernel: out = Σ_i z_i · xs_i, where z
+// is a vector of len(xs) coefficients. Gradients flow into both z and
+// every xs_i.
+func (t *Tape) WeightedSum(z *Node, xs []*Node) *Node {
+	if z.Len() != len(xs) {
+		panic(fmt.Sprintf("nn: WeightedSum %d coeffs for %d vectors", z.Len(), len(xs)))
+	}
+	held := make([]*Node, len(xs))
+	copy(held, xs)
+	out := t.node(held[0].Len())
+	for k, x := range held {
+		sameLen(x, held[0], "WeightedSum")
+		zk := z.Val[k]
+		for i, v := range x.Val {
+			out.Val[i] += zk * v
+		}
+	}
+	out.backward = func() {
+		for k, x := range held {
+			zk := z.Val[k]
+			dot := 0.0
+			for i, g := range out.Grad {
+				x.Grad[i] += zk * g
+				dot += g * x.Val[i]
+			}
+			z.Grad[k] += dot
+		}
+	}
+	return out
+}
+
+// MulAdd is the fused accumulate kernel out += w⊙x over a list of
+// (w, x) pairs plus a bias — the isotropic Eq. 2 aggregation in one
+// node.
+func (t *Tape) MulAdd(bias *Node, pairs ...[2]*Node) *Node {
+	held := make([][2]*Node, len(pairs))
+	copy(held, pairs)
+	out := t.node(bias.Len())
+	copy(out.Val, bias.Val)
+	for _, pr := range held {
+		w, x := pr[0], pr[1]
+		sameLen(w, x, "MulAdd")
+		sameLen(w, bias, "MulAdd")
+		for i := range out.Val {
+			out.Val[i] += w.Val[i] * x.Val[i]
+		}
+	}
+	out.backward = func() {
+		for i, g := range out.Grad {
+			bias.Grad[i] += g
+		}
+		for _, pr := range held {
+			w, x := pr[0], pr[1]
+			for i, g := range out.Grad {
+				w.Grad[i] += g * x.Val[i]
+				x.Grad[i] += g * w.Val[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package plan models physical query plans as DAGs of work-order-based
+// relational operators, mirroring the Quickstep execution model the paper
+// builds on. A plan node corresponds to one physical operator; each edge
+// records whether the producer→consumer hand-off is pipeline-breaking.
+package plan
+
+import "fmt"
+
+// OpType enumerates the physical operator kinds the engine implements.
+// Quickstep ships 29 work-order operator implementations; we implement the
+// relational core that TPC-H / SSB / JOB plans need plus the auxiliary
+// kinds the feature vectors encode.
+type OpType int
+
+const (
+	// TableScan reads base-relation blocks.
+	TableScan OpType = iota
+	// IndexScan reads a base relation through an index (cheaper per block).
+	IndexScan
+	// Select filters tuples with a predicate.
+	Select
+	// Project computes/narrows output columns.
+	Project
+	// BuildHash builds the hash table of a hash join (pipeline breaker).
+	BuildHash
+	// ProbeHash probes a built hash table.
+	ProbeHash
+	// NestedLoopJoin joins without an index or hash table.
+	NestedLoopJoin
+	// IndexNestedLoopJoin probes an index per outer tuple.
+	IndexNestedLoopJoin
+	// MergeJoin joins two sorted inputs.
+	MergeJoin
+	// Aggregate computes grouped or scalar aggregates (pipeline breaker).
+	Aggregate
+	// FinalizeAggregate merges per-block partial aggregate states.
+	FinalizeAggregate
+	// Sort orders its input (pipeline breaker).
+	Sort
+	// Union concatenates inputs.
+	Union
+	// Materialize writes an intermediate relation (pipeline breaker).
+	Materialize
+	// TopK keeps the k smallest/largest rows (pipeline breaker).
+	TopK
+	// Window computes window functions over sorted partitions.
+	Window
+	// Distinct removes duplicate rows (pipeline breaker).
+	Distinct
+	// Limit truncates the stream.
+	Limit
+	numOpTypes
+)
+
+// NumOpTypes is the size of the operator-type one-hot vocabulary (O-TY).
+const NumOpTypes = int(numOpTypes)
+
+var opTypeNames = [...]string{
+	TableScan:           "TableScan",
+	IndexScan:           "IndexScan",
+	Select:              "Select",
+	Project:             "Project",
+	BuildHash:           "BuildHash",
+	ProbeHash:           "ProbeHash",
+	NestedLoopJoin:      "NestedLoopJoin",
+	IndexNestedLoopJoin: "IndexNestedLoopJoin",
+	MergeJoin:           "MergeJoin",
+	Aggregate:           "Aggregate",
+	FinalizeAggregate:   "FinalizeAggregate",
+	Sort:                "Sort",
+	Union:               "Union",
+	Materialize:         "Materialize",
+	TopK:                "TopK",
+	Window:              "Window",
+	Distinct:            "Distinct",
+	Limit:               "Limit",
+}
+
+// String returns the operator kind's name.
+func (t OpType) String() string {
+	if t >= 0 && int(t) < len(opTypeNames) {
+		return opTypeNames[t]
+	}
+	return fmt.Sprintf("OpType(%d)", int(t))
+}
+
+// Blocking reports whether an operator of this kind must wait for ALL of
+// its inputs to finish before any of its work orders can run (the
+// "blocking dependency" notion from Quickstep). ProbeHash is not itself
+// blocking — it blocks only on its BuildHash input, which the edge
+// records — so blocking-ness is primarily an edge property; this method
+// gives the default used when building edges.
+func (t OpType) Blocking() bool {
+	switch t {
+	case Aggregate, FinalizeAggregate, Sort, Materialize, TopK, Distinct, BuildHash:
+		return true
+	default:
+		return false
+	}
+}
+
+// PredicateKind enumerates the comparison implemented by Select work
+// orders in the live engine.
+type PredicateKind int
+
+const (
+	// PredNone means "no predicate" (pass-through).
+	PredNone PredicateKind = iota
+	// PredIntLess keeps rows whose int column < Operand.
+	PredIntLess
+	// PredIntGreaterEq keeps rows whose int column >= Operand.
+	PredIntGreaterEq
+	// PredIntEq keeps rows whose int column == Operand.
+	PredIntEq
+	// PredFloatLess keeps rows whose float column < FOperand.
+	PredFloatLess
+	// PredStringEq keeps rows whose string column == SOperand.
+	PredStringEq
+)
+
+// Predicate is a simple single-column filter, enough to give Select work
+// orders data-dependent selectivity in the live engine.
+type Predicate struct {
+	Kind     PredicateKind
+	Column   string
+	Operand  int64
+	FOperand float64
+	SOperand string
+}
+
+// Operator is one node in a physical plan DAG.
+type Operator struct {
+	// ID is the node's index within its plan, assigned by the builder.
+	ID int
+	// Type is the physical operator kind.
+	Type OpType
+	// InputRelations names the base or intermediate relations the
+	// operator reads (the O-IN feature).
+	InputRelations []string
+	// Columns names the attributes the operator touches (O-COLS).
+	Columns []string
+	// Pred is the live-engine predicate for Select nodes.
+	Pred Predicate
+	// EstBlocks is the optimizer's block-count estimate for the
+	// operator's input, which drives work-order generation (O-BLCKS and
+	// O-WO start from here).
+	EstBlocks int
+	// Selectivity is the optimizer's estimate of output/input rows, used
+	// by the cost model and by work-order count estimation downstream.
+	Selectivity float64
+	// CostFactor scales the per-work-order base cost for this operator;
+	// it encodes how heavy one block's worth of work is for this kind
+	// (e.g. a probe over a huge hash table costs more than a select).
+	CostFactor float64
+
+	// children/parents are edge lists maintained by the Plan builder.
+	children []*Edge
+	parents  []*Edge
+}
+
+// Children returns the edges from this operator to its input operators
+// (the nodes that produce its input).
+func (o *Operator) Children() []*Edge { return o.children }
+
+// Parents returns the edges from this operator to its consumers.
+func (o *Operator) Parents() []*Edge { return o.parents }
+
+// Edge connects a child (producer) operator to a parent (consumer)
+// operator and carries the paper's two edge features.
+type Edge struct {
+	// Child produces tuples consumed by Parent.
+	Child, Parent *Operator
+	// NonPipelineBreaking is the E-NPB feature: true when Parent may
+	// start consuming before Child finishes (e.g. Select feeding Select),
+	// false for breakers (e.g. BuildHash feeding ProbeHash).
+	NonPipelineBreaking bool
+	// SourceIsChild is the E-DIR feature: true when pipelining flows from
+	// the child up to the parent, which is the only direction our engine
+	// uses; kept explicit because the feature vector encodes it.
+	SourceIsChild bool
+}

@@ -1,0 +1,220 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plan is a physical query plan: a DAG of operators with a single sink
+// (the query's output operator). Operators are stored in the order they
+// were added, which the builder guarantees is a topological order from
+// leaves to sink.
+type Plan struct {
+	// QueryName labels the plan (e.g. "tpch-q3").
+	QueryName string
+	// Ops holds all operators, children before parents.
+	Ops []*Operator
+	// Edges holds all edges, in insertion order.
+	Edges []*Edge
+}
+
+// Builder constructs plans. Methods panic on structural misuse (adding an
+// edge between foreign operators), which is a programming error in the
+// workload templates, not a runtime condition.
+type Builder struct {
+	p *Plan
+}
+
+// NewBuilder starts a plan with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{p: &Plan{QueryName: name}}
+}
+
+// Add appends an operator to the plan and assigns its ID. The operator's
+// EstBlocks must be at least 1 (every operator has at least one work
+// order).
+func (b *Builder) Add(op *Operator) *Operator {
+	if op.EstBlocks < 1 {
+		op.EstBlocks = 1
+	}
+	if op.Selectivity <= 0 {
+		op.Selectivity = 1
+	}
+	if op.CostFactor <= 0 {
+		op.CostFactor = 1
+	}
+	op.ID = len(b.p.Ops)
+	b.p.Ops = append(b.p.Ops, op)
+	return op
+}
+
+// Connect adds an edge child→parent. The edge's pipeline-breaking status
+// defaults to the parent type's Blocking() property but can be overridden
+// for special cases (e.g. ProbeHash's probe-side input pipelines, its
+// build-side input does not).
+func (b *Builder) Connect(child, parent *Operator, nonPipelineBreaking bool) *Edge {
+	if child == nil || parent == nil {
+		panic("plan: Connect with nil operator")
+	}
+	if child.ID >= len(b.p.Ops) || b.p.Ops[child.ID] != child {
+		panic("plan: child operator not in this plan")
+	}
+	if parent.ID >= len(b.p.Ops) || b.p.Ops[parent.ID] != parent {
+		panic("plan: parent operator not in this plan")
+	}
+	if child.ID >= parent.ID {
+		panic(fmt.Sprintf("plan: edge %d→%d violates topological insertion order", child.ID, parent.ID))
+	}
+	e := &Edge{Child: child, Parent: parent, NonPipelineBreaking: nonPipelineBreaking, SourceIsChild: true}
+	child.parents = append(child.parents, e)
+	parent.children = append(parent.children, e)
+	b.p.Edges = append(b.p.Edges, e)
+	return e
+}
+
+// ConnectAuto adds an edge whose pipeline-breaking status is derived from
+// the parent operator's kind.
+func (b *Builder) ConnectAuto(child, parent *Operator) *Edge {
+	return b.Connect(child, parent, !parent.Type.Blocking())
+}
+
+// Build finalizes and validates the plan.
+func (b *Builder) Build() (*Plan, error) {
+	p := b.p
+	if len(p.Ops) == 0 {
+		return nil, fmt.Errorf("plan %q: empty", p.QueryName)
+	}
+	sinks := 0
+	for _, op := range p.Ops {
+		if len(op.parents) == 0 {
+			sinks++
+		}
+	}
+	if sinks != 1 {
+		return nil, fmt.Errorf("plan %q: expected exactly 1 sink, found %d", p.QueryName, sinks)
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for static workload templates.
+func (b *Builder) MustBuild() *Plan {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Sink returns the plan's output operator.
+func (p *Plan) Sink() *Operator {
+	for _, op := range p.Ops {
+		if len(op.parents) == 0 {
+			return op
+		}
+	}
+	return nil
+}
+
+// Leaves returns the operators with no children (base scans).
+func (p *Plan) Leaves() []*Operator {
+	var out []*Operator
+	for _, op := range p.Ops {
+		if len(op.children) == 0 {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// NumOps returns the number of operators.
+func (p *Plan) NumOps() int { return len(p.Ops) }
+
+// TotalEstBlocks sums the block estimates of all operators — a rough
+// measure of the plan's total work.
+func (p *Plan) TotalEstBlocks() int {
+	n := 0
+	for _, op := range p.Ops {
+		n += op.EstBlocks
+	}
+	return n
+}
+
+// LongestPipelinePathFrom returns the number of additional operators
+// reachable from op by repeatedly following a non-pipeline-breaking edge
+// to a parent. This bounds the pipeline degree the predictor may choose
+// for an execution root (§5.3.2).
+func (p *Plan) LongestPipelinePathFrom(op *Operator) int {
+	best := 0
+	for _, e := range op.parents {
+		if e.NonPipelineBreaking {
+			if d := 1 + p.LongestPipelinePathFrom(e.Parent); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// Validate checks DAG invariants: IDs match positions, edges are
+// topologically ordered, and the plan is acyclic by construction.
+func (p *Plan) Validate() error {
+	for i, op := range p.Ops {
+		if op.ID != i {
+			return fmt.Errorf("plan %q: op at %d has ID %d", p.QueryName, i, op.ID)
+		}
+	}
+	for _, e := range p.Edges {
+		if e.Child.ID >= e.Parent.ID {
+			return fmt.Errorf("plan %q: edge %d→%d not topological", p.QueryName, e.Child.ID, e.Parent.ID)
+		}
+	}
+	return nil
+}
+
+// String renders a compact description, one operator per line.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan %s (%d ops)\n", p.QueryName, len(p.Ops))
+	for _, op := range p.Ops {
+		fmt.Fprintf(&sb, "  [%d] %s blocks=%d", op.ID, op.Type, op.EstBlocks)
+		if len(op.children) > 0 {
+			sb.WriteString(" <- ")
+			for i, e := range op.children {
+				if i > 0 {
+					sb.WriteString(",")
+				}
+				fmt.Fprintf(&sb, "%d", e.Child.ID)
+				if !e.NonPipelineBreaking {
+					sb.WriteString("!")
+				}
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Clone deep-copies the plan structure (operators and edges). Run-time
+// state lives outside the plan, but cloning lets a workload reuse one
+// template for many concurrently-running query instances safely.
+func (p *Plan) Clone() *Plan {
+	b := NewBuilder(p.QueryName)
+	mapped := make([]*Operator, len(p.Ops))
+	for i, op := range p.Ops {
+		c := &Operator{
+			Type:           op.Type,
+			InputRelations: append([]string(nil), op.InputRelations...),
+			Columns:        append([]string(nil), op.Columns...),
+			Pred:           op.Pred,
+			EstBlocks:      op.EstBlocks,
+			Selectivity:    op.Selectivity,
+			CostFactor:     op.CostFactor,
+		}
+		b.Add(c)
+		mapped[i] = c
+	}
+	for _, e := range p.Edges {
+		b.Connect(mapped[e.Child.ID], mapped[e.Parent.ID], e.NonPipelineBreaking)
+	}
+	return b.p
+}

@@ -1,0 +1,148 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+func chain(n int) *Plan {
+	b := NewBuilder("chain")
+	prev := b.Add(&Operator{Type: TableScan, EstBlocks: 4})
+	for i := 1; i < n; i++ {
+		op := b.Add(&Operator{Type: Select, EstBlocks: 4})
+		b.ConnectAuto(prev, op)
+		prev = op
+	}
+	return b.MustBuild()
+}
+
+func TestBuilderAssignsIDsAndDefaults(t *testing.T) {
+	b := NewBuilder("t")
+	op := b.Add(&Operator{Type: Select})
+	if op.ID != 0 {
+		t.Fatal("first op should get ID 0")
+	}
+	if op.EstBlocks != 1 || op.Selectivity != 1 || op.CostFactor != 1 {
+		t.Fatalf("defaults not applied: %+v", op)
+	}
+}
+
+func TestBuildRejectsEmptyAndMultiSink(t *testing.T) {
+	if _, err := NewBuilder("empty").Build(); err == nil {
+		t.Fatal("empty plan must fail")
+	}
+	b := NewBuilder("two-sinks")
+	b.Add(&Operator{Type: TableScan})
+	b.Add(&Operator{Type: TableScan})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("two sinks must fail")
+	}
+}
+
+func TestConnectEnforcesTopologicalOrder(t *testing.T) {
+	b := NewBuilder("t")
+	a := b.Add(&Operator{Type: TableScan})
+	c := b.Add(&Operator{Type: Select})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reverse edge must panic")
+		}
+	}()
+	b.Connect(c, a, true)
+}
+
+func TestSinkAndLeaves(t *testing.T) {
+	p := chain(4)
+	if p.Sink().ID != 3 {
+		t.Fatalf("sink = %d, want 3", p.Sink().ID)
+	}
+	leaves := p.Leaves()
+	if len(leaves) != 1 || leaves[0].ID != 0 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+}
+
+func TestLongestPipelinePath(t *testing.T) {
+	// scan -> select -> select -> aggregate: the aggregate edge breaks.
+	b := NewBuilder("t")
+	scan := b.Add(&Operator{Type: TableScan})
+	s1 := b.Add(&Operator{Type: Select})
+	b.ConnectAuto(scan, s1)
+	s2 := b.Add(&Operator{Type: Select})
+	b.ConnectAuto(s1, s2)
+	agg := b.Add(&Operator{Type: Aggregate})
+	b.ConnectAuto(s2, agg)
+	p := b.MustBuild()
+	if d := p.LongestPipelinePathFrom(p.Ops[0]); d != 2 {
+		t.Fatalf("pipeline path from scan = %d, want 2 (two selects)", d)
+	}
+	if d := p.LongestPipelinePathFrom(p.Ops[2]); d != 0 {
+		t.Fatalf("pipeline path from last select = %d, want 0 (aggregate breaks)", d)
+	}
+}
+
+func TestBlockingKinds(t *testing.T) {
+	blocking := []OpType{Aggregate, Sort, BuildHash, TopK, Distinct, Materialize, FinalizeAggregate}
+	for _, k := range blocking {
+		if !k.Blocking() {
+			t.Errorf("%v should be blocking", k)
+		}
+	}
+	streaming := []OpType{TableScan, Select, Project, ProbeHash, Union, Limit}
+	for _, k := range streaming {
+		if k.Blocking() {
+			t.Errorf("%v should not be blocking", k)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := chain(3)
+	c := p.Clone()
+	if c.NumOps() != p.NumOps() || len(c.Edges) != len(p.Edges) {
+		t.Fatal("clone structure differs")
+	}
+	c.Ops[0].EstBlocks = 99
+	if p.Ops[0].EstBlocks == 99 {
+		t.Fatal("clone shares operator state")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Edges must point at the clone's own operators.
+	for _, e := range c.Edges {
+		if e.Child != c.Ops[e.Child.ID] || e.Parent != c.Ops[e.Parent.ID] {
+			t.Fatal("clone edge points outside the clone")
+		}
+	}
+}
+
+func TestTotalEstBlocks(t *testing.T) {
+	p := chain(3)
+	if p.TotalEstBlocks() != 12 {
+		t.Fatalf("TotalEstBlocks = %d, want 12", p.TotalEstBlocks())
+	}
+}
+
+func TestStringRendersBreakers(t *testing.T) {
+	b := NewBuilder("t")
+	scan := b.Add(&Operator{Type: TableScan})
+	agg := b.Add(&Operator{Type: Aggregate})
+	b.ConnectAuto(scan, agg)
+	s := b.MustBuild().String()
+	if !strings.Contains(s, "Aggregate") || !strings.Contains(s, "0!") {
+		t.Fatalf("unexpected rendering:\n%s", s)
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	if TableScan.String() != "TableScan" || ProbeHash.String() != "ProbeHash" {
+		t.Fatal("wrong op names")
+	}
+	if OpType(99).String() != "OpType(99)" {
+		t.Fatal("out-of-range op name")
+	}
+	if NumOpTypes != 18 {
+		t.Fatalf("NumOpTypes = %d; update the feature vocabulary docs if the operator set changed", NumOpTypes)
+	}
+}

@@ -1,0 +1,130 @@
+// Package predictor implements LSched's Scheduling Predictor (§5.3):
+// three fully-connected softmax heads that consume the Query Encoder's
+// embeddings and decide (1) which operator to use as the next execution
+// root, (2) the pipeline degree to run from that root, and (3) the
+// parallelism degree (thread grant) for the root's query.
+package predictor
+
+import (
+	"repro/internal/encoder"
+	"repro/internal/nn"
+)
+
+// Config sets the predictor's head dimensions.
+type Config struct {
+	// Hidden is the encoder embedding width.
+	Hidden int
+	// QueryDim is the QF feature width (the parallelism head reuses it).
+	QueryDim int
+	// MaxPipelineDepth bounds the pipeline-degree head's output arity;
+	// degrees are 0..MaxPipelineDepth (0 = run the root alone).
+	MaxPipelineDepth int
+	// ParallelismBuckets is the arity of the parallelism head; bucket i
+	// grants ceil((i+1)/buckets · totalThreads) threads, which keeps one
+	// trained head valid across pool sizes (Fig. 11a varies the pool).
+	ParallelismBuckets int
+}
+
+// DefaultConfig returns the head configuration used in experiments.
+func DefaultConfig(hidden, queryDim int) Config {
+	return Config{Hidden: hidden, QueryDim: queryDim, MaxPipelineDepth: 5, ParallelismBuckets: 8}
+}
+
+// Candidate identifies one schedulable execution root within an encoded
+// snapshot.
+type Candidate struct {
+	// QIdx indexes Output.PerQuery / Snapshot.Queries.
+	QIdx int
+	// OpIdx indexes the query snapshot's Ops.
+	OpIdx int
+	// OpID is the plan operator ID (for mapping the decision back).
+	OpID int
+	// MaxDepth is the longest pipeline path from this root right now.
+	MaxDepth int
+}
+
+// Predictor holds the three decision networks plus the stop head that
+// lets the roots decision end early (scheduling nothing further at this
+// event is itself a learnable action — deferring work is how the agent
+// expresses staggered pipelines and avoids over-committing the buffer
+// pool).
+type Predictor struct {
+	cfg  Config
+	root *nn.MLP
+	pipe *nn.MLP
+	par  *nn.MLP
+	stop *nn.MLP
+}
+
+// New registers the predictor's parameters under the "pred." prefix.
+func New(p *nn.Params, cfg Config) *Predictor {
+	h := cfg.Hidden
+	pr := &Predictor{
+		cfg: cfg,
+		// Roots head: concat(NE, EE, PQE) per §5.3.1.
+		root: nn.NewMLP(p, "pred.root", 3*h, h, 1),
+		// Pipeline head: same input plus the root's edge context; our EE
+		// already aggregates the root's edges, so the head sees
+		// concat(NE, EE, PQE) and emits MaxPipelineDepth+1 logits.
+		pipe: nn.NewMLP(p, "pred.pipe", 3*h, h, cfg.MaxPipelineDepth+1),
+		// Parallelism head: concat(AQE, PQE, QF) per §5.3.3.
+		par: nn.NewMLP(p, "pred.par", 2*h+cfg.QueryDim, h, cfg.ParallelismBuckets),
+		// Stop head: one logit from the all-queries embedding, appended
+		// to the root logits as a "schedule nothing further" action.
+		stop: nn.NewMLP(p, "pred.stop", h, h, 1),
+	}
+	// Bias the fresh policy against stopping: eagerly activating work is
+	// the safe prior; deferral must be learned, not stumbled into.
+	if b, ok := p.Get("pred.stop.l1.b"); ok {
+		b.Val[0] = -2
+	}
+	return pr
+}
+
+// StopLogit computes the stop action's logit from the AQE.
+func (p *Predictor) StopLogit(t *nn.Tape, enc *encoder.Output) *nn.Node {
+	return p.stop.Apply(t, enc.AQE)
+}
+
+// Config returns the predictor configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// RootLogits computes one logit per candidate execution root.
+func (p *Predictor) RootLogits(t *nn.Tape, enc *encoder.Output, cands []Candidate) *nn.Node {
+	scores := make([]*nn.Node, len(cands))
+	for i, c := range cands {
+		qe := &enc.PerQuery[c.QIdx]
+		in := t.Concat(qe.NE[c.OpIdx], qe.EE[c.OpIdx], qe.PQE)
+		scores[i] = p.root.Apply(t, in)
+	}
+	return t.Concat(scores...)
+}
+
+// PipelineLogits computes the pipeline-degree logits for a chosen root.
+// The caller masks logits beyond the root's MaxDepth before sampling.
+func (p *Predictor) PipelineLogits(t *nn.Tape, enc *encoder.Output, c Candidate) *nn.Node {
+	qe := &enc.PerQuery[c.QIdx]
+	in := t.Concat(qe.NE[c.OpIdx], qe.EE[c.OpIdx], qe.PQE)
+	return p.pipe.Apply(t, in)
+}
+
+// ParallelismLogits computes the thread-grant bucket logits for the
+// query of a chosen root.
+func (p *Predictor) ParallelismLogits(t *nn.Tape, enc *encoder.Output, qIdx int, qf []float64) *nn.Node {
+	qe := &enc.PerQuery[qIdx]
+	in := t.Concat(enc.AQE, qe.PQE, t.Const(qf))
+	return p.par.Apply(t, in)
+}
+
+// BucketThreads converts a parallelism bucket into a thread grant for a
+// pool of the given size.
+func (p *Predictor) BucketThreads(bucket, totalThreads int) int {
+	n := (bucket + 1) * totalThreads / p.cfg.ParallelismBuckets
+	if n < 1 {
+		n = 1
+	}
+	if n > totalThreads {
+		n = totalThreads
+	}
+	return n
+}

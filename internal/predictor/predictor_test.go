@@ -1,0 +1,128 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/encoder"
+	"repro/internal/nn"
+)
+
+func testEncOutput(t *testing.T, params *nn.Params, hidden, queryDim int) (*encoder.Output, *encoder.Snapshot, *nn.Tape) {
+	t.Helper()
+	cfg := encoder.Config{OpDim: 5, EdgeDim: 2, QueryDim: queryDim, Hidden: hidden, Layers: 1, UseTCN: true, UseGAT: true}
+	enc := encoder.New(params, cfg)
+	feat := func(s float64) []float64 {
+		v := make([]float64, 5)
+		for i := range v {
+			v[i] = math.Sin(s + float64(i))
+		}
+		return v
+	}
+	snap := &encoder.Snapshot{Queries: []encoder.QuerySnapshot{
+		{QueryID: 0, QF: make([]float64, queryDim), Ops: []encoder.OpSnapshot{
+			{OpID: 0, Feat: feat(1)},
+			{OpID: 1, Feat: feat(2), Children: []encoder.ChildRef{{OpIdx: 0, EdgeFeat: []float64{1, 1}}}},
+		}},
+		{QueryID: 1, QF: make([]float64, queryDim), Ops: []encoder.OpSnapshot{
+			{OpID: 0, Feat: feat(3)},
+		}},
+	}}
+	tape := nn.NewTape()
+	return enc.Encode(tape, snap), snap, tape
+}
+
+func TestRootLogitsOnePerCandidate(t *testing.T) {
+	params := nn.NewParams(1)
+	p := New(params, DefaultConfig(8, 4))
+	out, _, tape := testEncOutput(t, params, 8, 4)
+	cands := []Candidate{
+		{QIdx: 0, OpIdx: 0, OpID: 0, MaxDepth: 1},
+		{QIdx: 0, OpIdx: 1, OpID: 1, MaxDepth: 0},
+		{QIdx: 1, OpIdx: 0, OpID: 0, MaxDepth: 0},
+	}
+	logits := p.RootLogits(tape, out, cands)
+	if logits.Len() != 3 {
+		t.Fatalf("logits len %d, want 3", logits.Len())
+	}
+	for _, v := range logits.Val {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite logit")
+		}
+	}
+}
+
+func TestPipelineLogitsArity(t *testing.T) {
+	params := nn.NewParams(2)
+	cfg := DefaultConfig(8, 4)
+	p := New(params, cfg)
+	out, _, tape := testEncOutput(t, params, 8, 4)
+	logits := p.PipelineLogits(tape, out, Candidate{QIdx: 0, OpIdx: 0})
+	if logits.Len() != cfg.MaxPipelineDepth+1 {
+		t.Fatalf("pipeline logits len %d, want %d", logits.Len(), cfg.MaxPipelineDepth+1)
+	}
+}
+
+func TestParallelismLogitsArity(t *testing.T) {
+	params := nn.NewParams(3)
+	cfg := DefaultConfig(8, 4)
+	p := New(params, cfg)
+	out, snap, tape := testEncOutput(t, params, 8, 4)
+	logits := p.ParallelismLogits(tape, out, 0, snap.Queries[0].QF)
+	if logits.Len() != cfg.ParallelismBuckets {
+		t.Fatalf("parallelism logits len %d, want %d", logits.Len(), cfg.ParallelismBuckets)
+	}
+}
+
+func TestBucketThreads(t *testing.T) {
+	p := New(nn.NewParams(4), Config{Hidden: 4, QueryDim: 2, MaxPipelineDepth: 3, ParallelismBuckets: 8})
+	if got := p.BucketThreads(7, 64); got != 64 {
+		t.Fatalf("top bucket grants %d of 64", got)
+	}
+	if got := p.BucketThreads(0, 64); got != 8 {
+		t.Fatalf("bottom bucket grants %d, want 8", got)
+	}
+	if got := p.BucketThreads(0, 3); got < 1 {
+		t.Fatal("grants must be at least 1")
+	}
+	if got := p.BucketThreads(7, 3); got != 3 {
+		t.Fatalf("grant %d exceeds pool of 3", got)
+	}
+	// Monotone in the bucket index.
+	prev := 0
+	for b := 0; b < 8; b++ {
+		g := p.BucketThreads(b, 60)
+		if g < prev {
+			t.Fatalf("bucket %d grants %d < previous %d", b, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestHeadsAreTrainable(t *testing.T) {
+	params := nn.NewParams(5)
+	p := New(params, DefaultConfig(8, 4))
+	out, snap, tape := testEncOutput(t, params, 8, 4)
+	cands := []Candidate{{QIdx: 0, OpIdx: 0}, {QIdx: 1, OpIdx: 0}}
+	loss := tape.LogProbAt(p.RootLogits(tape, out, cands), 0)
+	loss = tape.Add(loss, tape.LogProbAt(p.PipelineLogits(tape, out, cands[0]), 1))
+	loss = tape.Add(loss, tape.LogProbAt(p.ParallelismLogits(tape, out, 0, snap.Queries[0].QF), 2))
+	params.ZeroGrads()
+	tape.Backward(loss)
+	for _, name := range []string{"pred.root.l0.W", "pred.pipe.l1.W", "pred.par.l0.W"} {
+		n, ok := params.Get(name)
+		if !ok {
+			t.Fatalf("missing param %s", name)
+		}
+		any := false
+		for _, g := range n.Grad {
+			if g != 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			t.Fatalf("param %s received no gradient", name)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package rpcsched
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Service is the net/rpc receiver wrapping a local scheduler.
+type Service struct {
+	mu    sync.Mutex
+	sched engine.Scheduler
+}
+
+// NewService wraps a scheduler for remote use.
+func NewService(s engine.Scheduler) *Service {
+	return &Service{sched: s}
+}
+
+// OnEvent is the RPC method: it decodes the engine state, invokes the
+// wrapped scheduler, and returns its decisions. Calls are serialized —
+// schedulers are single-threaded by the execution model (§5.1).
+func (s *Service) OnEvent(req *EventRequest, reply *DecisionReply) error {
+	st, err := decodeState(req.State)
+	if err != nil {
+		return err
+	}
+	ev := engine.Event{
+		Kind:    engine.EventKind(req.Kind),
+		Time:    req.Time,
+		QueryID: req.QueryID,
+		OpID:    req.OpID,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reply.Decisions = s.sched.OnEvent(st, ev)
+	return nil
+}
+
+// Serve registers the service and answers connections from lis until it
+// closes. It returns after the listener is closed.
+func Serve(lis net.Listener, sched engine.Scheduler) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("LSched", NewService(sched)); err != nil {
+		return err
+	}
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return nil // listener closed
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// ServeConn answers a single connection (handy for net.Pipe tests and
+// in-process bridging).
+func ServeConn(conn io.ReadWriteCloser, sched engine.Scheduler) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("LSched", NewService(sched)); err != nil {
+		return err
+	}
+	srv.ServeConn(conn)
+	return nil
+}
+
+// Client implements engine.Scheduler by forwarding every scheduling
+// event to a remote Service.
+type Client struct {
+	name string
+	rpc  *rpc.Client
+}
+
+// Dial connects to a remote scheduler service.
+func Dial(network, address string) (*Client, error) {
+	c, err := rpc.Dial(network, address)
+	if err != nil {
+		return nil, fmt.Errorf("rpcsched: dial: %w", err)
+	}
+	return &Client{name: "rpc://" + address, rpc: c}, nil
+}
+
+// NewClientConn builds a client over an existing connection.
+func NewClientConn(conn io.ReadWriteCloser) *Client {
+	return &Client{name: "rpc://conn", rpc: rpc.NewClient(conn)}
+}
+
+// Name implements engine.Scheduler.
+func (c *Client) Name() string { return c.name }
+
+// OnEvent implements engine.Scheduler. RPC failures surface as "no
+// decisions": the engine keeps running with its previous grants, which
+// is the same degraded mode the paper's prototype has when the agent
+// process is unreachable.
+func (c *Client) OnEvent(st *engine.State, ev engine.Event) []engine.Decision {
+	req := &EventRequest{
+		Kind:    int(ev.Kind),
+		Time:    ev.Time,
+		QueryID: ev.QueryID,
+		OpID:    ev.OpID,
+		State:   encodeState(st),
+	}
+	var reply DecisionReply
+	if err := c.rpc.Call("LSched.OnEvent", req, &reply); err != nil {
+		return nil
+	}
+	return reply.Decisions
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.rpc.Close() }

@@ -1,0 +1,184 @@
+// Package rpcsched lets a database engine and a scheduler run in
+// separate processes, mirroring the paper's deployment: the prototype's
+// Quickstep (C++) engine talks to the LSched agent through an RPC
+// interface (§7.1). Server wraps any engine.Scheduler behind net/rpc;
+// Client implements engine.Scheduler by forwarding scheduling events to
+// the remote side.
+//
+// Engine state crosses the wire in a self-contained form: plans are
+// re-materialized on the scheduler side, so the remote agent extracts
+// features from exactly the structures a co-located agent would see.
+package rpcsched
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// WireOp is one operator's wire form.
+type WireOp struct {
+	Type           int
+	InputRelations []string
+	Columns        []string
+	EstBlocks      int
+	Selectivity    float64
+	CostFactor     float64
+	// Runtime state.
+	TotalWOs   int
+	Dispatched int
+	Completed  int
+	Active     bool
+	Pipelined  bool
+	Done       bool
+	// EstDuration/EstMemory carry the engine-side cost estimates so the
+	// remote scheduler sees the same O-DUR/O-MEM features.
+	EstDuration float64
+	EstMemory   float64
+}
+
+// WireEdge is one plan edge's wire form.
+type WireEdge struct {
+	Child, Parent       int
+	NonPipelineBreaking bool
+}
+
+// WireQuery is one running query's wire form.
+type WireQuery struct {
+	ID              int
+	Name            string
+	Arrival         float64
+	AssignedThreads int
+	Ops             []WireOp
+	Edges           []WireEdge
+}
+
+// WireThread is one worker's wire form.
+type WireThread struct {
+	ID        int
+	Busy      bool
+	LastQuery int
+}
+
+// WireState is the scheduler-visible engine state on the wire.
+type WireState struct {
+	Now     float64
+	Queries []WireQuery
+	Threads []WireThread
+}
+
+// EventRequest is the RPC request: one scheduling event plus the state.
+type EventRequest struct {
+	Kind    int
+	Time    float64
+	QueryID int
+	OpID    int
+	State   WireState
+}
+
+// DecisionReply is the RPC response.
+type DecisionReply struct {
+	Decisions []engine.Decision
+}
+
+// encodeState converts live engine state to the wire form.
+func encodeState(st *engine.State) WireState {
+	ws := WireState{Now: st.Now}
+	for _, q := range st.Queries {
+		wq := WireQuery{
+			ID:              q.ID,
+			Name:            q.Plan.QueryName,
+			Arrival:         q.Arrival,
+			AssignedThreads: q.AssignedThreads,
+		}
+		for _, os := range q.OpStates {
+			key := q.ID*1024 + os.Op.ID
+			rem := os.Remaining()
+			wq.Ops = append(wq.Ops, WireOp{
+				Type:           int(os.Op.Type),
+				InputRelations: os.Op.InputRelations,
+				Columns:        os.Op.Columns,
+				EstBlocks:      os.Op.EstBlocks,
+				Selectivity:    os.Op.Selectivity,
+				CostFactor:     os.Op.CostFactor,
+				TotalWOs:       os.TotalWOs,
+				Dispatched:     os.Dispatched,
+				Completed:      os.Completed,
+				Active:         os.Active,
+				Pipelined:      os.Pipelined,
+				Done:           os.Done,
+				EstDuration:    st.Estimator.EstimateDuration(key, rem),
+				EstMemory:      st.Estimator.EstimateMemory(key, rem),
+			})
+		}
+		for _, e := range q.Plan.Edges {
+			wq.Edges = append(wq.Edges, WireEdge{
+				Child:               e.Child.ID,
+				Parent:              e.Parent.ID,
+				NonPipelineBreaking: e.NonPipelineBreaking,
+			})
+		}
+		ws.Queries = append(ws.Queries, wq)
+	}
+	for _, t := range st.Threads {
+		ws.Threads = append(ws.Threads, WireThread{ID: t.ID, Busy: t.Busy, LastQuery: t.LastQuery})
+	}
+	return ws
+}
+
+// decodeState reconstructs engine state on the scheduler side. The
+// reconstructed cost estimator is primed so that the remote agent's
+// O-DUR/O-MEM features equal the engine-side estimates.
+func decodeState(ws WireState) (*engine.State, error) {
+	st := &engine.State{
+		Now:       ws.Now,
+		Estimator: costmodel.NewEstimator(2, 1, 1),
+	}
+	for _, wq := range ws.Queries {
+		b := plan.NewBuilder(wq.Name)
+		ops := make([]*plan.Operator, len(wq.Ops))
+		for i, wo := range wq.Ops {
+			ops[i] = b.Add(&plan.Operator{
+				Type:           plan.OpType(wo.Type),
+				InputRelations: wo.InputRelations,
+				Columns:        wo.Columns,
+				EstBlocks:      wo.EstBlocks,
+				Selectivity:    wo.Selectivity,
+				CostFactor:     wo.CostFactor,
+			})
+		}
+		for _, we := range wq.Edges {
+			if we.Child < 0 || we.Child >= len(ops) || we.Parent < 0 || we.Parent >= len(ops) {
+				return nil, fmt.Errorf("rpcsched: edge %d→%d out of range", we.Child, we.Parent)
+			}
+			b.Connect(ops[we.Child], ops[we.Parent], we.NonPipelineBreaking)
+		}
+		p, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("rpcsched: rebuilding plan %q: %w", wq.Name, err)
+		}
+		q := engine.NewQueryStateForWire(wq.ID, p, wq.Arrival, wq.AssignedThreads)
+		for i, wo := range wq.Ops {
+			os := q.OpStates[i]
+			os.TotalWOs = wo.TotalWOs
+			os.Dispatched = wo.Dispatched
+			os.Completed = wo.Completed
+			os.Active = wo.Active
+			os.Pipelined = wo.Pipelined
+			os.Done = wo.Done
+			// Prime the estimator: one observation at the per-order
+			// estimate reproduces the engine-side O-DUR/O-MEM feature.
+			rem := wo.TotalWOs - wo.Completed
+			if rem > 0 {
+				st.Estimator.ObserveCompletion(wq.ID*1024+i, wo.EstDuration/float64(rem), wo.EstMemory/float64(rem))
+			}
+		}
+		st.Queries = append(st.Queries, q)
+	}
+	for _, wt := range ws.Threads {
+		st.Threads = append(st.Threads, engine.ThreadInfo{ID: wt.ID, Busy: wt.Busy, LastQuery: wt.LastQuery})
+	}
+	return st, nil
+}

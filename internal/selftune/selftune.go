@@ -1,0 +1,191 @@
+// Package selftune reimplements the SelfTune baseline (Wagner et al.,
+// SIGMOD 2021): a fixed priority-based scheduling policy whose
+// hyper-parameters are tuned per workload by constrained optimization.
+// The paper obtained the authors' executable; we reimplement the
+// published idea — the policy shape is fixed, only its knobs adapt to
+// the input workload — with a random-restart hill climber as the tuner.
+package selftune
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/engine"
+)
+
+// Knobs are the tunable hyper-parameters of the fixed policy.
+type Knobs struct {
+	// WRemaining weights a query's remaining work in its priority
+	// (negative values prefer short jobs).
+	WRemaining float64
+	// WAge weights a query's waiting time (positive values prevent
+	// starvation).
+	WAge float64
+	// WCritical weights the query's critical-path length.
+	WCritical float64
+	// ShareExponent shapes the thread shares: grant_i ∝ rank_i^-exp.
+	ShareExponent float64
+	// PipelineDepth is the fixed pipeline degree the policy uses.
+	PipelineDepth int
+}
+
+// DefaultKnobs is a reasonable untuned starting point.
+func DefaultKnobs() Knobs {
+	return Knobs{WRemaining: -1, WAge: 0.5, WCritical: 0.2, ShareExponent: 1, PipelineDepth: 1}
+}
+
+// Scheduler is the fixed-policy scheduler parameterized by Knobs.
+type Scheduler struct {
+	K Knobs
+}
+
+// Name implements engine.Scheduler.
+func (Scheduler) Name() string { return "SelfTune" }
+
+// OnEvent implements engine.Scheduler: queries are ranked by the knobbed
+// priority, thread shares decay with rank, and every schedulable root is
+// activated with the knobbed pipeline depth.
+func (s Scheduler) OnEvent(st *engine.State, _ engine.Event) []engine.Decision {
+	n := len(st.Queries)
+	if n == 0 {
+		return nil
+	}
+	type ranked struct {
+		q    *engine.QueryState
+		prio float64
+	}
+	rs := make([]ranked, n)
+	for i, q := range st.Queries {
+		age := st.Now - q.Arrival
+		rs[i] = ranked{q: q, prio: s.K.WRemaining*float64(q.RemainingWork()) +
+			s.K.WAge*age + s.K.WCritical*float64(q.CriticalPathBlocks())}
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].prio > rs[j].prio })
+
+	total := float64(st.TotalThreads())
+	weights := make([]float64, n)
+	wsum := 0.0
+	for i := range rs {
+		weights[i] = math.Pow(float64(i+1), -math.Max(s.K.ShareExponent, 0.01))
+		wsum += weights[i]
+	}
+	depth := s.K.PipelineDepth
+	if depth < 0 {
+		depth = 0
+	}
+	var ds []engine.Decision
+	for i, r := range rs {
+		share := int(total * weights[i] / wsum)
+		if share < 1 {
+			share = 1
+		}
+		roots := r.q.SchedulableRoots()
+		if len(roots) == 0 {
+			ds = append(ds, engine.Decision{QueryID: r.q.ID, RootOpID: -1, Threads: share})
+			continue
+		}
+		for _, root := range roots {
+			ds = append(ds, engine.Decision{
+				QueryID:       r.q.ID,
+				RootOpID:      root.ID,
+				PipelineDepth: depth,
+				Threads:       share,
+			})
+		}
+	}
+	return ds
+}
+
+// TuneConfig configures the hyper-parameter search.
+type TuneConfig struct {
+	// Rounds is the number of hill-climbing proposals.
+	Rounds int
+	// Restarts is the number of random restarts.
+	Restarts int
+	// Seed drives the search.
+	Seed int64
+	// SimCfg is the evaluation simulator configuration.
+	SimCfg engine.SimConfig
+	// Workloads are the training workloads the tuner scores against.
+	Workloads [][]engine.Arrival
+}
+
+// Tune searches for knobs minimizing the mean query duration over the
+// training workloads, returning the best scheduler found.
+func Tune(cfg TuneConfig) (*Scheduler, float64, error) {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 30
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	score := func(k Knobs) (float64, error) {
+		sum := 0.0
+		for wi, w := range cfg.Workloads {
+			simCfg := cfg.SimCfg
+			simCfg.Seed = cfg.Seed + int64(wi)
+			sim := engine.NewSim(simCfg)
+			res, err := sim.Run(Scheduler{K: k}, w)
+			if err != nil {
+				return 0, err
+			}
+			sum += res.AvgDuration()
+		}
+		return sum / float64(len(cfg.Workloads)), nil
+	}
+	best := DefaultKnobs()
+	bestScore, err := score(best)
+	if err != nil {
+		return nil, 0, err
+	}
+	for r := 0; r < cfg.Restarts; r++ {
+		cur := randomKnobs(rng)
+		curScore, err := score(cur)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := 0; i < cfg.Rounds; i++ {
+			cand := perturb(cur, rng)
+			s, err := score(cand)
+			if err != nil {
+				return nil, 0, err
+			}
+			if s < curScore {
+				cur, curScore = cand, s
+			}
+		}
+		if curScore < bestScore {
+			best, bestScore = cur, curScore
+		}
+	}
+	return &Scheduler{K: best}, bestScore, nil
+}
+
+func randomKnobs(rng *rand.Rand) Knobs {
+	return Knobs{
+		WRemaining:    rng.Float64()*4 - 3, // mostly negative (prefer short)
+		WAge:          rng.Float64() * 2,
+		WCritical:     rng.Float64()*2 - 1,
+		ShareExponent: rng.Float64()*2 + 0.1,
+		PipelineDepth: rng.Intn(4),
+	}
+}
+
+func perturb(k Knobs, rng *rand.Rand) Knobs {
+	k.WRemaining += rng.NormFloat64() * 0.3
+	k.WAge += rng.NormFloat64() * 0.2
+	k.WCritical += rng.NormFloat64() * 0.2
+	k.ShareExponent = math.Max(0.05, k.ShareExponent+rng.NormFloat64()*0.2)
+	if rng.Float64() < 0.3 {
+		k.PipelineDepth += rng.Intn(3) - 1
+		if k.PipelineDepth < 0 {
+			k.PipelineDepth = 0
+		}
+		if k.PipelineDepth > 5 {
+			k.PipelineDepth = 5
+		}
+	}
+	return k
+}

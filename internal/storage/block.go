@@ -1,0 +1,163 @@
+// Package storage implements the block-based columnar storage substrate
+// that the scheduler's execution engine operates on. It mirrors the
+// Quickstep storage model the paper assumes: every relation is a set of
+// self-contained blocks, each holding a slice of the relation's rows in a
+// column-store layout plus a metadata header.
+package storage
+
+import (
+	"fmt"
+)
+
+// ColumnType enumerates the primitive column types supported by the engine.
+type ColumnType int
+
+const (
+	// Int64Col holds 64-bit signed integers.
+	Int64Col ColumnType = iota
+	// Float64Col holds 64-bit floats.
+	Float64Col
+	// StringCol holds variable-length strings.
+	StringCol
+)
+
+// String returns a human-readable name for the column type.
+func (t ColumnType) String() string {
+	switch t {
+	case Int64Col:
+		return "int64"
+	case Float64Col:
+		return "float64"
+	case StringCol:
+		return "string"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", int(t))
+	}
+}
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Schema is the ordered list of columns of a relation.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema from the given columns. Column names must be
+// unique within the schema.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("storage: column %d has empty name", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("storage: duplicate column %q", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. It is intended for
+// statically-known schemas such as the benchmark catalogs.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColumnIndex returns the position of the named column, or -1 if absent.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumColumns returns the number of columns in the schema.
+func (s *Schema) NumColumns() int { return len(s.Columns) }
+
+// ColumnVector is one column's values within a single block. Exactly one
+// of the slices is non-nil, matching the column's declared type.
+type ColumnVector struct {
+	Ints    []int64
+	Floats  []float64
+	Strings []string
+}
+
+// Len returns the number of values stored in the vector.
+func (v *ColumnVector) Len() int {
+	switch {
+	case v.Ints != nil:
+		return len(v.Ints)
+	case v.Floats != nil:
+		return len(v.Floats)
+	case v.Strings != nil:
+		return len(v.Strings)
+	default:
+		return 0
+	}
+}
+
+// BlockHeader is the metadata header that makes each block a
+// self-contained mini database, as in Quickstep.
+type BlockHeader struct {
+	// BlockID is unique within the owning relation.
+	BlockID int
+	// Relation is the owning relation's name.
+	Relation string
+	// Rows is the number of tuples stored in the block.
+	Rows int
+}
+
+// Block is a column-store storage block: a header plus one vector per
+// schema column, all of equal length.
+type Block struct {
+	Header  BlockHeader
+	Schema  *Schema
+	Vectors []ColumnVector
+}
+
+// NumRows returns the number of tuples in the block.
+func (b *Block) NumRows() int { return b.Header.Rows }
+
+// Validate checks internal consistency of the block: one vector per
+// column, all vectors the declared length and the declared type.
+func (b *Block) Validate() error {
+	if b.Schema == nil {
+		return fmt.Errorf("storage: block %d has nil schema", b.Header.BlockID)
+	}
+	if len(b.Vectors) != b.Schema.NumColumns() {
+		return fmt.Errorf("storage: block %d has %d vectors for %d columns",
+			b.Header.BlockID, len(b.Vectors), b.Schema.NumColumns())
+	}
+	for i, col := range b.Schema.Columns {
+		v := &b.Vectors[i]
+		if v.Len() != b.Header.Rows {
+			return fmt.Errorf("storage: block %d column %q has %d rows, header says %d",
+				b.Header.BlockID, col.Name, v.Len(), b.Header.Rows)
+		}
+		switch col.Type {
+		case Int64Col:
+			if v.Ints == nil && b.Header.Rows > 0 {
+				return fmt.Errorf("storage: block %d column %q missing int vector", b.Header.BlockID, col.Name)
+			}
+		case Float64Col:
+			if v.Floats == nil && b.Header.Rows > 0 {
+				return fmt.Errorf("storage: block %d column %q missing float vector", b.Header.BlockID, col.Name)
+			}
+		case StringCol:
+			if v.Strings == nil && b.Header.Rows > 0 {
+				return fmt.Errorf("storage: block %d column %q missing string vector", b.Header.BlockID, col.Name)
+			}
+		}
+	}
+	return nil
+}

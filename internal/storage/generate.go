@@ -1,0 +1,117 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenSpec describes how to synthesize one column of data.
+type GenSpec struct {
+	Column Column
+	// MinInt/MaxInt bound integer columns (inclusive).
+	MinInt, MaxInt int64
+	// MinFloat/MaxFloat bound float columns.
+	MinFloat, MaxFloat float64
+	// Cardinality, when > 0, restricts string columns to that many
+	// distinct values ("v0".."v{Cardinality-1}"), and integer columns to
+	// a uniform draw in [0, Cardinality).
+	Cardinality int
+	// Sequential, when true, makes an integer column a 0..n-1 sequence —
+	// a synthetic primary key.
+	Sequential bool
+}
+
+// Generator synthesizes relations deterministically from a seed. It stands
+// in for the TPC-H / SSB / JOB data generators (dbgen etc.), which we do
+// not have offline; the scheduler only cares about block counts, join
+// cardinalities, and selectivities, all of which the specs control.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a generator seeded deterministically.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Relation builds a relation of n rows split into blocks of blockRows
+// tuples (the last block may be short).
+func (g *Generator) Relation(name string, n, blockRows int, specs []GenSpec) (*Relation, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("storage: negative row count %d", n)
+	}
+	if blockRows <= 0 {
+		return nil, fmt.Errorf("storage: block size must be positive, got %d", blockRows)
+	}
+	cols := make([]Column, len(specs))
+	for i, s := range specs {
+		cols[i] = s.Column
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	rel := &Relation{Name: name, Schema: schema}
+	for start, blockID := 0, 0; start < n || (n == 0 && blockID == 0); blockID++ {
+		rows := blockRows
+		if start+rows > n {
+			rows = n - start
+		}
+		blk := &Block{
+			Header:  BlockHeader{BlockID: blockID, Relation: name, Rows: rows},
+			Schema:  schema,
+			Vectors: make([]ColumnVector, len(specs)),
+		}
+		for ci, s := range specs {
+			g.fill(&blk.Vectors[ci], s, start, rows)
+		}
+		rel.Blocks = append(rel.Blocks, blk)
+		start += rows
+		if n == 0 {
+			break
+		}
+	}
+	return rel, nil
+}
+
+func (g *Generator) fill(v *ColumnVector, s GenSpec, start, rows int) {
+	switch s.Column.Type {
+	case Int64Col:
+		vals := make([]int64, rows)
+		for i := range vals {
+			switch {
+			case s.Sequential:
+				vals[i] = int64(start + i)
+			case s.Cardinality > 0:
+				vals[i] = int64(g.rng.Intn(s.Cardinality))
+			default:
+				lo, hi := s.MinInt, s.MaxInt
+				if hi <= lo {
+					hi = lo + 1
+				}
+				vals[i] = lo + g.rng.Int63n(hi-lo+1)
+			}
+		}
+		v.Ints = vals
+	case Float64Col:
+		vals := make([]float64, rows)
+		lo, hi := s.MinFloat, s.MaxFloat
+		if hi <= lo {
+			hi = lo + 1
+		}
+		for i := range vals {
+			vals[i] = lo + g.rng.Float64()*(hi-lo)
+		}
+		v.Floats = vals
+	case StringCol:
+		vals := make([]string, rows)
+		card := s.Cardinality
+		if card <= 0 {
+			card = 1000
+		}
+		for i := range vals {
+			vals[i] = fmt.Sprintf("v%d", g.rng.Intn(card))
+		}
+		v.Strings = vals
+	}
+}

@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaDuplicateColumns(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "a", Type: Int64Col}, Column{Name: "a", Type: StringCol}); err == nil {
+		t.Fatal("duplicate column names must be rejected")
+	}
+	if _, err := NewSchema(Column{Name: "", Type: Int64Col}); err == nil {
+		t.Fatal("empty column name must be rejected")
+	}
+}
+
+func TestSchemaColumnIndex(t *testing.T) {
+	s := MustSchema(Column{Name: "a", Type: Int64Col}, Column{Name: "b", Type: Float64Col})
+	if s.ColumnIndex("a") != 0 || s.ColumnIndex("b") != 1 {
+		t.Fatal("wrong column indices")
+	}
+	if s.ColumnIndex("missing") != -1 {
+		t.Fatal("missing column should return -1")
+	}
+	if s.NumColumns() != 2 {
+		t.Fatal("wrong column count")
+	}
+}
+
+func TestGeneratorBlockLayout(t *testing.T) {
+	gen := NewGenerator(1)
+	rel, err := gen.Relation("t", 1050, 500, []GenSpec{
+		{Column: Column{Name: "id", Type: Int64Col}, Sequential: true},
+		{Column: Column{Name: "v", Type: Float64Col}, MinFloat: 0, MaxFloat: 1},
+		{Column: Column{Name: "s", Type: StringCol}, Cardinality: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumBlocks() != 3 {
+		t.Fatalf("expected 3 blocks (500+500+50), got %d", rel.NumBlocks())
+	}
+	if rel.NumRows() != 1050 {
+		t.Fatalf("expected 1050 rows, got %d", rel.NumRows())
+	}
+	if rel.Blocks[2].NumRows() != 50 {
+		t.Fatalf("last block should hold 50 rows, got %d", rel.Blocks[2].NumRows())
+	}
+	if err := rel.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential ids must be globally increasing across blocks.
+	want := int64(0)
+	for _, b := range rel.Blocks {
+		for _, id := range b.Vectors[0].Ints {
+			if id != want {
+				t.Fatalf("id %d, want %d", id, want)
+			}
+			want++
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	build := func() *Relation {
+		rel, err := NewGenerator(7).Relation("t", 300, 100, []GenSpec{
+			{Column: Column{Name: "k", Type: Int64Col}, Cardinality: 10},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	a, b := build(), build()
+	for bi := range a.Blocks {
+		for i, v := range a.Blocks[bi].Vectors[0].Ints {
+			if b.Blocks[bi].Vectors[0].Ints[i] != v {
+				t.Fatal("generator not deterministic")
+			}
+		}
+	}
+}
+
+func TestGeneratorBounds(t *testing.T) {
+	f := func(seed int64, card uint8) bool {
+		c := int(card%50) + 1
+		rel, err := NewGenerator(seed).Relation("t", 200, 64, []GenSpec{
+			{Column: Column{Name: "k", Type: Int64Col}, Cardinality: c},
+		})
+		if err != nil {
+			return false
+		}
+		for _, b := range rel.Blocks {
+			for _, v := range b.Vectors[0].Ints {
+				if v < 0 || v >= int64(c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogRegisterAndLookup(t *testing.T) {
+	cat := NewCatalog()
+	rel, err := NewGenerator(1).Relation("orders", 100, 50, []GenSpec{
+		{Column: Column{Name: "id", Type: Int64Col}, Sequential: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register(rel); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cat.Relation("orders")
+	if !ok || got.Name != "orders" {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := cat.Relation("nope"); ok {
+		t.Fatal("phantom relation")
+	}
+	if cat.Len() != 1 || len(cat.Names()) != 1 {
+		t.Fatal("wrong catalog size")
+	}
+	if err := cat.Register(nil); err == nil {
+		t.Fatal("nil relation must be rejected")
+	}
+}
+
+func TestBlockValidate(t *testing.T) {
+	schema := MustSchema(Column{Name: "a", Type: Int64Col})
+	b := &Block{
+		Header:  BlockHeader{BlockID: 0, Relation: "t", Rows: 2},
+		Schema:  schema,
+		Vectors: []ColumnVector{{Ints: []int64{1}}}, // wrong length
+	}
+	if err := b.Validate(); err == nil {
+		t.Fatal("length mismatch must fail validation")
+	}
+	b.Vectors[0].Ints = []int64{1, 2}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnTypeString(t *testing.T) {
+	if Int64Col.String() != "int64" || Float64Col.String() != "float64" || StringCol.String() != "string" {
+		t.Fatal("wrong type names")
+	}
+}

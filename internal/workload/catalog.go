@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// SyntheticCatalog generates columnar data for every base relation the
+// given plans scan, sized for live execution: each relation gets up to
+// maxBlocks blocks of rowsPerBlock rows with a generic analytical schema
+// (sequential id, low-cardinality join key, measure, dimension tag).
+// This stands in for dbgen/IMDB loads — the scheduler-visible behaviour
+// (per-block work orders, data-dependent selectivities, hash-join
+// matches) is preserved at laptop scale.
+func SyntheticCatalog(plans []*plan.Plan, rowsPerBlock, maxBlocks int, seed int64) (*storage.Catalog, error) {
+	if rowsPerBlock <= 0 {
+		rowsPerBlock = 1024
+	}
+	if maxBlocks <= 0 {
+		maxBlocks = 16
+	}
+	gen := storage.NewGenerator(seed)
+	cat := storage.NewCatalog()
+	seen := map[string]bool{}
+	for _, p := range plans {
+		for _, op := range p.Leaves() {
+			for _, relName := range op.InputRelations {
+				if seen[relName] {
+					continue
+				}
+				seen[relName] = true
+				blocks := op.EstBlocks
+				if blocks > maxBlocks {
+					blocks = maxBlocks
+				}
+				if blocks < 1 {
+					blocks = 1
+				}
+				rel, err := gen.Relation(relName, blocks*rowsPerBlock, rowsPerBlock, []storage.GenSpec{
+					{Column: storage.Column{Name: "id", Type: storage.Int64Col}, Sequential: true},
+					{Column: storage.Column{Name: "key", Type: storage.Int64Col}, Cardinality: 1000},
+					{Column: storage.Column{Name: "val", Type: storage.Float64Col}, MinFloat: 0, MaxFloat: 1000},
+					{Column: storage.Column{Name: "tag", Type: storage.StringCol}, Cardinality: 25},
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := cat.Register(rel); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return cat, nil
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+)
+
+// Star Schema Benchmark base relation row counts at scale factor 1.
+const (
+	ssbLineorder = 6_000_000
+	ssbCustomer  = 30_000
+	ssbSupplier  = 2_000
+	ssbPart      = 200_000
+	ssbDate      = 2_556
+)
+
+// SSB returns the 13 Star Schema Benchmark query plans (flights 1.1–4.3)
+// at the given scale factor. Every SSB query is a star join: the
+// lineorder fact table probed by one to four filtered dimension hash
+// tables, followed by an aggregate — lighter than TPC-H, which is why
+// the paper sees smaller gaps on SSB.
+func SSB(scaleFactor float64) []*plan.Plan {
+	type spec struct {
+		flight, q int
+		dims      []dim
+		liSel     float64
+		groups    float64
+		sorted    bool
+	}
+	specs := []spec{
+		{1, 1, []dim{{"date", ssbDate, 1.0 / 7}}, 0.47 * 0.5, 1, false},
+		{1, 2, []dim{{"date", ssbDate, 1.0 / 84}}, 0.47 * 0.5, 1, false},
+		{1, 3, []dim{{"date", ssbDate, 1.0 / 364}}, 0.47 * 0.5, 1, false},
+		{2, 1, []dim{{"part", ssbPart, 1.0 / 25}, {"supplier", ssbSupplier, 1.0 / 5}, {"date", ssbDate, 1}}, 1, 280, true},
+		{2, 2, []dim{{"part", ssbPart, 1.0 / 125}, {"supplier", ssbSupplier, 1.0 / 5}, {"date", ssbDate, 1}}, 1, 56, true},
+		{2, 3, []dim{{"part", ssbPart, 1.0 / 1000}, {"supplier", ssbSupplier, 1.0 / 25}, {"date", ssbDate, 1}}, 1, 7, true},
+		{3, 1, []dim{{"customer", ssbCustomer, 1.0 / 5}, {"supplier", ssbSupplier, 1.0 / 5}, {"date", ssbDate, 6.0 / 7}}, 1, 150, true},
+		{3, 2, []dim{{"customer", ssbCustomer, 1.0 / 25}, {"supplier", ssbSupplier, 1.0 / 25}, {"date", ssbDate, 6.0 / 7}}, 1, 600, true},
+		{3, 3, []dim{{"customer", ssbCustomer, 1.0 / 125}, {"supplier", ssbSupplier, 1.0 / 125}, {"date", ssbDate, 6.0 / 7}}, 1, 24, true},
+		{3, 4, []dim{{"customer", ssbCustomer, 1.0 / 125}, {"supplier", ssbSupplier, 1.0 / 125}, {"date", ssbDate, 1.0 / 84}}, 1, 4, true},
+		{4, 1, []dim{{"customer", ssbCustomer, 1.0 / 5}, {"supplier", ssbSupplier, 1.0 / 5}, {"part", ssbPart, 2.0 / 5}, {"date", ssbDate, 1}}, 1, 175, true},
+		{4, 2, []dim{{"customer", ssbCustomer, 1.0 / 5}, {"supplier", ssbSupplier, 1.0 / 5}, {"part", ssbPart, 2.0 / 5}, {"date", ssbDate, 2.0 / 7}}, 1, 350, true},
+		{4, 3, []dim{{"customer", ssbCustomer, 1.0 / 5}, {"supplier", ssbSupplier, 1.0 / 25}, {"part", ssbPart, 1.0 / 25}, {"date", ssbDate, 2.0 / 7}}, 1, 800, true},
+	}
+	plans := make([]*plan.Plan, 0, len(specs))
+	for _, s := range specs {
+		plans = append(plans, ssbStar(s.flight, s.q, scaleFactor, s.dims, s.liSel, s.groups, s.sorted))
+	}
+	return plans
+}
+
+// dim describes one filtered dimension of a star join.
+type dim struct {
+	rel  string
+	rows float64
+	sel  float64
+}
+
+func ssbStar(flight, q int, sf float64, dims []dim, liSel, groups float64, sorted bool) *plan.Plan {
+	t := newTmpl(fmt.Sprintf("ssb-q%d.%d-sf%g", flight, q, sf), sf)
+	fact := t.scan("lineorder", ssbLineorder, "lo_orderkey", "lo_revenue")
+	if liSel < 1 {
+		fact = fact.sel(liSel, "lo_discount", "lo_quantity")
+	}
+	join := fact
+	combined := 1.0
+	for _, d := range dims {
+		dimNode := t.scan(d.rel, d.rows, d.rel+"_key")
+		if d.sel < 1 {
+			dimNode = dimNode.sel(d.sel, d.rel+"_attr")
+		}
+		combined *= d.sel
+		join = dimNode.hashJoin(join, combined, d.rel+"_key")
+	}
+	out := join.agg(groups, "group_cols")
+	if sorted {
+		out = out.sortBy("group_cols")
+	}
+	return t.done()
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+)
+
+// TPC-H base relation row counts at scale factor 1.
+const (
+	tpchLineitem = 6_000_000
+	tpchOrders   = 1_500_000
+	tpchCustomer = 150_000
+	tpchPart     = 200_000
+	tpchPartsupp = 800_000
+	tpchSupplier = 10_000
+	tpchNation   = 25
+	tpchRegion   = 5
+)
+
+// TPCH returns the 22 TPC-H query plans at the given scale factor. The
+// plans mirror each query's physical shape — which relations are
+// scanned, the join order and method, where the pipeline breakers sit —
+// as produced by a textbook optimizer; constants and full predicates are
+// abstracted into selectivities.
+func TPCH(scaleFactor float64) []*plan.Plan {
+	qs := make([]*plan.Plan, 0, 22)
+	for i := 1; i <= 22; i++ {
+		qs = append(qs, tpchQuery(i, scaleFactor))
+	}
+	return qs
+}
+
+func tpchQuery(q int, sf float64) *plan.Plan {
+	t := newTmpl(fmt.Sprintf("tpch-q%d-sf%g", q, sf), sf)
+	switch q {
+	case 1: // pricing summary: big scan + filter + aggregate
+		return t.scan("lineitem", tpchLineitem, "l_shipdate", "l_quantity", "l_extendedprice").
+			sel(0.98, "l_shipdate").
+			agg(4, "l_returnflag", "l_linestatus").
+			sortBy("l_returnflag", "l_linestatus").done()
+	case 2: // minimum cost supplier: 5-way join with subquery
+		region := t.scan("region", tpchRegion, "r_name").sel(0.2, "r_name")
+		nation := region.hashJoin(t.scan("nation", tpchNation, "n_regionkey"), 0.2, "n_regionkey")
+		supp := nation.hashJoin(t.scan("supplier", tpchSupplier, "s_nationkey"), 0.2, "s_nationkey")
+		ps := supp.hashJoin(t.scan("partsupp", tpchPartsupp, "ps_suppkey"), 0.2, "ps_suppkey")
+		part := t.scan("part", tpchPart, "p_size", "p_type").sel(0.01, "p_size")
+		return part.hashJoin(ps, 0.01, "p_partkey").sortBy("s_acctbal").topK().done()
+	case 3: // shipping priority: customer ⋈ orders ⋈ lineitem
+		cust := t.scan("customer", tpchCustomer, "c_mktsegment").sel(0.2, "c_mktsegment")
+		ord := cust.hashJoin(t.scan("orders", tpchOrders, "o_custkey", "o_orderdate").sel(0.48, "o_orderdate"), 0.2, "o_custkey")
+		li := ord.hashJoin(t.scan("lineitem", tpchLineitem, "l_orderkey", "l_shipdate").sel(0.54, "l_shipdate"), 0.3, "l_orderkey")
+		return li.agg(1_000_000, "l_orderkey").sortBy("revenue").topK().done()
+	case 4: // order priority checking: semi-join orders/lineitem
+		li := t.scan("lineitem", tpchLineitem, "l_commitdate", "l_receiptdate").sel(0.63, "l_receiptdate").distinct("l_orderkey")
+		ord := t.scan("orders", tpchOrders, "o_orderdate").sel(0.038, "o_orderdate")
+		return li.hashJoin(ord, 0.5, "o_orderkey").agg(5, "o_orderpriority").sortBy("o_orderpriority").done()
+	case 5: // local supplier volume: 6-way join
+		region := t.scan("region", tpchRegion, "r_name").sel(0.2, "r_name")
+		nation := region.hashJoin(t.scan("nation", tpchNation, "n_regionkey"), 0.2, "n_regionkey")
+		cust := nation.hashJoin(t.scan("customer", tpchCustomer, "c_nationkey"), 0.2, "c_nationkey")
+		ord := cust.hashJoin(t.scan("orders", tpchOrders, "o_custkey", "o_orderdate").sel(0.15, "o_orderdate"), 0.2, "o_custkey")
+		li := ord.hashJoin(t.scan("lineitem", tpchLineitem, "l_orderkey", "l_suppkey"), 0.3, "l_orderkey")
+		supp := t.scan("supplier", tpchSupplier, "s_nationkey")
+		return supp.hashJoin(li, 0.04, "l_suppkey").agg(25, "n_name").sortBy("revenue").done()
+	case 6: // forecasting revenue change: scan + tight filter + scalar agg
+		return t.scan("lineitem", tpchLineitem, "l_shipdate", "l_discount", "l_quantity").
+			sel(0.019, "l_shipdate", "l_discount", "l_quantity").
+			agg(1, "revenue").done()
+	case 7: // volume shipping: 2 nations, 5-way join
+		n1 := t.scan("nation", tpchNation, "n_name").sel(0.08, "n_name")
+		supp := n1.hashJoin(t.scan("supplier", tpchSupplier, "s_nationkey"), 0.08, "s_nationkey")
+		li := supp.hashJoin(t.scan("lineitem", tpchLineitem, "l_suppkey", "l_shipdate").sel(0.3, "l_shipdate"), 0.08, "l_suppkey")
+		ord := t.scan("orders", tpchOrders, "o_orderkey")
+		lo := ord.hashJoin(li, 1.0, "l_orderkey")
+		n2 := t.scan("nation", tpchNation, "n_name").sel(0.08, "n_name")
+		cust := n2.hashJoin(t.scan("customer", tpchCustomer, "c_nationkey"), 0.08, "c_nationkey")
+		return cust.hashJoin(lo, 0.08, "o_custkey").agg(4, "supp_nation", "cust_nation", "l_year").sortBy("supp_nation").done()
+	case 8: // national market share: 8-way join
+		region := t.scan("region", tpchRegion, "r_name").sel(0.2, "r_name")
+		nation := region.hashJoin(t.scan("nation", tpchNation, "n_regionkey"), 0.2, "n_regionkey")
+		cust := nation.hashJoin(t.scan("customer", tpchCustomer, "c_nationkey"), 0.2, "c_nationkey")
+		ord := cust.hashJoin(t.scan("orders", tpchOrders, "o_custkey", "o_orderdate").sel(0.3, "o_orderdate"), 0.2, "o_custkey")
+		part := t.scan("part", tpchPart, "p_type").sel(0.0067, "p_type")
+		li := part.hashJoin(t.scan("lineitem", tpchLineitem, "l_partkey"), 0.0067, "l_partkey")
+		lo := ord.hashJoin(li, 0.06, "l_orderkey")
+		supp := t.scan("supplier", tpchSupplier, "s_suppkey")
+		n2 := t.scan("nation", tpchNation, "n_nationkey")
+		sn := n2.hashJoin(supp, 1.0, "s_nationkey")
+		return sn.hashJoin(lo, 1.0, "l_suppkey").agg(2, "o_year").sortBy("o_year").done()
+	case 9: // product type profit: 6-way join, big intermediates
+		part := t.scan("part", tpchPart, "p_name").sel(0.055, "p_name")
+		li := part.hashJoin(t.scan("lineitem", tpchLineitem, "l_partkey", "l_suppkey"), 0.055, "l_partkey")
+		ps := t.scan("partsupp", tpchPartsupp, "ps_partkey", "ps_suppkey")
+		lps := ps.hashJoin(li, 1.0, "ps_partkey", "ps_suppkey")
+		supp := t.scan("supplier", tpchSupplier, "s_nationkey")
+		nation := t.scan("nation", tpchNation, "n_name")
+		sn := nation.hashJoin(supp, 1.0, "s_nationkey")
+		lsn := sn.hashJoin(lps, 1.0, "l_suppkey")
+		ord := t.scan("orders", tpchOrders, "o_orderdate")
+		return ord.hashJoin(lsn, 1.0, "l_orderkey").agg(175, "nation", "o_year").sortBy("nation", "o_year").done()
+	case 10: // returned item reporting
+		ord := t.scan("orders", tpchOrders, "o_orderdate").sel(0.03, "o_orderdate")
+		li := ord.hashJoin(t.scan("lineitem", tpchLineitem, "l_orderkey", "l_returnflag").sel(0.25, "l_returnflag"), 0.03, "l_orderkey")
+		cust := t.scan("customer", tpchCustomer, "c_custkey")
+		nation := t.scan("nation", tpchNation, "n_name")
+		cn := nation.hashJoin(cust, 1.0, "c_nationkey")
+		return cn.hashJoin(li, 1.0, "o_custkey").agg(38_000, "c_custkey").sortBy("revenue").topK().done()
+	case 11: // important stock identification
+		nation := t.scan("nation", tpchNation, "n_name").sel(0.04, "n_name")
+		supp := nation.hashJoin(t.scan("supplier", tpchSupplier, "s_nationkey"), 0.04, "s_nationkey")
+		ps := supp.hashJoin(t.scan("partsupp", tpchPartsupp, "ps_suppkey"), 0.04, "ps_suppkey")
+		return ps.agg(30_000, "ps_partkey").sortBy("value").done()
+	case 12: // shipping modes and order priority
+		li := t.scan("lineitem", tpchLineitem, "l_shipmode", "l_receiptdate").sel(0.005, "l_shipmode", "l_receiptdate")
+		ord := t.scan("orders", tpchOrders, "o_orderpriority")
+		return ord.hashJoin(li, 1.0, "l_orderkey").agg(2, "l_shipmode").sortBy("l_shipmode").done()
+	case 13: // customer distribution: outer-join flavored
+		ord := t.scan("orders", tpchOrders, "o_comment").sel(0.98, "o_comment")
+		cust := t.scan("customer", tpchCustomer, "c_custkey")
+		return cust.hashJoin(ord, 1.0, "o_custkey").agg(150_000, "c_custkey").agg(42, "c_count").sortBy("custdist").done()
+	case 14: // promotion effect
+		li := t.scan("lineitem", tpchLineitem, "l_shipdate").sel(0.0125, "l_shipdate")
+		part := t.scan("part", tpchPart, "p_type")
+		return part.hashJoin(li, 1.0, "l_partkey").agg(1, "promo_revenue").done()
+	case 15: // top supplier: materialized view + join
+		rev := t.scan("lineitem", tpchLineitem, "l_suppkey", "l_shipdate").sel(0.25, "l_shipdate").agg(10_000, "l_suppkey")
+		supp := t.scan("supplier", tpchSupplier, "s_suppkey")
+		return rev.hashJoin(supp, 0.0001, "s_suppkey").sortBy("s_suppkey").done()
+	case 16: // parts/supplier relationship
+		part := t.scan("part", tpchPart, "p_brand", "p_type", "p_size").sel(0.1, "p_brand", "p_type", "p_size")
+		ps := part.hashJoin(t.scan("partsupp", tpchPartsupp, "ps_partkey"), 0.1, "ps_partkey")
+		supp := t.scan("supplier", tpchSupplier, "s_comment").sel(0.0005, "s_comment")
+		return supp.hashJoin(ps, 0.999, "ps_suppkey").agg(18_000, "p_brand", "p_type", "p_size").sortBy("supplier_cnt").done()
+	case 17: // small-quantity-order revenue: correlated agg subquery
+		part := t.scan("part", tpchPart, "p_brand", "p_container").sel(0.001, "p_brand", "p_container")
+		liAgg := t.scan("lineitem", tpchLineitem, "l_partkey", "l_quantity").agg(200_000, "l_partkey")
+		pj := part.hashJoin(liAgg, 0.001, "l_partkey")
+		li := t.scan("lineitem", tpchLineitem, "l_partkey", "l_quantity")
+		return pj.hashJoin(li, 0.001, "l_partkey").agg(1, "avg_yearly").done()
+	case 18: // large volume customer
+		liAgg := t.scan("lineitem", tpchLineitem, "l_orderkey", "l_quantity").agg(1_500_000, "l_orderkey").sel(0.00004, "sum_qty")
+		ord := liAgg.hashJoin(t.scan("orders", tpchOrders, "o_orderkey"), 0.00004, "o_orderkey")
+		cust := t.scan("customer", tpchCustomer, "c_custkey")
+		co := cust.hashJoin(ord, 1.0, "o_custkey")
+		li := t.scan("lineitem", tpchLineitem, "l_orderkey")
+		return co.hashJoin(li, 0.00004, "l_orderkey").agg(100, "c_name", "o_orderkey").sortBy("o_totalprice").topK().done()
+	case 19: // discounted revenue: disjunctive join predicate
+		part := t.scan("part", tpchPart, "p_brand", "p_container", "p_size").sel(0.002, "p_brand", "p_container", "p_size")
+		li := t.scan("lineitem", tpchLineitem, "l_partkey", "l_quantity", "l_shipmode").sel(0.02, "l_shipmode", "l_shipinstruct")
+		return part.hashJoin(li, 0.002, "l_partkey").agg(1, "revenue").done()
+	case 20: // potential part promotion: nested semi-joins
+		part := t.scan("part", tpchPart, "p_name").sel(0.011, "p_name")
+		psAgg := t.scan("lineitem", tpchLineitem, "l_partkey", "l_suppkey", "l_shipdate").sel(0.15, "l_shipdate").agg(800_000, "l_partkey", "l_suppkey")
+		ps := part.hashJoin(t.scan("partsupp", tpchPartsupp, "ps_partkey"), 0.011, "ps_partkey")
+		psj := psAgg.hashJoin(ps, 0.5, "ps_partkey", "ps_suppkey")
+		nation := t.scan("nation", tpchNation, "n_name").sel(0.04, "n_name")
+		supp := nation.hashJoin(t.scan("supplier", tpchSupplier, "s_nationkey"), 0.04, "s_nationkey")
+		return supp.hashJoin(psj, 0.04, "ps_suppkey").sortBy("s_name").done()
+	case 21: // suppliers who kept orders waiting: self-joins on lineitem
+		nation := t.scan("nation", tpchNation, "n_name").sel(0.04, "n_name")
+		supp := nation.hashJoin(t.scan("supplier", tpchSupplier, "s_nationkey"), 0.04, "s_nationkey")
+		l1 := supp.hashJoin(t.scan("lineitem", tpchLineitem, "l_suppkey", "l_receiptdate").sel(0.63, "l_receiptdate"), 0.04, "l_suppkey")
+		ord := t.scan("orders", tpchOrders, "o_orderstatus").sel(0.49, "o_orderstatus")
+		lo := ord.hashJoin(l1, 0.5, "l_orderkey")
+		l2 := t.scan("lineitem", tpchLineitem, "l_orderkey", "l_suppkey")
+		lol2 := lo.hashJoin(l2, 0.025, "l_orderkey")
+		l3 := t.scan("lineitem", tpchLineitem, "l_orderkey", "l_receiptdate").sel(0.63, "l_receiptdate")
+		return lol2.hashJoin(l3, 0.02, "l_orderkey").agg(400, "s_name").sortBy("numwait").topK().done()
+	case 22: // global sales opportunity
+		custAgg := t.scan("customer", tpchCustomer, "c_acctbal", "c_phone").sel(0.27, "c_phone").agg(1, "avg_acctbal")
+		cust := t.scan("customer", tpchCustomer, "c_acctbal", "c_phone").sel(0.27, "c_phone")
+		cj := custAgg.hashJoin(cust, 0.5, "c_acctbal")
+		ord := t.scan("orders", tpchOrders, "o_custkey").distinct("o_custkey")
+		return ord.hashJoin(cj, 0.3, "o_custkey").agg(7, "cntrycode").sortBy("cntrycode").done()
+	default:
+		panic(fmt.Sprintf("tpch: no query %d", q))
+	}
+}
