@@ -5,6 +5,8 @@
 //
 //	lsched-bench -fig 8              # one figure at quick scale
 //	lsched-bench -fig all -scale paper
+//	lsched-bench -fig 8 -metrics     # JSON metrics+trace snapshot at exit
+//	lsched-bench -fig 8 -metrics -metrics-format text
 package main
 
 import (
@@ -14,12 +16,16 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (1, 8, 9, 10, 11, 12, 13, 14, 15, or all)")
 	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	withMetrics := flag.Bool("metrics", false, "instrument evaluation runs and print a metrics+trace snapshot at exit")
+	metricsFormat := flag.String("metrics-format", "json", "snapshot format: json or text")
+	traceCap := flag.Int("trace-cap", metrics.DefaultTraceCapacity, "trace ring-buffer capacity (last N events retained)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -33,6 +39,10 @@ func main() {
 		os.Exit(2)
 	}
 	lab := experiments.NewLab(sc, *seed)
+	if *withMetrics {
+		lab.Metrics = metrics.NewRegistry()
+		lab.Trace = metrics.NewTracer(*traceCap)
+	}
 
 	figs := []string{*fig}
 	if *fig == "all" {
@@ -50,4 +60,28 @@ func main() {
 		}
 		fmt.Printf("-- figure %s regenerated in %v --\n\n", f, time.Since(start).Round(time.Millisecond))
 	}
+	if *withMetrics {
+		if err := printExport(lab.Metrics, lab.Trace, *metricsFormat); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printExport dumps the run's metrics and trace in the chosen format.
+func printExport(reg *metrics.Registry, tr *metrics.Tracer, format string) error {
+	exp := metrics.NewExport(reg, tr)
+	switch format {
+	case "json":
+		data, err := exp.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	case "text":
+		fmt.Print(exp.Text())
+	default:
+		return fmt.Errorf("unknown metrics format %q (json or text)", format)
+	}
+	return nil
 }

@@ -6,6 +6,7 @@
 //
 //	lsched-demo -bench ssb -queries 6 -sched quickstep
 //	lsched-demo -bench tpch -queries 8 -sched lsched -model tpch.model
+//	lsched-demo -bench ssb -queries 6 -metrics          # snapshot at exit
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 )
 
 // tracer wraps a scheduler and logs its decisions.
@@ -55,6 +57,8 @@ func main() {
 	schedName := flag.String("sched", "quickstep", "scheduler: lsched, fifo, fair, quickstep, criticalpath")
 	model := flag.String("model", "", "checkpoint for -sched lsched (untrained if omitted)")
 	seed := flag.Int64("seed", 1, "seed")
+	withMetrics := flag.Bool("metrics", false, "instrument the run and print a metrics+trace snapshot at exit")
+	metricsFormat := flag.String("metrics-format", "text", "snapshot format: json or text")
 	flag.Parse()
 
 	pool, err := core.NewPool(core.Benchmark(*bench), *seed)
@@ -90,7 +94,15 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	arrivals := core.Streaming(pool.Test, *queries, 0.5, rng)
-	sim := core.NewSim(core.SimConfig{Threads: *threads, Seed: *seed, NoiseFrac: 0.1})
+	simCfg := core.SimConfig{Threads: *threads, Seed: *seed, NoiseFrac: 0.1}
+	if *withMetrics {
+		simCfg.Metrics = metrics.NewRegistry()
+		simCfg.Trace = metrics.NewTracer(0)
+		if agent, ok := sched.(*core.Agent); ok {
+			agent.Instrument(simCfg.Metrics)
+		}
+	}
+	sim := core.NewSim(simCfg)
 	tr := &tracer{inner: sched}
 	res, err := sim.Run(tr, arrivals)
 	if err != nil {
@@ -108,5 +120,20 @@ func main() {
 	sort.Ints(ids)
 	for _, id := range ids {
 		fmt.Printf("  query %-3d duration %10.2f\n", id, res.Durations[id])
+	}
+	if *withMetrics {
+		exp := metrics.NewExport(simCfg.Metrics, simCfg.Trace)
+		switch *metricsFormat {
+		case "json":
+			data, err := exp.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n%s\n", data)
+		case "text":
+			fmt.Printf("\n%s", exp.Text())
+		default:
+			log.Fatalf("unknown metrics format %q (json or text)", *metricsFormat)
+		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/heuristics"
 	"repro/internal/lsched"
+	"repro/internal/metrics"
 	"repro/internal/selftune"
 	"repro/internal/workload"
 )
@@ -87,6 +88,27 @@ var (
 	NewSim           = engine.NewSim
 	NewLive          = engine.NewLive
 	DefaultCostModel = engine.DefaultCostModel
+)
+
+// Observability types: pass a Registry/Tracer in SimConfig.Metrics /
+// SimConfig.Trace (or LiveConfig) to collect counters, latency
+// histograms, and a typed event trace from a run; export them with
+// NewMetricsExport. Both are optional — nil disables instrumentation
+// at zero cost.
+type (
+	// MetricsRegistry holds named counters, gauges, and histograms.
+	MetricsRegistry = metrics.Registry
+	// MetricsTracer is the ring-buffer trace of typed engine events.
+	MetricsTracer = metrics.Tracer
+	// MetricsExport bundles a snapshot with the trace for JSON/text dumps.
+	MetricsExport = metrics.Export
+)
+
+// Observability constructors.
+var (
+	NewMetricsRegistry = metrics.NewRegistry
+	NewMetricsTracer   = metrics.NewTracer
+	NewMetricsExport   = metrics.NewExport
 )
 
 // Agent constructors and training.

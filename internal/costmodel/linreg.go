@@ -5,7 +5,11 @@
 // restricts the fit to a sliding window of the last k observations).
 package costmodel
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/metrics"
+)
 
 // Window is an online sliding-window simple linear regression of
 // observation value against observation index: given the durations (or
@@ -116,6 +120,14 @@ type Estimator struct {
 	memPrior float64
 	dur      map[int]*Window
 	mem      map[int]*Window
+	// Prediction-quality instruments (nil when metrics are disabled):
+	// at every completion the estimator scores the prediction it would
+	// have made for that work order against the measurement, before
+	// folding the observation in.
+	durErr  *metrics.Histogram
+	memErr  *metrics.Histogram
+	lastErr *metrics.Gauge
+	updates *metrics.Counter
 }
 
 // NewEstimator returns an estimator with window size k and the given
@@ -127,11 +139,35 @@ func NewEstimator(k int, durPrior, memPrior float64) *Estimator {
 	}
 }
 
+// Instrument attaches prediction-error instruments to the estimator: an
+// absolute-error histogram per signal (duration, memory), a gauge with
+// the last signed duration error, and an update counter. A nil registry
+// leaves the estimator un-instrumented (the zero-overhead default).
+func (e *Estimator) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	e.durErr = reg.Histogram("costmodel_dur_abs_error", nil)
+	e.memErr = reg.Histogram("costmodel_mem_abs_error", nil)
+	e.lastErr = reg.Gauge("costmodel_dur_last_error")
+	e.updates = reg.Counter("costmodel_updates")
+}
+
 // ObserveCompletion folds one finished work order's measured duration and
-// memory usage into the operator's windows.
+// memory usage into the operator's windows. When instrumented, it first
+// records how wrong the pre-update prediction was — the error signal a
+// learned scheduler's O-DUR/O-MEM features carry at that moment.
 func (e *Estimator) ObserveCompletion(opKey int, duration, memory float64) {
-	e.durWin(opKey).Observe(duration)
-	e.memWin(opKey).Observe(memory)
+	dw, mw := e.durWin(opKey), e.memWin(opKey)
+	if e.updates != nil {
+		derr := duration - dw.Predict()
+		e.durErr.Observe(math.Abs(derr))
+		e.memErr.Observe(math.Abs(memory - mw.Predict()))
+		e.lastErr.Set(derr)
+		e.updates.Inc()
+	}
+	dw.Observe(duration)
+	mw.Observe(memory)
 }
 
 // EstimateDuration predicts the duration of the operator's next work

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/plan"
+)
+
+// simInstruments caches the engine's instrument handles so the hot
+// paths (dispatch, completion) never touch the registry's lock. When
+// metrics are disabled every field is nil and each operation reduces to
+// one nil check — the zero-overhead fast path the benchmarks verify.
+type simInstruments struct {
+	// dispatched / completed count work orders through their lifecycle;
+	// a lossless instrumentation keeps both equal to Result.WorkOrders
+	// at the end of a run.
+	dispatched *metrics.Counter
+	completed  *metrics.Counter
+	// admitted / finished count query lifecycle transitions.
+	admitted *metrics.Counter
+	finished *metrics.Counter
+	// decisions counts root-activating scheduler decisions; triggers
+	// counts scheduling events delivered to the scheduler (§5.2).
+	decisions *metrics.Counter
+	triggers  *metrics.Counter
+	// queueDepth / freeThreads / poolSize are sampled at every
+	// scheduler invocation.
+	queueDepth  *metrics.Gauge
+	freeThreads *metrics.Gauge
+	poolSize    *metrics.Gauge
+	// queryLatency distributes (completion − arrival) per query.
+	queryLatency *metrics.Histogram
+	// opLatency distributes work-order durations by operator type.
+	opLatency [plan.NumOpTypes]*metrics.Histogram
+}
+
+// newSimInstruments registers the engine's instruments; with a nil
+// registry it returns all-nil (no-op) handles.
+func newSimInstruments(reg *metrics.Registry) *simInstruments {
+	si := &simInstruments{}
+	if reg == nil {
+		return si
+	}
+	si.dispatched = reg.Counter("engine_workorders_dispatched")
+	si.completed = reg.Counter("engine_workorders_completed")
+	si.admitted = reg.Counter("engine_queries_admitted")
+	si.finished = reg.Counter("engine_queries_finished")
+	si.decisions = reg.Counter("engine_sched_decisions")
+	si.triggers = reg.Counter("engine_sched_triggers")
+	si.queueDepth = reg.Gauge("engine_queue_depth")
+	si.freeThreads = reg.Gauge("engine_free_threads")
+	si.poolSize = reg.Gauge("engine_pool_size")
+	si.queryLatency = reg.Histogram("engine_query_latency", nil)
+	for t := 0; t < plan.NumOpTypes; t++ {
+		si.opLatency[t] = reg.Histogram("engine_wo_latency_"+plan.OpType(t).String(), nil)
+	}
+	return si
+}
+
+// trace records one event on the configured tracer at the current
+// engine time. It is a method (rather than inlined Record calls) so
+// the disabled path costs one nil check and never builds the event.
+func (s *Sim) trace(kind metrics.EventKind, query, op, thread int, value float64, label string) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.cfg.Trace.Record(metrics.Event{
+		Kind:   kind,
+		Time:   s.state.Now,
+		Query:  query,
+		Op:     op,
+		Thread: thread,
+		Value:  value,
+		Label:  label,
+	})
+}

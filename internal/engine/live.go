@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
@@ -31,6 +32,13 @@ type LiveConfig struct {
 	// TimeScale multiplies arrival offsets to convert workload time
 	// units into wall-clock seconds (e.g. 0.01 compresses a long trace).
 	TimeScale float64
+	// Metrics, when non-nil, receives the engine's counters and latency
+	// histograms plus the live executor's own wall-clock instruments.
+	// Worker goroutines update them concurrently, so the registry's
+	// race-safety is load-bearing here.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives the engine's typed trace events.
+	Trace *metrics.Tracer
 }
 
 // NewLive builds a live engine over the given catalog.
@@ -90,7 +98,13 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 		},
 		opCounts: make(map[plan.OpType]int),
 	}
-	cfg := SimConfig{Threads: lv.cfg.Threads, Seed: 1}
+	if reg := lv.cfg.Metrics; reg != nil {
+		ls.executed = reg.Counter("live_workorders_executed")
+		for t := 0; t < plan.NumOpTypes; t++ {
+			ls.wallLatency[t] = reg.Histogram("live_wo_wall_seconds_"+plan.OpType(t).String(), nil)
+		}
+	}
+	cfg := SimConfig{Threads: lv.cfg.Threads, Seed: 1, Metrics: lv.cfg.Metrics, Trace: lv.cfg.Trace}
 	sim := NewSim(cfg)
 	sim.executeHook = ls.execute
 	scaled := make([]Arrival, len(arrivals))
@@ -112,7 +126,10 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 	return ls.result, nil
 }
 
-// liveRun carries per-run execution state.
+// liveRun carries per-run execution state. Work orders of one dispatch
+// round execute on concurrent goroutines (see Sim.executeBatch), so
+// everything here is either mu-guarded, per-operator mutex-guarded
+// (liveOpState), or an atomic metrics instrument.
 type liveRun struct {
 	live     *Live
 	mu       sync.Mutex
@@ -120,6 +137,20 @@ type liveRun struct {
 	result   *LiveResult
 	opTotals map[plan.OpType]float64
 	opCounts map[plan.OpType]int
+	// executed counts work orders from inside the worker goroutines; a
+	// lossless, race-safe instrumentation ends a run with this equal to
+	// LiveResult.WorkOrders.
+	executed    *metrics.Counter
+	wallLatency [plan.NumOpTypes]*metrics.Histogram
+}
+
+// opState returns the execution state of one operator under the run
+// lock; concurrent workers must not read the states map bare, because
+// a worker admitting a new query writes it.
+func (lr *liveRun) opState(queryID, opID int) *liveOpState {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return lr.states[queryID][opID]
 }
 
 // execute really runs one work order and returns its measured duration
@@ -144,6 +175,8 @@ func (lr *liveRun) execute(q *QueryState, os *OpState, wo WorkOrder) (dur, mem f
 	start := time.Now()
 	rows := lr.runWorkOrder(q, os.Op, st, wo.BlockIndex)
 	elapsed := time.Since(start).Seconds()
+	lr.executed.Inc()
+	lr.wallLatency[os.Op.Type].Observe(elapsed)
 
 	lr.mu.Lock()
 	lr.opTotals[os.Op.Type] += elapsed
@@ -170,7 +203,7 @@ func (lr *liveRun) inputBlock(q *QueryState, op *plan.Operator, st *liveOpState,
 	}
 	// Non-leaf: draw from the "main" (last, pipelining) child's outputs.
 	child := op.Children()[len(op.Children())-1].Child
-	cs := lr.states[q.ID][child.ID]
+	cs := lr.opState(q.ID, child.ID)
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	if len(cs.outputs) == 0 {
@@ -334,7 +367,7 @@ func (lr *liveRun) runProbe(q *QueryState, op *plan.Operator, st *liveOpState, i
 	var build *liveOpState
 	for _, e := range op.Children() {
 		if e.Child.Type == plan.BuildHash || !e.NonPipelineBreaking {
-			build = lr.states[q.ID][e.Child.ID]
+			build = lr.opState(q.ID, e.Child.ID)
 			break
 		}
 	}
@@ -344,16 +377,21 @@ func (lr *liveRun) runProbe(q *QueryState, op *plan.Operator, st *liveOpState, i
 	}
 	matched := make([]int, 0, in.NumRows())
 	if build != nil {
+		// Probe under the build-side lock. The scheduler only activates
+		// a probe after its build input completed (the edge is pipeline-
+		// breaking), so the lock is uncontended in engine runs — but a
+		// bare read of the map would race if build and probe work orders
+		// ever overlapped, and the lock makes the executor safe under
+		// any interleaving, not just the scheduled one.
 		build.mu.Lock()
-		table := build.hash
-		build.mu.Unlock()
-		if table != nil {
+		if build.hash != nil {
 			for i, k := range in.Vectors[col].Ints {
-				if table[k] > 0 {
+				if build.hash[k] > 0 {
 					matched = append(matched, i)
 				}
 			}
 		}
+		build.mu.Unlock()
 	}
 	out := projectRows(in, matched)
 	st.mu.Lock()
@@ -381,7 +419,7 @@ func (lr *liveRun) runAggregate(op *plan.Operator, st *liveOpState, in *storage.
 
 func (lr *liveRun) runFinalize(q *QueryState, op *plan.Operator, st *liveOpState) int {
 	child := op.Children()[0].Child
-	cs := lr.states[q.ID][child.ID]
+	cs := lr.opState(q.ID, child.ID)
 	cs.mu.Lock()
 	groups := len(cs.aggState)
 	keys := make([]int64, 0, groups)

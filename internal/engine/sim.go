@@ -4,9 +4,11 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/metrics"
 	"repro/internal/plan"
 )
 
@@ -39,6 +41,13 @@ type SimConfig struct {
 	// ThreadChanges grows or shrinks the worker pool at the given
 	// times, firing the §5.2 thread-added/-removed scheduling events.
 	ThreadChanges []ThreadChange
+	// Metrics, when non-nil, receives counters, gauges, and latency
+	// histograms for the run. Nil disables metrics at zero cost.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives typed events (work-order dispatch/
+	// completion, query admit/finish, scheduler decisions, trigger
+	// firings, cost-model updates). Nil disables tracing at zero cost.
+	Trace *metrics.Tracer
 }
 
 // ThreadChange adjusts the pool size mid-run: Delta workers are added
@@ -150,6 +159,8 @@ type Sim struct {
 	// invariant tests use it to verify work conservation at the only
 	// point where it must hold.
 	afterDispatch func()
+	// instr holds the cached metric handles (all-nil when disabled).
+	instr *simInstruments
 }
 
 // NewSim builds a simulator for the given config.
@@ -179,6 +190,8 @@ func NewSim(cfg SimConfig) *Sim {
 	for i := range s.state.Threads {
 		s.state.Threads[i] = ThreadInfo{ID: i, LastQuery: -1}
 	}
+	s.instr = newSimInstruments(cfg.Metrics)
+	s.state.Estimator.Instrument(cfg.Metrics)
 	return s
 }
 
@@ -247,6 +260,8 @@ func (s *Sim) handleArrival(sched Scheduler, ev *simEvent) {
 	s.nextQID++
 	s.arrived++
 	s.state.Queries = append(s.state.Queries, q)
+	s.instr.admitted.Inc()
+	s.trace(metrics.EvQueryAdmit, q.ID, -1, -1, 0, q.Plan.QueryName)
 	s.invoke(sched, Event{Kind: EvQueryArrival, Time: ev.at, QueryID: q.ID})
 	s.dispatch()
 }
@@ -326,6 +341,17 @@ func (s *Sim) handleCompletion(sched Scheduler, ev *simEvent) {
 	s.runningWOs[q.ID]--
 	os := q.OpStates[st.WorkOrder.OpID]
 	os.Completed++
+	s.instr.completed.Inc()
+	s.instr.opLatency[os.Op.Type].Observe(st.Duration)
+	s.trace(metrics.EvComplete, q.ID, os.Op.ID, st.ThreadID, st.Duration, os.Op.Type.String())
+	if s.cfg.Trace != nil {
+		// Prediction error observed at completion: what the O-DUR
+		// estimator would have predicted for this work order vs. what it
+		// measured. The estimator keeps its own error histograms; the
+		// trace records the per-completion signal.
+		pred := s.state.Estimator.EstimateDuration(opKey(q.ID, os.Op.ID), 1)
+		s.trace(metrics.EvCostUpdate, q.ID, os.Op.ID, -1, st.Duration-pred, "")
+	}
 	s.state.Estimator.ObserveCompletion(opKey(q.ID, os.Op.ID), st.Duration, st.Memory)
 	opDone := false
 	if os.Completed >= os.TotalWOs {
@@ -338,6 +364,9 @@ func (s *Sim) handleCompletion(sched Scheduler, ev *simEvent) {
 		s.result.Durations[q.ID] = q.Completion - q.Arrival
 		s.removeQuery(q.ID)
 		delete(s.runningWOs, q.ID)
+		s.instr.finished.Inc()
+		s.instr.queryLatency.Observe(q.Completion - q.Arrival)
+		s.trace(metrics.EvQueryFinish, q.ID, -1, -1, q.Completion-q.Arrival, q.Plan.QueryName)
 		if s.observer != nil {
 			s.observer.QueryCompleted(q.ID, q.Arrival, q.Completion)
 		}
@@ -365,6 +394,11 @@ func (s *Sim) removeQuery(id int) {
 func (s *Sim) invoke(sched Scheduler, ev Event) {
 	s.result.EventTrace = append(s.result.EventTrace, TracePoint{Time: s.state.Now, Queries: len(s.state.Queries)})
 	s.result.SchedInvocations++
+	s.instr.triggers.Inc()
+	s.instr.queueDepth.Set(float64(len(s.state.Queries)))
+	s.instr.freeThreads.Set(float64(s.state.FreeThreads()))
+	s.instr.poolSize.Set(float64(len(s.state.Threads)))
+	s.trace(metrics.EvTrigger, ev.QueryID, ev.OpID, -1, 0, ev.Kind.String())
 	var decisions []Decision
 	if s.cfg.MeasureOverhead {
 		start := time.Now()
@@ -414,6 +448,8 @@ func (s *Sim) apply(d Decision) {
 		q.activationOrder = append(q.activationOrder, opID)
 	}
 	s.result.SchedActions++
+	s.instr.decisions.Inc()
+	s.trace(metrics.EvDecision, d.QueryID, d.RootOpID, -1, float64(len(chain)-1), root.Op.Type.String())
 }
 
 // pendingDispatch counts work orders that could be dispatched right now
@@ -442,13 +478,30 @@ func (s *Sim) activeMemory() float64 {
 	return m
 }
 
+// dispatched is one work-order assignment made during a dispatch round.
+type dispatched struct {
+	wo       WorkOrder
+	q        *QueryState
+	os       *OpState
+	threadID int
+}
+
 // dispatch assigns free threads to available work orders, honoring
 // per-query grants and preferring older activations (stable pipelines).
+//
+// With an executeHook installed (the live engine), the round's work
+// orders are executed concurrently on real goroutines — one per
+// assigned thread — and the loop blocks until the whole round finishes.
+// Scheduling state is only touched before the fork and after the join,
+// so the event loop stays single-threaded; the hook and anything it
+// reaches must be race-safe (go test -race ./internal/engine/ proves
+// it for the live executor and the metrics instrumentation).
 func (s *Sim) dispatch() {
 	thrash := 1.0
 	if mem := s.activeMemory(); mem > s.cost.BufferCapacity {
 		thrash = 1 + s.cost.ThrashFactor*(mem-s.cost.BufferCapacity)/s.cost.BufferCapacity
 	}
+	var batch []dispatched
 	for ti := range s.state.Threads {
 		t := &s.state.Threads[ti]
 		if t.Busy {
@@ -461,44 +514,77 @@ func (s *Sim) dispatch() {
 		os.Dispatched++
 		s.runningWOs[q.ID]++
 		t.Busy = true
-		var dur, mem float64
+		s.instr.dispatched.Inc()
+		s.trace(metrics.EvDispatch, q.ID, os.Op.ID, t.ID, float64(wo.BlockIndex), os.Op.Type.String())
 		if s.executeHook != nil {
-			dur, mem = s.executeHook(q, os, wo)
-			if dur <= 0 {
-				dur = 1e-9
-			}
-		} else {
-			dur = s.cost.BaseDuration(os.Op)
-			if wo.Pipelined {
-				dur *= s.cost.PipelineDiscount
-			}
-			if t.LastQuery == q.ID {
-				dur *= s.cost.LocalityDiscount
-			}
-			dur *= thrash
-			if s.cfg.NoiseFrac > 0 {
-				dur *= 1 + s.cfg.NoiseFrac*(2*s.rng.Float64()-1)
-			}
-			if dur <= 0 {
-				dur = 1e-6
-			}
-			mem = s.cost.BaseMemory(os.Op)
+			batch = append(batch, dispatched{wo: wo, q: q, os: os, threadID: t.ID})
+			continue
 		}
-		s.push(&simEvent{
-			at:   s.state.Now + dur,
-			kind: EvOperatorDone,
-			stats: CompletionStats{
-				WorkOrder:  wo,
-				Duration:   dur,
-				Memory:     mem,
-				ThreadID:   t.ID,
-				FinishedAt: s.state.Now + dur,
-			},
-		})
+		dur := s.cost.BaseDuration(os.Op)
+		if wo.Pipelined {
+			dur *= s.cost.PipelineDiscount
+		}
+		if t.LastQuery == q.ID {
+			dur *= s.cost.LocalityDiscount
+		}
+		dur *= thrash
+		if s.cfg.NoiseFrac > 0 {
+			dur *= 1 + s.cfg.NoiseFrac*(2*s.rng.Float64()-1)
+		}
+		if dur <= 0 {
+			dur = 1e-6
+		}
+		s.pushCompletion(wo, dur, s.cost.BaseMemory(os.Op), t.ID)
+	}
+	if len(batch) > 0 {
+		s.executeBatch(batch)
 	}
 	if s.afterDispatch != nil {
 		s.afterDispatch()
 	}
+}
+
+// executeBatch really runs one dispatch round's work orders through the
+// executeHook — concurrently when the round assigned several threads —
+// and converts the measured (duration, memory) into completion events.
+func (s *Sim) executeBatch(batch []dispatched) {
+	durs := make([]float64, len(batch))
+	mems := make([]float64, len(batch))
+	if len(batch) == 1 {
+		durs[0], mems[0] = s.executeHook(batch[0].q, batch[0].os, batch[0].wo)
+	} else {
+		var wg sync.WaitGroup
+		for i := range batch {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				durs[i], mems[i] = s.executeHook(batch[i].q, batch[i].os, batch[i].wo)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for i, d := range batch {
+		dur := durs[i]
+		if dur <= 0 {
+			dur = 1e-9
+		}
+		s.pushCompletion(d.wo, dur, mems[i], d.threadID)
+	}
+}
+
+// pushCompletion schedules the work order's completion event.
+func (s *Sim) pushCompletion(wo WorkOrder, dur, mem float64, threadID int) {
+	s.push(&simEvent{
+		at:   s.state.Now + dur,
+		kind: EvOperatorDone,
+		stats: CompletionStats{
+			WorkOrder:  wo,
+			Duration:   dur,
+			Memory:     mem,
+			ThreadID:   threadID,
+			FinishedAt: s.state.Now + dur,
+		},
+	})
 }
 
 // pickWorkOrder selects the next work order for thread t: prefer the

@@ -69,8 +69,14 @@ func Fig01IntroExample(l *Lab) (*Table, error) {
 	cost.BufferCapacity = 3
 	cost.ThrashFactor = 4
 	cost.PipelineDiscount = 0.55
-	run := func(s engine.Scheduler) (float64, error) {
-		sim := engine.NewSim(engine.SimConfig{Threads: 5, Seed: l.Seed, Cost: cost})
+	// Training-time eval runs stay un-instrumented; only the measured
+	// table rows carry the lab's metrics registry and tracer.
+	run := func(s engine.Scheduler, instrumented bool) (float64, error) {
+		cfg := engine.SimConfig{Threads: 5, Seed: l.Seed, Cost: cost}
+		if instrumented {
+			cfg.Metrics, cfg.Trace = l.Metrics, l.Trace
+		}
+		sim := engine.NewSim(cfg)
 		res, err := sim.Run(s, []engine.Arrival{{Plan: fig01Plan(), At: 0}})
 		if err != nil {
 			return 0, err
@@ -83,7 +89,7 @@ func Fig01IntroExample(l *Lab) (*Table, error) {
 	// train with a high entropy bonus over a couple of seeds and keep
 	// the best greedy policy.
 	evalAgent := func(a *lsched.Agent) float64 {
-		m, err := run(a)
+		m, err := run(a, false)
 		if err != nil {
 			return 1e18
 		}
@@ -126,7 +132,7 @@ func Fig01IntroExample(l *Lab) (*Table, error) {
 		fixedDepthSched{name: "Decima-style (no pipelining)", depth: 0},
 		agent,
 	} {
-		m, err := run(s)
+		m, err := run(s, true)
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/decima"
 	"repro/internal/engine"
 	"repro/internal/lsched"
+	"repro/internal/metrics"
 	"repro/internal/selftune"
 	"repro/internal/workload"
 )
@@ -49,6 +50,13 @@ type Lab struct {
 	Scale Scale
 	Seed  int64
 
+	// Metrics and Trace, when set, are threaded into every evaluation
+	// run's SimConfig (training runs stay un-instrumented: they execute
+	// thousands of episodes and would drown the trace). The CLI's
+	// -metrics flag populates them and prints the export at exit.
+	Metrics *metrics.Registry
+	Trace   *metrics.Tracer
+
 	pools    map[workload.Benchmark]*workload.Pool
 	agents   map[string]*lsched.Agent
 	selftune map[workload.Benchmark]*selftune.Scheduler
@@ -80,7 +88,10 @@ func (l *Lab) Pool(b workload.Benchmark) *workload.Pool {
 
 // SimConfig returns the evaluation simulator configuration.
 func (l *Lab) SimConfig(seed int64) engine.SimConfig {
-	return engine.SimConfig{Threads: l.Scale.Threads, Seed: seed, NoiseFrac: 0.15}
+	return engine.SimConfig{
+		Threads: l.Scale.Threads, Seed: seed, NoiseFrac: 0.15,
+		Metrics: l.Metrics, Trace: l.Trace,
+	}
 }
 
 // trainConfig assembles the shared training configuration over a pool.

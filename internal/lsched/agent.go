@@ -12,6 +12,7 @@ import (
 	"repro/internal/encoder"
 	"repro/internal/engine"
 	"repro/internal/features"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/predictor"
 )
@@ -105,6 +106,14 @@ type Agent struct {
 
 	recording bool
 	episode   []*step
+
+	// Observability handles (nil when not instrumented): how often the
+	// policy was invoked, how many roots it activated vs. declined
+	// (stop actions), and the candidate-set size it last saw.
+	mEvents     *metrics.Counter
+	mRoots      *metrics.Counter
+	mStops      *metrics.Counter
+	mCandidates *metrics.Gauge
 }
 
 // New builds an agent with freshly initialized parameters.
@@ -158,6 +167,18 @@ func (a *Agent) Options() Options { return a.opts }
 
 // SetGreedy toggles argmax action selection.
 func (a *Agent) SetGreedy(g bool) { a.opts.Greedy = g }
+
+// Instrument attaches decision-level observability to the agent. A nil
+// registry leaves it un-instrumented (the zero-overhead default).
+func (a *Agent) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	a.mEvents = reg.Counter("lsched_events")
+	a.mRoots = reg.Counter("lsched_root_decisions")
+	a.mStops = reg.Counter("lsched_stop_actions")
+	a.mCandidates = reg.Gauge("lsched_candidates")
+}
 
 // startRecording clears and enables the episode buffer.
 func (a *Agent) startRecording() { a.recording = true; a.episode = a.episode[:0] }
@@ -229,7 +250,9 @@ func (a *Agent) OnEvent(st *engine.State, ev Event) []engine.Decision {
 	if len(st.Queries) == 0 {
 		return nil
 	}
+	a.mEvents.Inc()
 	cands := candidates(st, a.pred.Config().MaxPipelineDepth)
+	a.mCandidates.Set(float64(len(cands)))
 	snap := a.buildSnapshot(st)
 	t := a.tape
 	t.Reset()
@@ -266,6 +289,7 @@ func (a *Agent) OnEvent(st *engine.State, ev Event) []engine.Decision {
 				break
 			}
 			if pick == stopIdx {
+				a.mStops.Inc()
 				roots = append(roots, rootChoice{pick: pick})
 				break
 			}
@@ -276,6 +300,7 @@ func (a *Agent) OnEvent(st *engine.State, ev Event) []engine.Decision {
 			}
 			pipeLogits := a.pred.PipelineLogits(t, enc, c)
 			pipePick := a.sampleBounded(pipeLogits.Val, pipeMax)
+			a.mRoots.Inc()
 			decisions = append(decisions, engine.Decision{
 				QueryID:       snap.Queries[c.QIdx].QueryID,
 				RootOpID:      c.OpID,

@@ -2,6 +2,7 @@ package lsched
 
 import (
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 )
 
@@ -54,6 +55,12 @@ type OnlineAgent struct {
 	completed int
 	windows   int
 	durations []float64
+
+	// Observability handles (nil when not instrumented).
+	mReward  *metrics.Gauge
+	mHist    *metrics.Histogram
+	mUpdates *metrics.Counter
+	tracer   *metrics.Tracer
 }
 
 // NewOnlineAgent wraps agent for online self-correction. The wrapped
@@ -90,6 +97,21 @@ func (o *OnlineAgent) Name() string { return o.agent.Name() + "+online" }
 
 // Experiences exposes the experience manager.
 func (o *OnlineAgent) Experiences() *ExperienceManager { return o.exp }
+
+// Instrument attaches reward-signal observability: a gauge and a
+// histogram of window mean rewards, an update counter, and (when tr is
+// non-nil) one EvReward trace event per checkpoint. The wrapped agent's
+// decision instruments are attached too.
+func (o *OnlineAgent) Instrument(reg *metrics.Registry, tr *metrics.Tracer) {
+	o.agent.Instrument(reg)
+	o.tracer = tr
+	if reg == nil {
+		return
+	}
+	o.mReward = reg.Gauge("lsched_online_reward")
+	o.mHist = reg.Histogram("lsched_online_reward_window", []float64{-100, -10, -1, -0.1, 0, 0.1, 1, 10, 100})
+	o.mUpdates = reg.Counter("lsched_online_updates")
+}
 
 // Windows returns how many online updates were applied.
 func (o *OnlineAgent) Windows() int { return o.windows }
@@ -131,6 +153,16 @@ func (o *OnlineAgent) checkpoint(now float64) {
 	}
 	o.opt.Step(o.agent.params)
 	o.windows++
+	avgReward := mean(rewards)
+	o.mReward.Set(avgReward)
+	o.mHist.Observe(avgReward)
+	o.mUpdates.Inc()
+	if o.tracer != nil {
+		o.tracer.Record(metrics.Event{
+			Kind: metrics.EvReward, Time: now, Query: -1, Op: -1, Thread: -1,
+			Value: avgReward, Label: o.Name(),
+		})
+	}
 
 	meanDur := 0.0
 	for _, d := range o.durations {
@@ -143,7 +175,7 @@ func (o *OnlineAgent) checkpoint(now float64) {
 	o.exp.Record(Experience{
 		Source:      "online",
 		Episode:     o.windows,
-		AvgReward:   mean(rewards),
+		AvgReward:   avgReward,
 		AvgDuration: meanDur,
 		Decisions:   len(steps),
 		Queries:     o.cfg.CheckpointEvery,

@@ -1,0 +1,362 @@
+// Package metrics is the engine's observability substrate: a lock-cheap
+// registry of counters, gauges, and fixed-bucket latency histograms,
+// plus a ring-buffer trace of typed scheduling events (see trace.go).
+//
+// The package is stdlib-only and designed around two constraints the
+// scheduler imposes:
+//
+//  1. Nil safety. Every method works on a nil receiver as a no-op, so
+//     instrumented code paths read `c.Inc()` unconditionally and the
+//     disabled configuration (no *Registry supplied) costs one nil
+//     check — no branching at call sites, no interface dispatch.
+//  2. Race safety. Counters and gauges are single atomics; histogram
+//     buckets are per-bucket atomics. Worker goroutines in the live
+//     engine increment them concurrently with the event loop, which is
+//     what `go test -race ./internal/engine/` exercises.
+//
+// Instruments are identified by name. Registration (Counter / Gauge /
+// Histogram lookup) takes a mutex and is expected to happen once per
+// run, with the returned pointer cached by the instrumented subsystem;
+// the hot-path operations (Inc, Add, Set, Observe) never lock.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer instrument.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n to the counter. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float instrument (queue depth, pool size).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the gauge's current value. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last value set (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v <= Bounds[i] (and > Bounds[i-1]); one implicit
+// overflow bucket collects everything above the last bound.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary-search the first bound >= v; linear would do for the
+	// typical ~10 buckets but this keeps wide histograms cheap too.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshot captures the histogram's state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// LatencyBuckets returns the default exponential bucket bounds used for
+// work-order and query latencies, spanning sub-millisecond live work
+// orders up to long simulated queries.
+func LatencyBuckets() []float64 {
+	out := make([]float64, 0, 16)
+	for v := 1e-4; v <= 2e3; v *= 4 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Registry holds named instruments. The zero value is not usable; use
+// NewRegistry. A nil *Registry is a valid "metrics disabled" handle:
+// its lookup methods return nil instruments whose operations no-op.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+// Returns nil (a valid no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+// Returns nil (a valid no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (bounds are sorted and deduplicated;
+// nil bounds select LatencyBuckets). Later lookups ignore bounds.
+// Returns nil (a valid no-op histogram) on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		if bounds == nil {
+			bounds = LatencyBuckets()
+		}
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		uniq := bs[:0]
+		for i, b := range bs {
+			if i == 0 || b != bs[i-1] {
+				uniq = append(uniq, b)
+			}
+		}
+		h = &Histogram{bounds: uniq, counts: make([]atomic.Int64, len(uniq)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the exported state of one histogram. Counts has
+// one more entry than Bounds; the extra final entry is the overflow
+// bucket (observations above the last bound).
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Returns an empty
+// snapshot on a nil registry. Individual instrument reads are atomic;
+// the snapshot as a whole is not (concurrent writers may land between
+// reads), which is fine for its debugging/export purpose.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders the snapshot as a sorted human-readable dump.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "counter   %-44s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "gauge     %-44s %g\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "histogram %-44s n=%d sum=%.6g mean=%.6g\n", name, h.Count, h.Sum, h.Mean())
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			if i < len(h.Bounds) {
+				fmt.Fprintf(&b, "            le %-12.4g %d\n", h.Bounds[i], c)
+			} else {
+				fmt.Fprintf(&b, "            le +inf        %d\n", c)
+			}
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Export bundles a registry snapshot with a trace dump — the payload
+// the CLIs print for -metrics.
+type Export struct {
+	Metrics *Snapshot `json:"metrics"`
+	Trace   []Event   `json:"trace,omitempty"`
+	// TraceTotal is how many events were ever recorded; when it exceeds
+	// len(Trace) the ring buffer wrapped and older events were dropped.
+	TraceTotal uint64 `json:"trace_total,omitempty"`
+}
+
+// NewExport snapshots reg and tr (either may be nil).
+func NewExport(reg *Registry, tr *Tracer) *Export {
+	return &Export{Metrics: reg.Snapshot(), Trace: tr.Events(), TraceTotal: tr.Total()}
+}
+
+// JSON renders the export as indented JSON.
+func (e *Export) JSON() ([]byte, error) {
+	return json.MarshalIndent(e, "", "  ")
+}
+
+// Text renders the export human-readably: the metric dump followed by
+// the trace tail.
+func (e *Export) Text() string {
+	var b strings.Builder
+	b.WriteString(e.Metrics.Text())
+	if len(e.Trace) > 0 {
+		fmt.Fprintf(&b, "trace (%d of %d events):\n", len(e.Trace), e.TraceTotal)
+		for _, ev := range e.Trace {
+			b.WriteString("  ")
+			b.WriteString(ev.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

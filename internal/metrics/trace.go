@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// EventKind enumerates the typed trace events the scheduler substrate
+// emits. They mirror the paper's execution model: work-order dispatch
+// and completion (§5.1), query admission and finish, scheduler
+// decisions (§5.3), trigger firings (§5.2 scheduling events), and
+// cost-model updates (footnote 1 / §4.1 dynamic features).
+type EventKind int
+
+const (
+	// EvDispatch: a work order was handed to a worker thread.
+	EvDispatch EventKind = iota
+	// EvComplete: a work order finished; Value is its duration.
+	EvComplete
+	// EvQueryAdmit: a query entered the system.
+	EvQueryAdmit
+	// EvQueryFinish: a query's sink finished; Value is its latency.
+	EvQueryFinish
+	// EvDecision: a scheduler decision activated an execution root;
+	// Value is the pipeline depth.
+	EvDecision
+	// EvTrigger: a scheduling event fired the scheduler; Label names
+	// the engine event kind.
+	EvTrigger
+	// EvCostUpdate: a completion was folded into the cost estimator;
+	// Value is the signed duration prediction error.
+	EvCostUpdate
+	// EvReward: an online-learning checkpoint computed a reward signal;
+	// Value is the mean step reward of the window.
+	EvReward
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	"dispatch", "complete", "query_admit", "query_finish",
+	"decision", "trigger", "cost_update", "reward",
+}
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if k >= 0 && int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its name, keeping trace exports
+// readable.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a kind name (or a bare integer, for
+// compatibility with hand-written payloads).
+func (k *EventKind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		var n int
+		if err2 := json.Unmarshal(data, &n); err2 != nil {
+			return err
+		}
+		*k = EventKind(n)
+		return nil
+	}
+	for i, s := range eventKindNames {
+		if s == name {
+			*k = EventKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("metrics: unknown event kind %q", name)
+}
+
+// Event is one typed trace record. Time is engine time — virtual
+// seconds in the simulator, wall seconds in the live engine — so
+// identical simulator runs produce identical traces.
+type Event struct {
+	// Seq is the record's global sequence number, assigned at Record.
+	Seq uint64 `json:"seq"`
+	// Kind types the event.
+	Kind EventKind `json:"kind"`
+	// Time is the engine time of the event.
+	Time float64 `json:"t"`
+	// Query is the subject query ID (-1 when not query-scoped).
+	Query int `json:"query"`
+	// Op is the subject operator ID (-1 when not operator-scoped).
+	Op int `json:"op"`
+	// Thread is the worker thread ID (-1 when not thread-scoped).
+	Thread int `json:"thread"`
+	// Value carries the kind-specific measurement (duration, error,
+	// pipeline depth, reward).
+	Value float64 `json:"value"`
+	// Label carries kind-specific context (operator type, trigger name,
+	// scheduler name).
+	Label string `json:"label,omitempty"`
+}
+
+// String renders the event for the text dump.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%-6d t=%-12.6g %-12s", e.Seq, e.Time, e.Kind)
+	if e.Query >= 0 {
+		s += fmt.Sprintf(" q%d", e.Query)
+	}
+	if e.Op >= 0 {
+		s += fmt.Sprintf(" op%d", e.Op)
+	}
+	if e.Thread >= 0 {
+		s += fmt.Sprintf(" thr%d", e.Thread)
+	}
+	if e.Label != "" {
+		s += " " + e.Label
+	}
+	s += fmt.Sprintf(" value=%.6g", e.Value)
+	return s
+}
+
+// Tracer is a bounded ring buffer of trace events. Recording is
+// mutex-guarded (one short critical section per event); when the buffer
+// fills, new events overwrite the oldest. A nil *Tracer is a valid
+// "tracing disabled" handle: Record no-ops and Events returns nil.
+type Tracer struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+	seq  uint64
+}
+
+// DefaultTraceCapacity is the ring size used when none is given.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer retaining the last capacity events
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, assigning its sequence number. No-op on a
+// nil receiver.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = t.seq
+	t.seq++
+	if !t.full {
+		t.buf = append(t.buf, e)
+		if len(t.buf) == cap(t.buf) {
+			t.full = true
+		}
+	} else {
+		t.buf[t.next] = e
+		t.next = (t.next + 1) % len(t.buf)
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events oldest-first. Nil on a nil
+// receiver.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if t.full {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded (0 on nil), which
+// exceeds len(Events()) once the ring has wrapped.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI gate: static checks, build, full test suite, and the race-detector
+# pass over the concurrent packages (the live engine executes dispatch
+# rounds on real goroutines; the metrics registry is updated from
+# worker goroutines). Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/engine/ ./internal/metrics/"
+go test -race ./internal/engine/ ./internal/metrics/
+
+echo "OK"
