@@ -7,6 +7,8 @@
 //	lsched-bench -fig all -scale paper
 //	lsched-bench -fig 8 -metrics     # JSON metrics+trace snapshot at exit
 //	lsched-bench -fig 8 -metrics -metrics-format text
+//	lsched-bench -fig all -listen :9090         # watch the run live
+//	lsched-bench -fig 8 -trace-out fig8.trace   # Perfetto span export
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,6 +29,9 @@ func main() {
 	withMetrics := flag.Bool("metrics", false, "instrument evaluation runs and print a metrics+trace snapshot at exit")
 	metricsFormat := flag.String("metrics-format", "json", "snapshot format: json or text")
 	traceCap := flag.Int("trace-cap", metrics.DefaultTraceCapacity, "trace ring-buffer capacity (last N events retained)")
+	listen := flag.String("listen", "", "serve live observability endpoints (/metrics, /metrics.json, /trace, /queries, /timeseries, /debug/pprof/) on this address during the run, e.g. :9090")
+	traceOut := flag.String("trace-out", "", "write the trace as Chrome trace-event JSON to this file at exit (load in Perfetto / chrome://tracing)")
+	timeseriesOut := flag.String("timeseries-out", "", "write the wall-clock sampler's time series JSON to this file at exit")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -39,9 +45,28 @@ func main() {
 		os.Exit(2)
 	}
 	lab := experiments.NewLab(sc, *seed)
-	if *withMetrics {
+	if *withMetrics || *listen != "" || *traceOut != "" || *timeseriesOut != "" {
 		lab.Metrics = metrics.NewRegistry()
 		lab.Trace = metrics.NewTracer(*traceCap)
+		// A live observer wants the long training phases visible too,
+		// not just the evaluation runs.
+		lab.WatchTraining = *listen != ""
+	}
+	var srv *obs.Server
+	var sampler *obs.Sampler
+	if *listen != "" {
+		srv = obs.NewServer(obs.Options{Metrics: lab.Metrics, Trace: lab.Trace})
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sampler = srv.Sampler()
+		fmt.Fprintf(os.Stderr, "observability: serving http://%s/ (metrics, trace, queries, timeseries, pprof)\n", addr)
+	} else if *timeseriesOut != "" {
+		// Sample without serving, so the dump works headless.
+		sampler = obs.NewSampler(lab.Metrics, 0, 0)
+		sampler.Start()
 	}
 
 	figs := []string{*fig}
@@ -60,12 +85,45 @@ func main() {
 		}
 		fmt.Printf("-- figure %s regenerated in %v --\n\n", f, time.Since(start).Round(time.Millisecond))
 	}
+	if *timeseriesOut != "" {
+		sampler.Poll() // capture the final state before dumping
+		if err := sampler.WriteFile(*timeseriesOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "observability: wrote time series to %s\n", *timeseriesOut)
+	}
+	if srv != nil {
+		srv.Close()
+	} else if sampler != nil {
+		sampler.Stop()
+	}
+	if *traceOut != "" {
+		if err := writeChromeTrace(*traceOut, lab.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *withMetrics {
 		if err := printExport(lab.Metrics, lab.Trace, *metricsFormat); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
+}
+
+// writeChromeTrace exports the trace ring as a Chrome trace-event file.
+func writeChromeTrace(path string, tr *metrics.Tracer) error {
+	events := tr.Events()
+	data, err := obs.ChromeTraceJSON(events)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "observability: wrote %d trace events to %s (open in Perfetto)\n", len(events), path)
+	return nil
 }
 
 // printExport dumps the run's metrics and trace in the chosen format.

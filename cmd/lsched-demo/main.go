@@ -7,6 +7,8 @@
 //	lsched-demo -bench ssb -queries 6 -sched quickstep
 //	lsched-demo -bench tpch -queries 8 -sched lsched -model tpch.model
 //	lsched-demo -bench ssb -queries 6 -metrics          # snapshot at exit
+//	lsched-demo -bench ssb -queries 6 -listen :9090     # live endpoints
+//	lsched-demo -bench ssb -queries 6 -trace-out demo.trace
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // tracer wraps a scheduler and logs its decisions.
@@ -59,6 +62,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	withMetrics := flag.Bool("metrics", false, "instrument the run and print a metrics+trace snapshot at exit")
 	metricsFormat := flag.String("metrics-format", "text", "snapshot format: json or text")
+	listen := flag.String("listen", "", "serve live observability endpoints (/metrics, /metrics.json, /trace, /queries, /timeseries, /debug/pprof/) on this address during the run, e.g. :9090")
+	traceOut := flag.String("trace-out", "", "write the run's trace as Chrome trace-event JSON to this file at exit (load in Perfetto / chrome://tracing)")
 	flag.Parse()
 
 	pool, err := core.NewPool(core.Benchmark(*bench), *seed)
@@ -95,12 +100,22 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 	arrivals := core.Streaming(pool.Test, *queries, 0.5, rng)
 	simCfg := core.SimConfig{Threads: *threads, Seed: *seed, NoiseFrac: 0.1}
-	if *withMetrics {
+	if *withMetrics || *listen != "" || *traceOut != "" {
 		simCfg.Metrics = metrics.NewRegistry()
 		simCfg.Trace = metrics.NewTracer(0)
 		if agent, ok := sched.(*core.Agent); ok {
 			agent.Instrument(simCfg.Metrics)
 		}
+	}
+	var srv *obs.Server
+	if *listen != "" {
+		srv = obs.NewServer(obs.Options{Metrics: simCfg.Metrics, Trace: simCfg.Trace})
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability: serving http://%s/ (metrics, trace, queries, timeseries, pprof)\n", addr)
 	}
 	sim := core.NewSim(simCfg)
 	tr := &tracer{inner: sched}
@@ -120,6 +135,16 @@ func main() {
 	sort.Ints(ids)
 	for _, id := range ids {
 		fmt.Printf("  query %-3d duration %10.2f\n", id, res.Durations[id])
+	}
+	if *traceOut != "" {
+		data, err := obs.ChromeTraceJSON(simCfg.Trace.Events())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "observability: wrote trace to %s (open in Perfetto)\n", *traceOut)
 	}
 	if *withMetrics {
 		exp := metrics.NewExport(simCfg.Metrics, simCfg.Trace)

@@ -7,6 +7,7 @@
 //
 //	lsched-train -bench tpch -episodes 2000 -out tpch.model
 //	lsched-train -bench ssb -transfer-from tpch.model -out ssb.model
+//	lsched-train -bench tpch -out tpch.model -listen :9090   # watch live
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/decima"
 	"repro/internal/lsched"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,6 +34,9 @@ func main() {
 	out := flag.String("out", "", "checkpoint output path (required)")
 	transferFrom := flag.String("transfer-from", "", "warm-start from this checkpoint with inner layers frozen")
 	baseline := flag.Bool("decima", false, "train the Decima baseline instead of LSched")
+	listen := flag.String("listen", "", "serve live observability endpoints (/metrics, /metrics.json, /trace, /queries, /timeseries, /debug/pprof/) on this address during training, e.g. :9090")
+	traceOut := flag.String("trace-out", "", "write the training trace tail as Chrome trace-event JSON to this file at exit (load in Perfetto / chrome://tracing)")
+	traceCap := flag.Int("trace-cap", metrics.DefaultTraceCapacity, "trace ring-buffer capacity (last N events retained)")
 	flag.Parse()
 	if *out == "" {
 		log.Fatal("-out is required")
@@ -68,6 +74,24 @@ func main() {
 	}
 	cfg.Episodes = *episodes
 	cfg.SimCfg = core.SimConfig{Threads: *threads, NoiseFrac: 0.15}
+	var reg *metrics.Registry
+	var tr *metrics.Tracer
+	if *listen != "" || *traceOut != "" {
+		reg = metrics.NewRegistry()
+		tr = metrics.NewTracer(*traceCap)
+		cfg.SimCfg.Metrics = reg
+		cfg.SimCfg.Trace = tr
+		agent.Instrument(reg)
+	}
+	if *listen != "" {
+		srv := obs.NewServer(obs.Options{Metrics: reg, Trace: tr})
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability: serving http://%s/ (metrics, trace, queries, timeseries, pprof)\n", addr)
+	}
 	nq := *queries
 	cfg.Workload = func(ep int, rng *rand.Rand) []core.Arrival {
 		n := nq/2 + rng.Intn(nq)
@@ -85,6 +109,16 @@ func main() {
 	}
 	if _, err := lsched.Train(agent, cfg); err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		data, err := obs.ChromeTraceJSON(tr.Events())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "observability: wrote trace to %s (open in Perfetto)\n", *traceOut)
 	}
 
 	data, err := agent.Checkpoint()

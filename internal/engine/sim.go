@@ -539,6 +539,11 @@ func (s *Sim) dispatch() {
 	if len(batch) > 0 {
 		s.executeBatch(batch)
 	}
+	// Refresh the occupancy gauge after assignment: the values set at
+	// scheduler invocation are pre-dispatch, so a wall-clock sampler
+	// reading between events would otherwise always see the pool as
+	// free even while every thread is busy.
+	s.instr.freeThreads.Set(float64(s.state.FreeThreads()))
 	if s.afterDispatch != nil {
 		s.afterDispatch()
 	}

@@ -57,6 +57,13 @@ type Lab struct {
 	Metrics *metrics.Registry
 	Trace   *metrics.Tracer
 
+	// WatchTraining, when set alongside Metrics, threads the registry
+	// (but not the trace: thousands of episodes would drown the ring)
+	// into training runs too, so a live observer (lsched-bench -listen)
+	// sees counters and gauges move during the long training phases of
+	// figure regeneration instead of a silent registry.
+	WatchTraining bool
+
 	pools    map[workload.Benchmark]*workload.Pool
 	agents   map[string]*lsched.Agent
 	selftune map[workload.Benchmark]*selftune.Scheduler
@@ -99,6 +106,9 @@ func (l *Lab) trainConfig(pool *workload.Pool, seed int64) lsched.TrainConfig {
 	cfg := lsched.DefaultTrainConfig(seed)
 	cfg.Episodes = l.Scale.TrainEpisodes
 	cfg.SimCfg = engine.SimConfig{Threads: l.Scale.Threads, NoiseFrac: 0.15}
+	if l.WatchTraining {
+		cfg.SimCfg.Metrics = l.Metrics
+	}
 	nq := l.Scale.TrainQueries
 	// Training cycles a fixed set of workloads (mixing sizes, rates, and
 	// batch arrivals as §7.1 prescribes); REINFORCE's baseline is then

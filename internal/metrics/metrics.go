@@ -139,6 +139,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 
@@ -241,6 +244,11 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
+	// P50/P95/P99 are bucket-interpolated quantile estimates (see
+	// Quantile), precomputed at snapshot time for the exports.
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
 }
 
 // Mean returns the mean observation (0 when empty).
@@ -249,6 +257,49 @@ func (h HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by locating the bucket
+// the rank falls in and interpolating linearly within it — the same
+// estimate Prometheus's histogram_quantile computes. The first bucket
+// interpolates from 0 (or from its bound when that bound is negative);
+// ranks landing in the overflow bucket return the last bound, the
+// largest value the histogram can still attribute.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, c := range h.Counts {
+		prev := float64(cum)
+		cum += c
+		if c == 0 || float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// Overflow bucket: no finite upper bound to interpolate toward.
+			if len(h.Bounds) == 0 {
+				return 0
+			}
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		upper := h.Bounds[i]
+		lower := 0.0
+		if i > 0 {
+			lower = h.Bounds[i-1]
+		} else if upper <= 0 {
+			lower = upper
+		}
+		return lower + (upper-lower)*(rank-prev)/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
 }
 
 // Snapshot is a point-in-time copy of every instrument in a registry.
@@ -290,8 +341,12 @@ func (s *Snapshot) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
 }
 
-// Text renders the snapshot as a sorted human-readable dump.
+// Text renders the snapshot as a sorted human-readable dump. Safe on a
+// nil receiver (returns the empty string).
 func (s *Snapshot) Text() string {
+	if s == nil {
+		return ""
+	}
 	var b strings.Builder
 	for _, name := range sortedKeys(s.Counters) {
 		fmt.Fprintf(&b, "counter   %-44s %d\n", name, s.Counters[name])
@@ -301,7 +356,8 @@ func (s *Snapshot) Text() string {
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		fmt.Fprintf(&b, "histogram %-44s n=%d sum=%.6g mean=%.6g\n", name, h.Count, h.Sum, h.Mean())
+		fmt.Fprintf(&b, "histogram %-44s n=%d sum=%.6g mean=%.6g p50=%.6g p95=%.6g p99=%.6g\n",
+			name, h.Count, h.Sum, h.Mean(), h.P50, h.P95, h.P99)
 		for i, c := range h.Counts {
 			if c == 0 {
 				continue
@@ -346,8 +402,12 @@ func (e *Export) JSON() ([]byte, error) {
 }
 
 // Text renders the export human-readably: the metric dump followed by
-// the trace tail.
+// the trace tail. Safe on a nil receiver and on a zero-value Export
+// (nil Metrics snapshot).
 func (e *Export) Text() string {
+	if e == nil {
+		return ""
+	}
 	var b strings.Builder
 	b.WriteString(e.Metrics.Text())
 	if len(e.Trace) > 0 {

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"math"
 	"reflect"
 	"strings"
 	"sync"
@@ -230,6 +231,88 @@ func TestNilSafety(t *testing.T) {
 	if s := snap.Text(); s != "" {
 		t.Fatalf("nil registry text dump = %q", s)
 	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	// 10 observations in (0,10], 10 in (10,20]: the interpolated p50 is
+	// exactly the first bound, p95/p99 land 90%/98% into the second
+	// bucket, and a rank past the last bound clamps to that bound.
+	h := NewRegistry().Histogram("h", []float64{10, 20, 40})
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	snap := h.snapshot()
+	cases := []struct{ q, want float64 }{
+		{0.50, 10},
+		{0.95, 19},
+		{0.99, 19.8},
+		{0.25, 5},
+		{1.00, 20},
+		{0.00, 0},
+	}
+	for _, tc := range cases {
+		if got := snap.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Snapshot precomputes the export quantiles.
+	if snap.P50 != snap.Quantile(0.50) || snap.P95 != snap.Quantile(0.95) || snap.P99 != snap.Quantile(0.99) {
+		t.Fatalf("precomputed quantiles %v/%v/%v disagree with Quantile", snap.P50, snap.P95, snap.P99)
+	}
+	// Overflow: every observation above the last bound clamps there.
+	over := NewRegistry().Histogram("o", []float64{1})
+	over.Observe(100)
+	if got := over.snapshot().Quantile(0.99); got != 1 {
+		t.Fatalf("overflow quantile = %v, want 1 (last bound)", got)
+	}
+	// Empty histogram.
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// All-negative bounds: the first bucket must not interpolate from 0.
+	neg := NewRegistry().Histogram("n", []float64{-10, -5})
+	neg.Observe(-12)
+	if got := neg.snapshot().Quantile(0.5); got != -10 {
+		t.Fatalf("negative-bucket quantile = %v, want -10", got)
+	}
+}
+
+func TestExportNilSafety(t *testing.T) {
+	// Regression: the CLIs construct registries and tracers
+	// conditionally, and exports can be built from (or unmarshalled
+	// into) zero values — every render path must tolerate nils.
+	var e *Export
+	if s := e.Text(); s != "" {
+		t.Fatalf("nil export text = %q", s)
+	}
+	zero := &Export{} // nil Metrics snapshot, nil trace
+	if s := zero.Text(); s != "" {
+		t.Fatalf("zero export text = %q", s)
+	}
+	if _, err := zero.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	var snap *Snapshot
+	if s := snap.Text(); s != "" {
+		t.Fatalf("nil snapshot text = %q", s)
+	}
+	if _, err := snap.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExport(nil, nil)
+	if exp.Metrics == nil {
+		t.Fatal("NewExport(nil, nil) must still produce an empty snapshot")
+	}
+	if len(exp.Trace) != 0 || exp.TraceTotal != 0 {
+		t.Fatalf("NewExport(nil, nil) trace = %v (%d)", exp.Trace, exp.TraceTotal)
+	}
+	if _, err := exp.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	_ = exp.Text()
 }
 
 func TestSnapshotTextDump(t *testing.T) {

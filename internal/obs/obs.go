@@ -1,0 +1,193 @@
+// Package obs is the live exposition layer over internal/metrics: an
+// embeddable HTTP server that makes a running engine watchable, plus
+// the offline exporters it is built from.
+//
+// PR 1's registry and trace ring are only visible as a one-shot dump at
+// process exit; this package turns them into live surfaces:
+//
+//   - /metrics        Prometheus text exposition format (prom.go)
+//   - /metrics.json   the registry Snapshot as JSON
+//   - /trace          recent trace events as JSON (?n=limit tails)
+//   - /trace.chrome   the trace folded into Chrome trace-event spans
+//   - /queries        per-query lifecycle summaries (queries.go)
+//   - /timeseries     the wall-clock sampler's ring (sampler.go)
+//   - /debug/pprof/   net/http/pprof profiling handlers
+//
+// The server owns no instrumentation of its own: it reads whatever
+// *metrics.Registry and *metrics.Tracer it is given, both of which may
+// be nil (endpoints then serve empty payloads). The CLIs wire it up
+// behind a -listen flag; with the flag unset nothing here runs, so the
+// engine's zero-overhead-when-disabled contract is untouched.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Options configures a Server. Metrics and Trace may each be nil; the
+// corresponding endpoints serve empty payloads.
+type Options struct {
+	Metrics *metrics.Registry
+	Trace   *metrics.Tracer
+	// SampleInterval is the wall-clock sampler period (default 1s).
+	SampleInterval time.Duration
+	// SampleCapacity bounds the sampler's time-series ring (default 600
+	// samples — ten minutes at the default period).
+	SampleCapacity int
+}
+
+// Server exposes the observability endpoints. Build with NewServer,
+// then either Start (listen + background serve) or mount Handler on an
+// existing mux.
+type Server struct {
+	opts    Options
+	sampler *Sampler
+	mux     *http.ServeMux
+	srv     *http.Server
+	ln      net.Listener
+}
+
+// NewServer builds a server (not yet listening) over the given sources.
+func NewServer(opts Options) *Server {
+	s := &Server{
+		opts:    opts,
+		sampler: NewSampler(opts.Metrics, opts.SampleInterval, opts.SampleCapacity),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/trace.chrome", s.handleTraceChrome)
+	mux.HandleFunc("/queries", s.handleQueries)
+	mux.HandleFunc("/timeseries", s.handleTimeseries)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the endpoint mux, for mounting on an existing server
+// or driving in tests without a listener.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Sampler returns the server's wall-clock sampler (started by Start).
+func (s *Server) Sampler() *Sampler { return s.sampler }
+
+// Start binds addr (host:port; port 0 picks a free one), starts the
+// sampler, and serves in a background goroutine. It returns the bound
+// address, so callers can print a usable URL even for ":0".
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.sampler.Start()
+	s.srv = &http.Server{Handler: s.mux}
+	go s.srv.Serve(ln) //nolint:errcheck — Serve always returns on Close
+	return ln.Addr().String(), nil
+}
+
+// Close stops the sampler and shuts the listener down (no-op when Start
+// was never called).
+func (s *Server) Close() error {
+	s.sampler.Stop()
+	if s.srv != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `lsched observability endpoints:
+  /metrics        Prometheus text exposition
+  /metrics.json   registry snapshot (JSON)
+  /trace          recent trace events (JSON; ?n=100 tails)
+  /trace.chrome   Chrome trace-event spans (load in Perfetto)
+  /queries        per-query lifecycle summaries (JSON)
+  /timeseries     wall-clock sampler ring (JSON)
+  /debug/pprof/   pprof profiling
+`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, s.opts.Metrics.Snapshot())
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.opts.Metrics.Snapshot())
+}
+
+// tracePayload is the /trace response shape.
+type tracePayload struct {
+	// Total counts events ever recorded; when it exceeds len(Events)
+	// the ring wrapped (or ?n truncated the response).
+	Total  uint64          `json:"total"`
+	Events []metrics.Event `json:"events"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	events := s.opts.Trace.Events()
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n parameter", http.StatusBadRequest)
+			return
+		}
+		if n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+	writeJSON(w, tracePayload{Total: s.opts.Trace.Total(), Events: events})
+}
+
+func (s *Server) handleTraceChrome(w http.ResponseWriter, _ *http.Request) {
+	data, err := ChromeTraceJSON(s.opts.Trace.Events())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, BuildQueries(s.opts.Trace.Events()))
+}
+
+func (s *Server) handleTimeseries(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, timeseriesPayload{Samples: s.sampler.Samples()})
+}
+
+// timeseriesPayload is the /timeseries response (and disk-dump) shape.
+type timeseriesPayload struct {
+	Samples []Sample `json:"samples"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative `_bucket{le="..."}` series plus
+// `_sum`/`_count`. Output is sorted by metric name, so identical
+// snapshots render identical bytes (the golden test pins the format).
+// A nil snapshot writes nothing.
+func WritePrometheus(w io.Writer, s *metrics.Snapshot) {
+	if s == nil {
+		return
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		n := promName(name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = promFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum %s\n", n, promFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+	}
+}
+
+// promName sanitizes an instrument name into the Prometheus metric-name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// promFloat formats a float the way Prometheus expects (shortest
+// round-trip representation).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

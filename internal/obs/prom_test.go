@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// goldenRegistry builds a fixed registry covering every exposition
+// shape: counters, integral and fractional gauges, a histogram with
+// empty / populated / overflow buckets, and a name needing sanitizing.
+func goldenRegistry() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	reg.Counter("engine_workorders_dispatched").Add(1842)
+	reg.Counter("engine_queries_finished").Add(20)
+	reg.Gauge("engine_queue_depth").Set(3)
+	reg.Gauge("engine_free_threads").Set(2.5)
+	reg.Gauge("weird-name.with/chars").Set(1)
+	h := reg.Histogram("engine_query_latency", []float64{0.1, 1, 10, 100})
+	for _, v := range []float64{0.05, 0.5, 0.7, 5, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// TestPrometheusGolden pins the exposition format byte-for-byte.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	WritePrometheus(&buf, goldenRegistry().Snapshot())
+	golden := filepath.Join("testdata", "exposition.prom")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs/ -update-golden` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPrometheusNilAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	WritePrometheus(&buf, nil)
+	if buf.Len() != 0 {
+		t.Fatalf("nil snapshot wrote %q", buf.String())
+	}
+	WritePrometheus(&buf, metrics.NewRegistry().Snapshot())
+	if buf.Len() != 0 {
+		t.Fatalf("empty registry wrote %q", buf.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"engine_queue_depth": "engine_queue_depth",
+		"weird-name.with/ch": "weird_name_with_ch",
+		"9leading":           "_leading",
+		"":                   "_",
+		"ok:colon":           "ok:colon",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusBucketsCumulative checks the le-series is cumulative
+// and ends at the total count, which is what PromQL's
+// histogram_quantile assumes.
+func TestPrometheusBucketsCumulative(t *testing.T) {
+	var buf bytes.Buffer
+	WritePrometheus(&buf, goldenRegistry().Snapshot())
+	var last string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "engine_query_latency_bucket{le=\"+Inf\"}") {
+			last = line
+		}
+	}
+	if !strings.HasSuffix(last, " 7") {
+		t.Fatalf("+Inf bucket %q, want total 7", last)
+	}
+}

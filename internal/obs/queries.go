@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// QuerySummary is one query's lifecycle folded out of the trace:
+// admit → finish, the scheduler decisions it received, and its
+// work-order volume.
+type QuerySummary struct {
+	ID   int    `json:"id"`
+	Name string `json:"name,omitempty"`
+	// Admit is the engine time the query entered the system. When the
+	// ring dropped the admit event it is reconstructed from the finish
+	// latency (finished queries) or reported as -1 (running queries).
+	Admit float64 `json:"admit"`
+	// Finish / Latency are set once the query's sink completed.
+	Finish  float64 `json:"finish,omitempty"`
+	Latency float64 `json:"latency,omitempty"`
+	Done    bool    `json:"done"`
+	// WorkOrders / WorkSeconds aggregate the completions observed inside
+	// the retained trace window (a wrapped ring undercounts old work).
+	WorkOrders  int     `json:"work_orders"`
+	WorkSeconds float64 `json:"work_seconds"`
+	// MeanWorkOrder is WorkSeconds / WorkOrders.
+	MeanWorkOrder float64 `json:"mean_work_order,omitempty"`
+	// Decisions counts scheduler decisions that activated one of the
+	// query's execution roots.
+	Decisions int `json:"decisions"`
+}
+
+// QueriesReport is the /queries payload: every query seen in the trace
+// plus latency statistics over the finished ones.
+type QueriesReport struct {
+	Queries  []QuerySummary `json:"queries"`
+	Finished int            `json:"finished"`
+	Running  int            `json:"running"`
+	// Latency statistics over finished queries (linear-interpolated
+	// percentiles; zero when nothing finished yet).
+	LatencyMean float64 `json:"latency_mean,omitempty"`
+	LatencyP50  float64 `json:"latency_p50,omitempty"`
+	LatencyP95  float64 `json:"latency_p95,omitempty"`
+	LatencyP99  float64 `json:"latency_p99,omitempty"`
+}
+
+// BuildQueries folds a flat trace into per-query summaries. It
+// tolerates a wrapped ring: queries whose admit event was dropped are
+// reconstructed from later events where possible.
+func BuildQueries(events []metrics.Event) *QueriesReport {
+	byID := map[int]*QuerySummary{}
+	get := func(id int) *QuerySummary {
+		s, ok := byID[id]
+		if !ok {
+			s = &QuerySummary{ID: id, Admit: -1}
+			byID[id] = s
+		}
+		return s
+	}
+	for _, ev := range events {
+		if ev.Query < 0 {
+			continue
+		}
+		switch ev.Kind {
+		case metrics.EvQueryAdmit:
+			s := get(ev.Query)
+			s.Admit = ev.Time
+			if s.Name == "" {
+				s.Name = ev.Label
+			}
+		case metrics.EvQueryFinish:
+			s := get(ev.Query)
+			s.Done = true
+			s.Finish = ev.Time
+			s.Latency = ev.Value
+			if s.Admit < 0 {
+				s.Admit = ev.Time - ev.Value
+			}
+			if s.Name == "" {
+				s.Name = ev.Label
+			}
+		case metrics.EvComplete:
+			s := get(ev.Query)
+			s.WorkOrders++
+			s.WorkSeconds += ev.Value
+		case metrics.EvDecision:
+			get(ev.Query).Decisions++
+		}
+	}
+
+	rep := &QueriesReport{Queries: make([]QuerySummary, 0, len(byID))}
+	var latencies []float64
+	for _, id := range sortedIntKeys(byID) {
+		s := byID[id]
+		if s.WorkOrders > 0 {
+			s.MeanWorkOrder = s.WorkSeconds / float64(s.WorkOrders)
+		}
+		if s.Done {
+			rep.Finished++
+			latencies = append(latencies, s.Latency)
+		} else {
+			rep.Running++
+		}
+		rep.Queries = append(rep.Queries, *s)
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		sum := 0.0
+		for _, l := range latencies {
+			sum += l
+		}
+		rep.LatencyMean = sum / float64(len(latencies))
+		rep.LatencyP50 = percentile(latencies, 0.50)
+		rep.LatencyP95 = percentile(latencies, 0.95)
+		rep.LatencyP99 = percentile(latencies, 0.99)
+	}
+	return rep
+}
+
+// percentile linearly interpolates the p-quantile of a sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	i := int(pos)
+	if i >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i] + (sorted[i+1]-sorted[i])*frac
+}

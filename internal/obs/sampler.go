@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Sample is one wall-clock snapshot of run state, derived from the
+// engine's registry instruments.
+type Sample struct {
+	// Wall is the wall-clock sample time; Elapsed is seconds since the
+	// sampler started.
+	Wall    time.Time `json:"wall"`
+	Elapsed float64   `json:"elapsed"`
+	// QueriesFinished / WorkOrdersCompleted are the cumulative engine
+	// counters at sample time.
+	QueriesFinished     int64 `json:"queries_finished"`
+	WorkOrdersCompleted int64 `json:"workorders_completed"`
+	// QueryThroughput / WorkOrderThroughput are per-wall-second rates
+	// over the interval since the previous sample.
+	QueryThroughput     float64 `json:"query_throughput"`
+	WorkOrderThroughput float64 `json:"workorder_throughput"`
+	// RunningQueries mirrors the engine_queue_depth gauge (queries in
+	// the system at the last scheduler invocation).
+	RunningQueries float64 `json:"running_queries"`
+	// FreeThreads / PoolSize mirror the worker-pool gauges;
+	// Utilization is busy/pool in [0,1] (0 while the pool is unknown).
+	FreeThreads float64 `json:"free_threads"`
+	PoolSize    float64 `json:"pool_size"`
+	Utilization float64 `json:"utilization"`
+}
+
+// Sampler periodically snapshots scalar run state into a bounded ring —
+// the time-series behind /timeseries. It reads the engine's well-known
+// instruments (engine_queries_finished, engine_workorders_completed,
+// engine_queue_depth, engine_free_threads, engine_pool_size) from the
+// registry it is given. A nil *Sampler (from a nil registry) is a valid
+// "sampling disabled" handle: every method no-ops.
+type Sampler struct {
+	interval time.Duration
+
+	finished    *metrics.Counter
+	completed   *metrics.Counter
+	queueDepth  *metrics.Gauge
+	freeThreads *metrics.Gauge
+	poolSize    *metrics.Gauge
+
+	mu      sync.Mutex
+	ring    []Sample
+	next    int
+	full    bool
+	started time.Time
+	last    Sample
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// DefaultSampleInterval and DefaultSampleCapacity bound the sampler
+// when Options leave them zero: one sample per second, ten minutes
+// retained.
+const (
+	DefaultSampleInterval = time.Second
+	DefaultSampleCapacity = 600
+)
+
+// NewSampler builds a sampler over the registry. Returns nil (a valid
+// disabled sampler) when reg is nil.
+func NewSampler(reg *metrics.Registry, interval time.Duration, capacity int) *Sampler {
+	if reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	if capacity <= 0 {
+		capacity = DefaultSampleCapacity
+	}
+	return &Sampler{
+		interval:    interval,
+		finished:    reg.Counter("engine_queries_finished"),
+		completed:   reg.Counter("engine_workorders_completed"),
+		queueDepth:  reg.Gauge("engine_queue_depth"),
+		freeThreads: reg.Gauge("engine_free_threads"),
+		poolSize:    reg.Gauge("engine_pool_size"),
+		ring:        make([]Sample, 0, capacity),
+	}
+}
+
+// Start launches the periodic sampling goroutine. No-op on nil or when
+// already running.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.started = time.Now()
+	s.last = Sample{Wall: s.started}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(s.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.Poll()
+			}
+		}
+	}()
+}
+
+// Stop halts the sampling goroutine. No-op on nil or when not running.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Poll takes one sample immediately (also called by the periodic
+// goroutine). Safe on nil. The CLIs call it once before dumping the
+// series to disk so the final state is always captured.
+func (s *Sampler) Poll() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started.IsZero() {
+		s.started = now
+		s.last = Sample{Wall: now}
+	}
+	sample := Sample{
+		Wall:                now,
+		Elapsed:             now.Sub(s.started).Seconds(),
+		QueriesFinished:     s.finished.Value(),
+		WorkOrdersCompleted: s.completed.Value(),
+		RunningQueries:      s.queueDepth.Value(),
+		FreeThreads:         s.freeThreads.Value(),
+		PoolSize:            s.poolSize.Value(),
+	}
+	if dt := now.Sub(s.last.Wall).Seconds(); dt > 0 {
+		sample.QueryThroughput = float64(sample.QueriesFinished-s.last.QueriesFinished) / dt
+		sample.WorkOrderThroughput = float64(sample.WorkOrdersCompleted-s.last.WorkOrdersCompleted) / dt
+	}
+	if sample.PoolSize > 0 {
+		sample.Utilization = (sample.PoolSize - sample.FreeThreads) / sample.PoolSize
+	}
+	s.last = sample
+	if !s.full {
+		s.ring = append(s.ring, sample)
+		if len(s.ring) == cap(s.ring) {
+			s.full = true
+		}
+	} else {
+		s.ring[s.next] = sample
+		s.next = (s.next + 1) % len(s.ring)
+	}
+}
+
+// Samples returns the retained samples oldest-first (nil on a nil or
+// empty sampler).
+func (s *Sampler) Samples() []Sample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) == 0 {
+		return nil
+	}
+	out := make([]Sample, 0, len(s.ring))
+	if s.full {
+		out = append(out, s.ring[s.next:]...)
+		out = append(out, s.ring[:s.next]...)
+	} else {
+		out = append(out, s.ring...)
+	}
+	return out
+}
+
+// JSON renders the retained series as the /timeseries payload.
+func (s *Sampler) JSON() ([]byte, error) {
+	return json.MarshalIndent(timeseriesPayload{Samples: s.Samples()}, "", "  ")
+}
+
+// WriteFile dumps the retained series to path as JSON. No-op (no file)
+// on a nil sampler.
+func (s *Sampler) WriteFile(path string) error {
+	if s == nil {
+		return nil
+	}
+	data, err := s.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestSamplerPoll(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("engine_queries_finished").Add(10)
+	reg.Counter("engine_workorders_completed").Add(100)
+	reg.Gauge("engine_queue_depth").Set(3)
+	reg.Gauge("engine_free_threads").Set(1)
+	reg.Gauge("engine_pool_size").Set(4)
+
+	s := NewSampler(reg, time.Hour, 8) // interval irrelevant: Poll directly
+	s.Poll()
+	reg.Counter("engine_queries_finished").Add(5)
+	reg.Counter("engine_workorders_completed").Add(50)
+	s.Poll()
+
+	samples := s.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(samples))
+	}
+	first, second := samples[0], samples[1]
+	if first.QueriesFinished != 10 || second.QueriesFinished != 15 {
+		t.Fatalf("cumulative counts = %d, %d", first.QueriesFinished, second.QueriesFinished)
+	}
+	if second.RunningQueries != 3 || second.PoolSize != 4 || second.FreeThreads != 1 {
+		t.Fatalf("gauges = %+v", second)
+	}
+	if second.Utilization != 0.75 {
+		t.Fatalf("utilization = %v, want 0.75", second.Utilization)
+	}
+	if second.QueryThroughput <= 0 || second.WorkOrderThroughput <= 0 {
+		t.Fatalf("throughput not positive: %+v", second)
+	}
+	if second.Elapsed < first.Elapsed {
+		t.Fatalf("elapsed not monotonic: %v then %v", first.Elapsed, second.Elapsed)
+	}
+}
+
+func TestSamplerRingBounded(t *testing.T) {
+	s := NewSampler(metrics.NewRegistry(), time.Hour, 4)
+	for i := 0; i < 11; i++ {
+		s.Poll()
+	}
+	samples := s.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("retained %d, want 4 (bounded ring)", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Elapsed < samples[i-1].Elapsed {
+			t.Fatal("samples not oldest-first after wrap")
+		}
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	s := NewSampler(metrics.NewRegistry(), time.Millisecond, 16)
+	s.Start()
+	s.Start() // double start must not spawn a second goroutine or panic
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.Samples()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if len(s.Samples()) == 0 {
+		t.Fatal("periodic sampler produced no samples")
+	}
+	n := len(s.Samples())
+	time.Sleep(5 * time.Millisecond)
+	if len(s.Samples()) != n {
+		t.Fatal("sampler still running after Stop")
+	}
+}
+
+func TestSamplerNil(t *testing.T) {
+	var s *Sampler
+	if s := NewSampler(nil, time.Second, 8); s != nil {
+		t.Fatal("NewSampler(nil registry) must return a nil (disabled) sampler")
+	}
+	s.Start()
+	s.Poll()
+	s.Stop()
+	if s.Samples() != nil {
+		t.Fatal("nil sampler samples != nil")
+	}
+	if err := s.WriteFile(filepath.Join(t.TempDir(), "never.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplerWriteFile(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("engine_queries_finished").Add(2)
+	s := NewSampler(reg, time.Hour, 8)
+	s.Poll()
+	path := filepath.Join(t.TempDir(), "timeseries.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Samples []Sample `json:"samples"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Samples) != 1 || payload.Samples[0].QueriesFinished != 2 {
+		t.Fatalf("dumped payload = %+v", payload)
+	}
+}

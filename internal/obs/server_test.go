@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// get fetches one endpoint from a started server and returns the body.
+func get(t *testing.T, addr, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg, tr, res := runTestSim(t, 7)
+	srv := NewServer(Options{Metrics: reg, Trace: tr})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Sampler().Poll()
+
+	t.Run("index", func(t *testing.T) {
+		code, body := get(t, addr, "/")
+		if code != http.StatusOK || !strings.Contains(string(body), "/metrics") {
+			t.Fatalf("index = %d %q", code, body)
+		}
+	})
+
+	t.Run("metrics", func(t *testing.T) {
+		code, body := get(t, addr, "/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		text := string(body)
+		for _, want := range []string{
+			"# TYPE engine_workorders_completed counter",
+			"# TYPE engine_queue_depth gauge",
+			"# TYPE engine_query_latency histogram",
+			`engine_query_latency_bucket{le="+Inf"} ` + fmt.Sprint(len(res.Durations)),
+			"engine_query_latency_count " + fmt.Sprint(len(res.Durations)),
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("exposition missing %q:\n%s", want, text)
+			}
+		}
+	})
+
+	t.Run("metrics.json", func(t *testing.T) {
+		code, body := get(t, addr, "/metrics.json")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		var snap metrics.Snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Counters["engine_workorders_completed"] != int64(res.WorkOrders) {
+			t.Fatalf("completed = %d, want %d",
+				snap.Counters["engine_workorders_completed"], res.WorkOrders)
+		}
+	})
+
+	t.Run("trace", func(t *testing.T) {
+		code, body := get(t, addr, "/trace")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		var payload struct {
+			Total  uint64          `json:"total"`
+			Events []metrics.Event `json:"events"`
+		}
+		if err := json.Unmarshal(body, &payload); err != nil {
+			t.Fatal(err)
+		}
+		if payload.Total == 0 || len(payload.Events) == 0 {
+			t.Fatalf("empty trace payload: total=%d events=%d", payload.Total, len(payload.Events))
+		}
+		// ?n tails the window.
+		_, body = get(t, addr, "/trace?n=5")
+		if err := json.Unmarshal(body, &payload); err != nil {
+			t.Fatal(err)
+		}
+		if len(payload.Events) != 5 {
+			t.Fatalf("tailed events = %d, want 5", len(payload.Events))
+		}
+		if code, _ := get(t, addr, "/trace?n=bogus"); code != http.StatusBadRequest {
+			t.Fatalf("bad n status = %d", code)
+		}
+	})
+
+	t.Run("trace.chrome", func(t *testing.T) {
+		code, body := get(t, addr, "/trace.chrome")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		var ct ChromeTrace
+		if err := json.Unmarshal(body, &ct); err != nil {
+			t.Fatal(err)
+		}
+		if len(ct.TraceEvents) == 0 {
+			t.Fatal("no chrome trace events")
+		}
+	})
+
+	t.Run("queries", func(t *testing.T) {
+		code, body := get(t, addr, "/queries")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		var rep QueriesReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Finished != len(res.Durations) || rep.Running != 0 {
+			t.Fatalf("finished=%d running=%d, want %d/0", rep.Finished, rep.Running, len(res.Durations))
+		}
+	})
+
+	t.Run("timeseries", func(t *testing.T) {
+		code, body := get(t, addr, "/timeseries")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		var payload struct {
+			Samples []Sample `json:"samples"`
+		}
+		if err := json.Unmarshal(body, &payload); err != nil {
+			t.Fatal(err)
+		}
+		if len(payload.Samples) == 0 {
+			t.Fatal("no samples after Poll")
+		}
+		last := payload.Samples[len(payload.Samples)-1]
+		if last.QueriesFinished != int64(len(res.Durations)) {
+			t.Fatalf("sample queries_finished = %d, want %d", last.QueriesFinished, len(res.Durations))
+		}
+	})
+
+	t.Run("pprof", func(t *testing.T) {
+		code, body := get(t, addr, "/debug/pprof/")
+		if code != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+			t.Fatalf("pprof index = %d %q", code, truncate(body, 80))
+		}
+	})
+
+	t.Run("unknown-path", func(t *testing.T) {
+		if code, _ := get(t, addr, "/nope"); code != http.StatusNotFound {
+			t.Fatalf("status = %d, want 404", code)
+		}
+	})
+}
+
+// TestServerNilSources: a server over nil registry/tracer must serve
+// empty payloads, not panic — the CLIs construct sources conditionally.
+func TestServerNilSources(t *testing.T) {
+	srv := NewServer(Options{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/metrics.json", "/trace", "/trace.chrome", "/queries", "/timeseries"} {
+		if code, _ := get(t, addr, path); code != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", path, code)
+		}
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(Options{Metrics: metrics.NewRegistry()})
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // second close must not panic or deadlock
+	// A never-started server closes cleanly too.
+	if err := NewServer(Options{}).Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}

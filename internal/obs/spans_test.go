@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestChromeTraceValidity: the export of a deterministic Sim run must
+// be well-formed JSON whose span timestamps are monotonically
+// consistent (sorted ts, non-negative ts/dur, spans contained within
+// the run's makespan).
+func TestChromeTraceValidity(t *testing.T) {
+	_, tr, res := runTestSim(t, 3)
+	data, err := ChromeTraceJSON(tr.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("export is not valid JSON")
+	}
+	var ct ChromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		t.Fatal(err)
+	}
+	if ct.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", ct.DisplayTimeUnit)
+	}
+
+	makespanUS := res.Makespan * secToMicros
+	var spans, querySpans int
+	lastTs := -1.0
+	sawMeta := false
+	for i, ev := range ct.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			sawMeta = true
+			if lastTs >= 0 {
+				t.Fatalf("metadata event %d after span events", i)
+			}
+			continue
+		case "X", "i":
+		default:
+			t.Fatalf("unexpected phase %q in event %d", ev.Ph, i)
+		}
+		if ev.Ts < lastTs {
+			t.Fatalf("event %d ts=%v < previous %v (not sorted)", i, ev.Ts, lastTs)
+		}
+		lastTs = ev.Ts
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Fatalf("event %d has negative ts/dur: %+v", i, ev)
+		}
+		if ev.Ph == "X" {
+			spans++
+			if end := ev.Ts + ev.Dur; end > makespanUS*(1+1e-9) {
+				t.Fatalf("span %d ends at %v µs, past makespan %v µs", i, end, makespanUS)
+			}
+			if ev.Pid == pidQueries {
+				querySpans++
+			} else if ev.Pid != pidWorkers {
+				t.Fatalf("span %d on unknown pid %d", i, ev.Pid)
+			}
+		}
+	}
+	if !sawMeta {
+		t.Fatal("no metadata (process/thread name) events")
+	}
+	if querySpans != len(res.Durations) {
+		t.Fatalf("query spans = %d, want %d (one per finished query)", querySpans, len(res.Durations))
+	}
+	if workerSpans := spans - querySpans; workerSpans != res.WorkOrders {
+		t.Fatalf("worker spans = %d, want %d (one per work order)", workerSpans, res.WorkOrders)
+	}
+}
+
+// TestChromeTraceDeterministic: identical Sim runs export identical
+// bytes (map iteration must not leak into the output order).
+func TestChromeTraceDeterministic(t *testing.T) {
+	_, tr1, _ := runTestSim(t, 11)
+	_, tr2, _ := runTestSim(t, 11)
+	d1, err := ChromeTraceJSON(tr1.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ChromeTraceJSON(tr2.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("identical runs exported different chrome traces")
+	}
+}
+
+// TestChromeTraceDroppedAdmit: a wrapped ring that lost the admit event
+// must still produce a query span (reconstructed from the finish
+// latency) and an instant mark for still-running queries.
+func TestChromeTraceDroppedAdmit(t *testing.T) {
+	events := []metrics.Event{
+		// finish without admit: span reconstructed from latency
+		{Kind: metrics.EvQueryFinish, Time: 10, Query: 0, Op: -1, Thread: -1, Value: 4, Label: "qa"},
+		// admit without finish: instant mark
+		{Kind: metrics.EvQueryAdmit, Time: 8, Query: 1, Op: -1, Thread: -1, Label: "qb"},
+	}
+	ct := BuildChromeTrace(events)
+	var span, instant bool
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "X" && ev.Tid == 0 && ev.Ts == 6*secToMicros && ev.Dur == 4*secToMicros {
+			span = true
+		}
+		if ev.Ph == "i" && ev.Tid == 1 && ev.Ts == 8*secToMicros {
+			instant = true
+		}
+	}
+	if !span {
+		t.Fatalf("no reconstructed span for finish-only query: %+v", ct.TraceEvents)
+	}
+	if !instant {
+		t.Fatalf("no instant mark for running query: %+v", ct.TraceEvents)
+	}
+}
+
+func TestBuildQueries(t *testing.T) {
+	_, tr, res := runTestSim(t, 5)
+	rep := BuildQueries(tr.Events())
+	if rep.Finished != len(res.Durations) || rep.Running != 0 {
+		t.Fatalf("finished=%d running=%d, want %d/0", rep.Finished, rep.Running, len(res.Durations))
+	}
+	totalWOs := 0
+	for _, q := range rep.Queries {
+		if !q.Done {
+			t.Fatalf("query %d not done: %+v", q.ID, q)
+		}
+		if got, want := q.Latency, res.Durations[q.ID]; got != want {
+			t.Fatalf("query %d latency = %v, want %v", q.ID, got, want)
+		}
+		if q.Finish-q.Admit != q.Latency {
+			t.Fatalf("query %d finish-admit = %v, want latency %v", q.ID, q.Finish-q.Admit, q.Latency)
+		}
+		if q.WorkOrders == 0 || q.Decisions == 0 {
+			t.Fatalf("query %d has no work orders / decisions: %+v", q.ID, q)
+		}
+		if q.MeanWorkOrder <= 0 {
+			t.Fatalf("query %d mean work order = %v", q.ID, q.MeanWorkOrder)
+		}
+		totalWOs += q.WorkOrders
+	}
+	if totalWOs != res.WorkOrders {
+		t.Fatalf("summed work orders = %d, want %d", totalWOs, res.WorkOrders)
+	}
+	if rep.LatencyP50 <= 0 || rep.LatencyP99 < rep.LatencyP50 || rep.LatencyMean <= 0 {
+		t.Fatalf("implausible latency stats: %+v", rep)
+	}
+	// Dropped-admit reconstruction.
+	partial := BuildQueries([]metrics.Event{
+		{Kind: metrics.EvQueryFinish, Time: 10, Query: 3, Op: -1, Thread: -1, Value: 4, Label: "qx"},
+	})
+	if len(partial.Queries) != 1 || partial.Queries[0].Admit != 6 {
+		t.Fatalf("reconstructed admit = %+v", partial.Queries)
+	}
+	// Empty trace.
+	empty := BuildQueries(nil)
+	if len(empty.Queries) != 0 || empty.Finished != 0 || empty.Running != 0 {
+		t.Fatalf("empty report = %+v", empty)
+	}
+}

@@ -6,6 +6,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -15,7 +23,7 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/engine/ ./internal/metrics/"
-go test -race ./internal/engine/ ./internal/metrics/
+echo "== go test -race ./internal/engine/ ./internal/metrics/ ./internal/obs/"
+go test -race ./internal/engine/ ./internal/metrics/ ./internal/obs/
 
 echo "OK"
