@@ -16,11 +16,15 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/lsched"
+	"repro/internal/workload"
 )
 
 // benchScale keeps `go test -bench=.` within minutes on one core while
@@ -100,3 +104,34 @@ func BenchmarkFig14Training(b *testing.B) { runFigure(b, "14") }
 // BenchmarkFig15Ablation regenerates Fig. 15: LSched with each key
 // contribution removed.
 func BenchmarkFig15Ablation(b *testing.B) { runFigure(b, "15") }
+
+// BenchmarkTrainRollouts measures REINFORCE training wall-clock with
+// sequential episode collection (rollouts=1) versus four concurrent
+// rollouts per policy update (rollouts=4). Both variants train the
+// same 12-episode TPC-H workload; the parallel trainer is a
+// deterministic function of (seed, rollouts), so this isolates the
+// wall-clock effect of concurrent episode simulation.
+func BenchmarkTrainRollouts(b *testing.B) {
+	pool, err := workload.NewPool(workload.BenchTPCH, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rollouts := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%d", rollouts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				agent := lsched.New(lsched.DefaultOptions(1))
+				cfg := lsched.DefaultTrainConfig(1)
+				cfg.Episodes = 12
+				cfg.Rollouts = rollouts
+				cfg.SimCfg = engine.SimConfig{Threads: 6, NoiseFrac: 0.1}
+				cfg.Workload = func(ep int, rng *rand.Rand) []engine.Arrival {
+					return workload.Streaming(pool.Train, 4, 0.5, rng)
+				}
+				cfg.BaselineKey = func(ep int) int { return ep % 4 }
+				if _, err := lsched.Train(agent, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (1, 8, 9, 10, 11, 12, 13, 14, 15, or all)")
 	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	rollouts := flag.Int("rollouts", 1, "training episodes collected concurrently per policy update (1 = sequential)")
 	withMetrics := flag.Bool("metrics", false, "instrument evaluation runs and print a metrics+trace snapshot at exit")
 	metricsFormat := flag.String("metrics-format", "json", "snapshot format: json or text")
 	traceCap := flag.Int("trace-cap", metrics.DefaultTraceCapacity, "trace ring-buffer capacity (last N events retained)")
@@ -44,6 +45,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (quick or paper)\n", *scale)
 		os.Exit(2)
 	}
+	sc.Rollouts = *rollouts
 	lab := experiments.NewLab(sc, *seed)
 	if *withMetrics || *listen != "" || *traceOut != "" || *timeseriesOut != "" {
 		lab.Metrics = metrics.NewRegistry()

@@ -29,6 +29,7 @@ func main() {
 	bench := flag.String("bench", "tpch", "benchmark: tpch, ssb, or job")
 	episodes := flag.Int("episodes", 500, "training episodes")
 	queries := flag.Int("queries", 20, "queries per training episode (episodes vary around this)")
+	rollouts := flag.Int("rollouts", 1, "episodes collected concurrently per policy update (1 = sequential)")
 	threads := flag.Int("threads", 60, "worker threads")
 	seed := flag.Int64("seed", 1, "seed")
 	out := flag.String("out", "", "checkpoint output path (required)")
@@ -73,6 +74,7 @@ func main() {
 		cfg = decima.TrainConfig(cfg)
 	}
 	cfg.Episodes = *episodes
+	cfg.Rollouts = *rollouts
 	cfg.SimCfg = core.SimConfig{Threads: *threads, NoiseFrac: 0.15}
 	var reg *metrics.Registry
 	var tr *metrics.Tracer

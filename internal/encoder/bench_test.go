@@ -1,0 +1,63 @@
+package encoder
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// benchSnapshot builds a snapshot of nq chain-shaped queries of nOps
+// operators each, sized like a loaded scheduling event.
+func benchSnapshot(nq, nOps, opDim, edgeDim, qDim int) *Snapshot {
+	snap := &Snapshot{}
+	for q := 0; q < nq; q++ {
+		qs := QuerySnapshot{QueryID: q, QF: make([]float64, qDim)}
+		for i := range qs.QF {
+			qs.QF[i] = math.Cos(float64(q) + float64(i)*0.3)
+		}
+		for o := 0; o < nOps; o++ {
+			op := OpSnapshot{OpID: o, Feat: make([]float64, opDim)}
+			for i := range op.Feat {
+				op.Feat[i] = math.Sin(float64(q*31+o) + float64(i)*0.1)
+			}
+			if o > 0 {
+				ef := make([]float64, edgeDim)
+				ef[0] = float64(o % 2)
+				op.Children = []ChildRef{{OpIdx: o - 1, EdgeFeat: ef}}
+			}
+			qs.Ops = append(qs.Ops, op)
+		}
+		snap.Queries = append(snap.Queries, qs)
+	}
+	return snap
+}
+
+// BenchmarkEncodeSnapshot measures one full-snapshot encode per event:
+// "record" is the training path, "infer" the gradient-free path, and
+// "cached" the steady state where no query changed since the previous
+// event (all per-query encodings served from the cache).
+func BenchmarkEncodeSnapshot(b *testing.B) {
+	cfg := Config{OpDim: 40, EdgeDim: 2, QueryDim: 10, Hidden: 16, Layers: 2, UseTCN: true, UseGAT: true, UseEdges: true}
+	snap := benchSnapshot(8, 8, cfg.OpDim, cfg.EdgeDim, cfg.QueryDim)
+
+	run := func(b *testing.B, infer bool, cache *Cache) {
+		p := nn.NewParams(1)
+		enc := New(p, cfg)
+		tp := nn.NewTape()
+		tp.SetInference(infer)
+		// Warm the cost of lazily-grown arenas (and the cache) out of
+		// the measurement.
+		enc.EncodeWithCache(tp, snap, cache, p.Version())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tp.Reset()
+			enc.EncodeWithCache(tp, snap, cache, p.Version())
+		}
+	}
+
+	b.Run("record", func(b *testing.B) { run(b, false, nil) })
+	b.Run("infer", func(b *testing.B) { run(b, true, nil) })
+	b.Run("cached", func(b *testing.B) { run(b, true, NewCache()) })
+}

@@ -1,0 +1,178 @@
+package encoder
+
+import (
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Cache memoizes per-query encoder outputs across scheduling events.
+// Most events change the state of only one or two queries (a work order
+// finished, a query arrived or departed); every other query's OPF/EDF
+// features — and therefore its NE/EE/PQE, which do not depend on QF —
+// are bit-identical to the previous event. The cache keys each query on
+// a fingerprint of exactly the inputs its encoding depends on and
+// replays stored values as constants, making encoder cost O(changed
+// queries) instead of O(active queries) per event.
+//
+// The cache stores plain []float64 value copies, never *nn.Node
+// pointers: tape nodes die at Tape.Reset, so hits re-materialize fresh
+// Const nodes on the current tape. Because cached values are bit-copies
+// of a deterministic forward pass over identical inputs, decisions made
+// from cache hits are bit-identical to recomputing from scratch.
+//
+// Hits are honored only on inference tapes (nn.Tape.Inference). On a
+// recording tape a Const-from-cache would silently cut the gradient
+// path through the encoder, so callers that need backprop always
+// recompute; EncodeWithCache enforces this.
+//
+// A Cache is owned by one agent and is not safe for concurrent use,
+// matching the one-goroutine-per-engine invariant.
+type Cache struct {
+	entries map[int]*cacheEntry
+	// version is the params version the stored values were computed
+	// under; any weight change invalidates everything.
+	version uint64
+	hits    uint64
+	misses  uint64
+	// present is scratch for prune's mark phase.
+	present map[int]struct{}
+}
+
+type cacheEntry struct {
+	fp  uint64
+	ne  [][]float64
+	ee  [][]float64
+	pqe []float64
+}
+
+// NewCache returns an empty encoding cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries: make(map[int]*cacheEntry),
+		present: make(map[int]struct{}),
+	}
+}
+
+// Hits returns the number of cache hits served.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of lookups that required a fresh encode.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Reset drops all entries (counters are kept).
+func (c *Cache) Reset() {
+	for id := range c.entries {
+		delete(c.entries, id)
+	}
+}
+
+// syncVersion flushes the cache when the parameters changed since the
+// stored encodings were computed.
+func (c *Cache) syncVersion(paramsVersion uint64) {
+	if c.version != paramsVersion {
+		c.Reset()
+		c.version = paramsVersion
+	}
+}
+
+// prune drops entries for queries no longer present in the snapshot
+// (completed or evicted), bounding the cache to the active set.
+func (c *Cache) prune(snap *Snapshot) {
+	if len(c.entries) == 0 {
+		return
+	}
+	for id := range c.present {
+		delete(c.present, id)
+	}
+	for qi := range snap.Queries {
+		c.present[snap.Queries[qi].QueryID] = struct{}{}
+	}
+	for id := range c.entries {
+		if _, ok := c.present[id]; !ok {
+			delete(c.entries, id)
+		}
+	}
+}
+
+// store copies the encoding's values into the cache, reusing the
+// existing entry's buffers when shapes match.
+func (c *Cache) store(id int, fp uint64, enc *QueryEncoding) {
+	ent := c.entries[id]
+	if ent == nil {
+		ent = &cacheEntry{}
+		c.entries[id] = ent
+	}
+	ent.fp = fp
+	ent.ne = copyVecs(ent.ne, enc.NE)
+	ent.ee = copyVecs(ent.ee, enc.EE)
+	ent.pqe = append(ent.pqe[:0], enc.PQE.Val...)
+}
+
+func copyVecs(dst [][]float64, src []*nn.Node) [][]float64 {
+	if cap(dst) < len(src) {
+		dst = make([][]float64, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, n := range src {
+		dst[i] = append(dst[i][:0], n.Val...)
+	}
+	return dst
+}
+
+// materialize rebuilds a QueryEncoding on tape t from stored values.
+func (ent *cacheEntry) materialize(t *nn.Tape, queryID int) QueryEncoding {
+	ne := t.NodeSlice(len(ent.ne))
+	for i, v := range ent.ne {
+		ne[i] = t.Const(v)
+	}
+	ee := t.NodeSlice(len(ent.ee))
+	for i, v := range ent.ee {
+		ee[i] = t.Const(v)
+	}
+	return QueryEncoding{QueryID: queryID, NE: ne, EE: ee, PQE: t.Const(ent.pqe)}
+}
+
+// FNV-1a 64-bit, inlined so fingerprinting allocates nothing.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func fnvFloats(h uint64, vs []float64) uint64 {
+	for _, v := range vs {
+		h = fnvUint64(h, math.Float64bits(v))
+	}
+	return h
+}
+
+// Fingerprint hashes exactly the inputs a query's NE/EE/PQE depend on:
+// the plan shape (child indices) and the OPF/EDF feature values. QF is
+// deliberately excluded — it feeds only the AQE message, which
+// EncodeWithCache recomputes every event — so a free-thread-count
+// change (which happens at nearly every event) does not evict idle
+// queries whose own features are unchanged.
+func Fingerprint(qs *QuerySnapshot) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvUint64(h, uint64(len(qs.Ops)))
+	for i := range qs.Ops {
+		op := &qs.Ops[i]
+		h = fnvUint64(h, uint64(op.OpID))
+		h = fnvFloats(h, op.Feat)
+		h = fnvUint64(h, uint64(len(op.Children)))
+		for j := range op.Children {
+			h = fnvUint64(h, uint64(op.Children[j].OpIdx))
+			h = fnvFloats(h, op.Children[j].EdgeFeat)
+		}
+	}
+	return h
+}

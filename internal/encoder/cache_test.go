@@ -1,0 +1,172 @@
+package encoder
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// encodeValues flattens an Output into comparable float slices.
+func encodeValues(out *Output) [][]float64 {
+	var vs [][]float64
+	for _, qe := range out.PerQuery {
+		for _, ne := range qe.NE {
+			vs = append(vs, ne.Val)
+		}
+		for _, ee := range qe.EE {
+			vs = append(vs, ee.Val)
+		}
+		vs = append(vs, qe.PQE.Val)
+	}
+	vs = append(vs, out.AQE.Val)
+	return vs
+}
+
+func valuesEqual(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCacheHitsAreBitIdentical(t *testing.T) {
+	enc, params, cfg := newTestEncoder(t, true, true)
+	snap := testSnapshot(cfg.OpDim, cfg.EdgeDim, cfg.QueryDim)
+
+	fresh := nn.NewTape()
+	fresh.SetInference(true)
+	want := encodeValues(enc.Encode(fresh, snap))
+
+	cache := NewCache()
+	tape := nn.NewTape()
+	tape.SetInference(true)
+	// First pass populates the cache, second pass must be all hits.
+	enc.EncodeWithCache(tape, snap, cache, params.Version())
+	if cache.Misses() != 2 || cache.Hits() != 0 {
+		t.Fatalf("after first pass: hits=%d misses=%d", cache.Hits(), cache.Misses())
+	}
+	tape.Reset()
+	got := encodeValues(enc.EncodeWithCache(tape, snap, cache, params.Version()))
+	if cache.Hits() != 2 {
+		t.Fatalf("second pass served %d hits, want 2", cache.Hits())
+	}
+	if !valuesEqual(want, got) {
+		t.Fatal("cached encoding diverged from fresh encode")
+	}
+}
+
+func TestCacheFingerprintInvalidation(t *testing.T) {
+	enc, params, cfg := newTestEncoder(t, true, true)
+	snap := testSnapshot(cfg.OpDim, cfg.EdgeDim, cfg.QueryDim)
+	cache := NewCache()
+	tape := nn.NewTape()
+	tape.SetInference(true)
+	enc.EncodeWithCache(tape, snap, cache, params.Version())
+
+	// Mutate one op feature of query 1: query 0 stays a hit, query 1
+	// must be re-encoded and the recomputed value must reflect the edit.
+	snap.Queries[1].Ops[2].Feat[0] += 0.5
+	tape.Reset()
+	out := enc.EncodeWithCache(tape, snap, cache, params.Version())
+	if cache.Hits() != 1 || cache.Misses() != 3 {
+		t.Fatalf("hits=%d misses=%d, want 1/3", cache.Hits(), cache.Misses())
+	}
+	ref := nn.NewTape()
+	ref.SetInference(true)
+	want := encodeValues(enc.Encode(ref, snap))
+	if !valuesEqual(want, encodeValues(out)) {
+		t.Fatal("post-invalidation encoding diverged from fresh encode")
+	}
+
+	// QF changes alone must NOT evict (NE/EE/PQE are QF-independent).
+	snap.Queries[0].QF[0] += 1.0
+	tape.Reset()
+	enc.EncodeWithCache(tape, snap, cache, params.Version())
+	if cache.Hits() != 3 {
+		t.Fatalf("QF change evicted a query: hits=%d", cache.Hits())
+	}
+}
+
+func TestCacheParamsVersionInvalidation(t *testing.T) {
+	enc, params, cfg := newTestEncoder(t, true, true)
+	snap := testSnapshot(cfg.OpDim, cfg.EdgeDim, cfg.QueryDim)
+	cache := NewCache()
+	tape := nn.NewTape()
+	tape.SetInference(true)
+	enc.EncodeWithCache(tape, snap, cache, params.Version())
+	params.BumpVersion() // simulates an optimizer step
+	tape.Reset()
+	enc.EncodeWithCache(tape, snap, cache, params.Version())
+	if cache.Hits() != 0 || cache.Misses() != 4 {
+		t.Fatalf("version bump did not flush: hits=%d misses=%d", cache.Hits(), cache.Misses())
+	}
+}
+
+func TestCachePrunesDepartedQueries(t *testing.T) {
+	enc, params, cfg := newTestEncoder(t, true, true)
+	snap := testSnapshot(cfg.OpDim, cfg.EdgeDim, cfg.QueryDim)
+	cache := NewCache()
+	tape := nn.NewTape()
+	tape.SetInference(true)
+	enc.EncodeWithCache(tape, snap, cache, params.Version())
+	if len(cache.entries) != 2 {
+		t.Fatalf("%d entries after warm-up", len(cache.entries))
+	}
+	short := &Snapshot{Queries: snap.Queries[:1]}
+	tape.Reset()
+	enc.EncodeWithCache(tape, short, cache, params.Version())
+	if len(cache.entries) != 1 {
+		t.Fatalf("%d entries after prune, want 1", len(cache.entries))
+	}
+	if _, ok := cache.entries[snap.Queries[0].QueryID]; !ok {
+		t.Fatal("surviving query was pruned instead of the departed one")
+	}
+}
+
+func TestCacheBypassedOnRecordingTape(t *testing.T) {
+	enc, params, cfg := newTestEncoder(t, true, true)
+	snap := testSnapshot(cfg.OpDim, cfg.EdgeDim, cfg.QueryDim)
+	cache := NewCache()
+	tape := nn.NewTape() // recording mode
+	out := enc.EncodeWithCache(tape, snap, cache, params.Version())
+	if cache.Hits() != 0 || cache.Misses() != 0 || len(cache.entries) != 0 {
+		t.Fatal("recording tape must bypass the cache entirely")
+	}
+	// Gradients must flow as if no cache existed.
+	params.ZeroGrads()
+	tape.Backward(tape.Sum(out.AQE))
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	snap := testSnapshot(6, 2, 4)
+	qs := &snap.Queries[1]
+	base := Fingerprint(qs)
+	if Fingerprint(qs) != base {
+		t.Fatal("fingerprint not deterministic")
+	}
+	origFeat := qs.Ops[0].Feat[3]
+	qs.Ops[0].Feat[3] += 1e-9
+	if Fingerprint(qs) == base {
+		t.Fatal("feature change not reflected in fingerprint")
+	}
+	qs.Ops[0].Feat[3] = origFeat
+	qs.Ops[3].Children[0].EdgeFeat[0] = 0.5
+	if Fingerprint(qs) == base {
+		t.Fatal("edge-feature change not reflected in fingerprint")
+	}
+	qs.Ops[3].Children[0].EdgeFeat[0] = 0
+	qs.QF[0] += 1
+	if Fingerprint(qs) != base {
+		t.Fatal("QF must be excluded from the fingerprint")
+	}
+}

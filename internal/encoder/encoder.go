@@ -61,6 +61,11 @@ type Encoder struct {
 	// AQE summarization.
 	aqeIn  *nn.MLP
 	aqeOut *nn.MLP
+	// Per-call scratch, dead by the time each method returns. An Encoder
+	// is driven by one goroutine at a time (the one-goroutine-per-engine
+	// invariant), so reuse is safe.
+	edgeEmbScratch [][2]*nn.Node
+	pairScratch    [][2]*nn.Node
 }
 
 // New registers the encoder's parameters under the "enc." prefix.
@@ -124,20 +129,53 @@ type Output struct {
 
 // Encode runs the full encoder over a snapshot on the given tape.
 func (e *Encoder) Encode(t *nn.Tape, snap *Snapshot) *Output {
-	out := &Output{}
-	var aqeMsgs []*nn.Node
+	return e.EncodeWithCache(t, snap, nil, 0)
+}
+
+// EncodeWithCache runs the encoder, serving unchanged queries from the
+// cache. paramsVersion (nn.Params.Version) invalidates the cache after
+// any weight update. The cache is honored only when t is an inference
+// tape: a recording tape must recompute every query so gradients flow
+// through the encoder, and it then also refreshes nothing (the cache is
+// bypassed entirely, not repopulated, since its values would be
+// redundant with the next inference pass). The AQE message of every
+// query is recomputed each event because it mixes in QF, which changes
+// with the thread pool at nearly every event.
+func (e *Encoder) EncodeWithCache(t *nn.Tape, snap *Snapshot, c *Cache, paramsVersion uint64) *Output {
+	useCache := c != nil && t.Inference()
+	if useCache {
+		c.syncVersion(paramsVersion)
+	}
+	out := &Output{PerQuery: make([]QueryEncoding, 0, len(snap.Queries))}
+	aqeMsgs := t.NodeSlice(len(snap.Queries))
 	for qi := range snap.Queries {
 		qs := &snap.Queries[qi]
-		enc := e.encodeQuery(t, qs)
+		var enc QueryEncoding
+		if useCache {
+			fp := Fingerprint(qs)
+			if ent, ok := c.entries[qs.QueryID]; ok && ent.fp == fp {
+				c.hits++
+				enc = ent.materialize(t, qs.QueryID)
+			} else {
+				c.misses++
+				enc = e.encodeQuery(t, qs)
+				c.store(qs.QueryID, fp, &enc)
+			}
+		} else {
+			enc = e.encodeQuery(t, qs)
+		}
 		out.PerQuery = append(out.PerQuery, enc)
 		msg := e.aqeIn.Apply(t, t.Concat(enc.PQE, t.Const(qs.QF)))
-		aqeMsgs = append(aqeMsgs, t.ReLU(msg))
+		aqeMsgs[qi] = t.ReLU(msg)
+	}
+	if useCache {
+		c.prune(snap)
 	}
 	if len(aqeMsgs) == 0 {
 		out.AQE = t.Zeros(e.cfg.Hidden)
 		return out
 	}
-	out.AQE = e.aqeOut.Apply(t, t.MeanOf(aqeMsgs))
+	out.AQE = e.aqeOut.Apply(t, t.MeanOfOwned(aqeMsgs))
 	return out
 }
 
@@ -146,14 +184,20 @@ func (e *Encoder) Encode(t *nn.Tape, snap *Snapshot) *Output {
 func (e *Encoder) encodeQuery(t *nn.Tape, qs *QuerySnapshot) QueryEncoding {
 	n := len(qs.Ops)
 	h := e.cfg.Hidden
-	// Project raw features to the embedding space.
-	emb := make([]*nn.Node, n)
+	// Project raw features to the embedding space. Node slices live on
+	// the tape's pointer arena, recycled at Tape.Reset.
+	emb := t.NodeSlice(n)
 	for i := range qs.Ops {
 		emb[i] = t.ReLU(e.inProj.Apply(t, t.Const(qs.Ops[i].Feat)))
 	}
 	// Project edge features once; edges are identified by (parent, slot).
-	edgeEmb := make([][2]*nn.Node, n)
-	edgeAvg := make([]*nn.Node, n)
+	// edgeEmb is encoder-owned scratch (dead after this call); edgeAvg
+	// escapes into the returned QueryEncoding so it lives on the tape.
+	if cap(e.edgeEmbScratch) < n {
+		e.edgeEmbScratch = make([][2]*nn.Node, n)
+	}
+	edgeEmb := e.edgeEmbScratch[:n]
+	edgeAvg := t.NodeSlice(n)
 	zero := t.Zeros(h)
 	for i := range qs.Ops {
 		left, right := childSlots(&qs.Ops[i])
@@ -185,7 +229,11 @@ func (e *Encoder) encodeQuery(t *nn.Tape, qs *QuerySnapshot) QueryEncoding {
 		}
 	}
 	// PQE: connect every node and edge to a dummy summary node.
-	var msgs []*nn.Node
+	nMsgs := n
+	for i := range qs.Ops {
+		nMsgs += len(qs.Ops[i].Children)
+	}
+	msgs := t.NodeSlice(nMsgs)[:0]
 	for i := range qs.Ops {
 		m := e.pqeNode.Apply(t, t.Concat(emb[i], t.Const(qs.Ops[i].Feat)))
 		msgs = append(msgs, t.ReLU(m))
@@ -194,7 +242,7 @@ func (e *Encoder) encodeQuery(t *nn.Tape, qs *QuerySnapshot) QueryEncoding {
 			msgs = append(msgs, t.ReLU(me))
 		}
 	}
-	pqe := e.pqeOut.Apply(t, t.MeanOf(msgs))
+	pqe := e.pqeOut.Apply(t, t.MeanOfOwned(msgs))
 	return QueryEncoding{QueryID: qs.QueryID, NE: emb, EE: edgeAvg, PQE: pqe}
 }
 
@@ -216,7 +264,7 @@ func childSlots(op *OpSnapshot) (left, right *ChildRef) {
 // optionally re-weighted by GAT scores (Eq. 5). All nodes use only the
 // previous layer's embeddings, so there is no intra-layer smoothing.
 func (e *Encoder) tcnForward(t *nn.Tape, qs *QuerySnapshot, l *tcnLayer, prev []*nn.Node, edgeEmb [][2]*nn.Node, zero *nn.Node) []*nn.Node {
-	next := make([]*nn.Node, len(prev))
+	next := t.NodeSlice(len(prev))
 	for i := range qs.Ops {
 		left, right := childSlots(&qs.Ops[i])
 		var agg *nn.Node
@@ -252,7 +300,7 @@ func (e *Encoder) tcnForward(t *nn.Tape, qs *QuerySnapshot, l *tcnLayer, prev []
 			agg = t.Add(agg, l.bias)
 		} else {
 			// Isotropic Eq. 2 in one fused accumulate.
-			pairs := [][2]*nn.Node{{l.wp, prev[i]}}
+			pairs := append(e.pairScratch[:0], [2]*nn.Node{l.wp, prev[i]})
 			if left != nil {
 				pairs = append(pairs, [2]*nn.Node{l.wn, prev[left.OpIdx]})
 				if e.cfg.UseEdges {
@@ -266,6 +314,7 @@ func (e *Encoder) tcnForward(t *nn.Tape, qs *QuerySnapshot, l *tcnLayer, prev []
 				}
 			}
 			agg = t.MulAdd(l.bias, pairs...)
+			e.pairScratch = pairs[:0]
 		}
 		next[i] = t.ReLU(agg)
 	}
@@ -277,7 +326,7 @@ func (e *Encoder) tcnForward(t *nn.Tape, qs *QuerySnapshot, l *tcnLayer, prev []
 // each node fuses its children's embeddings computed in this same layer,
 // which is exactly the over-smoothing pattern §4.2 describes.
 func (e *Encoder) gcnForward(t *nn.Tape, qs *QuerySnapshot, l *tcnLayer, prev []*nn.Node) []*nn.Node {
-	next := make([]*nn.Node, len(prev))
+	next := t.NodeSlice(len(prev))
 	for i := range qs.Ops {
 		// Topological order guarantees children are already computed.
 		acc := t.MulAdd(l.bias, [2]*nn.Node{l.wp, prev[i]})

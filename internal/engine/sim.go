@@ -18,6 +18,17 @@ type Arrival struct {
 	At   float64
 }
 
+// CloneArrivals deep-copies an arrival list (plans included) so separate
+// runs — repeated evaluations, or parallel training rollouts on their
+// own Sims — never share plan structure.
+func CloneArrivals(in []Arrival) []Arrival {
+	out := make([]Arrival, len(in))
+	for i, a := range in {
+		out[i] = Arrival{Plan: a.Plan.Clone(), At: a.At}
+	}
+	return out
+}
+
 // SimConfig configures one simulator run.
 type SimConfig struct {
 	// Threads is the initial worker pool size.

@@ -94,7 +94,13 @@ func (q *QueryState) sideInputsReady(op, via *plan.Operator) bool {
 // roots now: not done, not already active, and with every input operator
 // fully executed.
 func (q *QueryState) SchedulableRoots() []*plan.Operator {
-	var roots []*plan.Operator
+	return q.AppendSchedulableRoots(nil)
+}
+
+// AppendSchedulableRoots is SchedulableRoots appending into dst — the
+// allocation-free form used on the scheduler's per-event hot path.
+func (q *QueryState) AppendSchedulableRoots(dst []*plan.Operator) []*plan.Operator {
+	roots := dst
 	for _, s := range q.OpStates {
 		if s.Done || s.Active {
 			continue
@@ -196,13 +202,21 @@ func (st *State) Query(id int) *QueryState {
 // LocalityVector returns, for query q, a 0/1 value per thread indicating
 // whether that thread previously executed work for q (the Q-LOC feature).
 func (st *State) LocalityVector(q *QueryState) []float64 {
-	v := make([]float64, len(st.Threads))
-	for i, t := range st.Threads {
+	return st.AppendLocalityVector(make([]float64, 0, len(st.Threads)), q)
+}
+
+// AppendLocalityVector appends the Q-LOC vector to dst and returns the
+// extended slice — the allocation-free form feature extractors use on
+// the per-event hot path.
+func (st *State) AppendLocalityVector(dst []float64, q *QueryState) []float64 {
+	for _, t := range st.Threads {
 		if t.LastQuery == q.ID {
-			v[i] = 1
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
 		}
 	}
-	return v
+	return dst
 }
 
 // NewQueryStateForWire rebuilds a QueryState from externally transported

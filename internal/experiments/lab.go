@@ -29,6 +29,10 @@ type Scale struct {
 	Repeats int
 	// TuneRounds is the SelfTune hill-climbing budget.
 	TuneRounds int
+	// Rollouts is the number of training episodes collected concurrently
+	// per policy update (lsched.TrainConfig.Rollouts); 0/1 trains
+	// sequentially.
+	Rollouts int
 }
 
 // QuickScale is the default for the CLI's -scale quick runs; it matches
@@ -105,6 +109,7 @@ func (l *Lab) SimConfig(seed int64) engine.SimConfig {
 func (l *Lab) trainConfig(pool *workload.Pool, seed int64) lsched.TrainConfig {
 	cfg := lsched.DefaultTrainConfig(seed)
 	cfg.Episodes = l.Scale.TrainEpisodes
+	cfg.Rollouts = l.Scale.Rollouts
 	cfg.SimCfg = engine.SimConfig{Threads: l.Scale.Threads, NoiseFrac: 0.15}
 	if l.WatchTraining {
 		cfg.SimCfg.Metrics = l.Metrics
@@ -148,11 +153,7 @@ func (l *Lab) trainConfig(pool *workload.Pool, seed int64) lsched.TrainConfig {
 // cloneArrivals deep-copies an arrival list so repeated evaluation runs
 // do not share mutable plan state.
 func cloneArrivals(in []engine.Arrival) []engine.Arrival {
-	out := make([]engine.Arrival, len(in))
-	for i, a := range in {
-		out[i] = engine.Arrival{Plan: a.Plan.Clone(), At: a.At}
-	}
-	return out
+	return engine.CloneArrivals(in)
 }
 
 // LSched returns (and caches) a trained LSched agent for the benchmark.

@@ -93,12 +93,15 @@ func Downsample(b []float64, out int) []float64 {
 	return d
 }
 
-// downsampleSuffix is Downsample applied to a length-total bitmap whose
-// first done entries are 0 and the rest 1, exploiting the suffix shape.
-func downsampleSuffix(total, done, out int) []float64 {
-	d := make([]float64, out)
-	if total <= 0 || out <= 0 {
-		return d
+// appendDownsampleSuffix appends Downsample applied to a length-total
+// bitmap whose first done entries are 0 and the rest 1, exploiting the
+// suffix shape to avoid materializing the bitmap.
+func appendDownsampleSuffix(dst []float64, total, done, out int) []float64 {
+	if out <= 0 {
+		return dst
+	}
+	if total <= 0 {
+		return appendZeros(dst, out)
 	}
 	stride := float64(total) / float64(out)
 	for j := 0; j < out; j++ {
@@ -114,11 +117,21 @@ func downsampleSuffix(total, done, out int) []float64 {
 		if done > remLo {
 			remLo = done
 		}
+		v := 0.0
 		if remLo < hi {
-			d[j] = float64(hi-remLo) / float64(hi-lo)
+			v = float64(hi-remLo) / float64(hi-lo)
 		}
+		dst = append(dst, v)
 	}
-	return d
+	return dst
+}
+
+// appendZeros appends n zero values to dst.
+func appendZeros(dst []float64, n int) []float64 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, 0)
+	}
+	return dst
 }
 
 func hashBucket(s string, buckets int) int {
@@ -132,14 +145,20 @@ func hashBucket(s string, buckets int) int {
 // O-BLCKS) with the dynamic ones (O-WO, O-DUR, O-MEM) from the engine's
 // cost estimator.
 func (e *Extractor) Operator(st *engine.State, q *engine.QueryState, os *engine.OpState) []float64 {
+	return e.AppendOperator(make([]float64, 0, e.cfg.OpDim()), st, q, os)
+}
+
+// AppendOperator appends the OPF vector to dst and returns the extended
+// slice. This is the allocation-free form used on the per-event hot
+// path: no intermediate one-hot or bitmap slices are materialized.
+func (e *Extractor) AppendOperator(dst []float64, st *engine.State, q *engine.QueryState, os *engine.OpState) []float64 {
 	c := e.cfg
-	v := make([]float64, 0, c.OpDim())
 	op := os.Op
 
-	// O-TY: operator type one-hot.
-	ty := make([]float64, plan.NumOpTypes)
-	ty[op.Type] = 1
-	v = append(v, ty...)
+	// O-TY: operator type one-hot, written in place.
+	base := len(dst)
+	dst = appendZeros(dst, plan.NumOpTypes)
+	dst[base+int(op.Type)] = 1
 
 	// O-CON: connectivity summary.
 	depth := 0.0
@@ -147,63 +166,95 @@ func (e *Extractor) Operator(st *engine.State, q *engine.QueryState, os *engine.
 		o = o.Children()[0].Child
 		depth++
 	}
-	con := [connectivityDims]float64{
+	dst = append(dst,
 		float64(len(op.Children())),
 		float64(len(op.Parents())),
-		depth / 8.0,
+		depth/8.0,
 		b2f(len(op.Children()) == 0),
 		b2f(len(op.Parents()) == 0),
-	}
-	v = append(v, con[:]...)
+	)
 
 	// O-IN: hashed one-hot of input relations.
-	in := make([]float64, c.RelBuckets)
+	base = len(dst)
+	dst = appendZeros(dst, c.RelBuckets)
 	for _, r := range op.InputRelations {
-		in[hashBucket(r, c.RelBuckets)] = 1
+		dst[base+hashBucket(r, c.RelBuckets)] = 1
 	}
-	v = append(v, in...)
 
 	// O-COLS: hashed one-hot of touched columns.
-	cols := make([]float64, c.ColBuckets)
+	base = len(dst)
+	dst = appendZeros(dst, c.ColBuckets)
 	for _, col := range op.Columns {
-		cols[hashBucket(col, c.ColBuckets)] = 1
+		dst[base+hashBucket(col, c.ColBuckets)] = 1
 	}
-	v = append(v, cols...)
 
 	// O-BLCKS: bitmap of blocks still to process, downsized by Eq. 1.
 	// Work orders complete in block order, so the remaining bitmap is a
 	// contiguous suffix and each bucket's mean is the fraction of the
 	// bucket past the completion point — computed without materializing
 	// the (possibly thousands-long) bitmap.
-	v = append(v, downsampleSuffix(os.TotalWOs, os.Completed, c.BlockFeat)...)
+	dst = appendDownsampleSuffix(dst, os.TotalWOs, os.Completed, c.BlockFeat)
 
 	// O-WO, O-DUR, O-MEM (log-compressed dynamic scalars).
 	rem := os.Remaining()
 	key := q.ID*1024 + op.ID
-	v = append(v,
+	return append(dst,
 		math.Log1p(float64(rem)),
 		math.Log1p(st.Estimator.EstimateDuration(key, rem)),
 		math.Log1p(st.Estimator.EstimateMemory(key, rem)),
 	)
-	return v
 }
 
 // Edge computes the EDF vector for one plan edge.
 func (e *Extractor) Edge(ed *plan.Edge) []float64 {
-	return []float64{b2f(ed.NonPipelineBreaking), b2f(ed.SourceIsChild)}
+	return e.AppendEdge(make([]float64, 0, e.cfg.EdgeDim()), ed)
+}
+
+// AppendEdge appends the EDF vector to dst and returns the extended
+// slice.
+func (e *Extractor) AppendEdge(dst []float64, ed *plan.Edge) []float64 {
+	return append(dst, b2f(ed.NonPipelineBreaking), b2f(ed.SourceIsChild))
 }
 
 // Query computes the QF vector for one running query: assigned threads,
 // free threads, and the downsized thread-locality vector.
 func (e *Extractor) Query(st *engine.State, q *engine.QueryState) []float64 {
+	return e.AppendQuery(make([]float64, 0, e.cfg.QueryDim()), st, q)
+}
+
+// AppendQuery appends the QF vector to dst and returns the extended
+// slice. The Q-LOC locality bitmap is downsized bucket by bucket
+// without materializing the per-thread vector.
+func (e *Extractor) AppendQuery(dst []float64, st *engine.State, q *engine.QueryState) []float64 {
 	c := e.cfg
-	v := make([]float64, 0, c.QueryDim())
-	v = append(v,
+	dst = append(dst,
 		math.Log1p(float64(q.AssignedThreads)),
 		math.Log1p(float64(st.FreeThreads())),
 	)
-	v = append(v, Downsample(st.LocalityVector(q), c.LocFeat)...)
-	return v
+	// Downsample(st.LocalityVector(q), c.LocFeat) computed in place.
+	total := len(st.Threads)
+	if total == 0 || c.LocFeat <= 0 {
+		return appendZeros(dst, c.LocFeat)
+	}
+	stride := float64(total) / float64(c.LocFeat)
+	for j := 0; j < c.LocFeat; j++ {
+		lo := int(float64(j) * stride)
+		hi := int(float64(j+1) * stride)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > total {
+			hi = total
+		}
+		s := 0.0
+		for k := lo; k < hi; k++ {
+			if st.Threads[k].LastQuery == q.ID {
+				s++
+			}
+		}
+		dst = append(dst, s/float64(hi-lo))
+	}
+	return dst
 }
 
 func b2f(b bool) float64 {

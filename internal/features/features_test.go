@@ -46,7 +46,7 @@ func TestDownsampleSuffixMatchesGeneric(t *testing.T) {
 			bitmap[i] = 1
 		}
 		a := Downsample(bitmap, w)
-		b := downsampleSuffix(n, d, w)
+		b := appendDownsampleSuffix(nil, n, d, w)
 		for i := range a {
 			if math.Abs(a[i]-b[i]) > 1e-12 {
 				return false
@@ -163,6 +163,40 @@ func TestEdgeFeatureEncodesNPB(t *testing.T) {
 	e.NonPipelineBreaking = false
 	if ext.Edge(e)[0] != 0 {
 		t.Fatal("E-NPB should be 0 for breakers")
+	}
+}
+
+func TestAppendFormsMatchAllocating(t *testing.T) {
+	ext := NewExtractor(DefaultConfig())
+	st, q := testState(t)
+	scratch := make([]float64, 0, 256)
+	for _, os := range q.OpStates {
+		want := ext.Operator(st, q, os)
+		scratch = ext.AppendOperator(scratch[:0], st, q, os)
+		if len(scratch) != len(want) {
+			t.Fatalf("AppendOperator len %d, want %d", len(scratch), len(want))
+		}
+		for i := range want {
+			if scratch[i] != want[i] {
+				t.Fatalf("AppendOperator[%d] = %v, want %v", i, scratch[i], want[i])
+			}
+		}
+	}
+	wantQ := ext.Query(st, q)
+	scratch = ext.AppendQuery(scratch[:0], st, q)
+	for i := range wantQ {
+		if scratch[i] != wantQ[i] {
+			t.Fatalf("AppendQuery[%d] = %v, want %v", i, scratch[i], wantQ[i])
+		}
+	}
+	for _, ed := range q.Plan.Edges {
+		wantE := ext.Edge(ed)
+		scratch = ext.AppendEdge(scratch[:0], ed)
+		for i := range wantE {
+			if scratch[i] != wantE[i] {
+				t.Fatalf("AppendEdge[%d] = %v, want %v", i, scratch[i], wantE[i])
+			}
+		}
 	}
 }
 

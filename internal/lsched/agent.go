@@ -14,6 +14,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/plan"
 	"repro/internal/predictor"
 )
 
@@ -50,6 +51,13 @@ type Options struct {
 	Name string
 	// FeatCfg sets feature dimensions; zero value selects defaults.
 	FeatCfg features.Config
+	// DisableFastPath turns off the serving fast path (gradient-free
+	// inference tape, per-query encoding cache, and per-event scratch
+	// reuse) and restores the fully allocating recording-tape pipeline.
+	// The zero value keeps the fast path on; the toggle exists for
+	// A/B benchmarking and for bit-identity tests — decisions are the
+	// same either way.
+	DisableFastPath bool
 }
 
 // DefaultOptions returns the configuration used in the experiments.
@@ -101,19 +109,41 @@ type Agent struct {
 	pred   *predictor.Predictor
 	ext    *features.Extractor
 	rng    *rand.Rand
-	// tape is reused across scheduling events to recycle its arenas.
+	// tape is the recording tape used for gradient replay; it is reused
+	// across updates to recycle its arenas.
 	tape *nn.Tape
+	// inferTape is the gradient-free tape the serving fast path runs
+	// forward passes on: no Grad slabs, no backward closures.
+	inferTape *nn.Tape
+	// cache memoizes per-query encodings across events (fast path only).
+	cache *encoder.Cache
 
 	recording bool
 	episode   []*step
 
+	// Per-event scratch reused by the fast path. An Agent drives one
+	// engine from one goroutine, so plain fields are safe; everything
+	// here is dead by the time OnEvent returns (steps recorded for
+	// replay are deep copies).
+	snapScratch   encoder.Snapshot
+	featArena     []float64
+	planScratch   []*plan.Operator
+	candScratch   []predictor.Candidate
+	decScratch    []engine.Decision
+	rootScratch   []rootChoice
+	grantScratch  []int
+	bannedScratch []bool
+	probScratch   []float64
+
 	// Observability handles (nil when not instrumented): how often the
 	// policy was invoked, how many roots it activated vs. declined
 	// (stop actions), and the candidate-set size it last saw.
-	mEvents     *metrics.Counter
-	mRoots      *metrics.Counter
-	mStops      *metrics.Counter
-	mCandidates *metrics.Gauge
+	mEvents      *metrics.Counter
+	mRoots       *metrics.Counter
+	mStops       *metrics.Counter
+	mCandidates  *metrics.Gauge
+	mCacheHits   *metrics.Gauge
+	mCacheMisses *metrics.Gauge
 }
 
 // New builds an agent with freshly initialized parameters.
@@ -146,7 +176,10 @@ func New(opts Options) *Agent {
 		ext:    ext,
 		rng:    rand.New(rand.NewSource(opts.Seed + 7919)),
 		tape:   nn.NewTape(),
+		cache:  encoder.NewCache(),
 	}
+	a.inferTape = nn.NewTape()
+	a.inferTape.SetInference(true)
 	return a
 }
 
@@ -168,6 +201,21 @@ func (a *Agent) Options() Options { return a.opts }
 // SetGreedy toggles argmax action selection.
 func (a *Agent) SetGreedy(g bool) { a.opts.Greedy = g }
 
+// SetFastPath toggles the serving fast path (on by default). Decisions
+// are bit-identical either way; the toggle exists for benchmarking.
+func (a *Agent) SetFastPath(on bool) { a.opts.DisableFastPath = !on }
+
+// EncodingCacheStats reports the encoding cache's hit/miss counters.
+func (a *Agent) EncodingCacheStats() (hits, misses uint64) {
+	return a.cache.Hits(), a.cache.Misses()
+}
+
+// reseedActions re-seeds the action-sampling stream. Training re-seeds
+// per episode so an episode's action draws depend only on its index,
+// which is what lets parallel rollouts replicate the sequential
+// schedule draw-for-draw.
+func (a *Agent) reseedActions(seed int64) { a.rng = rand.New(rand.NewSource(seed)) }
+
 // Instrument attaches decision-level observability to the agent. A nil
 // registry leaves it un-instrumented (the zero-overhead default).
 func (a *Agent) Instrument(reg *metrics.Registry) {
@@ -178,6 +226,8 @@ func (a *Agent) Instrument(reg *metrics.Registry) {
 	a.mRoots = reg.Counter("lsched_root_decisions")
 	a.mStops = reg.Counter("lsched_stop_actions")
 	a.mCandidates = reg.Gauge("lsched_candidates")
+	a.mCacheHits = reg.Gauge("lsched_enc_cache_hits")
+	a.mCacheMisses = reg.Gauge("lsched_enc_cache_misses")
 }
 
 // startRecording clears and enables the episode buffer.
@@ -191,7 +241,8 @@ func (a *Agent) stopRecording() []*step {
 	return out
 }
 
-// buildSnapshot captures the feature tensors of every running query.
+// buildSnapshot captures the feature tensors of every running query,
+// allocating everything fresh (the slow path and recording fallback).
 func (a *Agent) buildSnapshot(st *engine.State) *encoder.Snapshot {
 	snap := &encoder.Snapshot{}
 	for _, q := range st.Queries {
@@ -211,6 +262,87 @@ func (a *Agent) buildSnapshot(st *engine.State) *encoder.Snapshot {
 	return snap
 }
 
+// arenaTail returns the arena slice written since base, capped so later
+// appends cannot alias into it.
+func arenaTail(arena []float64, base int) []float64 {
+	return arena[base:len(arena):len(arena)]
+}
+
+// buildSnapshotScratch is buildSnapshot into agent-owned buffers: all
+// feature vectors land in one flat float64 arena and the snapshot
+// structure is recycled event to event, so a steady-state event
+// allocates nothing. The returned snapshot is valid until the next
+// OnEvent; recording deep-copies it first.
+func (a *Agent) buildSnapshotScratch(st *engine.State) *encoder.Snapshot {
+	snap := &a.snapScratch
+	snap.Queries = snap.Queries[:0]
+	a.featArena = a.featArena[:0]
+	for _, q := range st.Queries {
+		if len(snap.Queries) < cap(snap.Queries) {
+			snap.Queries = snap.Queries[:len(snap.Queries)+1]
+		} else {
+			snap.Queries = append(snap.Queries, encoder.QuerySnapshot{})
+		}
+		qs := &snap.Queries[len(snap.Queries)-1]
+		qs.QueryID = q.ID
+		base := len(a.featArena)
+		a.featArena = a.ext.AppendQuery(a.featArena, st, q)
+		qs.QF = arenaTail(a.featArena, base)
+		qs.Ops = qs.Ops[:0]
+		for _, os := range q.OpStates {
+			if len(qs.Ops) < cap(qs.Ops) {
+				qs.Ops = qs.Ops[:len(qs.Ops)+1]
+			} else {
+				qs.Ops = append(qs.Ops, encoder.OpSnapshot{})
+			}
+			op := &qs.Ops[len(qs.Ops)-1]
+			op.OpID = os.Op.ID
+			base = len(a.featArena)
+			a.featArena = a.ext.AppendOperator(a.featArena, st, q, os)
+			op.Feat = arenaTail(a.featArena, base)
+			op.Children = op.Children[:0]
+			for _, e := range os.Op.Children() {
+				base = len(a.featArena)
+				a.featArena = a.ext.AppendEdge(a.featArena, e)
+				op.Children = append(op.Children, encoder.ChildRef{
+					OpIdx:    e.Child.ID,
+					EdgeFeat: arenaTail(a.featArena, base),
+				})
+			}
+		}
+	}
+	return snap
+}
+
+// cloneSnapshot deep-copies a scratch-backed snapshot so a recorded
+// step survives the next event's buffer reuse.
+func cloneSnapshot(snap *encoder.Snapshot) *encoder.Snapshot {
+	out := &encoder.Snapshot{Queries: make([]encoder.QuerySnapshot, len(snap.Queries))}
+	for qi := range snap.Queries {
+		src := &snap.Queries[qi]
+		dst := &out.Queries[qi]
+		dst.QueryID = src.QueryID
+		dst.QF = append([]float64(nil), src.QF...)
+		dst.Ops = make([]encoder.OpSnapshot, len(src.Ops))
+		for oi := range src.Ops {
+			so := &src.Ops[oi]
+			do := &dst.Ops[oi]
+			do.OpID = so.OpID
+			do.Feat = append([]float64(nil), so.Feat...)
+			if len(so.Children) > 0 {
+				do.Children = make([]encoder.ChildRef, len(so.Children))
+				for ci := range so.Children {
+					do.Children[ci] = encoder.ChildRef{
+						OpIdx:    so.Children[ci].OpIdx,
+						EdgeFeat: append([]float64(nil), so.Children[ci].EdgeFeat...),
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
 // anyActiveWork reports whether any query has an activated, unfinished
 // operator — i.e. whether the engine has something to run even if the
 // scheduler declines to schedule more.
@@ -225,19 +357,27 @@ func anyActiveWork(st *engine.State) bool {
 	return false
 }
 
-// candidates lists the schedulable roots across all queries, paired with
-// their current longest pipeline path.
-func candidates(st *engine.State, maxDepth int) []predictor.Candidate {
-	var cands []predictor.Candidate
+// appendCandidates lists the schedulable roots across all queries,
+// paired with their current longest pipeline path, appending into dst.
+// rootsScratch is reused per query; both slices are returned so callers
+// can keep their grown capacity.
+func appendCandidates(dst []predictor.Candidate, rootsScratch []*plan.Operator, st *engine.State, maxDepth int) ([]predictor.Candidate, []*plan.Operator) {
 	for qi, q := range st.Queries {
-		for _, op := range q.SchedulableRoots() {
+		rootsScratch = q.AppendSchedulableRoots(rootsScratch[:0])
+		for _, op := range rootsScratch {
 			d := q.Plan.LongestPipelinePathFrom(op)
 			if d > maxDepth {
 				d = maxDepth
 			}
-			cands = append(cands, predictor.Candidate{QIdx: qi, OpIdx: op.ID, OpID: op.ID, MaxDepth: d})
+			dst = append(dst, predictor.Candidate{QIdx: qi, OpIdx: op.ID, OpID: op.ID, MaxDepth: d})
 		}
 	}
+	return dst, rootsScratch
+}
+
+// candidates is the allocating form of appendCandidates.
+func candidates(st *engine.State, maxDepth int) []predictor.Candidate {
+	cands, _ := appendCandidates(nil, nil, st, maxDepth)
 	return cands
 }
 
@@ -246,20 +386,50 @@ func candidates(st *engine.State, maxDepth int) []predictor.Candidate {
 // replacement, bounded by the free thread count), and then predicts the
 // parallelism degree of every running query (§5.3.3), emitting
 // grant-only decisions so thread shares are re-balanced at each event.
+//
+// The fast path (the default) runs the forward pass on a gradient-free
+// tape, serves unchanged queries from the encoding cache, and reuses
+// agent-owned scratch buffers, so a steady-state event allocates
+// almost nothing. It is used even while recording an episode: the
+// sampled actions only depend on forward values, which are
+// bit-identical across tape modes, and replayStep re-runs the forward
+// pass on the recording tape when gradients are needed.
 func (a *Agent) OnEvent(st *engine.State, ev Event) []engine.Decision {
 	if len(st.Queries) == 0 {
 		return nil
 	}
 	a.mEvents.Inc()
-	cands := candidates(st, a.pred.Config().MaxPipelineDepth)
+	fast := !a.opts.DisableFastPath
+	var (
+		cands []predictor.Candidate
+		snap  *encoder.Snapshot
+		t     *nn.Tape
+		enc   *encoder.Output
+	)
+	if fast {
+		cands, a.planScratch = appendCandidates(a.candScratch[:0], a.planScratch, st, a.pred.Config().MaxPipelineDepth)
+		a.candScratch = cands
+		snap = a.buildSnapshotScratch(st)
+		t = a.inferTape
+		t.Reset()
+		enc = a.enc.EncodeWithCache(t, snap, a.cache, a.params.Version())
+		a.mCacheHits.Set(float64(a.cache.Hits()))
+		a.mCacheMisses.Set(float64(a.cache.Misses()))
+	} else {
+		cands = candidates(st, a.pred.Config().MaxPipelineDepth)
+		snap = a.buildSnapshot(st)
+		t = a.tape
+		t.Reset()
+		enc = a.enc.Encode(t, snap)
+	}
 	a.mCandidates.Set(float64(len(cands)))
-	snap := a.buildSnapshot(st)
-	t := a.tape
-	t.Reset()
-	enc := a.enc.Encode(t, snap)
 
 	var decisions []engine.Decision
 	var roots []rootChoice
+	if fast {
+		decisions = a.decScratch[:0]
+		roots = a.rootScratch[:0]
+	}
 	if len(cands) > 0 {
 		// Root logits do not change within one event; sampling without
 		// replacement only needs the ban mask. A trailing stop logit
@@ -267,7 +437,12 @@ func (a *Agent) OnEvent(st *engine.State, ev Event) []engine.Decision {
 		// how staggered pipelines and buffer headroom are expressed.
 		rootLogits := t.Concat(a.pred.RootLogits(t, enc, cands), a.pred.StopLogit(t, enc))
 		stopIdx := len(cands)
-		banned := make([]bool, len(cands)+1)
+		var banned []bool
+		if fast {
+			banned = a.boolScratch(len(cands) + 1)
+		} else {
+			banned = make([]bool, len(cands)+1)
+		}
 		budget := st.FreeThreads()
 		if budget < 1 {
 			budget = 1
@@ -311,7 +486,15 @@ func (a *Agent) OnEvent(st *engine.State, ev Event) []engine.Decision {
 		}
 	}
 	// Parallelism degree for every running query.
-	grants := make([]int, len(snap.Queries))
+	var grants []int
+	if fast {
+		if cap(a.grantScratch) < len(snap.Queries) {
+			a.grantScratch = make([]int, len(snap.Queries))
+		}
+		grants = a.grantScratch[:len(snap.Queries)]
+	} else {
+		grants = make([]int, len(snap.Queries))
+	}
 	for qi := range snap.Queries {
 		parLogits := a.pred.ParallelismLogits(t, enc, qi, snap.Queries[qi].QF)
 		bucket := a.sampleBounded(parLogits.Val, len(parLogits.Val)-1)
@@ -323,12 +506,53 @@ func (a *Agent) OnEvent(st *engine.State, ev Event) []engine.Decision {
 		})
 	}
 	if a.recording {
-		a.episode = append(a.episode, &step{
-			snap: snap, cands: cands, roots: roots, grants: grants,
-			time: st.Now, liveQueries: len(st.Queries),
-		})
+		s := &step{time: st.Now, liveQueries: len(st.Queries)}
+		if fast {
+			// The scratch backing everything is reused next event, so the
+			// recorded step keeps its own deep copies.
+			s.snap = cloneSnapshot(snap)
+			s.cands = append([]predictor.Candidate(nil), cands...)
+			s.roots = append([]rootChoice(nil), roots...)
+			s.grants = append([]int(nil), grants...)
+		} else {
+			s.snap, s.cands, s.roots, s.grants = snap, cands, roots, grants
+		}
+		a.episode = append(a.episode, s)
+	}
+	if fast {
+		// Keep grown capacity for the next event.
+		a.decScratch = decisions[:0]
+		a.rootScratch = roots[:0]
 	}
 	return decisions
+}
+
+// boolScratch returns a zeroed agent-owned bool slice of length n.
+func (a *Agent) boolScratch(n int) []bool {
+	if cap(a.bannedScratch) < n {
+		a.bannedScratch = make([]bool, n)
+	}
+	b := a.bannedScratch[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// probs returns a zeroed agent-owned float64 scratch slice of length n
+// (sampling helpers run strictly sequentially within one event).
+func (a *Agent) probs(n int) []float64 {
+	if a.opts.DisableFastPath {
+		return make([]float64, n)
+	}
+	if cap(a.probScratch) < n {
+		a.probScratch = make([]float64, n)
+	}
+	p := a.probScratch[:n]
+	for i := range p {
+		p[i] = 0
+	}
+	return p
 }
 
 // sampleMasked samples (or argmaxes) an index from softmax(logits) with
@@ -354,7 +578,7 @@ func (a *Agent) sampleMasked(logits []float64, banned []bool) int {
 		return best
 	}
 	sum := 0.0
-	probs := make([]float64, len(logits))
+	probs := a.probs(len(logits))
 	for i, v := range logits {
 		if banned[i] {
 			continue
@@ -400,7 +624,7 @@ func (a *Agent) sampleBounded(logits []float64, bound int) int {
 		}
 	}
 	sum := 0.0
-	probs := make([]float64, len(sub))
+	probs := a.probs(len(sub))
 	for i, v := range sub {
 		probs[i] = math.Exp(v - max)
 		sum += probs[i]

@@ -1,0 +1,62 @@
+package lsched
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// benchState hand-builds a scheduler-visible engine state with nq
+// running queries over TPC-H plans — the fixture OnEvent sees at a
+// typical scheduling event, without running a simulator.
+func benchState(tb testing.TB, nq, threads int) *engine.State {
+	tb.Helper()
+	pool, err := workload.NewPool(workload.BenchTPCH, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	st := &engine.State{Now: 1, Estimator: costmodel.NewEstimator(threads, 1, 1)}
+	for i := 0; i < nq; i++ {
+		p := pool.Train[i%len(pool.Train)].Clone()
+		st.Queries = append(st.Queries, engine.NewQueryStateForWire(i, p, 0, 1))
+	}
+	st.Threads = make([]engine.ThreadInfo, threads)
+	for i := range st.Threads {
+		st.Threads[i] = engine.ThreadInfo{ID: i, LastQuery: i % nq}
+	}
+	return st
+}
+
+// BenchmarkAgentOnEvent measures one scheduling decision end to end
+// (features → encoder → heads → sampling). Sub-benchmarks:
+//
+//	greedy-fast: the serving fast path (inference tape, encoding
+//	             cache, scratch buffers) — the "after" number.
+//	greedy-full: the same decision on the allocating recording-tape
+//	             path (DisableFastPath) — the pre-optimization "before".
+//	recording:   the fast path while recording an episode (training
+//	             rollouts), which deep-copies each step.
+func BenchmarkAgentOnEvent(b *testing.B) {
+	run := func(b *testing.B, disable, record bool) {
+		opts := DefaultOptions(1)
+		opts.DisableFastPath = disable
+		a := New(opts)
+		a.SetGreedy(!record)
+		st := benchState(b, 6, 8)
+		ev := engine.Event{}
+		a.OnEvent(st, ev) // warm scratch, cache, estimator windows
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if record {
+				a.startRecording() // keeps the episode buffer at one step
+			}
+			a.OnEvent(st, ev)
+		}
+	}
+	b.Run("greedy-fast", func(b *testing.B) { run(b, false, false) })
+	b.Run("greedy-full", func(b *testing.B) { run(b, true, false) })
+	b.Run("recording", func(b *testing.B) { run(b, false, true) })
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/nn"
@@ -52,6 +53,17 @@ type TrainConfig struct {
 	// drift after converging.
 	Eval      func(a *Agent) float64
 	EvalEvery int
+	// Rollouts collects this many episodes concurrently per update
+	// round, each on its own simulator and worker agent sampling against
+	// a frozen copy of the current policy; the round's gradients are
+	// averaged into one optimizer step. 1 (or 0) keeps the fully
+	// sequential loop. Episode workloads, rewards, and callbacks are
+	// still processed in episode order on the calling goroutine, and a
+	// given (Seed, Rollouts) pair is deterministic. Workload must return
+	// an independent arrival slice per call (the built-in generators
+	// do); the plans themselves are never mutated by the engine, so
+	// sharing them across concurrent simulators is safe.
+	Rollouts int
 }
 
 // DefaultTrainConfig returns the training defaults used in experiments.
@@ -142,60 +154,137 @@ func Train(agent *Agent, cfg TrainConfig) (*TrainResult, error) {
 		return nil
 	}
 
-	for ep := 0; ep < cfg.Episodes; ep++ {
-		arrivals := cfg.Workload(ep, rng)
-		simCfg := cfg.SimCfg
+	rollouts := cfg.Rollouts
+	if rollouts < 1 {
+		rollouts = 1
+	}
+	// Worker pool for concurrent rollouts. The main agent collects the
+	// round's first episode itself; extra workers are structural clones
+	// that re-load the frozen policy at the start of every round.
+	workers := []*Agent{agent}
+	for len(workers) < rollouts {
+		w := New(agent.opts)
+		w.SetGreedy(false)
+		workers = append(workers, w)
+	}
+	// Every episode's action stream is seeded by its index (not by the
+	// shared rng's current state), so the schedule an episode samples is
+	// identical whether it runs sequentially or inside a parallel round.
+	actionSeed := func(ep int) int64 { return cfg.Seed + 7919 + int64(ep)*15485863 }
+	simSeed := func(ep int) int64 {
 		// Episodes in the same baseline group replay the same simulator
 		// noise, so return differences reflect the policy, not the
 		// environment draw.
 		if cfg.BaselineKey != nil {
-			simCfg.Seed = cfg.Seed + int64(cfg.BaselineKey(ep))*104729
-		} else {
-			simCfg.Seed = cfg.Seed + int64(ep)*104729
+			return cfg.Seed + int64(cfg.BaselineKey(ep))*104729
 		}
-		sim := engine.NewSim(simCfg)
-		agent.startRecording()
-		result, err := sim.Run(agent, arrivals)
-		steps := agent.stopRecording()
-		if err != nil {
-			return nil, fmt.Errorf("lsched: training episode %d: %w", ep, err)
-		}
-		if len(steps) == 0 {
-			continue
-		}
-		rewards := episodeRewards(steps, result.Makespan, cfg)
-		avgR := mean(rewards)
-		res.EpisodeRewards = append(res.EpisodeRewards, avgR)
-		res.EpisodeAvgDurations = append(res.EpisodeAvgDurations, result.AvgDuration())
+		return cfg.Seed + int64(ep)*104729
+	}
 
-		returns := discountedReturns(rewards, cfg.Gamma)
-		advs := baselineFor(ep).advantages(returns)
+	type rollout struct {
+		ep       int
+		arrivals []engine.Arrival
+		simCfg   engine.SimConfig
+		steps    []*step
+		result   *engine.SimResult
+		err      error
+	}
+
+	for base := 0; base < cfg.Episodes; base += rollouts {
+		n := rollouts
+		if base+n > cfg.Episodes {
+			n = cfg.Episodes - base
+		}
+		rolls := make([]rollout, n)
+		// Workload generation consumes the shared rng strictly in
+		// episode order, on this goroutine.
+		for i := range rolls {
+			ep := base + i
+			rolls[i].ep = ep
+			rolls[i].arrivals = cfg.Workload(ep, rng)
+			sc := cfg.SimCfg
+			sc.Seed = simSeed(ep)
+			rolls[i].simCfg = sc
+		}
+		if n == 1 {
+			r := &rolls[0]
+			r.steps, r.result, r.err = runRollout(agent, r.arrivals, r.simCfg, actionSeed(r.ep))
+		} else {
+			frozen, err := agent.params.Serialize()
+			if err != nil {
+				return nil, err
+			}
+			var wg sync.WaitGroup
+			for i := range rolls {
+				w := workers[i]
+				if w != agent {
+					if err := w.params.Load(frozen); err != nil {
+						return nil, err
+					}
+				}
+				wg.Add(1)
+				go func(r *rollout, w *Agent) {
+					defer wg.Done()
+					r.steps, r.result, r.err = runRollout(w, r.arrivals, r.simCfg, actionSeed(r.ep))
+				}(&rolls[i], w)
+			}
+			wg.Wait()
+		}
+
+		// Everything below — rewards, baselines, gradient replay, and
+		// callbacks — runs in episode order on this goroutine; the
+		// round's gradients are averaged into one optimizer step.
 		agent.params.ZeroGrads()
-		keep := steps
-		keepAdvs := advs
-		if n := len(steps); n > cfg.MaxStepsPerUpdate {
-			// Subsample uniformly across the episode so early decisions
-			// (which shape the whole schedule) keep getting gradients.
-			stride := float64(n) / float64(cfg.MaxStepsPerUpdate)
-			keep = make([]*step, 0, cfg.MaxStepsPerUpdate)
-			keepAdvs = make([]float64, 0, cfg.MaxStepsPerUpdate)
-			for k := 0; k < cfg.MaxStepsPerUpdate; k++ {
-				i := int(float64(k) * stride)
-				keep = append(keep, steps[i])
-				keepAdvs = append(keepAdvs, advs[i])
+		invN := 1.0 / float64(n)
+		accumulated := false
+		evalDue := false
+		for i := range rolls {
+			r := &rolls[i]
+			if r.err != nil {
+				return nil, fmt.Errorf("lsched: training episode %d: %w", r.ep, r.err)
+			}
+			if (r.ep+1)%evalEvery == 0 {
+				evalDue = true
+			}
+			if len(r.steps) == 0 {
+				continue
+			}
+			rewards := episodeRewards(r.steps, r.result.Makespan, cfg)
+			avgR := mean(rewards)
+			res.EpisodeRewards = append(res.EpisodeRewards, avgR)
+			res.EpisodeAvgDurations = append(res.EpisodeAvgDurations, r.result.AvgDuration())
+
+			returns := discountedReturns(rewards, cfg.Gamma)
+			advs := baselineFor(r.ep).advantages(returns)
+			keep := r.steps
+			keepAdvs := advs
+			if ns := len(r.steps); ns > cfg.MaxStepsPerUpdate {
+				// Subsample uniformly across the episode so early decisions
+				// (which shape the whole schedule) keep getting gradients.
+				stride := float64(ns) / float64(cfg.MaxStepsPerUpdate)
+				keep = make([]*step, 0, cfg.MaxStepsPerUpdate)
+				keepAdvs = make([]float64, 0, cfg.MaxStepsPerUpdate)
+				for k := 0; k < cfg.MaxStepsPerUpdate; k++ {
+					j := int(float64(k) * stride)
+					keep = append(keep, r.steps[j])
+					keepAdvs = append(keepAdvs, advs[j])
+				}
+			}
+			for j, s := range keep {
+				agent.replayStep(s, keepAdvs[j]*invN, cfg.EntropyWeight*invN)
+			}
+			accumulated = true
+			if cfg.OnEpisode != nil {
+				cfg.OnEpisode(r.ep, avgR, r.result.AvgDuration())
 			}
 		}
-		for i, s := range keep {
-			agent.replayStep(s, keepAdvs[i], cfg.EntropyWeight)
+		if accumulated {
+			if cfg.GradClip > 0 {
+				agent.params.ClipGrads(cfg.GradClip)
+			}
+			opt.Step(agent.params)
 		}
-		if cfg.GradClip > 0 {
-			agent.params.ClipGrads(cfg.GradClip)
-		}
-		opt.Step(agent.params)
-		if cfg.OnEpisode != nil {
-			cfg.OnEpisode(ep, avgR, result.AvgDuration())
-		}
-		if (ep+1)%evalEvery == 0 {
+		if evalDue {
 			if err := checkpoint(); err != nil {
 				return nil, err
 			}
@@ -210,6 +299,21 @@ func Train(agent *Agent, cfg TrainConfig) (*TrainResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// runRollout collects one recorded episode on agent a: it re-seeds the
+// action stream, runs the simulator over the arrivals, and returns the
+// recorded steps (deep copies, safe to replay on any goroutine later).
+func runRollout(a *Agent, arrivals []engine.Arrival, simCfg engine.SimConfig, actionSeed int64) ([]*step, *engine.SimResult, error) {
+	a.reseedActions(actionSeed)
+	sim := engine.NewSim(simCfg)
+	a.startRecording()
+	result, err := sim.Run(a, arrivals)
+	steps := a.stopRecording()
+	if err != nil {
+		return nil, nil, err
+	}
+	return steps, result, nil
 }
 
 // episodeRewards computes the paper's per-decision reward: with H_d =

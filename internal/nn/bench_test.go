@@ -1,0 +1,57 @@
+package nn
+
+import "testing"
+
+// BenchmarkTapeMatVec measures one 64×64 MatVec node in recording vs.
+// inference mode — the dominant kernel of the encoder's projections.
+func BenchmarkTapeMatVec(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		infer bool
+	}{{"record", false}, {"infer", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := NewParams(1)
+			w := p.Matrix("w", 64, 64)
+			x := make([]float64, 64)
+			for i := range x {
+				x[i] = float64(i) * 0.01
+			}
+			tp := NewTape()
+			tp.SetInference(mode.infer)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tp.Reset()
+				tp.MatVec(w, tp.Const(x))
+			}
+		})
+	}
+}
+
+// BenchmarkTapeForwardInference measures a full small-MLP forward pass
+// (the shape of one predictor head apply) per tape mode, with -benchmem
+// exposing the Grad-slab and closure savings of inference mode.
+func BenchmarkTapeForwardInference(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		infer bool
+	}{{"record", false}, {"infer", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := NewParams(1)
+			m := NewMLP(p, "m", 48, 16, 16, 9)
+			x := make([]float64, 48)
+			for i := range x {
+				x[i] = float64(i%7) * 0.1
+			}
+			tp := NewTape()
+			tp.SetInference(mode.infer)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tp.Reset()
+				logits := m.Apply(tp, tp.Const(x))
+				tp.Softmax(logits)
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ func NewSGD(lr, momentum float64) *SGD {
 
 // Step applies one SGD update to all unfrozen parameters.
 func (o *SGD) Step(p *Params) {
+	p.BumpVersion()
 	for _, n := range p.All() {
 		if n.Frozen() {
 			continue
@@ -67,6 +68,7 @@ func NewAdam(lr float64) *Adam {
 
 // Step applies one Adam update to all unfrozen parameters.
 func (o *Adam) Step(p *Params) {
+	p.BumpVersion()
 	o.t++
 	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
 	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))

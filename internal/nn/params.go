@@ -17,7 +17,21 @@ type Params struct {
 	byName map[string]*Node
 	order  []string
 	rng    *rand.Rand
+	// version counts value mutations (optimizer steps, checkpoint
+	// loads). Derived caches of forward-pass values — the encoder's
+	// per-query encoding cache — key on it to invalidate when the
+	// parameters they were computed from change.
+	version uint64
 }
+
+// Version returns the current parameter-value version. It starts at 0
+// and increases on every BumpVersion call.
+func (p *Params) Version() uint64 { return p.version }
+
+// BumpVersion marks the parameter values as changed. Optimizers and Load
+// call it; call it manually after mutating Val slices directly so that
+// value caches keyed on Version are invalidated.
+func (p *Params) BumpVersion() { p.version++ }
 
 // NewParams returns an empty registry seeded deterministically.
 func NewParams(seed int64) *Params {
@@ -193,5 +207,6 @@ func (p *Params) Load(data []byte) error {
 		}
 		copy(n.Val, s.Val)
 	}
+	p.BumpVersion()
 	return nil
 }

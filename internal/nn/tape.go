@@ -8,7 +8,11 @@
 //
 // Tapes recycle their node and float storage across Reset calls: the
 // scheduler runs one forward pass per scheduling event, so allocation
-// pressure — not FLOPs — would otherwise dominate.
+// pressure — not FLOPs — would otherwise dominate. A tape additionally
+// supports a gradient-free inference mode (SetInference) in which no
+// Grad storage is allocated and no backward closures are recorded,
+// halving the hot-path cost of greedy serving where Backward is never
+// called.
 package nn
 
 import (
@@ -18,7 +22,8 @@ import (
 
 // Node is one value in the computation graph: a column vector (Cols==1)
 // or a matrix, with storage in row-major order. Gradients accumulate in
-// Grad during Backward.
+// Grad during Backward. Nodes produced by a tape in inference mode have
+// a nil Grad.
 type Node struct {
 	Val  []float64
 	Grad []float64
@@ -51,6 +56,10 @@ func (n *Node) Name() string { return n.name }
 
 const slabSize = 1 << 16
 
+// refSlabSize is the per-slab capacity of the node-pointer arena backing
+// NodeSlice.
+const refSlabSize = 1 << 12
+
 // Tape records the computation graph for one forward pass and replays it
 // in reverse for gradients. Parameters live outside the tape (they
 // persist across passes); intermediate nodes come from the tape's arena
@@ -64,10 +73,33 @@ type Tape struct {
 	slabs   [][]float64
 	slabIdx int
 	slabOff int
+	// node-pointer slabs backing NodeSlice
+	refSlabs   [][]*Node
+	refSlabIdx int
+	refSlabOff int
+	// inference disables gradient bookkeeping: nodes carry no Grad and
+	// no backward closures, and Backward panics.
+	inference bool
 }
 
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{} }
+
+// SetInference switches the tape between the recording mode (the
+// default: full autodiff bookkeeping) and the gradient-free inference
+// mode. In inference mode intermediate nodes carry a nil Grad, no
+// backward closures are recorded, and Backward panics; forward values
+// are bit-identical to recording mode. The mode may only change on an
+// empty tape — toggle right after Reset.
+func (t *Tape) SetInference(on bool) {
+	if len(t.nodes) > 0 {
+		panic("nn: SetInference on a non-empty tape; call Reset first")
+	}
+	t.inference = on
+}
+
+// Inference reports whether the tape is in gradient-free mode.
+func (t *Tape) Inference() bool { return t.inference }
 
 // Reset recycles all recorded intermediates so the tape can run another
 // forward pass. Nodes obtained before the Reset must not be used after
@@ -77,6 +109,8 @@ func (t *Tape) Reset() {
 	t.poolIdx = 0
 	t.slabIdx = 0
 	t.slabOff = 0
+	t.refSlabIdx = 0
+	t.refSlabOff = 0
 }
 
 // alloc hands out a zeroed float slice from the slab arena.
@@ -99,7 +133,32 @@ func (t *Tape) alloc(n int) []float64 {
 	return s
 }
 
-// node hands out a recycled Node with zeroed Val/Grad of length n.
+// NodeSlice hands out a zeroed []*Node of length n from the tape's
+// pointer arena, recycled by Reset. Use it for scratch collections of
+// nodes on hot paths (the encoder's per-operator embeddings, the
+// predictor's candidate scores) so per-event forward passes allocate
+// nothing once the arenas are warm.
+func (t *Tape) NodeSlice(n int) []*Node {
+	if n > refSlabSize {
+		return make([]*Node, n)
+	}
+	for t.refSlabIdx < len(t.refSlabs) && t.refSlabOff+n > refSlabSize {
+		t.refSlabIdx++
+		t.refSlabOff = 0
+	}
+	if t.refSlabIdx == len(t.refSlabs) {
+		t.refSlabs = append(t.refSlabs, make([]*Node, refSlabSize))
+	}
+	s := t.refSlabs[t.refSlabIdx][t.refSlabOff : t.refSlabOff+n : t.refSlabOff+n]
+	t.refSlabOff += n
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// node hands out a recycled Node with zeroed Val (and, in recording
+// mode, Grad) of length n.
 func (t *Tape) node(n int) *Node {
 	var nd *Node
 	if t.poolIdx < len(t.pool) {
@@ -110,7 +169,11 @@ func (t *Tape) node(n int) *Node {
 	}
 	t.poolIdx++
 	nd.Val = t.alloc(n)
-	nd.Grad = t.alloc(n)
+	if t.inference {
+		nd.Grad = nil
+	} else {
+		nd.Grad = t.alloc(n)
+	}
 	nd.Rows = n
 	nd.Cols = 1
 	nd.backward = nil
@@ -133,7 +196,12 @@ func (t *Tape) Zeros(n int) *Node { return t.node(n) }
 
 // Backward seeds the given scalar node with gradient 1 and propagates
 // gradients to every node recorded on the tape (and to parameters).
+// It panics on a tape in inference mode: gradient-free forward passes
+// record nothing to differentiate.
 func (t *Tape) Backward(loss *Node) {
+	if t.inference {
+		panic("nn: Backward on a tape in inference mode")
+	}
 	if loss.Len() != 1 {
 		panic(fmt.Sprintf("nn: Backward on non-scalar node of length %d", loss.Len()))
 	}
@@ -158,10 +226,12 @@ func (t *Tape) Add(a, b *Node) *Node {
 	for i := range out.Val {
 		out.Val[i] = a.Val[i] + b.Val[i]
 	}
-	out.backward = func() {
-		for i, g := range out.Grad {
-			a.Grad[i] += g
-			b.Grad[i] += g
+	if !t.inference {
+		out.backward = func() {
+			for i, g := range out.Grad {
+				a.Grad[i] += g
+				b.Grad[i] += g
+			}
 		}
 	}
 	return out
@@ -174,10 +244,12 @@ func (t *Tape) Sub(a, b *Node) *Node {
 	for i := range out.Val {
 		out.Val[i] = a.Val[i] - b.Val[i]
 	}
-	out.backward = func() {
-		for i, g := range out.Grad {
-			a.Grad[i] += g
-			b.Grad[i] -= g
+	if !t.inference {
+		out.backward = func() {
+			for i, g := range out.Grad {
+				a.Grad[i] += g
+				b.Grad[i] -= g
+			}
 		}
 	}
 	return out
@@ -192,10 +264,12 @@ func (t *Tape) Mul(a, b *Node) *Node {
 	for i := range out.Val {
 		out.Val[i] = a.Val[i] * b.Val[i]
 	}
-	out.backward = func() {
-		for i, g := range out.Grad {
-			a.Grad[i] += g * b.Val[i]
-			b.Grad[i] += g * a.Val[i]
+	if !t.inference {
+		out.backward = func() {
+			for i, g := range out.Grad {
+				a.Grad[i] += g * b.Val[i]
+				b.Grad[i] += g * a.Val[i]
+			}
 		}
 	}
 	return out
@@ -207,9 +281,11 @@ func (t *Tape) Scale(a *Node, s float64) *Node {
 	for i := range out.Val {
 		out.Val[i] = s * a.Val[i]
 	}
-	out.backward = func() {
-		for i, g := range out.Grad {
-			a.Grad[i] += s * g
+	if !t.inference {
+		out.backward = func() {
+			for i, g := range out.Grad {
+				a.Grad[i] += s * g
+			}
 		}
 	}
 	return out
@@ -224,10 +300,12 @@ func (t *Tape) ScaleBy(a *Node, s *Node) *Node {
 	for i := range out.Val {
 		out.Val[i] = s.Val[0] * a.Val[i]
 	}
-	out.backward = func() {
-		for i, g := range out.Grad {
-			a.Grad[i] += s.Val[0] * g
-			s.Grad[0] += a.Val[i] * g
+	if !t.inference {
+		out.backward = func() {
+			for i, g := range out.Grad {
+				a.Grad[i] += s.Val[0] * g
+				s.Grad[0] += a.Val[i] * g
+			}
 		}
 	}
 	return out
@@ -247,45 +325,56 @@ func (t *Tape) MatVec(w, x *Node) *Node {
 		}
 		out.Val[r] = s
 	}
-	out.backward = func() {
-		for r := 0; r < w.Rows; r++ {
-			g := out.Grad[r]
-			if g == 0 {
-				continue
-			}
-			row := w.Val[r*w.Cols : (r+1)*w.Cols]
-			grow := w.Grad[r*w.Cols : (r+1)*w.Cols]
-			for c, xv := range x.Val {
-				grow[c] += g * xv
-				x.Grad[c] += g * row[c]
+	if !t.inference {
+		out.backward = func() {
+			for r := 0; r < w.Rows; r++ {
+				g := out.Grad[r]
+				if g == 0 {
+					continue
+				}
+				row := w.Val[r*w.Cols : (r+1)*w.Cols]
+				grow := w.Grad[r*w.Cols : (r+1)*w.Cols]
+				for c, xv := range x.Val {
+					grow[c] += g * xv
+					x.Grad[c] += g * row[c]
+				}
 			}
 		}
 	}
 	return out
 }
 
-// Concat concatenates vectors into one vector.
+// Concat concatenates vectors into one vector. Callers may reuse their
+// variadic backing array after the call.
 func (t *Tape) Concat(parts ...*Node) *Node {
+	held := t.NodeSlice(len(parts))
+	copy(held, parts)
+	return t.ConcatOwned(held)
+}
+
+// ConcatOwned is Concat over a slice whose ownership passes to the tape:
+// the caller must not mutate parts afterwards (hand in a NodeSlice to
+// stay allocation-free on hot paths).
+func (t *Tape) ConcatOwned(parts []*Node) *Node {
 	n := 0
 	for _, p := range parts {
 		n += p.Len()
 	}
-	// Copy the variadic slice: callers may reuse their backing array.
-	held := make([]*Node, len(parts))
-	copy(held, parts)
 	out := t.node(n)
 	off := 0
-	for _, p := range held {
+	for _, p := range parts {
 		copy(out.Val[off:], p.Val)
 		off += p.Len()
 	}
-	out.backward = func() {
-		off := 0
-		for _, p := range held {
-			for i := range p.Val {
-				p.Grad[i] += out.Grad[off+i]
+	if !t.inference {
+		out.backward = func() {
+			off := 0
+			for _, p := range parts {
+				for i := range p.Val {
+					p.Grad[i] += out.Grad[off+i]
+				}
+				off += p.Len()
 			}
-			off += p.Len()
 		}
 	}
 	return out
@@ -299,10 +388,12 @@ func (t *Tape) ReLU(a *Node) *Node {
 			out.Val[i] = v
 		}
 	}
-	out.backward = func() {
-		for i, g := range out.Grad {
-			if a.Val[i] > 0 {
-				a.Grad[i] += g
+	if !t.inference {
+		out.backward = func() {
+			for i, g := range out.Grad {
+				if a.Val[i] > 0 {
+					a.Grad[i] += g
+				}
 			}
 		}
 	}
@@ -319,12 +410,14 @@ func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
 			out.Val[i] = slope * v
 		}
 	}
-	out.backward = func() {
-		for i, g := range out.Grad {
-			if a.Val[i] > 0 {
-				a.Grad[i] += g
-			} else {
-				a.Grad[i] += slope * g
+	if !t.inference {
+		out.backward = func() {
+			for i, g := range out.Grad {
+				if a.Val[i] > 0 {
+					a.Grad[i] += g
+				} else {
+					a.Grad[i] += slope * g
+				}
 			}
 		}
 	}
@@ -337,9 +430,11 @@ func (t *Tape) Tanh(a *Node) *Node {
 	for i, v := range a.Val {
 		out.Val[i] = math.Tanh(v)
 	}
-	out.backward = func() {
-		for i, g := range out.Grad {
-			a.Grad[i] += g * (1 - out.Val[i]*out.Val[i])
+	if !t.inference {
+		out.backward = func() {
+			for i, g := range out.Grad {
+				a.Grad[i] += g * (1 - out.Val[i]*out.Val[i])
+			}
 		}
 	}
 	return out
@@ -351,10 +446,12 @@ func (t *Tape) Sum(a *Node) *Node {
 	for _, v := range a.Val {
 		out.Val[0] += v
 	}
-	out.backward = func() {
-		g := out.Grad[0]
-		for i := range a.Grad {
-			a.Grad[i] += g
+	if !t.inference {
+		out.backward = func() {
+			g := out.Grad[0]
+			for i := range a.Grad {
+				a.Grad[i] += g
+			}
 		}
 	}
 	return out
@@ -367,25 +464,35 @@ func (t *Tape) Mean(a *Node) *Node {
 }
 
 // MeanOf averages vectors of equal length elementwise — the message
-// aggregation of the PQE/AQE summarization networks.
+// aggregation of the PQE/AQE summarization networks. Callers may reuse
+// the parts slice after the call.
 func (t *Tape) MeanOf(parts []*Node) *Node {
+	held := t.NodeSlice(len(parts))
+	copy(held, parts)
+	return t.MeanOfOwned(held)
+}
+
+// MeanOfOwned is MeanOf over a slice whose ownership passes to the tape:
+// the caller must not mutate parts afterwards (hand in a NodeSlice to
+// stay allocation-free on hot paths).
+func (t *Tape) MeanOfOwned(parts []*Node) *Node {
 	if len(parts) == 0 {
 		panic("nn: MeanOf with no inputs")
 	}
-	held := make([]*Node, len(parts))
-	copy(held, parts)
-	out := t.node(held[0].Len())
-	inv := 1 / float64(len(held))
-	for _, p := range held {
-		sameLen(p, held[0], "MeanOf")
+	out := t.node(parts[0].Len())
+	inv := 1 / float64(len(parts))
+	for _, p := range parts {
+		sameLen(p, parts[0], "MeanOf")
 		for i, v := range p.Val {
 			out.Val[i] += v * inv
 		}
 	}
-	out.backward = func() {
-		for _, p := range held {
-			for i := range p.Val {
-				p.Grad[i] += out.Grad[i] * inv
+	if !t.inference {
+		out.backward = func() {
+			for _, p := range parts {
+				for i := range p.Val {
+					p.Grad[i] += out.Grad[i] * inv
+				}
 			}
 		}
 	}
@@ -399,8 +506,10 @@ func (t *Tape) Slice(a *Node, idx int) *Node {
 	}
 	out := t.node(1)
 	out.Val[0] = a.Val[idx]
-	out.backward = func() {
-		a.Grad[idx] += out.Grad[0]
+	if !t.inference {
+		out.backward = func() {
+			a.Grad[idx] += out.Grad[0]
+		}
 	}
 	return out
 }
@@ -423,14 +532,16 @@ func (t *Tape) Softmax(a *Node) *Node {
 	for i := range out.Val {
 		out.Val[i] /= sum
 	}
-	out.backward = func() {
-		// dL/dx_i = y_i * (g_i - sum_j g_j y_j)
-		dot := 0.0
-		for j, g := range out.Grad {
-			dot += g * out.Val[j]
-		}
-		for i := range a.Grad {
-			a.Grad[i] += out.Val[i] * (out.Grad[i] - dot)
+	if !t.inference {
+		out.backward = func() {
+			// dL/dx_i = y_i * (g_i - sum_j g_j y_j)
+			dot := 0.0
+			for j, g := range out.Grad {
+				dot += g * out.Val[j]
+			}
+			for i := range a.Grad {
+				a.Grad[i] += out.Val[i] * (out.Grad[i] - dot)
+			}
 		}
 	}
 	return out
@@ -455,17 +566,19 @@ func (t *Tape) LogProbAt(logits *Node, idx int) *Node {
 	lse := max + math.Log(sum)
 	out := t.node(1)
 	out.Val[0] = logits.Val[idx] - lse
-	out.backward = func() {
-		g := out.Grad[0]
-		if g == 0 {
-			return
-		}
-		for i, v := range logits.Val {
-			p := math.Exp(v - lse)
-			if i == idx {
-				logits.Grad[i] += g * (1 - p)
-			} else {
-				logits.Grad[i] += g * (-p)
+	if !t.inference {
+		out.backward = func() {
+			g := out.Grad[0]
+			if g == 0 {
+				return
+			}
+			for i, v := range logits.Val {
+				p := math.Exp(v - lse)
+				if i == idx {
+					logits.Grad[i] += g * (1 - p)
+				} else {
+					logits.Grad[i] += g * (-p)
+				}
 			}
 		}
 	}
@@ -477,20 +590,22 @@ func (t *Tape) LogProbAt(logits *Node, idx int) *Node {
 func (t *Tape) Entropy(logits *Node) *Node {
 	p := t.Softmax(logits)
 	out := t.node(1)
-	logs := make([]float64, p.Len())
+	logs := t.alloc(p.Len())
 	for i, v := range p.Val {
 		if v > 1e-12 {
 			logs[i] = math.Log(v)
 			out.Val[0] -= v * logs[i]
 		}
 	}
-	out.backward = func() {
-		g := out.Grad[0]
-		if g == 0 {
-			return
-		}
-		for i := range p.Val {
-			p.Grad[i] += g * (-(logs[i] + 1))
+	if !t.inference {
+		out.backward = func() {
+			g := out.Grad[0]
+			if g == 0 {
+				return
+			}
+			for i := range p.Val {
+				p.Grad[i] += g * (-(logs[i] + 1))
+			}
 		}
 	}
 	return out
@@ -524,26 +639,28 @@ func (t *Tape) AttnScore(a, xp, x *Node, slope float64) *Node {
 		}
 	}
 	out.Val[0] = s
-	out.backward = func() {
-		g := out.Grad[0]
-		if g == 0 {
-			return
-		}
-		for i, v := range xp.Val {
-			d := g
-			if a.Val[i]*v <= 0 {
-				d *= slope
+	if !t.inference {
+		out.backward = func() {
+			g := out.Grad[0]
+			if g == 0 {
+				return
 			}
-			a.Grad[i] += d * v
-			xp.Grad[i] += d * a.Val[i]
-		}
-		for i, v := range x.Val {
-			d := g
-			if a.Val[h+i]*v <= 0 {
-				d *= slope
+			for i, v := range xp.Val {
+				d := g
+				if a.Val[i]*v <= 0 {
+					d *= slope
+				}
+				a.Grad[i] += d * v
+				xp.Grad[i] += d * a.Val[i]
 			}
-			a.Grad[h+i] += d * v
-			x.Grad[i] += d * a.Val[h+i]
+			for i, v := range x.Val {
+				d := g
+				if a.Val[h+i]*v <= 0 {
+					d *= slope
+				}
+				a.Grad[h+i] += d * v
+				x.Grad[i] += d * a.Val[h+i]
+			}
 		}
 	}
 	return out
@@ -551,12 +668,12 @@ func (t *Tape) AttnScore(a, xp, x *Node, slope float64) *Node {
 
 // WeightedSum is the fused Eq. 5 kernel: out = Σ_i z_i · xs_i, where z
 // is a vector of len(xs) coefficients. Gradients flow into both z and
-// every xs_i.
+// every xs_i. Callers may reuse the xs slice after the call.
 func (t *Tape) WeightedSum(z *Node, xs []*Node) *Node {
 	if z.Len() != len(xs) {
 		panic(fmt.Sprintf("nn: WeightedSum %d coeffs for %d vectors", z.Len(), len(xs)))
 	}
-	held := make([]*Node, len(xs))
+	held := t.NodeSlice(len(xs))
 	copy(held, xs)
 	out := t.node(held[0].Len())
 	for k, x := range held {
@@ -566,15 +683,17 @@ func (t *Tape) WeightedSum(z *Node, xs []*Node) *Node {
 			out.Val[i] += zk * v
 		}
 	}
-	out.backward = func() {
-		for k, x := range held {
-			zk := z.Val[k]
-			dot := 0.0
-			for i, g := range out.Grad {
-				x.Grad[i] += zk * g
-				dot += g * x.Val[i]
+	if !t.inference {
+		out.backward = func() {
+			for k, x := range held {
+				zk := z.Val[k]
+				dot := 0.0
+				for i, g := range out.Grad {
+					x.Grad[i] += zk * g
+					dot += g * x.Val[i]
+				}
+				z.Grad[k] += dot
 			}
-			z.Grad[k] += dot
 		}
 	}
 	return out
@@ -584,11 +703,9 @@ func (t *Tape) WeightedSum(z *Node, xs []*Node) *Node {
 // (w, x) pairs plus a bias — the isotropic Eq. 2 aggregation in one
 // node.
 func (t *Tape) MulAdd(bias *Node, pairs ...[2]*Node) *Node {
-	held := make([][2]*Node, len(pairs))
-	copy(held, pairs)
 	out := t.node(bias.Len())
 	copy(out.Val, bias.Val)
-	for _, pr := range held {
+	for _, pr := range pairs {
 		w, x := pr[0], pr[1]
 		sameLen(w, x, "MulAdd")
 		sameLen(w, bias, "MulAdd")
@@ -596,15 +713,19 @@ func (t *Tape) MulAdd(bias *Node, pairs ...[2]*Node) *Node {
 			out.Val[i] += w.Val[i] * x.Val[i]
 		}
 	}
-	out.backward = func() {
-		for i, g := range out.Grad {
-			bias.Grad[i] += g
-		}
-		for _, pr := range held {
-			w, x := pr[0], pr[1]
+	if !t.inference {
+		held := make([][2]*Node, len(pairs))
+		copy(held, pairs)
+		out.backward = func() {
 			for i, g := range out.Grad {
-				w.Grad[i] += g * x.Val[i]
-				x.Grad[i] += g * w.Val[i]
+				bias.Grad[i] += g
+			}
+			for _, pr := range held {
+				w, x := pr[0], pr[1]
+				for i, g := range out.Grad {
+					w.Grad[i] += g * x.Val[i]
+					x.Grad[i] += g * w.Val[i]
+				}
 			}
 		}
 	}

@@ -91,13 +91,13 @@ func (p *Predictor) Config() Config { return p.cfg }
 
 // RootLogits computes one logit per candidate execution root.
 func (p *Predictor) RootLogits(t *nn.Tape, enc *encoder.Output, cands []Candidate) *nn.Node {
-	scores := make([]*nn.Node, len(cands))
+	scores := t.NodeSlice(len(cands))
 	for i, c := range cands {
 		qe := &enc.PerQuery[c.QIdx]
 		in := t.Concat(qe.NE[c.OpIdx], qe.EE[c.OpIdx], qe.PQE)
 		scores[i] = p.root.Apply(t, in)
 	}
-	return t.Concat(scores...)
+	return t.ConcatOwned(scores)
 }
 
 // PipelineLogits computes the pipeline-degree logits for a chosen root.

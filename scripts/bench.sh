@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Hot-path microbenchmark runner. Executes the fast-path benchmark
+# suite (tape inference mode, encoding cache, agent scratch buffers,
+# concurrent training rollouts) and writes the results — including the
+# built-in pre-optimization baselines (record-mode encoding, the
+# DisableFastPath agent path, rollouts=1 training) — to
+# BENCH_hotpath.json as before/after pairs.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 5x; training uses 3x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-5x}"
+out="BENCH_hotpath.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== tape (internal/nn)"
+go test -run=NONE -bench='BenchmarkTapeMatVec|BenchmarkTapeForwardInference' \
+  -benchtime="$benchtime" -benchmem ./internal/nn/ | tee -a "$raw"
+
+echo "== encoder (internal/encoder)"
+go test -run=NONE -bench=BenchmarkEncodeSnapshot \
+  -benchtime="$benchtime" -benchmem ./internal/encoder/ | tee -a "$raw"
+
+echo "== agent (internal/lsched)"
+go test -run=NONE -bench=BenchmarkAgentOnEvent \
+  -benchtime="$benchtime" -benchmem ./internal/lsched/ | tee -a "$raw"
+
+echo "== training rollouts (root)"
+go test -run=NONE -bench=BenchmarkTrainRollouts -benchtime=3x . | tee -a "$raw"
+
+# Collapse benchmark lines into JSON entries. Lines look like:
+#   BenchmarkAgentOnEvent/greedy-fast-8  10000  109192 ns/op  416 B/op  2 allocs/op
+awk '
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)           # strip GOMAXPROCS suffix
+  ns = ""; bytes = ""; allocs = ""
+  for (i = 2; i <= NF; i++) {
+    if ($i == "ns/op")     ns     = $(i-1)
+    if ($i == "B/op")      bytes  = $(i-1)
+    if ($i == "allocs/op") allocs = $(i-1)
+  }
+  if (n++) printf ",\n"
+  printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+  if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  printf "}"
+}
+BEGIN {
+  print "{"
+  print "  \"description\": \"Hot-path microbenchmarks: before entries are the pre-optimization code paths kept in-tree for honest A/B (record-mode encoding, DisableFastPath agent, rollouts=1 training); after entries are the optimized fast paths.\","
+  print "  \"pairs\": ["
+  print "    {\"before\": \"BenchmarkEncodeSnapshot/record\", \"after\": \"BenchmarkEncodeSnapshot/infer\", \"dimension\": \"gradient-free tape mode\"},"
+  print "    {\"before\": \"BenchmarkEncodeSnapshot/infer\", \"after\": \"BenchmarkEncodeSnapshot/cached\", \"dimension\": \"per-query encoding cache\"},"
+  print "    {\"before\": \"BenchmarkAgentOnEvent/greedy-full\", \"after\": \"BenchmarkAgentOnEvent/greedy-fast\", \"dimension\": \"agent fast path (inference tape + cache + scratch buffers)\"},"
+  print "    {\"before\": \"BenchmarkTrainRollouts/1\", \"after\": \"BenchmarkTrainRollouts/4\", \"dimension\": \"concurrent episode rollouts\"}"
+  print "  ],"
+  print "  \"results\": ["
+}
+END {
+  print ""
+  print "  ]"
+  print "}"
+}
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -26,4 +26,11 @@ go test ./...
 echo "== go test -race ./internal/engine/ ./internal/metrics/ ./internal/obs/"
 go test -race ./internal/engine/ ./internal/metrics/ ./internal/obs/
 
+echo "== go test -race -run TestTrainRollouts ./internal/lsched/"
+go test -race -run TestTrainRollouts ./internal/lsched/
+
+echo "== bench smoke (hot-path microbenchmarks compile and run once)"
+go test -run=NONE -bench=. -benchtime=1x -benchmem \
+  ./internal/nn/ ./internal/encoder/ ./internal/lsched/
+
 echo "OK"
