@@ -9,17 +9,22 @@
 //	lsched-bench -fig 8 -metrics -metrics-format text
 //	lsched-bench -fig all -listen :9090         # watch the run live
 //	lsched-bench -fig 8 -trace-out fig8.trace   # Perfetto span export
+//	lsched-bench -fig 8 -store ./policies -policy latest   # eval a stored policy
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/lsched"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/policystore"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -33,6 +38,8 @@ func main() {
 	listen := flag.String("listen", "", "serve live observability endpoints (/metrics, /metrics.json, /trace, /queries, /timeseries, /debug/pprof/) on this address during the run, e.g. :9090")
 	traceOut := flag.String("trace-out", "", "write the trace as Chrome trace-event JSON to this file at exit (load in Perfetto / chrome://tracing)")
 	timeseriesOut := flag.String("timeseries-out", "", "write the wall-clock sampler's time series JSON to this file at exit")
+	storeDir := flag.String("store", "", "policy store directory (with -policy)")
+	policy := flag.String("policy", "", "evaluate this stored policy version (a number or \"latest\") as the LSched agent instead of training one; requires -store")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -69,6 +76,13 @@ func main() {
 		// Sample without serving, so the dump works headless.
 		sampler = obs.NewSampler(lab.Metrics, 0, 0)
 		sampler.Start()
+	}
+
+	if *policy != "" {
+		if err := installStoredPolicy(lab, *storeDir, *policy, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	figs := []string{*fig}
@@ -112,6 +126,44 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// installStoredPolicy restores a policy-store checkpoint and installs
+// it as the lab's LSched agent for every benchmark, so the figure
+// regenerators evaluate the stored policy instead of training one.
+func installStoredPolicy(lab *experiments.Lab, storeDir, version string, seed int64) error {
+	if storeDir == "" {
+		return fmt.Errorf("-policy requires -store")
+	}
+	store, err := policystore.Open(storeDir)
+	if err != nil {
+		return err
+	}
+	var ck *policystore.Checkpoint
+	if version == "latest" {
+		ck, err = store.Latest()
+	} else {
+		var v int
+		v, err = strconv.Atoi(version)
+		if err != nil {
+			return fmt.Errorf("-policy wants a version number or \"latest\", got %q", version)
+		}
+		ck, err = store.Get(v)
+	}
+	if err != nil {
+		return err
+	}
+	for _, b := range []workload.Benchmark{workload.BenchTPCH, workload.BenchSSB, workload.BenchJOB} {
+		agent := lsched.New(lsched.DefaultOptions(seed))
+		if err := agent.Restore(ck.Params); err != nil {
+			return fmt.Errorf("restore policy v%d: %w", ck.Manifest.Version, err)
+		}
+		agent.SetGreedy(true)
+		lab.UseAgent(b, agent)
+	}
+	fmt.Fprintf(os.Stderr, "policy store: evaluating v%d from %s (source %q)\n",
+		ck.Manifest.Version, storeDir, ck.Manifest.Source)
+	return nil
 }
 
 // writeChromeTrace exports the trace ring as a Chrome trace-event file.

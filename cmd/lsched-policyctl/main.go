@@ -1,0 +1,161 @@
+// Command lsched-policyctl inspects and operates a policy checkpoint
+// store: the human end of the policy lifecycle (the automatic end is
+// the serving promoter).
+//
+// Usage:
+//
+//	lsched-policyctl -store ./policies list
+//	lsched-policyctl -store ./policies show 3
+//	lsched-policyctl -store ./policies promote 3
+//	lsched-policyctl -store ./policies rollback
+//	lsched-policyctl -store ./policies gc -retain 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/policystore"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "policy store directory (required)")
+	flag.Usage = usage
+	flag.Parse()
+	if *storeDir == "" || flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	store, err := policystore.Open(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	args := flag.Args()
+	switch args[0] {
+	case "list":
+		cmdList(store)
+	case "show":
+		if len(args) != 2 {
+			fatal(fmt.Errorf("show needs a version number"))
+		}
+		cmdShow(store, parseVersion(args[1]))
+	case "promote":
+		if len(args) != 2 {
+			fatal(fmt.Errorf("promote needs a version number"))
+		}
+		v := parseVersion(args[1])
+		if err := store.Promote(v); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("promoted v%d\n", v)
+	case "rollback":
+		v, err := store.Rollback()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rolled back; active is now v%d\n", v)
+	case "gc":
+		fs := flag.NewFlagSet("gc", flag.ExitOnError)
+		retain := fs.Int("retain", 5, "newest loadable versions to keep (active and previous always survive)")
+		fs.Parse(args[1:]) //nolint:errcheck — ExitOnError
+		removed, err := store.GC(*retain)
+		if err != nil {
+			fatal(err)
+		}
+		if len(removed) == 0 {
+			fmt.Println("nothing to remove")
+			return
+		}
+		sort.Ints(removed)
+		for _, v := range removed {
+			fmt.Printf("removed v%d\n", v)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func cmdList(store *policystore.Store) {
+	manifests, err := store.List()
+	if err != nil {
+		fatal(err)
+	}
+	active, _ := store.Active() //nolint:errcheck — 0 when unset
+	if len(manifests) == 0 {
+		fmt.Println("store is empty")
+		return
+	}
+	fmt.Printf("%-9s %-20s %-14s %-7s %-10s %s\n", "VERSION", "CREATED", "SOURCE", "PARENT", "SCORE", "ACTIVE")
+	for _, m := range manifests {
+		mark := ""
+		if m.Version == active {
+			mark = "*"
+		}
+		score := "-"
+		if s, ok := m.Metrics["sim_score"]; ok {
+			score = fmt.Sprintf("%.3f", s)
+		}
+		parent := "-"
+		if m.Parent != 0 {
+			parent = fmt.Sprintf("v%d", m.Parent)
+		}
+		fmt.Printf("%-9s %-20s %-14s %-7s %-10s %s\n",
+			fmt.Sprintf("v%d", m.Version),
+			time.Unix(m.CreatedAtUnix, 0).UTC().Format("2006-01-02 15:04:05"),
+			orDash(m.Source), parent, score, mark)
+	}
+}
+
+func cmdShow(store *policystore.Store, v int) {
+	ck, err := store.Get(v)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(ck.Manifest, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+func parseVersion(s string) int {
+	if len(s) > 1 && s[0] == 'v' {
+		s = s[1:]
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		fatal(fmt.Errorf("bad version %q (want e.g. 3 or v3)", s))
+	}
+	return v
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: lsched-policyctl -store DIR COMMAND
+
+commands:
+  list               list stored versions (active marked *)
+  show VERSION       print a version's manifest as JSON
+  promote VERSION    make VERSION the active policy
+  rollback           re-activate the previously active version
+  gc [-retain N]     remove old versions (default keeps newest 5,
+                     plus the active and previous versions)
+`)
+}

@@ -8,6 +8,7 @@
 //	lsched-train -bench tpch -episodes 2000 -out tpch.model
 //	lsched-train -bench ssb -transfer-from tpch.model -out ssb.model
 //	lsched-train -bench tpch -out tpch.model -listen :9090   # watch live
+//	lsched-train -bench tpch -out tpch.model -store ./policies -store-every 100
 package main
 
 import (
@@ -23,6 +24,8 @@ import (
 	"repro/internal/lsched"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/policystore"
+	"repro/internal/serving"
 )
 
 func main() {
@@ -33,6 +36,8 @@ func main() {
 	threads := flag.Int("threads", 60, "worker threads")
 	seed := flag.Int64("seed", 1, "seed")
 	out := flag.String("out", "", "checkpoint output path (required)")
+	storeDir := flag.String("store", "", "also publish checkpoints to this policy store directory (see lsched-policyctl)")
+	storeEvery := flag.Int("store-every", 0, "with -store, publish an interim version every N episodes (0 = final only)")
 	transferFrom := flag.String("transfer-from", "", "warm-start from this checkpoint with inner layers frozen")
 	baseline := flag.Bool("decima", false, "train the Decima baseline instead of LSched")
 	listen := flag.String("listen", "", "serve live observability endpoints (/metrics, /metrics.json, /trace, /queries, /timeseries, /debug/pprof/) on this address during training, e.g. :9090")
@@ -46,6 +51,13 @@ func main() {
 	pool, err := core.NewPool(core.Benchmark(*bench), *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var store *policystore.Store
+	if *storeDir != "" {
+		store, err = policystore.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var agent *core.Agent
@@ -86,7 +98,11 @@ func main() {
 		agent.Instrument(reg)
 	}
 	if *listen != "" {
-		srv := obs.NewServer(obs.Options{Metrics: reg, Trace: tr})
+		var policy func() any
+		if store != nil {
+			policy = serving.PolicyStatusProvider(store, nil)
+		}
+		srv := obs.NewServer(obs.Options{Metrics: reg, Trace: tr, Policy: policy})
 		addr, err := srv.Start(*listen)
 		if err != nil {
 			log.Fatal(err)
@@ -103,10 +119,36 @@ func main() {
 		return core.Streaming(pool.Train, n, 0.2+rng.Float64()*2, rng)
 	}
 	start := time.Now()
+	trainSummary := fmt.Sprintf("bench=%s episodes=%d queries=%d threads=%d seed=%d rollouts=%d decima=%v transfer=%q",
+		*bench, *episodes, *queries, *threads, *seed, *rollouts, *baseline, *transferFrom)
+	var lastReward, lastDur float64
+	storeParent := 0
 	cfg.OnEpisode = func(ep int, avgReward, avgDur float64) {
+		lastReward, lastDur = avgReward, avgDur
 		if (ep+1)%50 == 0 {
 			fmt.Printf("episode %5d  avg reward %10.2f  avg duration %8.2f  (%v elapsed)\n",
 				ep+1, avgReward, avgDur, time.Since(start).Round(time.Second))
+		}
+		if store != nil && *storeEvery > 0 && (ep+1)%*storeEvery == 0 && ep+1 < *episodes {
+			data, err := agent.Checkpoint()
+			if err != nil {
+				log.Printf("policy store: checkpoint at episode %d: %v", ep+1, err)
+				return
+			}
+			v, err := store.Put(policystore.PutOptions{
+				Params:      data,
+				Parent:      storeParent,
+				Source:      "train-interim",
+				TrainConfig: trainSummary,
+				Metrics: map[string]float64{
+					"episode": float64(ep + 1), "avg_reward": avgReward, "avg_duration": avgDur,
+				},
+			})
+			if err != nil {
+				log.Printf("policy store: put at episode %d: %v", ep+1, err)
+				return
+			}
+			storeParent = v
 		}
 	}
 	if _, err := lsched.Train(agent, cfg); err != nil {
@@ -132,4 +174,19 @@ func main() {
 	}
 	fmt.Printf("trained %d episodes in %v; checkpoint written to %s (%d bytes)\n",
 		*episodes, time.Since(start).Round(time.Second), *out, len(data))
+	if store != nil {
+		v, err := store.Put(policystore.PutOptions{
+			Params:      data,
+			Parent:      storeParent,
+			Source:      "train",
+			TrainConfig: trainSummary,
+			Metrics: map[string]float64{
+				"episodes": float64(*episodes), "avg_reward": lastReward, "avg_duration": lastDur,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("policy store: published v%d to %s (promote with lsched-policyctl)\n", v, *storeDir)
+	}
 }

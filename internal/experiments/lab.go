@@ -156,6 +156,14 @@ func cloneArrivals(in []engine.Arrival) []engine.Arrival {
 	return engine.CloneArrivals(in)
 }
 
+// UseAgent installs a pre-built agent as the lab's LSched agent for a
+// benchmark, bypassing training. The CLI's -policy flag uses it to run
+// the figure regenerators under a checkpoint restored from a policy
+// store instead of a freshly trained policy.
+func (l *Lab) UseAgent(b workload.Benchmark, a *lsched.Agent) {
+	l.agents["lsched/"+string(b)] = a
+}
+
 // LSched returns (and caches) a trained LSched agent for the benchmark.
 func (l *Lab) LSched(b workload.Benchmark) (*lsched.Agent, error) {
 	key := "lsched/" + string(b)

@@ -112,7 +112,16 @@ func (m *ExperienceManager) Serialize() ([]byte, error) {
 }
 
 // Load replaces the stored experiences with a serialized snapshot.
-func (m *ExperienceManager) Load(data []byte) error {
+//
+// Load is hardened against untrusted bytes (a truncated or corrupted
+// checkpoint blob): it never panics, and on any error the receiver is
+// left unchanged — decoding completes before the buffer is touched.
+func (m *ExperienceManager) Load(data []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("lsched: load experiences: corrupt snapshot: %v", r)
+		}
+	}()
 	var all []Experience
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&all); err != nil {
 		return fmt.Errorf("lsched: load experiences: %w", err)

@@ -1,0 +1,90 @@
+package lsched
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func filledManager(n int) *ExperienceManager {
+	m := NewExperienceManager(8)
+	for i := 0; i < n; i++ {
+		m.Record(Experience{Source: "train", Episode: i, AvgReward: float64(i), Decisions: i + 1})
+	}
+	return m
+}
+
+func TestExperienceSerializeRoundTrip(t *testing.T) {
+	m := filledManager(12) // wraps the capacity-8 ring
+	data, err := m.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewExperienceManager(8)
+	if err := m2.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.All(), m2.All()) {
+		t.Fatalf("round trip differs:\n want %+v\n got  %+v", m.All(), m2.All())
+	}
+}
+
+// TestExperienceLoadCorruption feeds truncated and garbage input: Load
+// must return an error (never panic) and leave the receiver unchanged.
+func TestExperienceLoadCorruption(t *testing.T) {
+	src := filledManager(5)
+	good, err := src.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := filledManager(3)
+	before := dst.All()
+	beforeTotal := dst.Total()
+
+	check := func(bad []byte, label string) {
+		t.Helper()
+		if err := dst.Load(bad); err == nil {
+			t.Fatalf("%s loaded cleanly", label)
+		}
+		if !reflect.DeepEqual(dst.All(), before) || dst.Total() != beforeTotal {
+			t.Fatalf("%s: failed Load mutated the receiver", label)
+		}
+	}
+
+	for cut := 0; cut < len(good); cut += 3 {
+		check(good[:cut], "truncation")
+	}
+	check([]byte("definitely not gob"), "garbage")
+	check(bytes.Repeat([]byte{0xee}, 256), "noise")
+
+	// Still loadable after all those failures.
+	if err := dst.Load(good); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dst.All(), src.All()) {
+		t.Fatal("good snapshot no longer loads after corruption attempts")
+	}
+}
+
+// TestExperienceLoadBitFlips asserts no panic across single-byte
+// corruption of every position, and no receiver mutation on error.
+func TestExperienceLoadBitFlips(t *testing.T) {
+	src := filledManager(5)
+	good, err := src.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := filledManager(2)
+	for i := 0; i < len(good); i++ {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0xff
+		before := dst.All()
+		if err := dst.Load(bad); err != nil {
+			if !reflect.DeepEqual(dst.All(), before) {
+				t.Fatalf("flip at %d: failed Load mutated the receiver", i)
+			}
+		}
+		// A flip that still decodes validly may legitimately load.
+	}
+}

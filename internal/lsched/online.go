@@ -4,6 +4,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/policystore"
 )
 
 // OnlineConfig configures online self-correction (§3): in the online
@@ -61,6 +62,15 @@ type OnlineAgent struct {
 	mHist    *metrics.Histogram
 	mUpdates *metrics.Counter
 	tracer   *metrics.Tracer
+
+	// Policy-lifecycle persistence (nil when not attached): every
+	// checkpoint window also lands in the store as a new version, so an
+	// improving live policy survives restarts and is visible to the
+	// promotion loop.
+	store       *policystore.Store
+	storeParent int
+	lastStored  int
+	persistErr  error
 }
 
 // NewOnlineAgent wraps agent for online self-correction. The wrapped
@@ -115,6 +125,57 @@ func (o *OnlineAgent) Instrument(reg *metrics.Registry, tr *metrics.Tracer) {
 
 // Windows returns how many online updates were applied.
 func (o *OnlineAgent) Windows() int { return o.windows }
+
+// PersistTo attaches a policy store: from now on every checkpoint
+// window writes a new version holding the updated params and the full
+// experience buffer. parent labels the version the online run started
+// from (0 when starting fresh); subsequent versions chain off each
+// other. Persistence failures never interrupt scheduling — the last
+// one is kept and readable via PersistErr.
+func (o *OnlineAgent) PersistTo(store *policystore.Store, parent int) {
+	o.store = store
+	o.storeParent = parent
+}
+
+// LastPersisted returns the store version the most recent checkpoint
+// landed in (0 when none was written yet).
+func (o *OnlineAgent) LastPersisted() int { return o.lastStored }
+
+// PersistErr returns the most recent persistence failure (nil when all
+// writes succeeded).
+func (o *OnlineAgent) PersistErr() error { return o.persistErr }
+
+// persist writes the current params + experiences as a new store
+// version chained off the previous one.
+func (o *OnlineAgent) persist(avgReward, meanDur float64, decisions int) {
+	params, err := o.agent.params.Serialize()
+	if err != nil {
+		o.persistErr = err
+		return
+	}
+	exp, err := o.exp.Serialize()
+	if err != nil {
+		o.persistErr = err
+		return
+	}
+	v, err := o.store.Put(policystore.PutOptions{
+		Params:     params,
+		Experience: exp,
+		Parent:     o.storeParent,
+		Source:     "online",
+		Metrics: map[string]float64{
+			"avg_reward":   avgReward,
+			"avg_duration": meanDur,
+			"decisions":    float64(decisions),
+			"window":       float64(o.windows),
+		},
+	})
+	if err != nil {
+		o.persistErr = err
+		return
+	}
+	o.storeParent, o.lastStored = v, v
+}
 
 // OnEvent implements engine.Scheduler by delegating to the wrapped
 // agent (which records its steps).
@@ -180,4 +241,7 @@ func (o *OnlineAgent) checkpoint(now float64) {
 		Decisions:   len(steps),
 		Queries:     o.cfg.CheckpointEvery,
 	})
+	if o.store != nil {
+		o.persist(avgReward, meanDur, len(steps))
+	}
 }

@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+// loadTestParams builds a small registry with a couple of parameters.
+func loadTestParams(seed int64) *Params {
+	p := NewParams(seed)
+	p.Matrix("enc.w", 4, 3)
+	p.Vector("enc.b", 4)
+	return p
+}
+
+// snapshotState captures everything Load may mutate.
+func snapshotState(t *testing.T, p *Params) ([]byte, uint64, int) {
+	t.Helper()
+	data, err := p.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, p.Version(), len(p.All())
+}
+
+// assertUnchanged asserts the registry is bit-identical to a prior
+// snapshotState capture.
+func assertUnchanged(t *testing.T, p *Params, data []byte, version uint64, nparams int) {
+	t.Helper()
+	now, err := p.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(now, data) {
+		t.Fatal("failed Load mutated parameter values")
+	}
+	if p.Version() != version {
+		t.Fatalf("failed Load bumped version %d -> %d", version, p.Version())
+	}
+	if len(p.All()) != nparams {
+		t.Fatalf("failed Load registered new params: %d -> %d", nparams, len(p.All()))
+	}
+}
+
+// TestParamsLoadTruncated feeds every truncation of a valid snapshot to
+// Load: none may panic, and every one that errors must leave the
+// receiver untouched.
+func TestParamsLoadTruncated(t *testing.T) {
+	src := loadTestParams(1)
+	good, err := src.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := loadTestParams(2)
+	before, version, nparams := snapshotState(t, dst)
+	errs := 0
+	for cut := 0; cut < len(good); cut++ {
+		if err := dst.Load(good[:cut]); err != nil {
+			errs++
+			assertUnchanged(t, dst, before, version, nparams)
+		} else {
+			t.Fatalf("truncation to %d of %d bytes loaded cleanly", cut, len(good))
+		}
+	}
+	if errs == 0 {
+		t.Fatal("no truncation errored; test is vacuous")
+	}
+	// The full snapshot still loads after all those failures.
+	if err := dst.Load(good); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Version() != version+1 {
+		t.Fatalf("successful Load must bump version once: %d -> %d", version, dst.Version())
+	}
+}
+
+// TestParamsLoadBitFlips flips bytes across a valid snapshot: Load must
+// never panic, and whenever it errors the receiver is unchanged.
+func TestParamsLoadBitFlips(t *testing.T) {
+	src := loadTestParams(1)
+	good, err := src.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := loadTestParams(2)
+	for i := 0; i < len(good); i++ {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0xff
+		before, version, nparams := snapshotState(t, dst)
+		if err := dst.Load(bad); err != nil {
+			assertUnchanged(t, dst, before, version, nparams)
+		}
+		// A flip that still decodes validly may legitimately load.
+	}
+}
+
+// TestParamsLoadGarbage feeds non-gob bytes.
+func TestParamsLoadGarbage(t *testing.T) {
+	dst := loadTestParams(2)
+	before, version, nparams := snapshotState(t, dst)
+	for _, bad := range [][]byte{nil, {}, {0xff}, []byte("not a gob stream at all"), bytes.Repeat([]byte{0xab}, 512)} {
+		if err := dst.Load(bad); err == nil {
+			t.Fatalf("garbage %q loaded cleanly", bad)
+		}
+		assertUnchanged(t, dst, before, version, nparams)
+	}
+}
+
+// TestParamsLoadRejectsInconsistentShapes crafts snapshots whose
+// declared shapes disagree with their values or with the registry; a
+// mid-list mismatch must not partially apply the earlier entries.
+func TestParamsLoadRejectsInconsistentShapes(t *testing.T) {
+	encode := func(saved []savedParam) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(saved); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	dst := loadTestParams(2)
+	before, version, nparams := snapshotState(t, dst)
+
+	// Value slice shorter than the declared shape.
+	bad := encode([]savedParam{{Name: "enc.w", Rows: 4, Cols: 3, Val: make([]float64, 5)}})
+	if err := dst.Load(bad); err == nil {
+		t.Fatal("shape/value mismatch loaded cleanly")
+	}
+	assertUnchanged(t, dst, before, version, nparams)
+
+	// Nonsense dimensions.
+	bad = encode([]savedParam{{Name: "enc.w", Rows: -1, Cols: 3}})
+	if err := dst.Load(bad); err == nil {
+		t.Fatal("negative shape loaded cleanly")
+	}
+	assertUnchanged(t, dst, before, version, nparams)
+
+	// First entry valid, second mismatched against the registry: the
+	// valid first entry must NOT have been applied.
+	bad = encode([]savedParam{
+		{Name: "enc.w", Rows: 4, Cols: 3, Val: make([]float64, 12)}, // all zeros: would visibly change enc.w
+		{Name: "enc.b", Rows: 7, Cols: 1, Val: make([]float64, 7)},  // registry has 4x1
+	})
+	if err := dst.Load(bad); err == nil {
+		t.Fatal("registry shape mismatch loaded cleanly")
+	}
+	assertUnchanged(t, dst, before, version, nparams)
+}

@@ -192,18 +192,36 @@ func (p *Params) Serialize() ([]byte, error) {
 // Load restores parameter values previously produced by Serialize.
 // Parameters present in the snapshot but not yet registered are created;
 // shape mismatches are errors.
-func (p *Params) Load(data []byte) error {
+//
+// Load is hardened against untrusted bytes (a truncated or corrupted
+// checkpoint file): it never panics, and on any error the receiver is
+// left exactly as it was — the full snapshot is decoded and validated
+// before the first parameter value is touched.
+func (p *Params) Load(data []byte) (err error) {
+	// gob is not guaranteed panic-free on adversarial input; a corrupt
+	// checkpoint must surface as an error, never kill the process.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("nn: load: corrupt snapshot: %v", r)
+		}
+	}()
 	var saved []savedParam
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&saved); err != nil {
 		return fmt.Errorf("nn: load: %w", err)
+	}
+	// Validate everything before mutating anything.
+	for _, s := range saved {
+		if s.Rows <= 0 || s.Cols <= 0 || len(s.Val) != s.Rows*s.Cols {
+			return fmt.Errorf("nn: load: param %q claims shape %dx%d with %d values", s.Name, s.Rows, s.Cols, len(s.Val))
+		}
+		if n, ok := p.byName[s.Name]; ok && (n.Rows != s.Rows || n.Cols != s.Cols) {
+			return fmt.Errorf("nn: load: param %q shape %dx%d, snapshot %dx%d", s.Name, n.Rows, n.Cols, s.Rows, s.Cols)
+		}
 	}
 	for _, s := range saved {
 		n, ok := p.byName[s.Name]
 		if !ok {
 			n = p.Matrix(s.Name, s.Rows, s.Cols)
-		}
-		if n.Rows != s.Rows || n.Cols != s.Cols {
-			return fmt.Errorf("nn: load: param %q shape %dx%d, snapshot %dx%d", s.Name, n.Rows, n.Cols, s.Rows, s.Cols)
 		}
 		copy(n.Val, s.Val)
 	}

@@ -42,6 +42,12 @@ type Options struct {
 	// SampleCapacity bounds the sampler's time-series ring (default 600
 	// samples — ten minutes at the default period).
 	SampleCapacity int
+	// Policy, when set, backs the /policy endpoint: it returns a
+	// JSON-serializable snapshot of the policy lifecycle (active store
+	// version, serving version, swap count, known versions — whatever
+	// the process wires in, typically via serving.PolicyStatus). Nil
+	// serves an empty object.
+	Policy func() any
 }
 
 // Server exposes the observability endpoints. Build with NewServer,
@@ -69,6 +75,7 @@ func NewServer(opts Options) *Server {
 	mux.HandleFunc("/trace.chrome", s.handleTraceChrome)
 	mux.HandleFunc("/queries", s.handleQueries)
 	mux.HandleFunc("/timeseries", s.handleTimeseries)
+	mux.HandleFunc("/policy", s.handlePolicy)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -123,6 +130,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /trace.chrome   Chrome trace-event spans (load in Perfetto)
   /queries        per-query lifecycle summaries (JSON)
   /timeseries     wall-clock sampler ring (JSON)
+  /policy         policy lifecycle status (JSON)
   /debug/pprof/   pprof profiling
 `)
 }
@@ -175,6 +183,14 @@ func (s *Server) handleQueries(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleTimeseries(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, timeseriesPayload{Samples: s.sampler.Samples()})
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.Policy == nil {
+		writeJSON(w, struct{}{})
+		return
+	}
+	writeJSON(w, s.opts.Policy())
 }
 
 // timeseriesPayload is the /timeseries response (and disk-dump) shape.

@@ -1,0 +1,117 @@
+package rpcsched
+
+import (
+	"bufio"
+	"encoding/gob"
+	"io"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// gobCodec is the standard gob wire format for net/rpc (the same frames
+// rpc.ServeConn and rpc.NewClient speak), implemented here so the
+// server can wrap it with in-flight tracking.
+type gobCodec struct {
+	rwc io.ReadWriteCloser
+	dec *gob.Decoder
+	enc *gob.Encoder
+	buf *bufio.Writer
+}
+
+func newGobCodec(rwc io.ReadWriteCloser) *gobCodec {
+	buf := bufio.NewWriter(rwc)
+	return &gobCodec{rwc: rwc, dec: gob.NewDecoder(rwc), enc: gob.NewEncoder(buf), buf: buf}
+}
+
+func (c *gobCodec) ReadRequestHeader(r *rpc.Request) error { return c.dec.Decode(r) }
+func (c *gobCodec) ReadRequestBody(body any) error         { return c.dec.Decode(body) }
+
+func (c *gobCodec) WriteResponse(r *rpc.Response, body any) error {
+	if err := c.enc.Encode(r); err != nil {
+		return err
+	}
+	if err := c.enc.Encode(body); err != nil {
+		return err
+	}
+	return c.buf.Flush()
+}
+
+func (c *gobCodec) Close() error { return c.rwc.Close() }
+
+// trackedCodec counts a request as in-flight from the moment its header
+// is read until its response has been flushed to the connection. That
+// window is what a graceful shutdown drains: when the count hits zero,
+// every accepted request has had its response handed to the socket, so
+// closing the connection cannot cut a reply in half.
+type trackedCodec struct {
+	rpc.ServerCodec
+	pending *inflight
+}
+
+func (c trackedCodec) ReadRequestHeader(r *rpc.Request) error {
+	if err := c.ServerCodec.ReadRequestHeader(r); err != nil {
+		return err
+	}
+	// net/rpc answers every request whose header was read — even a
+	// body-decode failure gets an error response — so each add here is
+	// balanced by the WriteResponse below.
+	c.pending.add()
+	return nil
+}
+
+func (c trackedCodec) WriteResponse(r *rpc.Response, body any) error {
+	defer c.pending.done()
+	return c.ServerCodec.WriteResponse(r, body)
+}
+
+// inflight is a drain-able counter. Unlike sync.WaitGroup it tolerates
+// add() racing with wait() — new requests can still land on open
+// connections while a shutdown is draining.
+type inflight struct {
+	mu   sync.Mutex
+	n    int
+	zero chan struct{} // non-nil while a waiter wants the zero signal
+}
+
+func (f *inflight) add() {
+	f.mu.Lock()
+	f.n++
+	f.mu.Unlock()
+}
+
+func (f *inflight) done() {
+	f.mu.Lock()
+	f.n--
+	if f.n == 0 && f.zero != nil {
+		close(f.zero)
+		f.zero = nil
+	}
+	f.mu.Unlock()
+}
+
+// wait blocks until the count reaches zero, or until timeout elapses
+// (timeout <= 0 waits indefinitely). It reports whether the count
+// actually drained.
+func (f *inflight) wait(timeout time.Duration) bool {
+	f.mu.Lock()
+	if f.n == 0 {
+		f.mu.Unlock()
+		return true
+	}
+	if f.zero == nil {
+		f.zero = make(chan struct{})
+	}
+	ch := f.zero
+	f.mu.Unlock()
+	if timeout <= 0 {
+		<-ch
+		return true
+	}
+	select {
+	case <-ch:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 )
@@ -41,20 +42,188 @@ func (s *Service) OnEvent(req *EventRequest, reply *DecisionReply) error {
 	return nil
 }
 
-// Serve registers the service and answers connections from lis until it
-// closes. It returns after the listener is closed.
-func Serve(lis net.Listener, sched engine.Scheduler) error {
-	srv := rpc.NewServer()
-	if err := srv.RegisterName("LSched", NewService(sched)); err != nil {
-		return err
+// ServerOptions tunes the connection-serving behavior.
+type ServerOptions struct {
+	// IOTimeout bounds every read and write on a connection: a client
+	// that goes silent mid-request, or stops draining responses, has
+	// its connection closed after this long instead of wedging a server
+	// goroutine forever. 0 disables deadlines (trusted local links,
+	// net.Pipe tests).
+	IOTimeout time.Duration
+}
+
+// Server answers scheduler-RPC connections with graceful shutdown and
+// optional per-connection I/O deadlines. The zero ServerOptions match
+// the historical Serve behavior (no deadlines).
+type Server struct {
+	svc     *Service
+	rpcSrv  *rpc.Server
+	opts    ServerOptions
+	pending inflight
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	connWG sync.WaitGroup
+}
+
+// NewServer builds a server around a local scheduler.
+func NewServer(sched engine.Scheduler, opts ServerOptions) (*Server, error) {
+	svc := NewService(sched)
+	rpcSrv := rpc.NewServer()
+	if err := rpcSrv.RegisterName("LSched", svc); err != nil {
+		return nil, err
 	}
+	return &Server{svc: svc, rpcSrv: rpcSrv, opts: opts, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Serve answers connections from lis until the listener closes (or
+// Shutdown/Close is called). It returns nil on a clean close.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return fmt.Errorf("rpcsched: server already shut down")
+	}
+	s.lis = lis
+	s.mu.Unlock()
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
 			return nil // listener closed
 		}
-		go srv.ServeConn(conn)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go func(conn net.Conn) {
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				s.connWG.Done()
+			}()
+			var rwc io.ReadWriteCloser = conn
+			if s.opts.IOTimeout > 0 {
+				rwc = deadlineConn{Conn: conn, timeout: s.opts.IOTimeout}
+			}
+			s.rpcSrv.ServeCodec(trackedCodec{ServerCodec: newGobCodec(rwc), pending: &s.pending})
+		}(conn)
 	}
+}
+
+// Shutdown stops the server gracefully: the listener closes (no new
+// connections), in-flight scheduler calls are drained, and only then
+// are the connections torn down. drainTimeout bounds the wait for
+// in-flight calls (<= 0 waits indefinitely); past it the connections
+// are closed anyway. It returns once every connection goroutine has
+// exited.
+func (s *Server) Shutdown(drainTimeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+
+	// Drain: wait (bounded) for requests that are between header-read
+	// and response-flush. The codec-level count means the responses of
+	// drained calls have reached the socket before teardown.
+	drained := s.pending.wait(drainTimeout)
+
+	// Tear down the (now idle, or past-deadline) connections and wait
+	// for their serve goroutines.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if drained {
+		s.connWG.Wait()
+		return nil
+	}
+	// A call overran the drain budget. Its goroutine cannot be
+	// cancelled, and net/rpc's per-connection loop waits for its calls,
+	// so waiting for the connection goroutines unbounded would inherit
+	// the wedge. Give them one more drain budget, then return; a
+	// still-stuck handler leaks until it returns on its own.
+	done := make(chan struct{})
+	go func() { s.connWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(drainTimeout):
+	}
+	return nil
+}
+
+// Close shuts down immediately: like Shutdown but without waiting for
+// in-flight calls. It still waits for the connection goroutines, which
+// exit once their calls return (closing a connection cannot cancel a
+// scheduler call already executing).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	s.connWG.Wait()
+	return nil
+}
+
+// deadlineConn arms a fresh deadline before every read and write, so a
+// silent or non-draining peer errors the connection out instead of
+// blocking a server goroutine forever.
+type deadlineConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c deadlineConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c deadlineConn) Write(p []byte) (int, error) {
+	if err := c.Conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// Serve registers the service and answers connections from lis until it
+// closes. It returns after the listener is closed. It is the
+// no-deadline convenience form of (*Server).Serve; use NewServer for
+// graceful shutdown and I/O deadlines.
+func Serve(lis net.Listener, sched engine.Scheduler) error {
+	srv, err := NewServer(sched, ServerOptions{})
+	if err != nil {
+		return err
+	}
+	return srv.Serve(lis)
 }
 
 // ServeConn answers a single connection (handy for net.Pipe tests and

@@ -1,0 +1,172 @@
+package rpcsched
+
+import (
+	"net"
+	"net/rpc"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/heuristics"
+)
+
+// startServer listens on loopback and serves sched until cleanup.
+func startServer(t *testing.T, sched engine.Scheduler, opts ServerOptions) (*Server, string, chan error) {
+	t.Helper()
+	srv, err := NewServer(sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback networking: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(lis) }()
+	t.Cleanup(func() { srv.Close() })
+	return srv, lis.Addr().String(), serveDone
+}
+
+// TestDeadConnectionTimesOut is the satellite requirement: a client that
+// connects and then goes silent must have its connection closed by the
+// per-connection I/O deadline instead of wedging a server goroutine.
+func TestDeadConnectionTimesOut(t *testing.T) {
+	const ioTimeout = 150 * time.Millisecond
+	_, addr, _ := startServer(t, heuristics.Fair{}, ServerOptions{IOTimeout: ioTimeout})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Dead client: never send a request. The server's read deadline
+	// must fire and hang up; we observe that as our read unblocking
+	// with a closed/reset connection well before our own 5s guard.
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	buf := make([]byte, 1)
+	_, rerr := conn.Read(buf)
+	elapsed := time.Since(start)
+	if rerr == nil {
+		t.Fatal("server sent data to a client that never issued a request")
+	}
+	if ne, ok := rerr.(net.Error); ok && ne.Timeout() {
+		t.Fatalf("server never hung up on the dead connection (local read guard fired after %v)", elapsed)
+	}
+	if elapsed > 10*ioTimeout {
+		t.Fatalf("dead connection closed after %v; deadline is %v", elapsed, ioTimeout)
+	}
+
+	// The service itself is unharmed: a healthy client still schedules.
+	client, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	sim := engine.NewSim(engine.SimConfig{Threads: 4, Seed: 9})
+	res, err := sim.Run(client, testWorkload(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 3 {
+		t.Fatalf("completed %d of 3 after dead-connection reap", len(res.Durations))
+	}
+}
+
+// gate is a scheduler that parks inside OnEvent until released, to pin
+// a call in flight across a shutdown.
+type gate struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (gate) Name() string { return "gate" }
+func (g gate) OnEvent(st *engine.State, ev engine.Event) []engine.Decision {
+	g.entered <- struct{}{}
+	<-g.release
+	return nil
+}
+
+// TestShutdownDrainsInFlight holds a call open inside the scheduler,
+// shuts down concurrently, and asserts the shutdown waits for the call
+// and the caller still receives its reply.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	sched := gate{entered: make(chan struct{}), release: make(chan struct{})}
+	srv, addr, serveDone := startServer(t, sched, ServerOptions{})
+
+	rc, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	callDone := make(chan error, 1)
+	go func() {
+		var reply DecisionReply
+		callDone <- rc.Call("LSched.OnEvent", &EventRequest{}, &reply)
+	}()
+	<-sched.entered // the call is now in flight server-side
+
+	shutDone := make(chan struct{})
+	go func() {
+		srv.Shutdown(10 * time.Second)
+		close(shutDone)
+	}()
+	select {
+	case <-shutDone:
+		t.Fatal("Shutdown returned while a call was still in flight")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(sched.release)
+	if err := <-callDone; err != nil {
+		t.Fatalf("in-flight call failed during graceful shutdown: %v", err)
+	}
+	select {
+	case <-shutDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return after the in-flight call drained")
+	}
+
+	// The accept loop exited cleanly and the listener is gone.
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v after shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after shutdown")
+	}
+	if _, err := rpc.Dial("tcp", addr); err == nil {
+		t.Fatal("new connection accepted after shutdown")
+	}
+}
+
+// TestShutdownDrainTimeout: a call that never finishes must not hold
+// Shutdown hostage past the drain budget.
+func TestShutdownDrainTimeout(t *testing.T) {
+	sched := gate{entered: make(chan struct{}), release: make(chan struct{})}
+	srv, addr, _ := startServer(t, sched, ServerOptions{})
+	defer close(sched.release) // unstick the parked handler at test end
+
+	rc, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	go func() {
+		var reply DecisionReply
+		rc.Call("LSched.OnEvent", &EventRequest{}, &reply)
+	}()
+	<-sched.entered
+
+	start := time.Now()
+	if err := srv.Shutdown(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Shutdown took %v despite a 100ms drain budget", elapsed)
+	}
+}

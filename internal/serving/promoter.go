@@ -1,0 +1,194 @@
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/policystore"
+)
+
+// PromoterConfig wires a Promoter to its store, serving slot, and
+// evaluation harness.
+type PromoterConfig struct {
+	// Store is the versioned checkpoint store candidates arrive in.
+	Store *policystore.Store
+	// Hot is the serving slot promotion installs into.
+	Hot *HotAgent
+	// Load builds a ready-to-serve scheduler from a checkpoint (e.g. a
+	// greedy lsched agent with the checkpoint's params restored).
+	Load func(ck *policystore.Checkpoint) (engine.Scheduler, error)
+	// Eval is the fixed evaluation workload both contenders are scored
+	// under (shadow agreement + simulated score).
+	Eval EvalConfig
+	// Threshold is how much the candidate's score must exceed the
+	// active policy's score to promote (scores are negated mean
+	// durations, so 0 demands "at least as good", positive values
+	// demand a margin).
+	Threshold float64
+}
+
+// TickResult reports what one promotion check did.
+type TickResult struct {
+	// Checked is the candidate version examined (0 = nothing new).
+	Checked int
+	// Promoted and RolledBack report the outcome for Checked.
+	Promoted   bool
+	RolledBack bool
+	// CandidateScore and ActiveScore are the simulated scores (higher
+	// is better; only set when an evaluation ran).
+	CandidateScore float64
+	ActiveScore    float64
+	// Shadow is the agreement report from the side-by-side replay.
+	Shadow ShadowReport
+}
+
+// Promoter watches the store for new policy versions and promotes a
+// candidate into the serving slot only when it beats the active policy
+// by the configured threshold — otherwise the trial promotion is rolled
+// back and the version is remembered as rejected.
+//
+// The guarded sequence for each new version:
+//
+//  1. Trial-promote it in the store (CURRENT records the attempt; the
+//     serving slot is untouched).
+//  2. Score the candidate on the evaluation workload, and replay it in
+//     shadow against a fresh copy of the active version for agreement.
+//  3. Pass → install into the HotAgent (live traffic switches at the
+//     next event). Fail → store.Rollback, counters bump, the serving
+//     policy never changed.
+//
+// Evaluation always runs store-loaded copies, never the live serving
+// scheduler object, so a Promoter goroutine cannot race the engine's
+// OnEvent calls on agent-internal scratch state.
+type Promoter struct {
+	cfg          PromoterConfig
+	lastRejected int
+
+	mChecks     *metrics.Counter
+	mPromotions *metrics.Counter
+	mRollbacks  *metrics.Counter
+}
+
+// NewPromoter validates the wiring and returns a promoter.
+func NewPromoter(cfg PromoterConfig) (*Promoter, error) {
+	if cfg.Store == nil || cfg.Hot == nil || cfg.Load == nil {
+		return nil, fmt.Errorf("serving: PromoterConfig needs Store, Hot, and Load")
+	}
+	if len(cfg.Eval.Arrivals) == 0 {
+		return nil, fmt.Errorf("serving: PromoterConfig.Eval.Arrivals is empty")
+	}
+	return &Promoter{cfg: cfg}, nil
+}
+
+// Instrument attaches promotion counters to a registry (nil no-op).
+func (p *Promoter) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	p.mChecks = reg.Counter("policy_promotion_checks_total")
+	p.mPromotions = reg.Counter("policy_promotions_total")
+	p.mRollbacks = reg.Counter("policy_rollbacks_total")
+}
+
+// Tick runs one promotion check: if the store's newest loadable version
+// is newer than what is serving (and not already rejected), it is
+// evaluated and either promoted+installed or rolled back.
+func (p *Promoter) Tick() (TickResult, error) {
+	var res TickResult
+	latest, err := p.cfg.Store.Latest()
+	if err != nil {
+		return res, nil // empty store: nothing to do yet
+	}
+	v := latest.Manifest.Version
+	if v == p.lastRejected || v == p.cfg.Hot.ActiveVersion() {
+		return res, nil
+	}
+	res.Checked = v
+	p.mChecks.Inc()
+	cand, err := p.cfg.Load(latest)
+	if err != nil {
+		p.lastRejected = v
+		return res, fmt.Errorf("serving: load candidate v%d: %w", v, err)
+	}
+
+	activeV, err := p.cfg.Store.Active()
+	if err != nil {
+		return res, err
+	}
+	if activeV == 0 || activeV == v {
+		// Bootstrap (no promoted policy yet) or a version promoted
+		// out-of-band (policyctl): install without a contest.
+		if err := p.cfg.Store.Promote(v); err != nil {
+			return res, err
+		}
+		p.cfg.Hot.Install(cand, v)
+		p.mPromotions.Inc()
+		res.Promoted = true
+		return res, nil
+	}
+
+	activeCk, err := p.cfg.Store.Get(activeV)
+	if err != nil {
+		return res, fmt.Errorf("serving: load active v%d: %w", activeV, err)
+	}
+	activeSched, err := p.cfg.Load(activeCk)
+	if err != nil {
+		return res, fmt.Errorf("serving: load active v%d: %w", activeV, err)
+	}
+
+	// Trial promotion: CURRENT records the attempt before evaluation,
+	// so the rollback path is the real store operation, not a no-op.
+	if err := p.cfg.Store.Promote(v); err != nil {
+		return res, err
+	}
+	candScore, candErr := SimScore(cand, p.cfg.Eval)
+	rep, activeScore, shadowErr := ShadowRun(activeSched, cand, p.cfg.Eval)
+	res.CandidateScore, res.ActiveScore, res.Shadow = candScore, activeScore, rep
+
+	pass := candErr == nil && shadowErr == nil && candScore >= activeScore+p.cfg.Threshold
+	p.cfg.Store.UpdateMetrics(v, map[string]float64{ //nolint:errcheck — advisory metadata
+		"sim_score":                 candScore,
+		"sim_score_active":          activeScore,
+		"shadow_event_agreement":    rep.EventAgreement,
+		"shadow_decision_agreement": rep.DecisionAgreement,
+	})
+	if !pass {
+		if _, err := p.cfg.Store.Rollback(); err != nil {
+			return res, fmt.Errorf("serving: rollback after failed candidate v%d: %w", v, err)
+		}
+		p.mRollbacks.Inc()
+		p.lastRejected = v
+		res.RolledBack = true
+		if candErr != nil {
+			return res, nil // candidate could not finish the workload: rejected, not fatal
+		}
+		return res, shadowErr
+	}
+	p.cfg.Hot.Install(cand, v)
+	p.mPromotions.Inc()
+	res.Promoted = true
+	return res, nil
+}
+
+// Run ticks until stop closes, once per interval. Tick errors are
+// reported through onErr when non-nil and otherwise dropped — a broken
+// candidate must not kill the serving loop.
+func (p *Promoter) Run(stop <-chan struct{}, interval time.Duration, onErr func(error)) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if _, err := p.Tick(); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,472 @@
+package serving
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/heuristics"
+	"repro/internal/lsched"
+	"repro/internal/metrics"
+	"repro/internal/policystore"
+	"repro/internal/workload"
+)
+
+func testArrivals(t testing.TB, n int, seed int64) []engine.Arrival {
+	t.Helper()
+	pool, err := workload.NewPool(workload.BenchSSB, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return workload.Streaming(pool.Train, n, 0.5, rng)
+}
+
+func testStore(t *testing.T) *policystore.Store {
+	t.Helper()
+	s, err := policystore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// recorder wraps a scheduler and deep-copies every decision list (the
+// lsched fast path recycles the returned slice's backing array between
+// events, so comparisons must copy).
+type recorder struct {
+	inner engine.Scheduler
+	// onEvent fires after each event with its index (1-based count so
+	// far), before returning the decisions.
+	onEvent func(n int)
+	n       int
+	log     [][]engine.Decision
+}
+
+func (r *recorder) Name() string { return r.inner.Name() }
+
+func (r *recorder) OnEvent(st *engine.State, ev engine.Event) []engine.Decision {
+	ds := r.inner.OnEvent(st, ev)
+	r.log = append(r.log, append([]engine.Decision(nil), ds...))
+	r.n++
+	if r.onEvent != nil {
+		r.onEvent(r.n)
+	}
+	return ds
+}
+
+// greedyAgent builds an untrained, greedy LSched agent.
+func greedyAgent(seed int64) *lsched.Agent {
+	a := lsched.New(lsched.DefaultOptions(seed))
+	a.SetGreedy(true)
+	return a
+}
+
+// TestHotSwapMidStreamBitIdentical is the tentpole acceptance test: a
+// Sim run hot-swaps to a different policy mid-stream, without pausing
+// dispatch, and its decisions before the swap point are bit-identical
+// to an unswapped run's.
+func TestHotSwapMidStreamBitIdentical(t *testing.T) {
+	const swapAt = 12
+	arrivals := testArrivals(t, 8, 11)
+
+	// Baseline: policy A serves the whole run.
+	base := &recorder{inner: NewHotAgent(greedyAgent(1), 1)}
+	simA := engine.NewSim(engine.SimConfig{Threads: 6, Seed: 11, NoiseFrac: 0.1})
+	resA, err := simA.Run(base, engine.CloneArrivals(arrivals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resA.Durations) != len(arrivals) {
+		t.Fatalf("baseline run completed %d of %d queries", len(resA.Durations), len(arrivals))
+	}
+
+	// Swapped: identical run, but policy B is installed after event 12.
+	hot := NewHotAgent(greedyAgent(1), 1)
+	reg := metrics.NewRegistry()
+	hot.Instrument(reg)
+	swapped := &recorder{inner: hot}
+	swapped.onEvent = func(n int) {
+		if n == swapAt {
+			hot.Install(greedyAgent(2), 2)
+		}
+	}
+	simB := engine.NewSim(engine.SimConfig{Threads: 6, Seed: 11, NoiseFrac: 0.1})
+	resB, err := simB.Run(swapped, engine.CloneArrivals(arrivals))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dispatch never paused: the swapped run still completes everything.
+	if len(resB.Durations) != len(arrivals) {
+		t.Fatalf("swapped run completed %d of %d queries", len(resB.Durations), len(arrivals))
+	}
+	if len(base.log) < swapAt+1 || len(swapped.log) < swapAt+1 {
+		t.Fatalf("too few events to compare (base %d, swapped %d); enlarge the workload", len(base.log), len(swapped.log))
+	}
+	// Bit-identical decisions before the swap point.
+	for i := 0; i < swapAt; i++ {
+		if !reflect.DeepEqual(base.log[i], swapped.log[i]) {
+			t.Fatalf("pre-swap event %d diverged:\n base    %v\n swapped %v", i, base.log[i], swapped.log[i])
+		}
+	}
+	// The swap took effect: the runs diverge somewhere after it.
+	diverged := len(base.log) != len(swapped.log)
+	for i := swapAt; !diverged && i < len(base.log) && i < len(swapped.log); i++ {
+		diverged = !reflect.DeepEqual(base.log[i], swapped.log[i])
+	}
+	if !diverged {
+		t.Fatal("runs identical after the swap; hot swap had no effect")
+	}
+	if hot.Swaps() != 1 || hot.ActiveVersion() != 2 {
+		t.Fatalf("swaps=%d active=%d, want 1/2", hot.Swaps(), hot.ActiveVersion())
+	}
+	if got := reg.Counter("policy_swaps_total").Value(); got != 1 {
+		t.Fatalf("policy_swaps_total = %d, want 1", got)
+	}
+}
+
+// TestHotSwapConcurrentInstall swaps policies from a separate goroutine
+// while the engine runs, under -race: the serving path must be safe
+// against asynchronous installs.
+func TestHotSwapConcurrentInstall(t *testing.T) {
+	arrivals := testArrivals(t, 10, 13)
+	hot := NewHotAgent(greedyAgent(1), 1)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		seed := int64(2)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				hot.Install(greedyAgent(seed), int(seed))
+				seed++
+			}
+		}
+	}()
+	sim := engine.NewSim(engine.SimConfig{Threads: 6, Seed: 13, NoiseFrac: 0.1})
+	res, err := sim.Run(hot, engine.CloneArrivals(arrivals))
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != len(arrivals) {
+		t.Fatalf("completed %d of %d under concurrent swaps", len(res.Durations), len(arrivals))
+	}
+	if hot.Swaps() == 0 {
+		t.Fatal("no swaps happened during the run")
+	}
+}
+
+func TestShadowEvaluatorAgreement(t *testing.T) {
+	arrivals := testArrivals(t, 6, 17)
+	cfg := EvalConfig{Arrivals: arrivals, Threads: 6, Seed: 17, NoiseFrac: 0.1}
+
+	// Identical policies agree everywhere.
+	rep, _, err := ShadowRun(heuristics.Fair{}, heuristics.Fair{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events == 0 || rep.EventAgreement != 1 || rep.DecisionAgreement != 1 {
+		t.Fatalf("self-shadow agreement: %+v, want 1.0 across %d events", rep, rep.Events)
+	}
+
+	// Different policies must disagree somewhere, and shadowing must not
+	// change what the active policy does (same result as unshadowed).
+	rep2, score, err := ShadowRun(heuristics.Fair{}, heuristics.FIFO{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.EventAgreement >= 1 {
+		t.Fatalf("Fair vs FIFO event agreement = %v, want < 1", rep2.EventAgreement)
+	}
+	direct, err := SimScore(heuristics.Fair{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != direct {
+		t.Fatalf("shadowed active score %v != unshadowed %v; shadow replay perturbed the run", score, direct)
+	}
+}
+
+// trickle is a deliberately poor policy: it keeps queries alive but
+// serializes everything onto one thread with no pipelining.
+type trickle struct{}
+
+func (trickle) Name() string { return "trickle" }
+func (trickle) OnEvent(st *engine.State, _ engine.Event) []engine.Decision {
+	var ds []engine.Decision
+	for _, q := range st.Queries {
+		roots := q.SchedulableRoots()
+		if len(roots) > 0 {
+			ds = append(ds, engine.Decision{QueryID: q.ID, RootOpID: roots[0].ID})
+		}
+		ds = append(ds, engine.Decision{QueryID: q.ID, RootOpID: -1, Threads: 1})
+	}
+	return ds
+}
+
+// testLoader maps tiny text blobs to heuristic schedulers, so promoter
+// tests control candidate quality exactly.
+func testLoader(ck *policystore.Checkpoint) (engine.Scheduler, error) {
+	switch string(ck.Params) {
+	case "sjf":
+		return heuristics.SJF{}, nil
+	case "fair":
+		return heuristics.Fair{}, nil
+	case "trickle":
+		return trickle{}, nil
+	}
+	return nil, nil
+}
+
+func TestPromoterGuardedPromotionAndRollback(t *testing.T) {
+	store := testStore(t)
+	arrivals := testArrivals(t, 6, 19)
+	hot := NewHotAgent(heuristics.Fair{}, 0)
+	reg := metrics.NewRegistry()
+	hot.Instrument(reg)
+
+	p, err := NewPromoter(PromoterConfig{
+		Store: store,
+		Hot:   hot,
+		Load:  testLoader,
+		Eval:  EvalConfig{Arrivals: arrivals, Threads: 6, Seed: 19, NoiseFrac: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Instrument(reg)
+
+	// Empty store: a tick is a no-op.
+	if res, err := p.Tick(); err != nil || res.Checked != 0 {
+		t.Fatalf("tick on empty store: %+v, %v", res, err)
+	}
+
+	// Bootstrap: the first version promotes without a contest.
+	v1, err := store.Put(policystore.PutOptions{Params: []byte("fair")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Tick()
+	if err != nil || !res.Promoted {
+		t.Fatalf("bootstrap tick: %+v, %v", res, err)
+	}
+	if a, _ := store.Active(); a != v1 {
+		t.Fatalf("active = %d, want %d", a, v1)
+	}
+	if hot.ActiveVersion() != v1 {
+		t.Fatalf("serving version = %d, want %d", hot.ActiveVersion(), v1)
+	}
+
+	// A better candidate (SJF beats Fair on avg duration) promotes.
+	v2, err := store.Put(policystore.PutOptions{Params: []byte("sjf"), Parent: v1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Promoted || res.CandidateScore < res.ActiveScore {
+		t.Fatalf("better candidate not promoted: %+v", res)
+	}
+	if a, _ := store.Active(); a != v2 {
+		t.Fatalf("active = %d, want %d", a, v2)
+	}
+	if hot.ActiveVersion() != v2 {
+		t.Fatalf("serving version = %d, want %d", hot.ActiveVersion(), v2)
+	}
+
+	// A worse candidate is trial-promoted, fails its shadow evaluation,
+	// and is rolled back — the serving policy never changes.
+	v3, err := store.Put(policystore.PutOptions{Params: []byte("trickle"), Parent: v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RolledBack || res.Promoted {
+		t.Fatalf("worse candidate not rolled back: %+v", res)
+	}
+	if a, _ := store.Active(); a != v2 {
+		t.Fatalf("active after rollback = %d, want %d", a, v2)
+	}
+	if hot.ActiveVersion() != v2 {
+		t.Fatalf("serving version after rollback = %d, want %d", hot.ActiveVersion(), v2)
+	}
+	// The rejected version's manifest records why.
+	ck, err := store.Get(v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ck.Manifest.Metrics["sim_score"]; !ok {
+		t.Fatalf("rejected manifest missing evaluation metrics: %+v", ck.Manifest.Metrics)
+	}
+
+	// The rejected version is not re-evaluated on the next tick.
+	if res, err := p.Tick(); err != nil || res.Checked != 0 {
+		t.Fatalf("rejected candidate re-checked: %+v, %v", res, err)
+	}
+
+	if got := reg.Counter("policy_promotions_total").Value(); got != 2 {
+		t.Fatalf("policy_promotions_total = %d, want 2", got)
+	}
+	if got := reg.Counter("policy_rollbacks_total").Value(); got != 1 {
+		t.Fatalf("policy_rollbacks_total = %d, want 1", got)
+	}
+	if got := hot.Swaps(); got != 2 {
+		t.Fatalf("hot swaps = %d, want 2 (bootstrap + promotion)", got)
+	}
+}
+
+// TestCrashRecoveryRoundTrip is the restart story: an online agent
+// checkpoints into the store while serving; a fresh process restores
+// the latest version and gets bit-identical params, the same experience
+// buffer, and (via the Sim determinism harness) an identical schedule.
+func TestCrashRecoveryRoundTrip(t *testing.T) {
+	store := testStore(t)
+	opts := lsched.DefaultOptions(5)
+	agent := lsched.New(opts)
+	online := lsched.NewOnlineAgent(agent, lsched.OnlineConfig{CheckpointEvery: 2, LR: 1e-3, W1: 1}, nil)
+	online.PersistTo(store, 0)
+
+	arrivals := testArrivals(t, 8, 23)
+	sim := engine.NewSim(engine.SimConfig{Threads: 6, Seed: 23, NoiseFrac: 0.1})
+	sim.SetObserver(online)
+	if _, err := sim.Run(online, engine.CloneArrivals(arrivals)); err != nil {
+		t.Fatal(err)
+	}
+	if err := online.PersistErr(); err != nil {
+		t.Fatal(err)
+	}
+	if online.LastPersisted() == 0 {
+		t.Fatal("no checkpoint persisted during the run")
+	}
+
+	// "Restart": a fresh agent restores the latest stored version.
+	ck, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Manifest.Version != online.LastPersisted() {
+		t.Fatalf("latest = v%d, want v%d", ck.Manifest.Version, online.LastPersisted())
+	}
+	restored := lsched.New(opts)
+	if err := restored.Restore(ck.Params); err != nil {
+		t.Fatal(err)
+	}
+
+	// Params restore bit-identically (online updates only happen at
+	// checkpoints, and every checkpoint persisted).
+	want, err := agent.Params().Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Params().Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("restored params differ from the live agent's")
+	}
+
+	// The experience buffer round-trips exactly.
+	rexp := lsched.NewExperienceManager(1024)
+	if err := rexp.Load(ck.Experience); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rexp.All(), online.Experiences().All()) {
+		t.Fatalf("experiences differ:\n live     %+v\n restored %+v",
+			online.Experiences().All(), rexp.All())
+	}
+
+	// Determinism harness: both agents, greedy, produce bit-identical
+	// schedules on the same workload.
+	agent.SetGreedy(true)
+	restored.SetGreedy(true)
+	eval := testArrivals(t, 6, 29)
+	s1 := engine.NewSim(engine.SimConfig{Threads: 6, Seed: 29, NoiseFrac: 0.1})
+	r1, err := s1.Run(agent, engine.CloneArrivals(eval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := engine.NewSim(engine.SimConfig{Threads: 6, Seed: 29, NoiseFrac: 0.1})
+	r2, err := s2.Run(restored, engine.CloneArrivals(eval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Durations, r2.Durations) || r1.Makespan != r2.Makespan {
+		t.Fatalf("restored agent schedules differently:\n live     %v (makespan %v)\n restored %v (makespan %v)",
+			r1.Durations, r1.Makespan, r2.Durations, r2.Makespan)
+	}
+}
+
+// TestLSchedLoaderBumpsParamsVersion pins the cache-invalidation
+// contract the hot-swap path relies on: loading a checkpoint bumps the
+// params version counter, which keys the encoder cache.
+func TestLSchedLoaderBumpsParamsVersion(t *testing.T) {
+	src := greedyAgent(3)
+	params, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t)
+	v, err := store.Put(policystore.PutOptions{Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := store.Get(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := LSchedLoader(lsched.DefaultOptions(3))(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := sched.(*lsched.Agent)
+	if agent.Params().Version() == 0 {
+		t.Fatal("Restore did not bump the params version; stale encoder-cache entries could survive a swap")
+	}
+}
+
+// nopSched is the cheapest possible policy, isolating HotAgent's
+// delegation overhead.
+type nopSched struct{}
+
+func (nopSched) Name() string                                          { return "nop" }
+func (nopSched) OnEvent(*engine.State, engine.Event) []engine.Decision { return nil }
+
+// BenchmarkHotSwap shows Install is O(pointer store): no locks, no
+// allocation proportional to model size.
+func BenchmarkHotSwap(b *testing.B) {
+	hot := NewHotAgent(nopSched{}, 1)
+	a, bSched := nopSched{}, nopSched{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			hot.Install(a, 1)
+		} else {
+			hot.Install(bSched, 2)
+		}
+	}
+}
+
+// BenchmarkHotAgentOnEvent shows the serving-path cost of the
+// indirection: one atomic pointer load per event.
+func BenchmarkHotAgentOnEvent(b *testing.B) {
+	hot := NewHotAgent(nopSched{}, 1)
+	st := &engine.State{}
+	ev := engine.Event{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hot.OnEvent(st, ev)
+	}
+}

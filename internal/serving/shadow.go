@@ -1,0 +1,174 @@
+package serving
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// ShadowEvaluator drives live traffic with the active policy while
+// replaying every scheduling event through a candidate policy whose
+// decisions are computed but never applied. It implements
+// engine.Scheduler; wrap it around the active policy for one run and
+// read the Report afterwards.
+//
+// OnEvent is pure with respect to the engine state (schedulers only
+// read *engine.State), so invoking the candidate on the same (state,
+// event) pair is side-effect-free — the only cost is the candidate's
+// forward pass.
+type ShadowEvaluator struct {
+	active    engine.Scheduler
+	candidate engine.Scheduler
+
+	events         int
+	matchedEvents  int
+	decisions      int
+	matchedDecs    int
+	candidateExtra int
+}
+
+// NewShadowEvaluator pairs an active (applied) and candidate (shadowed)
+// policy. Both should be deterministic (greedy) for agreement to be
+// meaningful.
+func NewShadowEvaluator(active, candidate engine.Scheduler) *ShadowEvaluator {
+	return &ShadowEvaluator{active: active, candidate: candidate}
+}
+
+// Name implements engine.Scheduler.
+func (s *ShadowEvaluator) Name() string {
+	return s.active.Name() + "+shadow(" + s.candidate.Name() + ")"
+}
+
+// OnEvent implements engine.Scheduler: the active policy's decisions
+// are returned (applied); the candidate's are computed against the same
+// state and scored for agreement.
+func (s *ShadowEvaluator) OnEvent(st *engine.State, ev engine.Event) []engine.Decision {
+	applied := s.active.OnEvent(st, ev)
+	shadow := s.candidate.OnEvent(st, ev)
+
+	s.events++
+	if decisionsEqual(applied, shadow) {
+		s.matchedEvents++
+	}
+	s.decisions += len(applied)
+	if len(shadow) > len(applied) {
+		s.candidateExtra += len(shadow) - len(applied)
+	}
+	n := len(applied)
+	if len(shadow) < n {
+		n = len(shadow)
+	}
+	for i := 0; i < n; i++ {
+		if applied[i] == shadow[i] {
+			s.matchedDecs++
+		}
+	}
+	return applied
+}
+
+// QueryCompleted forwards lifecycle callbacks to the active policy
+// (the candidate is frozen during shadowing — it must not learn from
+// rewards earned by someone else's decisions).
+func (s *ShadowEvaluator) QueryCompleted(queryID int, arrival, completion float64) {
+	if o, ok := s.active.(engine.QueryObserver); ok {
+		o.QueryCompleted(queryID, arrival, completion)
+	}
+}
+
+// ShadowReport summarizes one shadowed run.
+type ShadowReport struct {
+	// Events is the number of scheduling events observed.
+	Events int
+	// EventAgreement is the fraction of events where the candidate's
+	// full decision list matched the active policy's exactly.
+	EventAgreement float64
+	// DecisionAgreement is the fraction of the active policy's
+	// decisions the candidate reproduced position-for-position.
+	DecisionAgreement float64
+}
+
+// Report returns the agreement scores accumulated so far.
+func (s *ShadowEvaluator) Report() ShadowReport {
+	r := ShadowReport{Events: s.events}
+	if s.events > 0 {
+		r.EventAgreement = float64(s.matchedEvents) / float64(s.events)
+	}
+	total := s.decisions + s.candidateExtra
+	if total > 0 {
+		r.DecisionAgreement = float64(s.matchedDecs) / float64(total)
+	}
+	return r
+}
+
+// decisionsEqual compares two decision lists field-for-field.
+func decisionsEqual(a, b []engine.Decision) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalConfig configures a simulated evaluation run: the fixed workload
+// and simulator settings both contenders are scored under.
+type EvalConfig struct {
+	// Arrivals is the evaluation workload; each run gets its own deep
+	// copy, so repeated evaluations never share plan state.
+	Arrivals []engine.Arrival
+	// Threads, Seed, NoiseFrac mirror engine.SimConfig.
+	Threads   int
+	Seed      int64
+	NoiseFrac float64
+	// MaxTime aborts a runaway candidate (0 = off). A candidate that
+	// cannot finish the workload scores -Inf and can never promote.
+	MaxTime float64
+}
+
+// SimScore runs one scheduler over the evaluation workload and returns
+// its score: the negated mean query duration, so higher is better. The
+// simulation is deterministic for a fixed config, making score
+// comparisons across candidates meaningful.
+func SimScore(s engine.Scheduler, cfg EvalConfig) (float64, error) {
+	if len(cfg.Arrivals) == 0 {
+		return 0, fmt.Errorf("serving: EvalConfig.Arrivals is empty")
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 8
+	}
+	sim := engine.NewSim(engine.SimConfig{
+		Threads: cfg.Threads, Seed: cfg.Seed, NoiseFrac: cfg.NoiseFrac, MaxTime: cfg.MaxTime,
+	})
+	res, err := sim.Run(s, engine.CloneArrivals(cfg.Arrivals))
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Durations) < len(cfg.Arrivals) {
+		return 0, fmt.Errorf("serving: completed %d of %d queries", len(res.Durations), len(cfg.Arrivals))
+	}
+	return -res.AvgDuration(), nil
+}
+
+// ShadowRun executes the evaluation workload with active applied and
+// candidate in shadow, returning the agreement report and the active
+// policy's score.
+func ShadowRun(active, candidate engine.Scheduler, cfg EvalConfig) (ShadowReport, float64, error) {
+	if len(cfg.Arrivals) == 0 {
+		return ShadowReport{}, 0, fmt.Errorf("serving: EvalConfig.Arrivals is empty")
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 8
+	}
+	sh := NewShadowEvaluator(active, candidate)
+	sim := engine.NewSim(engine.SimConfig{
+		Threads: cfg.Threads, Seed: cfg.Seed, NoiseFrac: cfg.NoiseFrac, MaxTime: cfg.MaxTime,
+	})
+	res, err := sim.Run(sh, engine.CloneArrivals(cfg.Arrivals))
+	if err != nil {
+		return ShadowReport{}, 0, err
+	}
+	return sh.Report(), -res.AvgDuration(), nil
+}

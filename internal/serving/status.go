@@ -1,0 +1,60 @@
+package serving
+
+import (
+	"repro/internal/policystore"
+)
+
+// PolicyStatus is the policy-lifecycle snapshot the obs server's
+// /policy endpoint serves.
+type PolicyStatus struct {
+	// ActiveVersion is the store's promoted version (CURRENT), 0 when
+	// nothing has been promoted (or no store is attached).
+	ActiveVersion int `json:"active_version"`
+	// ServingVersion is the version installed in the hot serving slot;
+	// it can briefly trail ActiveVersion during a trial promotion.
+	ServingVersion int `json:"serving_version"`
+	// Swaps counts hot-swaps performed since process start.
+	Swaps uint64 `json:"swaps"`
+	// Versions lists the loadable checkpoints, oldest first.
+	Versions []PolicyVersion `json:"versions"`
+}
+
+// PolicyVersion is one store entry in a PolicyStatus.
+type PolicyVersion struct {
+	Version       int                `json:"version"`
+	Parent        int                `json:"parent,omitempty"`
+	CreatedAtUnix int64              `json:"created_at_unix"`
+	Source        string             `json:"source,omitempty"`
+	Metrics       map[string]float64 `json:"metrics,omitempty"`
+}
+
+// PolicyStatusProvider adapts a store and a hot serving slot (either
+// may be nil) into the provider obs.Options.Policy expects. Every call
+// re-reads the store, so the endpoint reflects promotions and rollbacks
+// made by other processes (policyctl) too.
+func PolicyStatusProvider(store *policystore.Store, hot *HotAgent) func() any {
+	return func() any {
+		var st PolicyStatus
+		if hot != nil {
+			st.ServingVersion = hot.ActiveVersion()
+			st.Swaps = hot.Swaps()
+		}
+		if store != nil {
+			if v, err := store.Active(); err == nil {
+				st.ActiveVersion = v
+			}
+			if manifests, err := store.List(); err == nil {
+				for _, m := range manifests {
+					st.Versions = append(st.Versions, PolicyVersion{
+						Version:       m.Version,
+						Parent:        m.Parent,
+						CreatedAtUnix: m.CreatedAtUnix,
+						Source:        m.Source,
+						Metrics:       m.Metrics,
+					})
+				}
+			}
+		}
+		return st
+	}
+}
