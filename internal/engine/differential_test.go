@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Differential tests: the retained scalar path and the vectorized
+// kernel path must produce identical result blocks for every operator,
+// across all three column types and every predicate kind. Select,
+// probe, and sort compare exact row order (both paths are
+// order-preserving; sort breaks key ties by row index on both paths);
+// aggregate+finalize compares the group map, since finalize emits
+// groups in state-iteration order.
+
+// newDiffRun builds a bare liveRun on the given path with states wired
+// for one query over plan p.
+func newDiffRun(scalar bool, p *plan.Plan) (*liveRun, []*liveOpState) {
+	lr := &liveRun{
+		scalar: scalar,
+		pool:   exec.NewBlockPool(),
+		states: make(map[int][]*liveOpState),
+	}
+	sts := make([]*liveOpState, len(p.Ops))
+	for i := range sts {
+		sts[i] = &liveOpState{}
+	}
+	lr.states[0] = sts
+	return lr, sts
+}
+
+// diffBlock generates one random mixed-type block: an int64 key column
+// with duplicates and gaps, a float column, and a string column.
+func diffBlock(rng *rand.Rand, rows int) *storage.Block {
+	schema := storage.MustSchema(
+		storage.Column{Name: "key", Type: storage.Int64Col},
+		storage.Column{Name: "val", Type: storage.Float64Col},
+		storage.Column{Name: "tag", Type: storage.StringCol},
+	)
+	ints := make([]int64, rows)
+	floats := make([]float64, rows)
+	strs := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		// Sparse key space: duplicates are common, many keys absent.
+		ints[i] = int64(rng.Intn(40)) * 3
+		floats[i] = rng.Float64() * 100
+		strs[i] = fmt.Sprintf("v%d", rng.Intn(6))
+	}
+	return &storage.Block{
+		Header:  storage.BlockHeader{BlockID: rng.Intn(100), Relation: "diff", Rows: rows},
+		Schema:  schema,
+		Vectors: []storage.ColumnVector{{Ints: ints}, {Floats: floats}, {Strings: strs}},
+	}
+}
+
+// requireBlocksEqual fails the test unless a and b hold identical rows
+// in identical order (schema compared structurally, not by pointer).
+func requireBlocksEqual(t *testing.T, label string, a, b *storage.Block) {
+	t.Helper()
+	if a == nil || b == nil {
+		if a != b {
+			t.Fatalf("%s: one block nil (%v vs %v)", label, a, b)
+		}
+		return
+	}
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("%s: %d rows vs %d rows", label, a.NumRows(), b.NumRows())
+	}
+	if a.Schema.NumColumns() != b.Schema.NumColumns() {
+		t.Fatalf("%s: %d cols vs %d cols", label, a.Schema.NumColumns(), b.Schema.NumColumns())
+	}
+	for ci, col := range a.Schema.Columns {
+		if b.Schema.Columns[ci].Type != col.Type {
+			t.Fatalf("%s: column %d type mismatch", label, ci)
+		}
+		av, bv := &a.Vectors[ci], &b.Vectors[ci]
+		for r := 0; r < a.NumRows(); r++ {
+			switch col.Type {
+			case storage.Int64Col:
+				if av.Ints[r] != bv.Ints[r] {
+					t.Fatalf("%s: col %d row %d: %d vs %d", label, ci, r, av.Ints[r], bv.Ints[r])
+				}
+			case storage.Float64Col:
+				if av.Floats[r] != bv.Floats[r] {
+					t.Fatalf("%s: col %d row %d: %v vs %v", label, ci, r, av.Floats[r], bv.Floats[r])
+				}
+			case storage.StringCol:
+				if av.Strings[r] != bv.Strings[r] {
+					t.Fatalf("%s: col %d row %d: %q vs %q", label, ci, r, av.Strings[r], bv.Strings[r])
+				}
+			}
+		}
+	}
+}
+
+// lastOutput pops the most recent output of an op state.
+func lastOutput(st *liveOpState) *storage.Block {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.outputs) == 0 {
+		return nil
+	}
+	return st.outputs[len(st.outputs)-1]
+}
+
+// diffPredicates enumerates every predicate kind over every column
+// type, plus the fallback cases (no predicate, missing column).
+func diffPredicates() []plan.Predicate {
+	return []plan.Predicate{
+		{Kind: plan.PredIntLess, Column: "key", Operand: 60},
+		{Kind: plan.PredIntGreaterEq, Column: "key", Operand: 45},
+		{Kind: plan.PredIntEq, Column: "key", Operand: 39},
+		{Kind: plan.PredFloatLess, Column: "val", FOperand: 50},
+		{Kind: plan.PredStringEq, Column: "tag", SOperand: "v3"},
+		{Kind: plan.PredNone}, // selectivity fallback
+		{Kind: plan.PredIntLess, Column: "nosuch", Operand: 10},    // missing column fallback
+		{Kind: plan.PredIntLess, Column: "val", Operand: 10},       // type-mismatched column
+		{Kind: plan.PredStringEq, Column: "key", SOperand: "v1"},   // string pred on int column
+		{Kind: plan.PredIntEq, Column: "key", Operand: 1 << 40},    // matches nothing
+		{Kind: plan.PredIntGreaterEq, Column: "key", Operand: -10}, // matches everything
+	}
+}
+
+func TestDifferentialSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for pi, pred := range diffPredicates() {
+		for _, rows := range []int{0, 1, 257, 1000} {
+			in := diffBlock(rng, rows)
+			op := &plan.Operator{Type: plan.Select, Pred: pred, Selectivity: 0.4, Columns: []string{"key"}}
+			p := singleOpPlan(op)
+			sLR, sSts := newDiffRun(true, p)
+			vLR, vSts := newDiffRun(false, p)
+			sKept := sLR.runSelect(op, sSts[op.ID], in)
+			vKept := vLR.runSelect(op, vSts[op.ID], in)
+			label := fmt.Sprintf("select pred#%d rows=%d", pi, rows)
+			if sKept != vKept {
+				t.Fatalf("%s: scalar kept %d, vector kept %d", label, sKept, vKept)
+			}
+			requireBlocksEqual(t, label, lastOutput(sSts[op.ID]), lastOutput(vSts[op.ID]))
+		}
+	}
+}
+
+// singleOpPlan wraps one operator in a minimal valid plan.
+func singleOpPlan(op *plan.Operator) *plan.Plan {
+	b := plan.NewBuilder("diff")
+	b.Add(op)
+	return b.MustBuild()
+}
+
+// joinDiffPlan builds scan -> build -> probe and returns (plan, build
+// op, probe op).
+func joinDiffPlan() (*plan.Plan, *plan.Operator, *plan.Operator) {
+	b := plan.NewBuilder("diff-join")
+	scan := b.Add(&plan.Operator{Type: plan.TableScan, InputRelations: []string{"diff"}})
+	build := b.Add(&plan.Operator{Type: plan.BuildHash, Columns: []string{"key"}})
+	b.ConnectAuto(scan, build)
+	probe := b.Add(&plan.Operator{Type: plan.ProbeHash, Columns: []string{"key"}})
+	b.Connect(build, probe, false)
+	return b.MustBuild(), build, probe
+}
+
+func TestDifferentialBuildProbe(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for round := 0; round < 20; round++ {
+		p, buildOp, probeOp := joinDiffPlan()
+		sLR, sSts := newDiffRun(true, p)
+		vLR, vSts := newDiffRun(false, p)
+		q := newQueryState(0, p, 0)
+
+		// Build from several blocks; the probe side shares only part of
+		// the key space (diffBlock keys are multiples of 3 in [0,120)).
+		for b := 0; b < 1+rng.Intn(3); b++ {
+			blk := diffBlock(rng, rng.Intn(400))
+			sRows := sLR.runBuild(buildOp, sSts[buildOp.ID], blk)
+			vRows := vLR.runBuild(buildOp, vSts[buildOp.ID], blk)
+			if sRows != vRows {
+				t.Fatalf("round %d: build returned %d vs %d", round, sRows, vRows)
+			}
+		}
+		for b := 0; b < 2; b++ {
+			probeBlk := diffBlock(rng, rng.Intn(400))
+			// Inject keys guaranteed absent from the build side.
+			for i := range probeBlk.Vectors[0].Ints {
+				if rng.Intn(4) == 0 {
+					probeBlk.Vectors[0].Ints[i] = int64(1000 + rng.Intn(50))
+				}
+			}
+			sm := sLR.runProbe(q, probeOp, sSts[probeOp.ID], probeBlk)
+			vm := vLR.runProbe(q, probeOp, vSts[probeOp.ID], probeBlk)
+			if sm != vm {
+				t.Fatalf("round %d: probe matched %d vs %d", round, sm, vm)
+			}
+			requireBlocksEqual(t, fmt.Sprintf("probe round %d", round),
+				lastOutput(sSts[probeOp.ID]), lastOutput(vSts[probeOp.ID]))
+		}
+	}
+}
+
+// aggDiffPlan builds scan -> aggregate -> finalize.
+func aggDiffPlan() (*plan.Plan, *plan.Operator, *plan.Operator) {
+	b := plan.NewBuilder("diff-agg")
+	scan := b.Add(&plan.Operator{Type: plan.TableScan, InputRelations: []string{"diff"}})
+	agg := b.Add(&plan.Operator{Type: plan.Aggregate, Columns: []string{"key"}})
+	b.ConnectAuto(scan, agg)
+	fin := b.Add(&plan.Operator{Type: plan.FinalizeAggregate})
+	b.ConnectAuto(agg, fin)
+	return b.MustBuild(), agg, fin
+}
+
+// groupsOf reads a finalize output block into a key->value map.
+func groupsOf(t *testing.T, b *storage.Block) map[int64]float64 {
+	t.Helper()
+	if b == nil {
+		t.Fatal("no finalize output")
+	}
+	m := make(map[int64]float64, b.NumRows())
+	for i := 0; i < b.NumRows(); i++ {
+		m[b.Vectors[0].Ints[i]] = b.Vectors[1].Floats[i]
+	}
+	return m
+}
+
+func TestDifferentialAggregateFinalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for round := 0; round < 20; round++ {
+		p, aggOp, finOp := aggDiffPlan()
+		sLR, sSts := newDiffRun(true, p)
+		vLR, vSts := newDiffRun(false, p)
+		q := newQueryState(0, p, 0)
+		for b := 0; b < 1+rng.Intn(4); b++ {
+			blk := diffBlock(rng, rng.Intn(500))
+			sLR.runAggregate(aggOp, sSts[aggOp.ID], blk)
+			vLR.runAggregate(aggOp, vSts[aggOp.ID], blk)
+		}
+		sG := sLR.runFinalize(q, finOp, sSts[finOp.ID])
+		vG := vLR.runFinalize(q, finOp, vSts[finOp.ID])
+		if sG != vG {
+			t.Fatalf("round %d: finalize produced %d vs %d groups", round, sG, vG)
+		}
+		sM := groupsOf(t, lastOutput(sSts[finOp.ID]))
+		vM := groupsOf(t, lastOutput(vSts[finOp.ID]))
+		if len(sM) != len(vM) {
+			t.Fatalf("round %d: %d vs %d groups", round, len(sM), len(vM))
+		}
+		for k, v := range sM {
+			if vM[k] != v {
+				t.Fatalf("round %d: group %d = %v scalar, %v vector", round, k, v, vM[k])
+			}
+		}
+	}
+}
+
+func TestDifferentialSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	op := &plan.Operator{Type: plan.Sort, Columns: []string{"key"}}
+	p := singleOpPlan(op)
+	for _, rows := range []int{0, 1, 2, 100, 1000} {
+		in := diffBlock(rng, rows)
+		sLR, sSts := newDiffRun(true, p)
+		vLR, vSts := newDiffRun(false, p)
+		sLR.runSort(op, sSts[op.ID], in)
+		vLR.runSort(op, vSts[op.ID], in)
+		// Exact order: duplicate keys are broken by row index on both
+		// paths, so the full permutation must agree.
+		requireBlocksEqual(t, fmt.Sprintf("sort rows=%d", rows),
+			lastOutput(sSts[op.ID]), lastOutput(vSts[op.ID]))
+	}
+}
+
+// TestDifferentialFuzz drives randomized blocks through every kernel on
+// both paths in one go: random sizes (including empty), duplicate and
+// missing join keys, every predicate kind, mixed column types.
+func TestDifferentialFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	preds := diffPredicates()
+	for round := 0; round < 60; round++ {
+		rows := rng.Intn(600)
+		if rng.Intn(10) == 0 {
+			rows = 0
+		}
+		in := diffBlock(rng, rows)
+
+		pred := preds[rng.Intn(len(preds))]
+		if pred.Kind == plan.PredIntLess && rng.Intn(2) == 0 {
+			pred.Operand = int64(rng.Intn(140))
+		}
+		selOp := &plan.Operator{Type: plan.Select, Pred: pred, Selectivity: rng.Float64(), Columns: []string{"key"}}
+		selPlan := singleOpPlan(selOp)
+		sLR, sSts := newDiffRun(true, selPlan)
+		vLR, vSts := newDiffRun(false, selPlan)
+		if sk, vk := sLR.runSelect(selOp, sSts[0], in), vLR.runSelect(selOp, vSts[0], in); sk != vk {
+			t.Fatalf("round %d: select kept %d vs %d", round, sk, vk)
+		}
+		requireBlocksEqual(t, fmt.Sprintf("fuzz select %d", round), lastOutput(sSts[0]), lastOutput(vSts[0]))
+
+		jp, buildOp, probeOp := joinDiffPlan()
+		sJ, sJSts := newDiffRun(true, jp)
+		vJ, vJSts := newDiffRun(false, jp)
+		jq := newQueryState(0, jp, 0)
+		buildBlk := diffBlock(rng, rng.Intn(300))
+		sJ.runBuild(buildOp, sJSts[buildOp.ID], buildBlk)
+		vJ.runBuild(buildOp, vJSts[buildOp.ID], buildBlk)
+		if sm, vm := sJ.runProbe(jq, probeOp, sJSts[probeOp.ID], in), vJ.runProbe(jq, probeOp, vJSts[probeOp.ID], in); sm != vm {
+			t.Fatalf("round %d: probe matched %d vs %d", round, sm, vm)
+		}
+		requireBlocksEqual(t, fmt.Sprintf("fuzz probe %d", round),
+			lastOutput(sJSts[probeOp.ID]), lastOutput(vJSts[probeOp.ID]))
+
+		ap, aggOp, finOp := aggDiffPlan()
+		sA, sASts := newDiffRun(true, ap)
+		vA, vASts := newDiffRun(false, ap)
+		aq := newQueryState(0, ap, 0)
+		sA.runAggregate(aggOp, sASts[aggOp.ID], in)
+		vA.runAggregate(aggOp, vASts[aggOp.ID], in)
+		sA.runFinalize(aq, finOp, sASts[finOp.ID])
+		vA.runFinalize(aq, finOp, vASts[finOp.ID])
+		sM := groupsOf(t, lastOutput(sASts[finOp.ID]))
+		vM := groupsOf(t, lastOutput(vASts[finOp.ID]))
+		if len(sM) != len(vM) {
+			t.Fatalf("round %d: aggregate %d vs %d groups", round, len(sM), len(vM))
+		}
+		for k, v := range sM {
+			if vM[k] != v {
+				t.Fatalf("round %d: group %d = %v vs %v", round, k, v, vM[k])
+			}
+		}
+
+		sortOp := &plan.Operator{Type: plan.Sort, Columns: []string{"key"}}
+		sortPlan := singleOpPlan(sortOp)
+		sS, sSSts := newDiffRun(true, sortPlan)
+		vS, vSSts := newDiffRun(false, sortPlan)
+		sS.runSort(sortOp, sSSts[0], in)
+		vS.runSort(sortOp, vSSts[0], in)
+		requireBlocksEqual(t, fmt.Sprintf("fuzz sort %d", round), lastOutput(sSSts[0]), lastOutput(vSSts[0]))
+	}
+}
+
+// TestProbePrefersBuildHashChild is the regression test for the
+// build-child selection bug: a probe whose child list carries another
+// blocking child (a probe-side Sort) BEFORE the BuildHash must still
+// probe the BuildHash's table. The old loop broke on the first blocking
+// child and silently probed an empty state, matching nothing.
+func TestProbePrefersBuildHashChild(t *testing.T) {
+	for _, mode := range []string{"scalar", "vector"} {
+		t.Run(mode, func(t *testing.T) {
+			b := plan.NewBuilder("multi-child-probe")
+			scan1 := b.Add(&plan.Operator{Type: plan.TableScan, InputRelations: []string{"probe"}})
+			sortOp := b.Add(&plan.Operator{Type: plan.Sort, Columns: []string{"key"}})
+			b.ConnectAuto(scan1, sortOp)
+			scan2 := b.Add(&plan.Operator{Type: plan.TableScan, InputRelations: []string{"build"}})
+			buildOp := b.Add(&plan.Operator{Type: plan.BuildHash, Columns: []string{"key"}})
+			b.ConnectAuto(scan2, buildOp)
+			probeOp := b.Add(&plan.Operator{Type: plan.ProbeHash, Columns: []string{"key"}})
+			// The sorted probe side connects first, so the Sort (blocking,
+			// not a BuildHash) precedes the BuildHash in Children().
+			b.Connect(sortOp, probeOp, false)
+			b.Connect(buildOp, probeOp, false)
+			p := b.MustBuild()
+
+			if got := p.Ops[probeOp.ID].Children()[0].Child.Type; got != plan.Sort {
+				t.Fatalf("test setup: first probe child is %v, want Sort", got)
+			}
+
+			lr, sts := newDiffRun(mode == "scalar", p)
+			q := newQueryState(0, p, 0)
+			keys := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+			schema := storage.MustSchema(storage.Column{Name: "key", Type: storage.Int64Col})
+			blk := &storage.Block{
+				Header:  storage.BlockHeader{Relation: "build", Rows: len(keys)},
+				Schema:  schema,
+				Vectors: []storage.ColumnVector{{Ints: keys}},
+			}
+			lr.runBuild(buildOp, sts[buildOp.ID], blk)
+			// Every probe key was built, so every row must match.
+			if matched := lr.runProbe(q, probeOp, sts[probeOp.ID], blk); matched != len(keys) {
+				t.Fatalf("probe matched %d of %d rows: build-side child selection picked the wrong child", matched, len(keys))
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/storage"
@@ -17,6 +18,14 @@ import (
 // in real executions and (b) power the runnable examples: a Select work
 // order really filters tuples, a BuildHash order really builds a hash
 // table, and durations are measured wall-clock.
+//
+// Work orders run on the vectorized kernels of internal/exec by
+// default: typed branch-hoisted selection, open-addressing hash tables
+// with batch probe, pooled-block gather, and a key-extracted sort. The
+// pre-vectorization scalar per-row path is retained behind
+// LiveConfig.ScalarKernels for honest A/B benchmarking and the
+// scalar/vector differential tests (mirroring the agent's
+// DisableFastPath switch).
 //
 // The engine executes one workload per Run call. Queries arrive on the
 // wall clock according to their Arrival offsets (scaled by TimeScale).
@@ -32,6 +41,11 @@ type LiveConfig struct {
 	// TimeScale multiplies arrival offsets to convert workload time
 	// units into wall-clock seconds (e.g. 0.01 compresses a long trace).
 	TimeScale float64
+	// ScalarKernels selects the retained scalar per-row execution path
+	// (map-based hash state, per-block allocation) instead of the
+	// vectorized kernels — the pre-optimization baseline kept in-tree
+	// for A/B benchmarks and differential tests.
+	ScalarKernels bool
 	// Metrics, when non-nil, receives the engine's counters and latency
 	// histograms plus the live executor's own wall-clock instruments.
 	// Worker goroutines update them concurrently, so the registry's
@@ -58,11 +72,19 @@ type liveOpState struct {
 	// outputs collects the operator's produced blocks, consumed by
 	// parents.
 	outputs []*storage.Block
-	// hash is the BuildHash result shared with ProbeHash parents.
+	// hash is the BuildHash result shared with ProbeHash parents
+	// (scalar path).
 	hash map[int64]int
-	// aggState accumulates partial aggregates.
+	// vhash is the BuildHash result on the vectorized path.
+	vhash *exec.CountTable
+	// aggState accumulates partial aggregates (scalar path).
 	aggState map[int64]float64
-	mu       sync.Mutex
+	// vagg accumulates partial aggregates on the vectorized path.
+	vagg *exec.SumTable
+	// pooled tracks which outputs were drawn from the block pool, so
+	// they can be recycled when the owning query completes.
+	pooled []*storage.Block
+	mu     sync.Mutex
 }
 
 // LiveResult summarizes a live run.
@@ -80,6 +102,12 @@ type LiveResult struct {
 	OutputRows map[int]int
 }
 
+// kernelCounters counts work orders per execution kernel, so /metrics
+// shows where a live run's data touches went.
+type kernelCounters struct {
+	sel, build, probe, aggregate, sortk, passthrough, finalize *metrics.Counter
+}
+
 // Run executes the workload under the scheduler. It reuses the
 // simulator's state bookkeeping (QueryState, decisions, availability)
 // but with real block processing and wall-clock time.
@@ -90,6 +118,8 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 	// This keeps scheduling semantics identical across engines.
 	ls := &liveRun{
 		live:   lv,
+		scalar: lv.cfg.ScalarKernels,
+		pool:   exec.NewBlockPool(),
 		states: make(map[int][]*liveOpState),
 		result: &LiveResult{
 			Durations:   make(map[int]float64),
@@ -98,15 +128,31 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 		},
 		opCounts: make(map[plan.OpType]int),
 	}
-	if reg := lv.cfg.Metrics; reg != nil {
+	reg := lv.cfg.Metrics
+	if reg != nil {
 		ls.executed = reg.Counter("live_workorders_executed")
 		for t := 0; t < plan.NumOpTypes; t++ {
 			ls.wallLatency[t] = reg.Histogram("live_wo_wall_seconds_"+plan.OpType(t).String(), nil)
 		}
 	}
+	// Registry lookups are nil-safe: with metrics disabled these are
+	// nil instruments whose operations no-op.
+	ls.pool.Instrument(reg.Counter("live_block_pool_hits"), reg.Counter("live_block_pool_misses"))
+	ls.kernels = kernelCounters{
+		sel:         reg.Counter("live_kernel_wo_select"),
+		build:       reg.Counter("live_kernel_wo_build"),
+		probe:       reg.Counter("live_kernel_wo_probe"),
+		aggregate:   reg.Counter("live_kernel_wo_aggregate"),
+		sortk:       reg.Counter("live_kernel_wo_sort"),
+		passthrough: reg.Counter("live_kernel_wo_passthrough"),
+		finalize:    reg.Counter("live_kernel_wo_finalize"),
+	}
 	cfg := SimConfig{Threads: lv.cfg.Threads, Seed: 1, Metrics: lv.cfg.Metrics, Trace: lv.cfg.Trace}
 	sim := NewSim(cfg)
 	sim.executeHook = ls.execute
+	// Recycle a query's pooled blocks the moment it completes; the live
+	// engine owns this sim, so the observer slot is free.
+	sim.SetObserver(ls)
 	scaled := make([]Arrival, len(arrivals))
 	for i, a := range arrivals {
 		scaled[i] = Arrival{Plan: a.Plan, At: a.At * lv.cfg.TimeScale}
@@ -131,7 +177,16 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 // everything here is either mu-guarded, per-operator mutex-guarded
 // (liveOpState), or an atomic metrics instrument.
 type liveRun struct {
-	live     *Live
+	live *Live
+	// scalar selects the retained per-row path over the exec kernels.
+	scalar bool
+	// pool recycles materialized output blocks across work orders; nil
+	// (in bare test constructions) degrades to plain allocation.
+	pool *exec.BlockPool
+	// scratch holds per-worker *exec.Scratch buffers (selection
+	// vectors, sort pairs); sync.Pool gives each concurrently executing
+	// work order its own.
+	scratch  sync.Pool
 	mu       sync.Mutex
 	states   map[int][]*liveOpState
 	result   *LiveResult
@@ -142,6 +197,7 @@ type liveRun struct {
 	// LiveResult.WorkOrders.
 	executed    *metrics.Counter
 	wallLatency [plan.NumOpTypes]*metrics.Histogram
+	kernels     kernelCounters
 }
 
 // opState returns the execution state of one operator under the run
@@ -151,6 +207,38 @@ func (lr *liveRun) opState(queryID, opID int) *liveOpState {
 	lr.mu.Lock()
 	defer lr.mu.Unlock()
 	return lr.states[queryID][opID]
+}
+
+// getScratch borrows a per-worker scratch buffer; callers must return
+// it with putScratch once the work order's kernels are done with it.
+func (lr *liveRun) getScratch() *exec.Scratch {
+	if s, ok := lr.scratch.Get().(*exec.Scratch); ok {
+		return s
+	}
+	return &exec.Scratch{}
+}
+
+func (lr *liveRun) putScratch(s *exec.Scratch) { lr.scratch.Put(s) }
+
+// QueryCompleted implements QueryObserver: once a query finishes, no
+// work order can reference its intermediate blocks anymore, so its
+// pooled outputs return to the block pool and its execution state is
+// dropped. The Sim invokes this from the event loop between dispatch
+// rounds, never concurrently with worker goroutines.
+func (lr *liveRun) QueryCompleted(queryID int, arrival, completion float64) {
+	lr.mu.Lock()
+	sts := lr.states[queryID]
+	delete(lr.states, queryID)
+	lr.mu.Unlock()
+	for _, st := range sts {
+		st.mu.Lock()
+		pooled := st.pooled
+		st.pooled = nil
+		st.mu.Unlock()
+		for _, b := range pooled {
+			lr.pool.Put(b)
+		}
+	}
 }
 
 // execute really runs one work order and returns its measured duration
@@ -234,19 +322,31 @@ func (lr *liveRun) runWorkOrder(q *QueryState, op *plan.Operator, st *liveOpStat
 	// FinalizeAggregate consumes its child's aggregate state, not its
 	// output blocks, so it bypasses the block-input path.
 	if op.Type == plan.FinalizeAggregate {
+		lr.kernels.finalize.Inc()
 		return lr.runFinalize(q, op, st)
+	}
+	// Count the work order against its kernel before fetching input, so
+	// the per-kernel counters sum to the engine's work-order total even
+	// when a work order draws an empty block.
+	switch op.Type {
+	case plan.Select:
+		lr.kernels.sel.Inc()
+	case plan.BuildHash:
+		lr.kernels.build.Inc()
+	case plan.ProbeHash, plan.IndexNestedLoopJoin, plan.MergeJoin, plan.NestedLoopJoin:
+		lr.kernels.probe.Inc()
+	case plan.Aggregate, plan.Distinct, plan.Window:
+		lr.kernels.aggregate.Inc()
+	case plan.Sort, plan.TopK:
+		lr.kernels.sortk.Inc()
+	default:
+		lr.kernels.passthrough.Inc()
 	}
 	in := lr.inputBlock(q, op, st, idx)
 	if in == nil || in.NumRows() == 0 {
 		return 0
 	}
 	switch op.Type {
-	case plan.TableScan, plan.IndexScan, plan.Project, plan.Union, plan.Materialize, plan.Limit:
-		out := in // reference copy: columnar blocks are immutable here
-		st.mu.Lock()
-		st.outputs = append(st.outputs, out)
-		st.mu.Unlock()
-		return in.NumRows()
 	case plan.Select:
 		return lr.runSelect(op, st, in)
 	case plan.BuildHash:
@@ -258,11 +358,19 @@ func (lr *liveRun) runWorkOrder(q *QueryState, op *plan.Operator, st *liveOpStat
 	case plan.Sort, plan.TopK:
 		return lr.runSort(op, st, in)
 	default:
+		// Pass-through operators reference the input block unchanged:
+		// columnar blocks are immutable here.
+		st.mu.Lock()
+		st.outputs = append(st.outputs, in)
+		st.mu.Unlock()
 		return in.NumRows()
 	}
 }
 
-func (lr *liveRun) runSelect(op *plan.Operator, st *liveOpState, in *storage.Block) int {
+// selectPredicate resolves the effective predicate and column of a
+// Select work order over one block, shared by the scalar and vectorized
+// paths.
+func selectPredicate(op *plan.Operator, in *storage.Block) (plan.Predicate, int) {
 	pred := op.Pred
 	col := -1
 	if pred.Column != "" {
@@ -275,16 +383,75 @@ func (lr *liveRun) runSelect(op *plan.Operator, st *liveOpState, in *storage.Blo
 		col = keyColumn(op, in)
 		pred = plan.Predicate{Kind: plan.PredIntLess, Operand: int64(op.Selectivity * 1000)}
 	}
+	return pred, col
+}
+
+func (lr *liveRun) runSelect(op *plan.Operator, st *liveOpState, in *storage.Block) int {
+	pred, col := selectPredicate(op, in)
 	if col < 0 {
 		st.mu.Lock()
 		st.outputs = append(st.outputs, in)
 		st.mu.Unlock()
 		return in.NumRows()
 	}
-	kept := make([]int, 0, in.NumRows())
+	if lr.scalar {
+		return lr.runSelectScalar(pred, col, st, in)
+	}
+	return lr.runSelectVector(pred, col, st, in)
+}
+
+// runSelectScalar is the retained per-row path: loop-invariant work is
+// hoisted (the row count is read once, the predicate kind and column
+// vector are dispatched once per block instead of per row through
+// evalPred), but every work order still allocates its kept-row list and
+// a fresh materialized block.
+func (lr *liveRun) runSelectScalar(pred plan.Predicate, col int, st *liveOpState, in *storage.Block) int {
+	n := in.NumRows()
+	kept := make([]int, 0, n)
 	vec := &in.Vectors[col]
-	for i := 0; i < in.NumRows(); i++ {
-		if evalPred(pred, vec, i) {
+	switch pred.Kind {
+	case plan.PredIntLess:
+		if vals := vec.Ints; vals != nil {
+			for i, v := range vals[:n] {
+				if v < pred.Operand {
+					kept = append(kept, i)
+				}
+			}
+		}
+	case plan.PredIntGreaterEq:
+		if vals := vec.Ints; vals != nil {
+			for i, v := range vals[:n] {
+				if v >= pred.Operand {
+					kept = append(kept, i)
+				}
+			}
+		}
+	case plan.PredIntEq:
+		if vals := vec.Ints; vals != nil {
+			for i, v := range vals[:n] {
+				if v == pred.Operand {
+					kept = append(kept, i)
+				}
+			}
+		}
+	case plan.PredFloatLess:
+		if vals := vec.Floats; vals != nil {
+			for i, v := range vals[:n] {
+				if v < pred.FOperand {
+					kept = append(kept, i)
+				}
+			}
+		}
+	case plan.PredStringEq:
+		if vals := vec.Strings; vals != nil {
+			for i, v := range vals[:n] {
+				if v == pred.SOperand {
+					kept = append(kept, i)
+				}
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
 			kept = append(kept, i)
 		}
 	}
@@ -295,6 +462,8 @@ func (lr *liveRun) runSelect(op *plan.Operator, st *liveOpState, in *storage.Blo
 	return len(kept)
 }
 
+// evalPred is the original per-row predicate evaluation, kept as the
+// reference semantics for the scalar/vector differential tests.
 func evalPred(p plan.Predicate, v *storage.ColumnVector, i int) bool {
 	switch p.Kind {
 	case plan.PredIntLess:
@@ -312,7 +481,8 @@ func evalPred(p plan.Predicate, v *storage.ColumnVector, i int) bool {
 	}
 }
 
-// projectRows materializes the kept row indices of a block.
+// projectRows materializes the kept row indices of a block with fresh
+// allocations — the scalar path's materialization.
 func projectRows(in *storage.Block, rows []int) *storage.Block {
 	out := &storage.Block{
 		Header:  storage.BlockHeader{BlockID: in.Header.BlockID, Relation: in.Header.Relation, Rows: len(rows)},
@@ -350,31 +520,65 @@ func (lr *liveRun) runBuild(op *plan.Operator, st *liveOpState, in *storage.Bloc
 	}
 	vec := in.Vectors[col].Ints
 	st.mu.Lock()
-	if st.hash == nil {
-		st.hash = make(map[int64]int, len(vec))
-	}
-	for _, k := range vec {
-		st.hash[k]++
+	if lr.scalar {
+		if st.hash == nil {
+			st.hash = make(map[int64]int, len(vec))
+		}
+		for _, k := range vec {
+			st.hash[k]++
+		}
+	} else {
+		if st.vhash == nil {
+			st.vhash = exec.NewCountTable(len(vec))
+		}
+		st.vhash.AddBatch(vec)
 	}
 	st.outputs = append(st.outputs, in)
 	st.mu.Unlock()
 	return len(vec)
 }
 
-func (lr *liveRun) runProbe(q *QueryState, op *plan.Operator, st *liveOpState, in *storage.Block) int {
-	// Find the build-side child (a BuildHash for hash joins; otherwise
-	// the first blocking child) and probe its table.
-	var build *liveOpState
+// buildChildState finds a probe operator's build-side input: the
+// explicit BuildHash child when the plan has one, else the first
+// blocking child. Preferring BuildHash matters for multi-child probes —
+// a plan can feed another blocking child (say a Sort on the probe side)
+// into the join ahead of the BuildHash in the child list, and probing
+// that child's never-built table would silently match nothing.
+func (lr *liveRun) buildChildState(q *QueryState, op *plan.Operator) *liveOpState {
+	var pick *plan.Operator
 	for _, e := range op.Children() {
-		if e.Child.Type == plan.BuildHash || !e.NonPipelineBreaking {
-			build = lr.opState(q.ID, e.Child.ID)
+		if e.Child.Type == plan.BuildHash {
+			pick = e.Child
 			break
 		}
 	}
+	if pick == nil {
+		for _, e := range op.Children() {
+			if !e.NonPipelineBreaking {
+				pick = e.Child
+				break
+			}
+		}
+	}
+	if pick == nil {
+		return nil
+	}
+	return lr.opState(q.ID, pick.ID)
+}
+
+func (lr *liveRun) runProbe(q *QueryState, op *plan.Operator, st *liveOpState, in *storage.Block) int {
+	build := lr.buildChildState(q, op)
 	col := keyColumn(op, in)
 	if col < 0 || in.Vectors[col].Ints == nil {
 		return 0
 	}
+	if lr.scalar {
+		return lr.runProbeScalar(build, st, in, col)
+	}
+	return lr.runProbeVector(build, st, in, col)
+}
+
+func (lr *liveRun) runProbeScalar(build, st *liveOpState, in *storage.Block, col int) int {
 	matched := make([]int, 0, in.NumRows())
 	if build != nil {
 		// Probe under the build-side lock. The scheduler only activates
@@ -404,31 +608,50 @@ func (lr *liveRun) runAggregate(op *plan.Operator, st *liveOpState, in *storage.
 	col := keyColumn(op, in)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.aggState == nil {
-		st.aggState = make(map[int64]float64)
+	if lr.scalar {
+		if st.aggState == nil {
+			st.aggState = make(map[int64]float64)
+		}
+		if col < 0 {
+			st.aggState[0] += float64(in.NumRows())
+			return 1
+		}
+		for _, k := range in.Vectors[col].Ints {
+			st.aggState[k]++
+		}
+		return len(st.aggState)
+	}
+	if st.vagg == nil {
+		st.vagg = exec.NewSumTable(0)
 	}
 	if col < 0 {
-		st.aggState[0] += float64(in.NumRows())
+		st.vagg.Add(0, float64(in.NumRows()))
 		return 1
 	}
-	for _, k := range in.Vectors[col].Ints {
-		st.aggState[k]++
-	}
-	return len(st.aggState)
+	st.vagg.AddOnes(in.Vectors[col].Ints)
+	return st.vagg.Len()
 }
 
 func (lr *liveRun) runFinalize(q *QueryState, op *plan.Operator, st *liveOpState) int {
 	child := op.Children()[0].Child
 	cs := lr.opState(q.ID, child.ID)
 	cs.mu.Lock()
-	groups := len(cs.aggState)
-	keys := make([]int64, 0, groups)
-	vals := make([]float64, 0, groups)
-	for k, v := range cs.aggState {
-		keys = append(keys, k)
-		vals = append(vals, v)
+	var keys []int64
+	var vals []float64
+	if cs.vagg != nil {
+		keys = make([]int64, 0, cs.vagg.Len())
+		vals = make([]float64, 0, cs.vagg.Len())
+		keys, vals = cs.vagg.Export(keys, vals)
+	} else {
+		keys = make([]int64, 0, len(cs.aggState))
+		vals = make([]float64, 0, len(cs.aggState))
+		for k, v := range cs.aggState {
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
 	}
 	cs.mu.Unlock()
+	groups := len(keys)
 	schema := storage.MustSchema(
 		storage.Column{Name: "group", Type: storage.Int64Col},
 		storage.Column{Name: "value", Type: storage.Float64Col},
@@ -452,12 +675,28 @@ func (lr *liveRun) runSort(op *plan.Operator, st *liveOpState, in *storage.Block
 		st.mu.Unlock()
 		return in.NumRows()
 	}
+	if lr.scalar {
+		return lr.runSortScalar(st, in, col)
+	}
+	return lr.runSortVector(st, in, col)
+}
+
+func (lr *liveRun) runSortScalar(st *liveOpState, in *storage.Block, col int) int {
 	order := make([]int, in.NumRows())
 	for i := range order {
 		order[i] = i
 	}
 	keys := in.Vectors[col].Ints
-	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	// Ties order by row index so the output is a deterministic total
+	// order — the same contract the vectorized sort kernel keeps, which
+	// is what lets the differential tests compare exact output order.
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
 	out := projectRows(in, order)
 	st.mu.Lock()
 	st.outputs = append(st.outputs, out)

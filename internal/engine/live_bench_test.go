@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Per-kernel A/B benchmarks: the same work order driven through the
+// retained scalar path and the vectorized exec kernels. Each iteration
+// processes one ~4k-row block; pooled outputs are recycled between
+// iterations so the vector numbers reflect steady-state execution, the
+// regime the live engine reaches once the pool is warm.
+
+const benchRows = 4096
+
+// benchBlock builds one block with an int64 key column (bounded
+// cardinality, so hash state reaches steady size) and a float64 value
+// column.
+func benchBlock(b *testing.B) *storage.Block {
+	b.Helper()
+	gen := storage.NewGenerator(42)
+	rel, err := gen.Relation("bench", benchRows, benchRows, []storage.GenSpec{
+		{Column: storage.Column{Name: "key", Type: storage.Int64Col}, Cardinality: 128},
+		{Column: storage.Column{Name: "val", Type: storage.Float64Col}, MinFloat: 0, MaxFloat: 100},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rel.Blocks[0]
+}
+
+func benchRun(scalar bool) *liveRun {
+	return &liveRun{
+		scalar: scalar,
+		pool:   exec.NewBlockPool(),
+		states: make(map[int][]*liveOpState),
+	}
+}
+
+// benchDrain recycles an op state's outputs between iterations: pooled
+// blocks go back to the pool (vector path), scalar outputs are dropped.
+func benchDrain(lr *liveRun, st *liveOpState) {
+	st.mu.Lock()
+	pooled := st.pooled
+	st.outputs = st.outputs[:0]
+	st.pooled = st.pooled[:0]
+	st.mu.Unlock()
+	for _, blk := range pooled {
+		lr.pool.Put(blk)
+	}
+}
+
+func benchModes(b *testing.B, fn func(b *testing.B, scalar bool)) {
+	b.Helper()
+	b.Run("scalar", func(b *testing.B) { fn(b, true) })
+	b.Run("vector", func(b *testing.B) { fn(b, false) })
+}
+
+func BenchmarkLiveKernels(b *testing.B) {
+	b.Run("select", func(b *testing.B) {
+		benchModes(b, func(b *testing.B, scalar bool) {
+			in := benchBlock(b)
+			// ~50% selectivity over the 128-key space.
+			op := &plan.Operator{Type: plan.Select, Columns: []string{"key"},
+				Pred: plan.Predicate{Kind: plan.PredIntLess, Column: "key", Operand: 64}}
+			lr := benchRun(scalar)
+			st := &liveOpState{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lr.runSelect(op, st, in)
+				benchDrain(lr, st)
+			}
+		})
+	})
+
+	b.Run("build", func(b *testing.B) {
+		benchModes(b, func(b *testing.B, scalar bool) {
+			in := benchBlock(b)
+			op := &plan.Operator{Type: plan.BuildHash, Columns: []string{"key"}}
+			lr := benchRun(scalar)
+			st := &liveOpState{}
+			lr.runBuild(op, st, in) // warm: table reaches steady size
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lr.runBuild(op, st, in)
+			}
+		})
+	})
+
+	b.Run("probe", func(b *testing.B) {
+		benchModes(b, func(b *testing.B, scalar bool) {
+			in := benchBlock(b)
+			bp := plan.NewBuilder("bench-join")
+			scan := bp.Add(&plan.Operator{Type: plan.TableScan, InputRelations: []string{"bench"}})
+			buildOp := bp.Add(&plan.Operator{Type: plan.BuildHash, Columns: []string{"key"}})
+			bp.ConnectAuto(scan, buildOp)
+			probeOp := bp.Add(&plan.Operator{Type: plan.ProbeHash, Columns: []string{"key"}})
+			bp.Connect(buildOp, probeOp, false)
+			p := bp.MustBuild()
+			lr := benchRun(scalar)
+			sts := make([]*liveOpState, len(p.Ops))
+			for i := range sts {
+				sts[i] = &liveOpState{}
+			}
+			lr.states[0] = sts
+			q := newQueryState(0, p, 0)
+			lr.runBuild(p.Ops[buildOp.ID], sts[buildOp.ID], in)
+			st := sts[probeOp.ID]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lr.runProbe(q, p.Ops[probeOp.ID], st, in)
+				benchDrain(lr, st)
+			}
+		})
+	})
+
+	b.Run("aggregate", func(b *testing.B) {
+		benchModes(b, func(b *testing.B, scalar bool) {
+			in := benchBlock(b)
+			op := &plan.Operator{Type: plan.Aggregate, Columns: []string{"key"}}
+			lr := benchRun(scalar)
+			st := &liveOpState{}
+			lr.runAggregate(op, st, in) // warm: group state reaches steady size
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lr.runAggregate(op, st, in)
+			}
+		})
+	})
+
+	b.Run("sort", func(b *testing.B) {
+		benchModes(b, func(b *testing.B, scalar bool) {
+			in := benchBlock(b)
+			op := &plan.Operator{Type: plan.Sort, Columns: []string{"key"}}
+			lr := benchRun(scalar)
+			st := &liveOpState{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lr.runSort(op, st, in)
+				benchDrain(lr, st)
+			}
+		})
+	})
+}
+
+// BenchmarkLiveRun drives the full engine — dispatch, workers, block
+// pool, query-completion recycling — on both kernel paths.
+func BenchmarkLiveRun(b *testing.B) {
+	benchModes(b, func(b *testing.B, scalar bool) {
+		gen := storage.NewGenerator(42)
+		rel, err := gen.Relation("t", 8*benchRows, benchRows, []storage.GenSpec{
+			{Column: storage.Column{Name: "id", Type: storage.Int64Col}, Sequential: true},
+			{Column: storage.Column{Name: "key", Type: storage.Int64Col}, Cardinality: 128},
+			{Column: storage.Column{Name: "val", Type: storage.Float64Col}, MinFloat: 0, MaxFloat: 100},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cat := storage.NewCatalog()
+		if err := cat.Register(rel); err != nil {
+			b.Fatal(err)
+		}
+		mkArrivals := func() []Arrival {
+			var a []Arrival
+			for i := 0; i < 4; i++ {
+				a = append(a, Arrival{Plan: benchLivePlan(8), At: float64(i) * 0.01})
+			}
+			return a
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lv := NewLive(cat, LiveConfig{Threads: 4, ScalarKernels: scalar})
+			if _, err := lv.Run(greedyTestSched{depth: 2}, mkArrivals()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchLivePlan: scan -> select(id < half) -> aggregate -> finalize
+// over the benchmark relation.
+func benchLivePlan(blocks int) *plan.Plan {
+	b := plan.NewBuilder("bench-q")
+	scan := b.Add(&plan.Operator{Type: plan.TableScan, InputRelations: []string{"t"}, EstBlocks: blocks})
+	sel := b.Add(&plan.Operator{
+		Type: plan.Select, InputRelations: []string{"t"}, EstBlocks: blocks,
+		Pred: plan.Predicate{Kind: plan.PredIntLess, Column: "id", Operand: 4 * benchRows},
+	})
+	b.ConnectAuto(scan, sel)
+	agg := b.Add(&plan.Operator{Type: plan.Aggregate, InputRelations: []string{"t"}, EstBlocks: blocks, Columns: []string{"key"}})
+	b.ConnectAuto(sel, agg)
+	fin := b.Add(&plan.Operator{Type: plan.FinalizeAggregate, InputRelations: []string{"t"}, EstBlocks: 1})
+	b.ConnectAuto(agg, fin)
+	return b.MustBuild()
+}

@@ -67,69 +67,78 @@ func TestLiveStressInstrumentationLossless(t *testing.T) {
 // contract directly: build and probe work orders of the same join
 // hammered from concurrent goroutines, the worst interleaving the
 // executor could ever see (the scheduler itself never overlaps them,
-// because the build edge is pipeline-breaking). The shared hash map is
-// read by the probe side; under `go test -race` this fails unless
-// runProbe holds the build-side lock for the whole probe.
+// because the build edge is pipeline-breaking). The shared hash state
+// is read by the probe side; under `go test -race` this fails unless
+// runProbe holds the build-side lock for the whole probe. Both the
+// scalar map path and the vectorized open-addressing path are covered.
 func TestLiveHashShareConcurrency(t *testing.T) {
-	gen := storage.NewGenerator(11)
-	rel, err := gen.Relation("r", 1000, 250, []storage.GenSpec{
-		{Column: storage.Column{Name: "key", Type: storage.Int64Col}, Cardinality: 40},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	b := plan.NewBuilder("hash-share")
-	scan := b.Add(&plan.Operator{Type: plan.TableScan, InputRelations: []string{"r"}, EstBlocks: 4})
-	build := b.Add(&plan.Operator{Type: plan.BuildHash, InputRelations: []string{"r"}, EstBlocks: 4, Columns: []string{"key"}})
-	b.ConnectAuto(scan, build)
-	probe := b.Add(&plan.Operator{Type: plan.ProbeHash, InputRelations: []string{"r"}, EstBlocks: 4, Columns: []string{"key"}})
-	b.Connect(build, probe, false)
-	p := b.MustBuild()
-	q := newQueryState(0, p, 0)
-
-	lr := &liveRun{states: make(map[int][]*liveOpState)}
-	sts := make([]*liveOpState, len(p.Ops))
-	for i := range sts {
-		sts[i] = &liveOpState{}
-	}
-	lr.states[0] = sts
-	buildSt := sts[build.ID]
-	probeSt := sts[probe.ID]
-	buildOp := p.Ops[build.ID]
-	probeOp := p.Ops[probe.ID]
-
-	var wg sync.WaitGroup
-	for g := 0; g < 4; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for _, blk := range rel.Blocks {
-				lr.runBuild(buildOp, buildSt, blk)
+	for _, mode := range []string{"vector", "scalar"} {
+		t.Run(mode, func(t *testing.T) {
+			gen := storage.NewGenerator(11)
+			rel, err := gen.Relation("r", 1000, 250, []storage.GenSpec{
+				{Column: storage.Column{Name: "key", Type: storage.Int64Col}, Cardinality: 40},
+			})
+			if err != nil {
+				t.Fatal(err)
 			}
-		}()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for _, blk := range rel.Blocks {
-				lr.runProbe(q, probeOp, probeSt, blk)
-			}
-		}()
-	}
-	wg.Wait()
 
-	// After every build finished, a probe must match every row.
-	if rows := lr.runProbe(q, probeOp, probeSt, rel.Blocks[0]); rows != rel.Blocks[0].NumRows() {
-		t.Fatalf("post-build probe matched %d rows, want %d", rows, rel.Blocks[0].NumRows())
-	}
-	// 4 goroutines × 4 blocks × 250 rows each landed in the hash table.
-	buildSt.mu.Lock()
-	total := 0
-	for _, c := range buildSt.hash {
-		total += c
-	}
-	buildSt.mu.Unlock()
-	if total != 4*1000 {
-		t.Fatalf("hash table holds %d entries, want %d (lost concurrent inserts)", total, 4*1000)
+			b := plan.NewBuilder("hash-share")
+			scan := b.Add(&plan.Operator{Type: plan.TableScan, InputRelations: []string{"r"}, EstBlocks: 4})
+			build := b.Add(&plan.Operator{Type: plan.BuildHash, InputRelations: []string{"r"}, EstBlocks: 4, Columns: []string{"key"}})
+			b.ConnectAuto(scan, build)
+			probe := b.Add(&plan.Operator{Type: plan.ProbeHash, InputRelations: []string{"r"}, EstBlocks: 4, Columns: []string{"key"}})
+			b.Connect(build, probe, false)
+			p := b.MustBuild()
+			q := newQueryState(0, p, 0)
+
+			lr := &liveRun{states: make(map[int][]*liveOpState), scalar: mode == "scalar"}
+			sts := make([]*liveOpState, len(p.Ops))
+			for i := range sts {
+				sts[i] = &liveOpState{}
+			}
+			lr.states[0] = sts
+			buildSt := sts[build.ID]
+			probeSt := sts[probe.ID]
+			buildOp := p.Ops[build.ID]
+			probeOp := p.Ops[probe.ID]
+
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for _, blk := range rel.Blocks {
+						lr.runBuild(buildOp, buildSt, blk)
+					}
+				}()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for _, blk := range rel.Blocks {
+						lr.runProbe(q, probeOp, probeSt, blk)
+					}
+				}()
+			}
+			wg.Wait()
+
+			// After every build finished, a probe must match every row.
+			if rows := lr.runProbe(q, probeOp, probeSt, rel.Blocks[0]); rows != rel.Blocks[0].NumRows() {
+				t.Fatalf("post-build probe matched %d rows, want %d", rows, rel.Blocks[0].NumRows())
+			}
+			// 4 goroutines × 4 blocks × 250 rows each landed in the hash state.
+			buildSt.mu.Lock()
+			var total int64
+			if lr.scalar {
+				for _, c := range buildSt.hash {
+					total += int64(c)
+				}
+			} else {
+				total = buildSt.vhash.Total()
+			}
+			buildSt.mu.Unlock()
+			if total != 4*1000 {
+				t.Fatalf("hash state holds %d entries, want %d (lost concurrent inserts)", total, 4*1000)
+			}
+		})
 	}
 }

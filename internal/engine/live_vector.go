@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// The vectorized work-order runners. Each one is the block-at-a-time
+// counterpart of a scalar runner in live.go: the kernel dispatch
+// (predicate kind, column type) happens once per block in
+// internal/exec, row loops are tight typed scans, intermediate row
+// sets live in reusable selection vectors, and materialized outputs
+// are gathered into blocks recycled through the run's BlockPool.
+
+// emitPooled appends a pool-drawn output block to the operator's output
+// list and records it for recycling at query completion.
+func (lr *liveRun) emitPooled(st *liveOpState, out *storage.Block) {
+	st.mu.Lock()
+	st.outputs = append(st.outputs, out)
+	st.pooled = append(st.pooled, out)
+	st.mu.Unlock()
+}
+
+func (lr *liveRun) runSelectVector(pred plan.Predicate, col int, st *liveOpState, in *storage.Block) int {
+	sc := lr.getScratch()
+	sel := exec.Filter(pred, &in.Vectors[col], in.NumRows(), sc.Sel)
+	sc.Sel = sel
+	out := exec.Gather(lr.pool, in, sel)
+	kept := len(sel)
+	lr.putScratch(sc)
+	lr.emitPooled(st, out)
+	return kept
+}
+
+func (lr *liveRun) runProbeVector(build, st *liveOpState, in *storage.Block, col int) int {
+	sc := lr.getScratch()
+	sel := sc.Sel[:0]
+	if build != nil {
+		// Probe under the build-side lock, mirroring the scalar path:
+		// the scheduler never overlaps build and probe work orders (the
+		// edge is pipeline-breaking), but the lock keeps the executor
+		// safe under any interleaving.
+		build.mu.Lock()
+		sel = build.vhash.ProbeBatch(in.Vectors[col].Ints, sc.Sel)
+		build.mu.Unlock()
+	}
+	sc.Sel = sel
+	out := exec.Gather(lr.pool, in, sel)
+	matched := len(sel)
+	lr.putScratch(sc)
+	lr.emitPooled(st, out)
+	return matched
+}
+
+func (lr *liveRun) runSortVector(st *liveOpState, in *storage.Block, col int) int {
+	sc := lr.getScratch()
+	pairs := exec.BuildPairs(in.Vectors[col].Ints, sc.Pairs)
+	sc.Pairs = pairs
+	exec.SortPairs(pairs)
+	sel := exec.PairsToSel(pairs, sc.Sel)
+	sc.Sel = sel
+	out := exec.Gather(lr.pool, in, sel)
+	lr.putScratch(sc)
+	lr.emitPooled(st, out)
+	return in.NumRows()
+}

@@ -1,0 +1,46 @@
+// Package exec implements the vectorized columnar execution kernels the
+// live engine runs work orders on: typed, branch-hoisted selection
+// kernels producing reusable selection vectors, open-addressing hash
+// tables with batch probe, gather/projection kernels that materialize
+// into pooled blocks, and a key-extracted sort. The kernels mirror the
+// block-based Quickstep backend the paper schedules: each call processes
+// one storage block, so one kernel invocation is one work order's data
+// touch.
+//
+// Design rules shared by every kernel:
+//
+//  1. Dispatch once per block, not per row. The predicate kind, the
+//     column type, and the output layout are resolved before the row
+//     loop; the loop body is a tight typed comparison or copy.
+//  2. No per-call allocation on the steady state. Kernels take caller-
+//     owned scratch (selection vectors, key/row pairs) and grow it in
+//     place; output blocks come from a BlockPool keyed by schema.
+//  3. Selection vectors, not materialized intermediates. A filter or
+//     probe produces row indices; materialization is a separate gather
+//     so fused consumers can skip it.
+//
+// The scalar per-row path the engine used before this package exists
+// in-tree as the live engine's ScalarKernels configuration, kept for
+// honest A/B benchmarking (BenchmarkLiveKernels) and differential
+// testing.
+package exec
+
+// Scratch bundles the per-worker reusable buffers the kernels write
+// into. One Scratch must not be used by two goroutines at once; the
+// live engine keeps them in a sync.Pool so each concurrently executing
+// work order borrows its own.
+type Scratch struct {
+	// Sel is the reusable selection vector (row indices into a block).
+	Sel []int
+	// Pairs is the reusable key-extraction buffer for sort kernels.
+	Pairs []KeyRow
+}
+
+// growSel returns sel with length exactly n, reusing its backing array
+// when capacity allows.
+func growSel(sel []int, n int) []int {
+	if cap(sel) < n {
+		return make([]int, n)
+	}
+	return sel[:n]
+}

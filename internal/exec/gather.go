@@ -1,0 +1,49 @@
+package exec
+
+import "repro/internal/storage"
+
+// Gather materializes the selected rows of a block into an output block
+// drawn from the pool — the projection kernel every filtering operator
+// (select, probe, sort) ends with. The column loop dispatches on the
+// schema type once per column; the row loops are tight typed copies
+// into pre-sized vectors, so a steady-state gather performs zero
+// allocations.
+func Gather(p *BlockPool, in *storage.Block, sel []int) *storage.Block {
+	out := p.Get(in.Schema, len(sel))
+	out.Header.BlockID = in.Header.BlockID
+	out.Header.Relation = in.Header.Relation
+	for ci, col := range in.Schema.Columns {
+		src := &in.Vectors[ci]
+		dst := &out.Vectors[ci]
+		switch col.Type {
+		case storage.Int64Col:
+			GatherInt64(dst.Ints, src.Ints, sel)
+		case storage.Float64Col:
+			GatherFloat64(dst.Floats, src.Floats, sel)
+		case storage.StringCol:
+			GatherString(dst.Strings, src.Strings, sel)
+		}
+	}
+	return out
+}
+
+// GatherInt64 copies src[sel[i]] into dst[i]. dst must have len(sel).
+func GatherInt64(dst, src []int64, sel []int) {
+	for i, r := range sel {
+		dst[i] = src[r]
+	}
+}
+
+// GatherFloat64 copies src[sel[i]] into dst[i]. dst must have len(sel).
+func GatherFloat64(dst, src []float64, sel []int) {
+	for i, r := range sel {
+		dst[i] = src[r]
+	}
+}
+
+// GatherString copies src[sel[i]] into dst[i]. dst must have len(sel).
+func GatherString(dst, src []string, sel []int) {
+	for i, r := range sel {
+		dst[i] = src[r]
+	}
+}

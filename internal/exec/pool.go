@@ -1,0 +1,116 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// BlockPool recycles output blocks between work orders so the gather
+// kernels write into pre-sized column vectors instead of allocating (and
+// zeroing) fresh ones per block. Free lists are keyed by schema pointer
+// — every block of one relation (and every projection of it) shares its
+// *storage.Schema, so a recycled block's vectors already have the right
+// types and only need their lengths adjusted.
+//
+// Blocks enter the pool when their owning query completes (the live
+// engine recycles a query's materialized outputs on the completion
+// event, when no worker can still reference them) and leave it on the
+// next Get for the same schema. Get and Put are mutex-guarded: they run
+// once per work order, not per row, so contention is off the row loop.
+//
+// A nil *BlockPool is a valid "pooling disabled" handle: Get allocates
+// fresh blocks and Put drops them.
+type BlockPool struct {
+	mu   sync.Mutex
+	free map[*storage.Schema][]*storage.Block
+	// hits/misses are nil-safe metrics counters (see Instrument).
+	hits   *metrics.Counter
+	misses *metrics.Counter
+}
+
+// maxFreePerSchema bounds each free list so a burst of wide queries
+// cannot pin unbounded memory in the pool.
+const maxFreePerSchema = 256
+
+// NewBlockPool returns an empty pool.
+func NewBlockPool() *BlockPool {
+	return &BlockPool{free: make(map[*storage.Schema][]*storage.Block)}
+}
+
+// Instrument attaches hit/miss counters (either may be nil). No-op on a
+// nil pool.
+func (p *BlockPool) Instrument(hits, misses *metrics.Counter) {
+	if p == nil {
+		return
+	}
+	p.hits = hits
+	p.misses = misses
+}
+
+// Get returns a block with the given schema and exactly rows rows, its
+// vectors typed per the schema and sized (but not zeroed — callers
+// overwrite every row via a gather). Recycles a pooled block when one
+// is available, allocating only when a vector's capacity is short.
+func (p *BlockPool) Get(schema *storage.Schema, rows int) *storage.Block {
+	var b *storage.Block
+	if p != nil {
+		p.mu.Lock()
+		if list := p.free[schema]; len(list) > 0 {
+			b = list[len(list)-1]
+			p.free[schema] = list[:len(list)-1]
+		}
+		p.mu.Unlock()
+	}
+	if b == nil {
+		if p != nil {
+			p.misses.Inc()
+		}
+		b = &storage.Block{
+			Schema:  schema,
+			Vectors: make([]storage.ColumnVector, schema.NumColumns()),
+		}
+	} else {
+		p.hits.Inc()
+	}
+	b.Header = storage.BlockHeader{Rows: rows}
+	for i, col := range schema.Columns {
+		v := &b.Vectors[i]
+		switch col.Type {
+		case storage.Int64Col:
+			if cap(v.Ints) < rows {
+				v.Ints = make([]int64, rows)
+			} else {
+				v.Ints = v.Ints[:rows]
+			}
+		case storage.Float64Col:
+			if cap(v.Floats) < rows {
+				v.Floats = make([]float64, rows)
+			} else {
+				v.Floats = v.Floats[:rows]
+			}
+		case storage.StringCol:
+			if cap(v.Strings) < rows {
+				v.Strings = make([]string, rows)
+			} else {
+				v.Strings = v.Strings[:rows]
+			}
+		}
+	}
+	return b
+}
+
+// Put returns a block to the pool for reuse. The caller must guarantee
+// no one references the block anymore. No-op on a nil pool; blocks
+// beyond the per-schema bound are dropped to the GC.
+func (p *BlockPool) Put(b *storage.Block) {
+	if p == nil || b == nil || b.Schema == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free[b.Schema]) < maxFreePerSchema {
+		p.free[b.Schema] = append(p.free[b.Schema], b)
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+func poolSchema() *storage.Schema {
+	return storage.MustSchema(
+		storage.Column{Name: "a", Type: storage.Int64Col},
+		storage.Column{Name: "b", Type: storage.Float64Col},
+	)
+}
+
+func TestBlockPoolRecyclesBackingArrays(t *testing.T) {
+	pool := NewBlockPool()
+	schema := poolSchema()
+	reg := metrics.NewRegistry()
+	hits, misses := reg.Counter("hits"), reg.Counter("misses")
+	pool.Instrument(hits, misses)
+
+	b1 := pool.Get(schema, 100)
+	if misses.Value() != 1 || hits.Value() != 0 {
+		t.Fatalf("first get: hits=%d misses=%d", hits.Value(), misses.Value())
+	}
+	if len(b1.Vectors[0].Ints) != 100 || len(b1.Vectors[1].Floats) != 100 {
+		t.Fatalf("vectors not sized: %d/%d", len(b1.Vectors[0].Ints), len(b1.Vectors[1].Floats))
+	}
+	arr := &b1.Vectors[0].Ints[0]
+	pool.Put(b1)
+	b2 := pool.Get(schema, 50)
+	if hits.Value() != 1 {
+		t.Fatalf("second get did not hit the pool: hits=%d misses=%d", hits.Value(), misses.Value())
+	}
+	if len(b2.Vectors[0].Ints) != 50 {
+		t.Fatalf("recycled vector has %d rows, want 50", len(b2.Vectors[0].Ints))
+	}
+	if &b2.Vectors[0].Ints[0] != arr {
+		t.Fatal("recycled block did not reuse the original backing array")
+	}
+	// Growing past the recycled capacity reallocates just that vector.
+	pool.Put(b2)
+	b3 := pool.Get(schema, 200)
+	if len(b3.Vectors[0].Ints) != 200 || b3.NumRows() != 200 {
+		t.Fatalf("grown block has %d rows", len(b3.Vectors[0].Ints))
+	}
+}
+
+func TestBlockPoolNilSafe(t *testing.T) {
+	var pool *BlockPool
+	b := pool.Get(poolSchema(), 10)
+	if b == nil || b.NumRows() != 10 {
+		t.Fatal("nil pool did not allocate a fresh block")
+	}
+	pool.Put(b) // must not panic
+	pool.Instrument(nil, nil)
+}
+
+func TestBlockPoolZeroRows(t *testing.T) {
+	pool := NewBlockPool()
+	b := pool.Get(poolSchema(), 0)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRows() != 0 {
+		t.Fatalf("rows = %d, want 0", b.NumRows())
+	}
+}
+
+func TestBlockPoolConcurrentGetPut(t *testing.T) {
+	pool := NewBlockPool()
+	schema := poolSchema()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := pool.Get(schema, 64)
+				b.Vectors[0].Ints[0] = int64(i)
+				pool.Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBlockPoolBoundsFreeList(t *testing.T) {
+	pool := NewBlockPool()
+	schema := poolSchema()
+	for i := 0; i < maxFreePerSchema+50; i++ {
+		pool.Put(&storage.Block{Schema: schema, Vectors: make([]storage.ColumnVector, 2)})
+	}
+	if got := len(pool.free[schema]); got != maxFreePerSchema {
+		t.Fatalf("free list holds %d blocks, want cap %d", got, maxFreePerSchema)
+	}
+}

@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Filter evaluates pred over the first n rows of column v and returns
+// the selection vector of kept row indices, reusing sel's backing array
+// when it is large enough. The predicate kind and column vector are
+// dispatched once; each typed loop writes its candidate index
+// unconditionally and advances the output cursor on a comparison
+// result, which the compiler lowers branch-free — at mixed
+// selectivities this is the difference between a predictable store
+// stream and a mispredicted branch per row.
+//
+// Semantics match the scalar engine's per-row evalPred: a typed
+// predicate over a column of the wrong type keeps nothing; PredNone and
+// unknown kinds keep everything.
+func Filter(pred plan.Predicate, v *storage.ColumnVector, n int, sel []int) []int {
+	sel = growSel(sel, n)
+	k := 0
+	switch pred.Kind {
+	case plan.PredIntLess:
+		vals := v.Ints
+		if vals == nil {
+			return sel[:0]
+		}
+		op := pred.Operand
+		for i, x := range vals[:n] {
+			sel[k] = i
+			if x < op {
+				k++
+			}
+		}
+	case plan.PredIntGreaterEq:
+		vals := v.Ints
+		if vals == nil {
+			return sel[:0]
+		}
+		op := pred.Operand
+		for i, x := range vals[:n] {
+			sel[k] = i
+			if x >= op {
+				k++
+			}
+		}
+	case plan.PredIntEq:
+		vals := v.Ints
+		if vals == nil {
+			return sel[:0]
+		}
+		op := pred.Operand
+		for i, x := range vals[:n] {
+			sel[k] = i
+			if x == op {
+				k++
+			}
+		}
+	case plan.PredFloatLess:
+		vals := v.Floats
+		if vals == nil {
+			return sel[:0]
+		}
+		op := pred.FOperand
+		for i, x := range vals[:n] {
+			sel[k] = i
+			if x < op {
+				k++
+			}
+		}
+	case plan.PredStringEq:
+		vals := v.Strings
+		if vals == nil {
+			return sel[:0]
+		}
+		op := pred.SOperand
+		for i, x := range vals[:n] {
+			sel[k] = i
+			if x == op {
+				k++
+			}
+		}
+	default:
+		for i := range sel {
+			sel[i] = i
+		}
+		k = n
+	}
+	return sel[:k]
+}

@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSortPairsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 15, 16, 17, 100, 4096} {
+		keys := make([]int64, n)
+		for i := range keys {
+			// Narrow key space forces duplicate keys, exercising the
+			// row-index tie-break.
+			keys[i] = int64(rng.Intn(10)) - 5
+		}
+		pairs := SortPairsOf(keys)
+		ref := make([]KeyRow, n)
+		for i, k := range keys {
+			ref[i] = KeyRow{Key: k, Row: int32(i)}
+		}
+		sort.Slice(ref, func(a, b int) bool { return pairLess(ref[a], ref[b]) })
+		for i := range ref {
+			if pairs[i] != ref[i] {
+				t.Fatalf("n=%d: pairs[%d] = %+v, want %+v", n, i, pairs[i], ref[i])
+			}
+		}
+	}
+}
+
+// SortPairsOf is a test helper: extract, sort, return.
+func SortPairsOf(keys []int64) []KeyRow {
+	pairs := BuildPairs(keys, nil)
+	SortPairs(pairs)
+	return pairs
+}
+
+func TestSortPairsAdversarialPatterns(t *testing.T) {
+	patterns := map[string]func(i, n int) int64{
+		"sorted":   func(i, n int) int64 { return int64(i) },
+		"reversed": func(i, n int) int64 { return int64(n - i) },
+		"constant": func(i, n int) int64 { return 42 },
+		"sawtooth": func(i, n int) int64 { return int64(i % 7) },
+		"organ":    func(i, n int) int64 { return int64(min(i, n-i)) },
+	}
+	const n = 2000
+	for name, gen := range patterns {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = gen(i, n)
+		}
+		pairs := SortPairsOf(keys)
+		for i := 1; i < n; i++ {
+			if pairLess(pairs[i], pairs[i-1]) {
+				t.Fatalf("%s: out of order at %d: %+v before %+v", name, i, pairs[i-1], pairs[i])
+			}
+		}
+	}
+}
+
+func TestBuildPairsReusesScratch(t *testing.T) {
+	keys := []int64{9, 1, 5}
+	scratch := make([]KeyRow, 0, 8)
+	pairs := BuildPairs(keys, scratch)
+	if len(pairs) != 3 {
+		t.Fatalf("pairs len = %d", len(pairs))
+	}
+	if &pairs[0] != &scratch[:1][0] {
+		t.Fatal("BuildPairs did not reuse scratch capacity")
+	}
+	sel := PairsToSel(pairs, nil)
+	if sel[0] != 0 || sel[1] != 1 || sel[2] != 2 {
+		t.Fatalf("unexpected sel: %v", sel)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Hot-path microbenchmark runner. Executes the fast-path benchmark
 # suite (tape inference mode, encoding cache, agent scratch buffers,
-# concurrent training rollouts) and writes the results — including the
-# built-in pre-optimization baselines (record-mode encoding, the
-# DisableFastPath agent path, rollouts=1 training) — to
+# concurrent training rollouts, vectorized live-engine kernels) and
+# writes the results — including the built-in pre-optimization
+# baselines (record-mode encoding, the DisableFastPath agent path,
+# rollouts=1 training, the ScalarKernels engine path) — to
 # BENCH_hotpath.json as before/after pairs.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 5x; training uses 3x)
@@ -30,6 +31,10 @@ go test -run=NONE -bench=BenchmarkAgentOnEvent \
 echo "== training rollouts (root)"
 go test -run=NONE -bench=BenchmarkTrainRollouts -benchtime=3x . | tee -a "$raw"
 
+echo "== live engine kernels (internal/engine)"
+go test -run=NONE -bench='BenchmarkLiveKernels|BenchmarkLiveRun' \
+  -benchtime="$benchtime" -benchmem ./internal/engine/ | tee -a "$raw"
+
 # Collapse benchmark lines into JSON entries. Lines look like:
 #   BenchmarkAgentOnEvent/greedy-fast-8  10000  109192 ns/op  416 B/op  2 allocs/op
 awk '
@@ -50,12 +55,18 @@ awk '
 }
 BEGIN {
   print "{"
-  print "  \"description\": \"Hot-path microbenchmarks: before entries are the pre-optimization code paths kept in-tree for honest A/B (record-mode encoding, DisableFastPath agent, rollouts=1 training); after entries are the optimized fast paths.\","
+  print "  \"description\": \"Hot-path microbenchmarks: before entries are the pre-optimization code paths kept in-tree for honest A/B (record-mode encoding, DisableFastPath agent, rollouts=1 training, ScalarKernels live engine); after entries are the optimized fast paths.\","
   print "  \"pairs\": ["
   print "    {\"before\": \"BenchmarkEncodeSnapshot/record\", \"after\": \"BenchmarkEncodeSnapshot/infer\", \"dimension\": \"gradient-free tape mode\"},"
   print "    {\"before\": \"BenchmarkEncodeSnapshot/infer\", \"after\": \"BenchmarkEncodeSnapshot/cached\", \"dimension\": \"per-query encoding cache\"},"
   print "    {\"before\": \"BenchmarkAgentOnEvent/greedy-full\", \"after\": \"BenchmarkAgentOnEvent/greedy-fast\", \"dimension\": \"agent fast path (inference tape + cache + scratch buffers)\"},"
-  print "    {\"before\": \"BenchmarkTrainRollouts/1\", \"after\": \"BenchmarkTrainRollouts/4\", \"dimension\": \"concurrent episode rollouts\"}"
+  print "    {\"before\": \"BenchmarkTrainRollouts/1\", \"after\": \"BenchmarkTrainRollouts/4\", \"dimension\": \"concurrent episode rollouts\"},"
+  print "    {\"before\": \"BenchmarkLiveKernels/select/scalar\", \"after\": \"BenchmarkLiveKernels/select/vector\", \"dimension\": \"vectorized selection kernel + pooled gather\"},"
+  print "    {\"before\": \"BenchmarkLiveKernels/build/scalar\", \"after\": \"BenchmarkLiveKernels/build/vector\", \"dimension\": \"open-addressing hash build\"},"
+  print "    {\"before\": \"BenchmarkLiveKernels/probe/scalar\", \"after\": \"BenchmarkLiveKernels/probe/vector\", \"dimension\": \"batch hash probe + pooled gather\"},"
+  print "    {\"before\": \"BenchmarkLiveKernels/aggregate/scalar\", \"after\": \"BenchmarkLiveKernels/aggregate/vector\", \"dimension\": \"open-addressing sum aggregation\"},"
+  print "    {\"before\": \"BenchmarkLiveKernels/sort/scalar\", \"after\": \"BenchmarkLiveKernels/sort/vector\", \"dimension\": \"key-extracted sort kernel\"},"
+  print "    {\"before\": \"BenchmarkLiveRun/scalar\", \"after\": \"BenchmarkLiveRun/vector\", \"dimension\": \"live engine end-to-end (vectorized kernels + block pool)\"}"
   print "  ],"
   print "  \"results\": ["
 }

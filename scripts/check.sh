@@ -23,8 +23,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/engine/ ./internal/metrics/ ./internal/obs/ ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/"
-go test -race ./internal/engine/ ./internal/metrics/ ./internal/obs/ \
+echo "== go test -race ./internal/engine/ ./internal/exec/ ./internal/metrics/ ./internal/obs/ ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/"
+go test -race ./internal/engine/ ./internal/exec/ ./internal/metrics/ ./internal/obs/ \
   ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/
 
 echo "== go test -race -run TestTrainRollouts ./internal/lsched/"
@@ -33,8 +33,12 @@ go test -race -run TestTrainRollouts ./internal/lsched/
 echo "== policy store smoke (put/get/promote round trip)"
 go test -count=1 -run TestStorePutGetPromote ./internal/policystore/
 
+echo "== differential smoke (scalar vs vectorized kernels agree)"
+go test -count=1 -run 'TestDifferential|TestProbePrefersBuildHashChild' ./internal/engine/
+
 echo "== bench smoke (hot-path microbenchmarks compile and run once)"
 go test -run=NONE -bench=. -benchtime=1x -benchmem \
-  ./internal/nn/ ./internal/encoder/ ./internal/lsched/ ./internal/serving/
+  ./internal/nn/ ./internal/encoder/ ./internal/lsched/ ./internal/serving/ \
+  ./internal/engine/
 
 echo "OK"
