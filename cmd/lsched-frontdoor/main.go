@@ -1,0 +1,170 @@
+// Command lsched-frontdoor serves the multi-tenant query front door
+// over HTTP: clients POST plan summaries to /query, the admission
+// controller (learned or heuristic) decides admit/defer/shed against
+// per-tenant bounded queues and SLO classes, and admitted queries
+// execute on the live engine over a synthetic benchmark catalog.
+// Observability endpoints (per-tenant admission counters, per-class
+// latency histograms, /frontdoor status) serve on a second address.
+//
+// Usage:
+//
+//	lsched-frontdoor -listen :8080 -obs :9090
+//	lsched-frontdoor -controller heuristic -slots 4 -rate 50
+//	lsched-frontdoor -bench tpch -sf 0.05 -sched quickstep
+//
+// Drive it with cmd/lsched-loadgen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/frontdoor"
+	"repro/internal/heuristics"
+	"repro/internal/lsched"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// planPool maps incoming requests onto executable plans: the wire
+// format carries an operator summary, not a full plan, so the server
+// picks a benchmark plan by hashing the summary. The mapping is
+// deterministic — identical requests execute identical plans — which
+// keeps the admission estimator's online cost windows consistent with
+// what actually runs.
+type planPool struct {
+	inner frontdoor.Backend
+	plans []*plan.Plan
+	mu    sync.Mutex
+}
+
+func (pp *planPool) Run(q *frontdoor.Query) (*frontdoor.Result, error) {
+	h := fnv.New64a()
+	for _, op := range q.Ops {
+		fmt.Fprintf(h, "%d:%d;", op.Key, op.Units)
+	}
+	pp.mu.Lock()
+	p := pp.plans[int(h.Sum64()%uint64(len(pp.plans)))].Clone()
+	pp.mu.Unlock()
+	q.Payload = p
+	return pp.inner.Run(q)
+}
+
+func benchPlans(bench string, sf float64) ([]*plan.Plan, error) {
+	switch bench {
+	case "tpch":
+		return workload.TPCH(sf), nil
+	case "ssb":
+		return workload.SSB(sf), nil
+	case "job":
+		return workload.JOB(), nil
+	}
+	return nil, fmt.Errorf("unknown benchmark %q", bench)
+}
+
+func main() {
+	listen := flag.String("listen", ":8080", "query ingress address (POST /query)")
+	obsAddr := flag.String("obs", "", "observability address (/metrics, /frontdoor, ...), e.g. :9090")
+	bench := flag.String("bench", "ssb", "benchmark backing the synthetic catalog: tpch, ssb, or job")
+	sf := flag.Float64("sf", 0.1, "benchmark scale factor (ignored for job)")
+	schedName := flag.String("sched", "fair", "execution scheduler: fair or quickstep")
+	controller := flag.String("controller", "learned", "admission controller: learned or heuristic")
+	slots := flag.Int("slots", 8, "max concurrently executing queries")
+	queueCap := flag.Int("queue-cap", 256, "per-tenant per-class queue bound")
+	rate := flag.Float64("rate", 0, "per-tenant rate limit in queries/sec (0 disables)")
+	burst := flag.Float64("burst", 0, "rate-limit burst (defaults to rate)")
+	threads := flag.Int("threads", 4, "live engine worker threads")
+	seed := flag.Int64("seed", 1, "seed for the catalog and admission head")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	flag.Parse()
+
+	plans, err := benchPlans(*bench, *sf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	catalog, err := workload.SyntheticCatalog(plans, 2048, 8, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	live := engine.NewLive(catalog, engine.LiveConfig{Threads: *threads, Metrics: reg})
+	if err := live.Validate(plans); err != nil {
+		log.Fatal(err)
+	}
+	var sched engine.Scheduler
+	switch *schedName {
+	case "fair":
+		sched = heuristics.Fair{}
+	case "quickstep":
+		sched = heuristics.Quickstep{}
+	default:
+		log.Fatalf("unknown scheduler %q", *schedName)
+	}
+
+	var ctrl frontdoor.Controller
+	switch *controller {
+	case "learned":
+		ctrl = frontdoor.NewLearned(lsched.NewAdmissionHead(nn.NewParams(*seed)))
+	case "heuristic":
+		ctrl = frontdoor.NewHeuristic()
+	default:
+		log.Fatalf("unknown controller %q", *controller)
+	}
+
+	fd, err := frontdoor.New(frontdoor.Options{
+		Backend:     &planPool{inner: frontdoor.NewEngineBackend(live, sched), plans: plans},
+		Controller:  ctrl,
+		MaxInFlight: *slots,
+		QueueCap:    *queueCap,
+		Rate:        *rate,
+		Burst:       *burst,
+		Metrics:     reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *obsAddr != "" {
+		o := obs.NewServer(obs.Options{Metrics: reg, FrontDoor: fd.Status})
+		addr, err := o.Start(*obsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer o.Close()
+		log.Printf("observability on http://%s (/metrics /frontdoor /timeseries)", addr)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/query", fd.Handler())
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	go func() {
+		log.Printf("front door on %s (%d plans from %s sf=%g, %s scheduler, %s admission, %d slots)",
+			*listen, len(plans), *bench, *sf, sched.Name(), ctrl.Name(), *slots)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("draining (timeout %v)...", *drain)
+	if !fd.Shutdown(*drain) {
+		log.Printf("drain timed out; exiting with queries in flight")
+	}
+	srv.Close()
+	st := fd.Stats()
+	log.Printf("final: submitted=%d admitted=%d shed=%d rejected=%d", st.Submitted, st.Admitted, st.Shed, st.Rejected)
+}

@@ -1,0 +1,298 @@
+// Command lsched-loadgen drives the query front door with open-loop
+// traffic: submissions are paced by the clock, never by completions —
+// the regime where a missing admission controller lets queues grow
+// without bound.
+//
+// Remote mode POSTs plan summaries to a running lsched-frontdoor:
+//
+//	lsched-loadgen -target http://localhost:8080/query -rate 200 -n 2000
+//	lsched-loadgen -target ... -tenants 8 -latency-frac 0.7 -deadline 50ms
+//
+// A/B mode (-ab) skips the network: it builds two identical in-process
+// front doors over the live engine — one with the heuristic
+// admit-everything baseline, one with the learned admission head — and
+// replays the same seeded overload trace against each, reporting the
+// p99 of admitted latency-sensitive queries and the shed rate side by
+// side:
+//
+//	lsched-loadgen -ab -n 1500 -overload 2 -slots 4
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/frontdoor"
+	"repro/internal/heuristics"
+	"repro/internal/lsched"
+	"repro/internal/nn"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func main() {
+	target := flag.String("target", "http://localhost:8080/query", "front door URL (remote mode)")
+	ab := flag.Bool("ab", false, "in-process learned-vs-heuristic A/B instead of remote traffic")
+	n := flag.Int("n", 1000, "queries to submit")
+	rate := flag.Float64("rate", 100, "offered rate in queries/sec (remote mode)")
+	overload := flag.Float64("overload", 2, "offered rate as a multiple of sustainable (-ab mode)")
+	tenants := flag.Int("tenants", 4, "distinct tenants")
+	latencyFrac := flag.Float64("latency-frac", 0.5, "fraction of queries in the latency SLO class")
+	deadline := flag.Duration("deadline", 25*time.Millisecond, "latency-class deadline")
+	bench := flag.String("bench", "ssb", "benchmark to sample plans from: tpch, ssb, or job")
+	sf := flag.Float64("sf", 0.1, "benchmark scale factor")
+	slots := flag.Int("slots", 4, "front door executor slots (-ab mode)")
+	threads := flag.Int("threads", 4, "live engine worker threads (-ab mode)")
+	seed := flag.Int64("seed", 1, "trace seed")
+	flag.Parse()
+
+	plans := benchPlans(*bench, *sf)
+	if *ab {
+		runAB(plans, *n, *overload, *tenants, *latencyFrac, *deadline, *slots, *threads, *seed)
+		return
+	}
+	runRemote(*target, plans, *n, *rate, *tenants, *latencyFrac, *deadline, *seed)
+}
+
+func benchPlans(bench string, sf float64) []*plan.Plan {
+	switch bench {
+	case "tpch":
+		return workload.TPCH(sf)
+	case "ssb":
+		return workload.SSB(sf)
+	case "job":
+		return workload.JOB()
+	}
+	log.Fatalf("unknown benchmark %q", bench)
+	return nil
+}
+
+// spec is one pre-generated trace entry, shared verbatim across A/B
+// arms so both controllers see the same offered load.
+type spec struct {
+	tenant   string
+	class    frontdoor.Class
+	deadline time.Duration
+	planIdx  int
+}
+
+func genTrace(plans []*plan.Plan, n, tenants int, latencyFrac float64, deadline time.Duration, seed int64) []spec {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]spec, n)
+	for i := range out {
+		s := spec{
+			tenant:  fmt.Sprintf("tenant-%d", rng.Intn(tenants)),
+			class:   frontdoor.ClassThroughput,
+			planIdx: rng.Intn(len(plans)),
+		}
+		if rng.Float64() < latencyFrac {
+			s.class = frontdoor.ClassLatency
+			s.deadline = deadline
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// tally accumulates dispositions per SLO class.
+type tally struct {
+	mu        sync.Mutex
+	admitted  [2]int
+	shed      [2]int
+	rejected  [2]int
+	latencies [2][]time.Duration // admitted end-to-end latencies
+}
+
+func (t *tally) record(class frontdoor.Class, outcome, latencyMS float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch outcome {
+	case 0:
+		t.admitted[class]++
+		t.latencies[class] = append(t.latencies[class], time.Duration(latencyMS*float64(time.Millisecond)))
+	case 1:
+		t.shed[class]++
+	default:
+		t.rejected[class]++
+	}
+}
+
+func p50p99(ds []time.Duration) (p50, p99 time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2], ds[len(ds)*99/100]
+}
+
+func (t *tally) report(label string) {
+	for _, c := range []frontdoor.Class{frontdoor.ClassLatency, frontdoor.ClassThroughput} {
+		a, s, r := t.admitted[c], t.shed[c], t.rejected[c]
+		total := a + s + r
+		if total == 0 {
+			continue
+		}
+		p50, p99 := p50p99(t.latencies[c])
+		fmt.Printf("%-10s %-10s admitted=%-5d shed=%-5d rejected=%-5d shed%%=%5.1f p50=%-10v p99=%v\n",
+			label, c, a, s, r, 100*float64(s+r)/float64(total), p50, p99)
+	}
+}
+
+func runRemote(target string, plans []*plan.Plan, n int, rate float64, tenants int, latencyFrac float64, deadline time.Duration, seed int64) {
+	trace := genTrace(plans, n, tenants, latencyFrac, deadline, seed)
+	interval := time.Duration(float64(time.Second) / rate)
+	var wg sync.WaitGroup
+	var tl tally
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	for i, s := range trace {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		req := frontdoor.Request{
+			Tenant:     s.tenant,
+			Class:      s.class.String(),
+			DeadlineMS: int64(s.deadline / time.Millisecond),
+			Ops:        frontdoor.SummarizePlan(plans[s.planIdx]),
+		}
+		body, _ := json.Marshal(req)
+		wg.Add(1)
+		go func(s spec) {
+			defer wg.Done()
+			resp, err := client.Post(target, "application/json", bytes.NewReader(body))
+			if err != nil {
+				tl.record(s.class, 2, 0)
+				return
+			}
+			defer resp.Body.Close()
+			var r frontdoor.Response
+			if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+				tl.record(s.class, 2, 0)
+				return
+			}
+			switch r.Outcome {
+			case "admitted":
+				tl.record(s.class, 0, float64(r.LatencyMS))
+			case "shed":
+				tl.record(s.class, 1, 0)
+			default:
+				tl.record(s.class, 2, 0)
+			}
+		}(s)
+	}
+	wg.Wait()
+	fmt.Printf("offered %d queries at %.0f q/s to %s in %v\n", n, rate, target, time.Since(start).Round(time.Millisecond))
+	tl.report("remote")
+}
+
+// liveArm builds one complete A/B arm: a fresh catalog-backed live
+// engine plus a front door under the given controller.
+func liveArm(plans []*plan.Plan, ctrl frontdoor.Controller, slots, threads int, seed int64) *frontdoor.FrontDoor {
+	catalog, err := workload.SyntheticCatalog(plans, 2048, 8, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	live := engine.NewLive(catalog, engine.LiveConfig{Threads: threads})
+	fd, err := frontdoor.New(frontdoor.Options{
+		Backend:     frontdoor.NewEngineBackend(live, heuristics.Fair{}),
+		Controller:  ctrl,
+		MaxInFlight: slots,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return fd
+}
+
+// estimateService measures the mean live execution time of the traced
+// plans by running a sample sequentially — the denominator for the
+// sustainable rate.
+func estimateService(plans []*plan.Plan, trace []spec, threads int, seed int64) time.Duration {
+	catalog, err := workload.SyntheticCatalog(plans, 2048, 8, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	live := engine.NewLive(catalog, engine.LiveConfig{Threads: threads})
+	sample := 8
+	if len(trace) < sample {
+		sample = len(trace)
+	}
+	start := time.Now()
+	for i := 0; i < sample; i++ {
+		if _, err := live.RunOne(heuristics.Fair{}, plans[trace[i].planIdx].Clone()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return time.Since(start) / time.Duration(sample)
+}
+
+func runAB(plans []*plan.Plan, n int, overload float64, tenants int, latencyFrac float64, deadline time.Duration, slots, threads int, seed int64) {
+	trace := genTrace(plans, n, tenants, latencyFrac, deadline, seed)
+	service := estimateService(plans, trace, threads, seed)
+	sustainable := float64(slots) / service.Seconds()
+	interval := time.Duration(float64(time.Second) / (sustainable * overload))
+	fmt.Printf("service≈%v, sustainable≈%.0f q/s, offering %.1fx (%d queries, %d tenants, %.0f%% latency-class, deadline %v)\n",
+		service.Round(time.Microsecond), sustainable, overload, n, tenants, 100*latencyFrac, deadline)
+
+	arms := []struct {
+		name string
+		ctrl frontdoor.Controller
+	}{
+		{"heuristic", frontdoor.NewHeuristic()},
+		{"learned", frontdoor.NewLearned(lsched.NewAdmissionHead(nn.NewParams(seed)))},
+	}
+	for _, arm := range arms {
+		fd := liveArm(plans, arm.ctrl, slots, threads, seed)
+		var wg sync.WaitGroup
+		var tl tally
+		start := time.Now()
+		for i, s := range trace {
+			if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+				time.Sleep(d)
+			}
+			req := frontdoor.Request{
+				Tenant:     s.tenant,
+				Class:      s.class.String(),
+				DeadlineMS: int64(s.deadline / time.Millisecond),
+				Ops:        frontdoor.SummarizePlan(plans[s.planIdx]),
+			}
+			q, err := req.Validate()
+			if err != nil {
+				log.Fatal(err)
+			}
+			q.Payload = plans[s.planIdx].Clone()
+			tk, err := fd.Submit(q)
+			if err != nil {
+				tl.record(s.class, 2, 0)
+				continue
+			}
+			wg.Add(1)
+			go func(s spec, tk *frontdoor.Ticket) {
+				defer wg.Done()
+				d := <-tk.Done()
+				switch d.Outcome {
+				case frontdoor.OutcomeAdmitted:
+					tl.record(s.class, 0, float64(d.Latency)/float64(time.Millisecond))
+				case frontdoor.OutcomeShed:
+					tl.record(s.class, 1, 0)
+				default:
+					tl.record(s.class, 2, 0)
+				}
+			}(s, tk)
+		}
+		wg.Wait()
+		if !fd.Shutdown(30 * time.Second) {
+			log.Fatal("drain timed out")
+		}
+		tl.report(arm.name)
+	}
+}

@@ -182,6 +182,36 @@ func (e *Estimator) EstimateMemory(opKey, remainingWorkOrders int) float64 {
 	return e.memWin(opKey).Predict() * float64(remainingWorkOrders)
 }
 
+// OpWork describes one slice of an incoming plan for whole-plan
+// prediction: Key identifies the estimator window to consult (callers
+// admitting not-yet-running queries typically key by operator type,
+// since no per-operator history exists yet) and Units is the work-order
+// count the prediction is scaled by.
+type OpWork struct {
+	Key   int
+	Units int
+}
+
+// PredictTotals aggregates per-operator predictions into a whole-plan
+// O-DUR/O-MEM estimate: the summed duration and memory of every work
+// order the plan will issue, under the estimator's current windows. It
+// is the admission-control view of the cost model — a query that has
+// not started yet has no per-operator state, so its cost is read from
+// whatever key space the caller maintains (per-type windows fed by
+// completed queries). Units < 1 count as 1 (every operator has at least
+// one work order).
+func (e *Estimator) PredictTotals(ops []OpWork) (dur, mem float64) {
+	for _, ow := range ops {
+		u := ow.Units
+		if u < 1 {
+			u = 1
+		}
+		dur += e.durWin(ow.Key).Predict() * float64(u)
+		mem += e.memWin(ow.Key).Predict() * float64(u)
+	}
+	return dur, mem
+}
+
 func (e *Estimator) durWin(key int) *Window {
 	w, ok := e.dur[key]
 	if !ok {

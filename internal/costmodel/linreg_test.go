@@ -111,3 +111,23 @@ func TestWindowMinimumCapacity(t *testing.T) {
 		t.Fatalf("capacity-clamped window holds %d, want 2", w.Count())
 	}
 }
+
+func TestPredictTotalsAggregatesPerKeyWindows(t *testing.T) {
+	e := NewEstimator(4, 1, 0.5)
+	// Key 1 settles at 10s / 2 mem-units per work order, key 2 at 100/50.
+	e.ObserveCompletion(1, 10, 2)
+	e.ObserveCompletion(1, 10, 2)
+	e.ObserveCompletion(2, 100, 50)
+	dur, mem := e.PredictTotals([]OpWork{{Key: 1, Units: 3}, {Key: 2, Units: 2}})
+	if math.Abs(dur-(30+200)) > 1e-9 {
+		t.Fatalf("dur = %v, want 230", dur)
+	}
+	if math.Abs(mem-(6+100)) > 1e-9 {
+		t.Fatalf("mem = %v, want 106", mem)
+	}
+	// Unknown keys fall back to priors; zero units count as one work order.
+	dur, mem = e.PredictTotals([]OpWork{{Key: 99, Units: 0}})
+	if dur != 1 || mem != 0.5 {
+		t.Fatalf("prior fallback = (%v, %v), want (1, 0.5)", dur, mem)
+	}
+}

@@ -98,6 +98,10 @@ type LiveResult struct {
 	// OpDurations records mean per-work-order wall time by operator
 	// type, used to calibrate the simulator's cost model.
 	OpDurations map[plan.OpType]float64
+	// OpMemory records mean per-work-order memory estimate by operator
+	// type — the observation stream an admission controller feeds its
+	// per-type O-MEM windows from.
+	OpMemory map[plan.OpType]float64
 	// OutputRows maps query ID to the number of rows its sink produced.
 	OutputRows map[int]int
 }
@@ -124,6 +128,7 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 		result: &LiveResult{
 			Durations:   make(map[int]float64),
 			OpDurations: make(map[plan.OpType]float64),
+			OpMemory:    make(map[plan.OpType]float64),
 			OutputRows:  make(map[int]int),
 		},
 		opCounts: make(map[plan.OpType]int),
@@ -169,7 +174,19 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 	for t, total := range ls.opTotals {
 		ls.result.OpDurations[t] = total / float64(ls.opCounts[t])
 	}
+	for t, total := range ls.memTotals {
+		ls.result.OpMemory[t] = total / float64(ls.opCounts[t])
+	}
 	return ls.result, nil
+}
+
+// RunOne executes a single plan arriving immediately — the unit of work
+// a query front door dispatches per admitted request. The plan is
+// cloned first, so shared templates can be submitted concurrently; Live
+// itself is stateless across Run calls, which is what makes concurrent
+// RunOne calls from independent executor workers safe.
+func (lv *Live) RunOne(sched Scheduler, p *plan.Plan) (*LiveResult, error) {
+	return lv.Run(sched, []Arrival{{Plan: p.Clone(), At: 0}})
 }
 
 // liveRun carries per-run execution state. Work orders of one dispatch
@@ -186,12 +203,13 @@ type liveRun struct {
 	// scratch holds per-worker *exec.Scratch buffers (selection
 	// vectors, sort pairs); sync.Pool gives each concurrently executing
 	// work order its own.
-	scratch  sync.Pool
-	mu       sync.Mutex
-	states   map[int][]*liveOpState
-	result   *LiveResult
-	opTotals map[plan.OpType]float64
-	opCounts map[plan.OpType]int
+	scratch   sync.Pool
+	mu        sync.Mutex
+	states    map[int][]*liveOpState
+	result    *LiveResult
+	opTotals  map[plan.OpType]float64
+	memTotals map[plan.OpType]float64
+	opCounts  map[plan.OpType]int
 	// executed counts work orders from inside the worker goroutines; a
 	// lossless, race-safe instrumentation ends a run with this equal to
 	// LiveResult.WorkOrders.
@@ -267,7 +285,11 @@ func (lr *liveRun) execute(q *QueryState, os *OpState, wo WorkOrder) (dur, mem f
 	lr.wallLatency[os.Op.Type].Observe(elapsed)
 
 	lr.mu.Lock()
+	if lr.memTotals == nil {
+		lr.memTotals = make(map[plan.OpType]float64)
+	}
 	lr.opTotals[os.Op.Type] += elapsed
+	lr.memTotals[os.Op.Type] += float64(rows) / 1000
 	lr.opCounts[os.Op.Type]++
 	if len(os.Op.Parents()) == 0 {
 		lr.result.OutputRows[q.ID] += rows

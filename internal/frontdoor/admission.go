@@ -1,0 +1,24 @@
+package frontdoor
+
+import "repro/internal/lsched"
+
+// Heuristic is the baseline admission controller: work-conserving
+// tail-drop. Every queue-head is admitted the moment a slot frees;
+// shedding happens only implicitly, at enqueue time when a tenant's
+// bounded queue overflows, and via the front door's deadline-expiry
+// sweep. This is what most engines ship — the A/B control the learned
+// controller must beat on the p99 of admitted latency-sensitive
+// queries at an equal-or-lower shed rate.
+type Heuristic struct{}
+
+// NewHeuristic returns the baseline controller.
+func NewHeuristic() Heuristic { return Heuristic{} }
+
+// Name implements Controller.
+func (Heuristic) Name() string { return "heuristic" }
+
+// Decide implements Controller: always admit.
+func (Heuristic) Decide(*lsched.AdmissionFeatures, *Query) Decision { return Admit }
+
+// Observe implements Controller (no learning).
+func (Heuristic) Observe(*lsched.AdmissionFeatures, *Query, bool) {}

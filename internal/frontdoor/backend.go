@@ -1,0 +1,66 @@
+package frontdoor
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// EngineBackend executes admitted queries on the live engine: each
+// query's *plan.Plan (from Query.Payload) runs as a single-arrival
+// live workload under the wrapped scheduler, and the per-operator-type
+// duration/memory means flow back as the Result that feeds the
+// admission cost model.
+//
+// Live itself is stateless across runs, so concurrent queries are
+// safe; the scheduler is not (the LSched agent reuses per-event
+// scratch), so scheduler calls are serialized with a mutex — the same
+// single-threaded-scheduler contract the paper's execution model has.
+type EngineBackend struct {
+	live  *engine.Live
+	sched engine.Scheduler
+}
+
+// NewEngineBackend wraps a live engine and scheduler.
+func NewEngineBackend(live *engine.Live, sched engine.Scheduler) *EngineBackend {
+	return &EngineBackend{live: live, sched: &lockedScheduler{inner: sched}}
+}
+
+// Run implements Backend.
+func (b *EngineBackend) Run(q *Query) (*Result, error) {
+	p, ok := q.Payload.(*plan.Plan)
+	if !ok || p == nil {
+		return nil, fmt.Errorf("frontdoor: query %q has no plan payload", q.Tenant)
+	}
+	res, err := b.live.RunOne(b.sched, p)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		OpDurations: make(map[int]float64, len(res.OpDurations)),
+		OpMemory:    make(map[int]float64, len(res.OpMemory)),
+	}
+	for t, d := range res.OpDurations {
+		out.OpDurations[int(t)] = d
+	}
+	for t, m := range res.OpMemory {
+		out.OpMemory[int(t)] = m
+	}
+	return out, nil
+}
+
+// lockedScheduler serializes OnEvent across concurrent live runs.
+type lockedScheduler struct {
+	mu    sync.Mutex
+	inner engine.Scheduler
+}
+
+func (l *lockedScheduler) Name() string { return l.inner.Name() }
+
+func (l *lockedScheduler) OnEvent(st *engine.State, ev engine.Event) []engine.Decision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.OnEvent(st, ev)
+}

@@ -1,0 +1,667 @@
+// Package frontdoor is the multi-tenant query ingress in front of the
+// live engine: every arriving query is validated, rate-limited, and
+// placed in its tenant's bounded per-SLO-class queue; a drain loop
+// admits queries into a bounded executor-slot pool, consulting an
+// admission Controller — the heuristic tail-drop baseline or the
+// learned head on the LSched agent (fed by queue depth, in-flight
+// counts, and the cost model's whole-plan O-DUR/O-MEM predictions) —
+// for the admit / defer / shed decision. The HTTP (http.go) and RPC
+// (rpc.go) ingresses layer on top; the RPC ingress mounts on an
+// rpcsched.Server so it inherits the graceful-shutdown drain and
+// per-connection I/O deadlines.
+//
+// Every submitted query reaches exactly one terminal bucket, giving
+// the conservation invariant the stress tests pin:
+//
+//	admitted + shed + rejected == submitted
+//
+// Rejected means never queued (validation, rate limit, full queue,
+// shutting down); shed means queued but dropped (load shedding,
+// deadline expiry, cancellation, shutdown); admitted means handed an
+// executor slot.
+package frontdoor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/lsched"
+	"repro/internal/metrics"
+	"repro/internal/rpcsched"
+)
+
+// Class is a query's SLO class.
+type Class int
+
+const (
+	// ClassLatency is the latency-sensitive class: drained first,
+	// deadline-checked, its p99 is the number the front door defends.
+	ClassLatency Class = iota
+	// ClassThroughput is the best-effort bulk class.
+	ClassThroughput
+	numClasses
+)
+
+// String returns the class's label (as used in metric labels).
+func (c Class) String() string {
+	switch c {
+	case ClassLatency:
+		return "latency"
+	case ClassThroughput:
+		return "throughput"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Query is one unit of admission-controlled work.
+type Query struct {
+	// Tenant names the submitting tenant (validated by DecodeRequest).
+	Tenant string
+	// Class is the query's SLO class.
+	Class Class
+	// Deadline is the latency budget from submission (0 = none). A
+	// query whose deadline passes while queued is shed.
+	Deadline time.Duration
+	// Ops summarizes the plan for the cost model's whole-plan
+	// O-DUR/O-MEM prediction: one entry per operator, keyed by operator
+	// type, scaled by the optimizer's block estimate. DecodeRequest
+	// fills it; backends may also consume it directly.
+	Ops []costmodel.OpWork
+	// Payload carries backend-specific execution state (the engine
+	// backend stores the *plan.Plan here).
+	Payload any
+}
+
+// Outcome is a ticket's terminal bucket.
+type Outcome int
+
+const (
+	// OutcomeAdmitted: the query got an executor slot (its Disposition
+	// arrives once execution finishes).
+	OutcomeAdmitted Outcome = iota
+	// OutcomeShed: queued, then dropped.
+	OutcomeShed
+	// OutcomeRejected: never queued.
+	OutcomeRejected
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAdmitted:
+		return "admitted"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeRejected:
+		return "rejected"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Disposition is the final answer for one submitted query.
+type Disposition struct {
+	Outcome Outcome
+	// Reason explains shed/reject outcomes ("rate_limit", "queue_full",
+	// "deadline", "load", "cancelled", "shutdown", ...).
+	Reason string
+	// Wait is the time spent queued.
+	Wait time.Duration
+	// Latency is submit-to-completion (admitted queries only).
+	Latency time.Duration
+	// DeadlineMet reports whether an admitted query finished within its
+	// deadline (true when it has none).
+	DeadlineMet bool
+	// Err is the backend's execution error (admitted queries only).
+	Err error
+}
+
+// Ticket tracks one submitted query. Exactly one Disposition is
+// delivered on Done.
+type Ticket struct {
+	Query *Query
+
+	fd    *FrontDoor
+	done  chan Disposition
+	enq   time.Time
+	state ticketState
+	feat  lsched.AdmissionFeatures // features at decision time (learning feedback)
+}
+
+type ticketState int
+
+const (
+	stateQueued ticketState = iota
+	stateAdmitted
+	stateResolved // shed or rejected
+)
+
+// Done delivers the ticket's final disposition (buffered; never blocks
+// the front door).
+func (t *Ticket) Done() <-chan Disposition { return t.done }
+
+// Cancel withdraws a still-queued query (counted as shed). Cancelling
+// an admitted or already-resolved ticket is a no-op.
+func (t *Ticket) Cancel() { t.fd.cancel(t) }
+
+// Controller makes the admission decision for the query at the head of
+// a queue. Decide runs under the front door's lock — implementations
+// must not block or resubmit.
+type Controller interface {
+	Name() string
+	// Decide returns the action for the candidate query given the
+	// current admission features.
+	Decide(f *lsched.AdmissionFeatures, q *Query) Decision
+	// Observe feeds back an admitted query's outcome (deadline met or
+	// not) with the features it was admitted under. No-op for
+	// non-learning controllers. Called from executor goroutines.
+	Observe(f *lsched.AdmissionFeatures, q *Query, deadlineMet bool)
+}
+
+// Decision is a Controller's verdict.
+type Decision int
+
+const (
+	// Admit grants the query an executor slot now.
+	Admit Decision = iota
+	// Defer leaves the query queued for a later pass (e.g. reserving
+	// the last slots for the latency class).
+	Defer
+	// Shed drops the query now, before it wastes queue time or an
+	// executor slot.
+	Shed
+)
+
+// Backend executes admitted queries. Run is called from per-query
+// goroutines and must be safe for concurrent use.
+type Backend interface {
+	Run(q *Query) (*Result, error)
+}
+
+// Result is what a backend reports per completed query; the per-type
+// stats feed the cost model that prices future admissions.
+type Result struct {
+	// OpDurations/OpMemory are mean per-work-order duration and memory
+	// by operator-type key (matching Query.Ops keys). Nil when the
+	// backend has nothing to report.
+	OpDurations map[int]float64
+	OpMemory    map[int]float64
+}
+
+// Options configures a FrontDoor.
+type Options struct {
+	// Backend executes admitted queries (required).
+	Backend Backend
+	// Controller makes admission decisions; nil selects the heuristic
+	// baseline.
+	Controller Controller
+	// MaxInFlight bounds concurrently executing queries (default 8).
+	MaxInFlight int
+	// QueueCap bounds each tenant's queue per SLO class (default 256);
+	// submissions beyond it are rejected ("queue_full").
+	QueueCap int
+	// MaxTenants bounds the tenant map (default 1024); submissions from
+	// further tenants are rejected ("tenant_limit").
+	MaxTenants int
+	// Rate and Burst configure the per-tenant token bucket
+	// (queries/sec; Rate 0 disables rate limiting).
+	Rate, Burst float64
+	// Estimator prices incoming plans (O-DUR/O-MEM); nil creates one
+	// with generic priors, fed online by backend results.
+	Estimator *costmodel.Estimator
+	// SweepInterval is how often the drain loop sheds expired queued
+	// queries even when no completions arrive (default 25ms).
+	SweepInterval time.Duration
+	// Metrics instruments the front door (nil disables).
+	Metrics *metrics.Registry
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Controller == nil {
+		out.Controller = NewHeuristic()
+	}
+	if out.MaxInFlight <= 0 {
+		out.MaxInFlight = 8
+	}
+	if out.QueueCap <= 0 {
+		out.QueueCap = 256
+	}
+	if out.MaxTenants <= 0 {
+		out.MaxTenants = 1024
+	}
+	if out.Estimator == nil {
+		out.Estimator = costmodel.NewEstimator(32, 0.01, 1)
+	}
+	if out.SweepInterval <= 0 {
+		out.SweepInterval = 25 * time.Millisecond
+	}
+	return out
+}
+
+// FrontDoor is the admission-controlled query ingress. Build with New,
+// submit with Submit (or via the HTTP/RPC ingresses), stop with
+// Shutdown.
+type FrontDoor struct {
+	opts Options
+	ins  *instruments
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	order    []string // round-robin tenant order
+	rrNext   int
+	inflight int
+	queued   int
+	// queuedClass tracks per-SLO-class occupancy: the latency class
+	// drains first, so a latency query's wait estimate must not count
+	// the throughput backlog behind it.
+	queuedClass [numClasses]int
+	avgDur      float64 // EWMA of admitted-query service time (seconds)
+	closed      bool
+
+	submitted, admitted, shed, rejected int64
+
+	pending rpcsched.Inflight // executing queries (shutdown drain)
+	wake    chan struct{}
+	quit    chan struct{}
+	loopWG  sync.WaitGroup
+}
+
+// tenant is one tenant's queues, token bucket, and cached instruments.
+type tenant struct {
+	name     string
+	queues   [numClasses][]*Ticket
+	bucket   bucket
+	inflight int
+
+	submitted, admitted, shed, rejected int64
+
+	ins tenantInstruments
+}
+
+// New builds and starts a front door.
+func New(opts Options) (*FrontDoor, error) {
+	if opts.Backend == nil {
+		return nil, fmt.Errorf("frontdoor: Options.Backend is required")
+	}
+	o := opts.withDefaults()
+	fd := &FrontDoor{
+		opts:    o,
+		ins:     newInstruments(o.Metrics),
+		tenants: make(map[string]*tenant),
+		wake:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+	}
+	fd.loopWG.Add(1)
+	go fd.drainLoop()
+	return fd, nil
+}
+
+// Controller returns the front door's admission controller.
+func (fd *FrontDoor) Controller() Controller { return fd.opts.Controller }
+
+// Estimator returns the cost model pricing admissions.
+func (fd *FrontDoor) Estimator() *costmodel.Estimator { return fd.opts.Estimator }
+
+// Submit validates, rate-limits, and enqueues a query. The returned
+// ticket's Done channel always delivers exactly one Disposition;
+// rejected submissions also return a non-nil error.
+func (fd *FrontDoor) Submit(q *Query) (*Ticket, error) {
+	t := &Ticket{Query: q, fd: fd, done: make(chan Disposition, 1), enq: time.Now()}
+
+	fd.mu.Lock()
+	fd.submitted++
+	if fd.closed {
+		return fd.rejectLocked(t, nil, "shutdown")
+	}
+	tn, ok := fd.tenants[q.Tenant]
+	if !ok {
+		if len(fd.tenants) >= fd.opts.MaxTenants {
+			return fd.rejectLocked(t, nil, "tenant_limit")
+		}
+		tn = &tenant{name: q.Tenant}
+		tn.bucket.init(fd.opts.Rate, fd.opts.Burst, t.enq)
+		tn.ins = fd.ins.forTenant(q.Tenant)
+		fd.tenants[q.Tenant] = tn
+		fd.order = append(fd.order, q.Tenant)
+	}
+	tn.submitted++
+	tn.ins.submitted.Inc()
+	if !tn.bucket.allow(t.enq) {
+		return fd.rejectLocked(t, tn, "rate_limit")
+	}
+	if q.Class < 0 || q.Class >= numClasses {
+		return fd.rejectLocked(t, tn, "bad_class")
+	}
+	if len(tn.queues[q.Class]) >= fd.opts.QueueCap {
+		return fd.rejectLocked(t, tn, "queue_full")
+	}
+	tn.queues[q.Class] = append(tn.queues[q.Class], t)
+	fd.queued++
+	fd.queuedClass[q.Class]++
+	tn.ins.depth[q.Class].Set(float64(len(tn.queues[q.Class])))
+	fd.ins.queued.Set(float64(fd.queued))
+	fd.mu.Unlock()
+
+	fd.kick()
+	return t, nil
+}
+
+// rejectLocked resolves t as rejected and releases the lock.
+func (fd *FrontDoor) rejectLocked(t *Ticket, tn *tenant, reason string) (*Ticket, error) {
+	fd.rejected++
+	if tn != nil {
+		tn.rejected++
+		tn.ins.rejected.Inc()
+	} else {
+		fd.ins.forTenant(t.Query.Tenant).rejected.Inc()
+	}
+	t.state = stateResolved
+	fd.mu.Unlock()
+	t.done <- Disposition{Outcome: OutcomeRejected, Reason: reason}
+	return t, fmt.Errorf("frontdoor: rejected: %s", reason)
+}
+
+// cancel withdraws a queued ticket (Ticket.Cancel).
+func (fd *FrontDoor) cancel(t *Ticket) {
+	fd.mu.Lock()
+	if t.state != stateQueued {
+		fd.mu.Unlock()
+		return
+	}
+	tn := fd.tenants[t.Query.Tenant]
+	q := tn.queues[t.Query.Class]
+	for i, qt := range q {
+		if qt == t {
+			tn.queues[t.Query.Class] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	fd.shedLocked(t, tn, "cancelled")
+	fd.mu.Unlock()
+}
+
+// shedLocked marks an (already dequeued) ticket shed. Caller holds
+// fd.mu and has removed t from its queue.
+func (fd *FrontDoor) shedLocked(t *Ticket, tn *tenant, reason string) {
+	t.state = stateResolved
+	fd.shed++
+	fd.queued--
+	fd.queuedClass[t.Query.Class]--
+	tn.shed++
+	tn.ins.shed.Inc()
+	tn.ins.depth[t.Query.Class].Set(float64(len(tn.queues[t.Query.Class])))
+	fd.ins.queued.Set(float64(fd.queued))
+	t.done <- Disposition{Outcome: OutcomeShed, Reason: reason, Wait: time.Since(t.enq)}
+}
+
+// kick wakes the drain loop (non-blocking).
+func (fd *FrontDoor) kick() {
+	select {
+	case fd.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drainLoop is the admission loop: whenever woken (submission,
+// completion, cancellation, or the sweep ticker) it sheds expired
+// queued queries and fills free executor slots, visiting the latency
+// class first and round-robining across tenants within a class.
+func (fd *FrontDoor) drainLoop() {
+	defer fd.loopWG.Done()
+	ticker := time.NewTicker(fd.opts.SweepInterval)
+	defer ticker.Stop()
+	for {
+		fd.dispatch()
+		select {
+		case <-fd.wake:
+		case <-ticker.C:
+		case <-fd.quit:
+			return
+		}
+	}
+}
+
+// dispatch runs one admission pass.
+func (fd *FrontDoor) dispatch() {
+	now := time.Now()
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	if fd.closed {
+		return
+	}
+	fd.expireLocked(now)
+	for fd.inflight < fd.opts.MaxInFlight && fd.queued > 0 {
+		if !fd.admitOneLocked(now) {
+			break // everything available was deferred
+		}
+	}
+}
+
+// expireLocked sheds every queued query whose deadline has passed:
+// running it could only produce a late answer.
+func (fd *FrontDoor) expireLocked(now time.Time) {
+	for _, name := range fd.order {
+		tn := fd.tenants[name]
+		for c := Class(0); c < numClasses; c++ {
+			q := tn.queues[c]
+			kept := q[:0]
+			for _, t := range q {
+				if t.Query.Deadline > 0 && now.Sub(t.enq) > t.Query.Deadline {
+					tn.queues[c] = kept // shedLocked reads the queue for depth
+					fd.shedLocked(t, tn, "deadline")
+					continue
+				}
+				kept = append(kept, t)
+			}
+			tn.queues[c] = kept
+			tn.ins.depth[c].Set(float64(len(kept)))
+		}
+	}
+}
+
+// admitOneLocked scans for one admittable query (latency class first,
+// round-robin across tenants) and dispatches it. It returns whether it
+// made progress (admitted or shed something); false means every queued
+// query was deferred this pass and the loop should wait.
+func (fd *FrontDoor) admitOneLocked(now time.Time) bool {
+	n := len(fd.order)
+	for c := Class(0); c < numClasses; c++ {
+		for i := 0; i < n; i++ {
+			tn := fd.tenants[fd.order[(fd.rrNext+i)%n]]
+			q := tn.queues[c]
+			if len(q) == 0 {
+				continue
+			}
+			t := q[0]
+			fd.buildFeatures(&t.feat, tn, t, now)
+			switch fd.opts.Controller.Decide(&t.feat, t.Query) {
+			case Admit:
+				tn.queues[c] = q[1:]
+				if len(tn.queues[c]) == 0 {
+					tn.queues[c] = nil // release the drained backing array
+				}
+				fd.rrNext = (fd.rrNext + i + 1) % n
+				fd.admitLocked(t, tn, now)
+				return true
+			case Shed:
+				tn.queues[c] = q[1:]
+				if len(tn.queues[c]) == 0 {
+					tn.queues[c] = nil
+				}
+				fd.shedLocked(t, tn, "load")
+				// Progress: the caller rescans, so this tenant's next
+				// head is reconsidered immediately.
+				return true
+			case Defer:
+				// Leave queued; try other tenants/classes.
+			}
+		}
+	}
+	return false
+}
+
+// admitLocked hands t an executor slot. Caller holds fd.mu and has
+// dequeued t.
+func (fd *FrontDoor) admitLocked(t *Ticket, tn *tenant, now time.Time) {
+	t.state = stateAdmitted
+	fd.admitted++
+	fd.queued--
+	fd.queuedClass[t.Query.Class]--
+	fd.inflight++
+	tn.admitted++
+	tn.inflight++
+	tn.ins.admitted.Inc()
+	tn.ins.depth[t.Query.Class].Set(float64(len(tn.queues[t.Query.Class])))
+	if fd.inflight > 0 {
+		tn.ins.share.Set(float64(tn.inflight) / float64(fd.inflight))
+	}
+	fd.ins.queued.Set(float64(fd.queued))
+	fd.ins.inflight.Set(float64(fd.inflight))
+	wait := now.Sub(t.enq)
+	fd.ins.wait[t.Query.Class].Observe(wait.Seconds())
+	fd.pending.Add()
+	go fd.run(t, tn, wait)
+}
+
+// run executes an admitted query on the backend and delivers its
+// disposition. Runs in its own goroutine.
+func (fd *FrontDoor) run(t *Ticket, tn *tenant, wait time.Duration) {
+	defer fd.pending.Done()
+	started := time.Now()
+	res, err := fd.opts.Backend.Run(t.Query)
+	dur := time.Since(started)
+	latency := wait + dur
+
+	met := err == nil && (t.Query.Deadline <= 0 || latency <= t.Query.Deadline)
+	fd.opts.Controller.Observe(&t.feat, t.Query, met)
+	if res != nil {
+		est := fd.opts.Estimator
+		fd.mu.Lock()
+		for k, d := range res.OpDurations {
+			est.ObserveCompletion(k, d, res.OpMemory[k])
+		}
+		fd.mu.Unlock()
+	}
+
+	fd.mu.Lock()
+	fd.inflight--
+	tn.inflight--
+	if fd.inflight > 0 {
+		tn.ins.share.Set(float64(tn.inflight) / float64(fd.inflight))
+	} else {
+		tn.ins.share.Set(0)
+	}
+	fd.ins.inflight.Set(float64(fd.inflight))
+	// EWMA of service time, the PredWait scale.
+	if fd.avgDur == 0 {
+		fd.avgDur = dur.Seconds()
+	} else {
+		fd.avgDur = 0.9*fd.avgDur + 0.1*dur.Seconds()
+	}
+	fd.mu.Unlock()
+
+	fd.ins.latency[t.Query.Class].Observe(latency.Seconds())
+	if t.Query.Deadline > 0 {
+		if met {
+			fd.ins.deadlineMet.Inc()
+		} else {
+			fd.ins.deadlineMissed.Inc()
+		}
+	}
+	t.done <- Disposition{
+		Outcome: OutcomeAdmitted, Wait: wait, Latency: latency,
+		DeadlineMet: met, Err: err,
+	}
+	fd.kick()
+}
+
+// buildFeatures fills f with the admission features for t under the
+// current state. Caller holds fd.mu.
+func (fd *FrontDoor) buildFeatures(f *lsched.AdmissionFeatures, tn *tenant, t *Ticket, now time.Time) {
+	q := t.Query
+	dur, mem := fd.opts.Estimator.PredictTotals(q.Ops)
+	// Predicted wait: how long until this query would actually start,
+	// with every slot busy and the queue ahead of it to drain first.
+	wait := 0.0
+	if fd.opts.MaxInFlight > 0 {
+		// The latency class drains first, so only same-class occupancy
+		// is ahead of a latency query; throughput queries wait behind
+		// everything.
+		ahead := float64(fd.queuedClass[ClassLatency])
+		if q.Class == ClassThroughput {
+			ahead = float64(fd.queued)
+		}
+		backlog := float64(fd.inflight) + ahead/2
+		wait = backlog * fd.avgDur / float64(fd.opts.MaxInFlight)
+	}
+	headroom := 0.0
+	if q.Deadline > 0 {
+		// Whatever budget remains after the queue time already burned,
+		// the predicted residual wait, and the predicted execution.
+		remaining := q.Deadline.Seconds() - now.Sub(t.enq).Seconds()
+		headroom = remaining - wait - dur
+	}
+	share := 0.0
+	if fd.inflight > 0 {
+		share = float64(tn.inflight) / float64(fd.inflight)
+	}
+	*f = lsched.AdmissionFeatures{
+		TenantQueueDepth: float64(len(tn.queues[ClassLatency]) + len(tn.queues[ClassThroughput])),
+		TotalQueueDepth:  float64(fd.queued),
+		InFlight:         float64(fd.inflight),
+		FreeSlots:        float64(fd.opts.MaxInFlight - fd.inflight),
+		TenantShare:      share,
+		PredDur:          dur,
+		PredMem:          mem,
+		PredWait:         wait,
+		DeadlineHeadroom: headroom,
+	}
+	if q.Class == ClassLatency {
+		f.LatencySensitive = 1
+	}
+}
+
+// Stats is a conservation-accounting snapshot.
+type Stats struct {
+	Submitted, Admitted, Shed, Rejected int64
+	Queued, InFlight                    int
+}
+
+// Stats returns the current terminal-bucket counts.
+func (fd *FrontDoor) Stats() Stats {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return Stats{
+		Submitted: fd.submitted, Admitted: fd.admitted,
+		Shed: fd.shed, Rejected: fd.rejected,
+		Queued: fd.queued, InFlight: fd.inflight,
+	}
+}
+
+// Shutdown stops the front door: new submissions are rejected, every
+// queued query is shed ("shutdown"), and in-flight queries are drained
+// (bounded by drainTimeout; <= 0 waits indefinitely). It reports
+// whether the drain completed.
+func (fd *FrontDoor) Shutdown(drainTimeout time.Duration) bool {
+	fd.mu.Lock()
+	if fd.closed {
+		fd.mu.Unlock()
+		return fd.pending.Wait(drainTimeout)
+	}
+	fd.closed = true
+	for _, name := range fd.order {
+		tn := fd.tenants[name]
+		for c := Class(0); c < numClasses; c++ {
+			pending := tn.queues[c]
+			tn.queues[c] = nil
+			for _, t := range pending {
+				fd.shedLocked(t, tn, "shutdown")
+			}
+		}
+	}
+	fd.mu.Unlock()
+	close(fd.quit)
+	fd.loopWG.Wait()
+	return fd.pending.Wait(drainTimeout)
+}

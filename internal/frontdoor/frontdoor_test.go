@@ -1,0 +1,305 @@
+package frontdoor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/lsched"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+)
+
+// fakeBackend runs queries as plain sleeps with optional per-type
+// result stats — a controllable stand-in for the live engine.
+type fakeBackend struct {
+	delay time.Duration
+
+	mu   sync.Mutex
+	runs int
+}
+
+func (b *fakeBackend) Run(q *Query) (*Result, error) {
+	b.mu.Lock()
+	b.runs++
+	b.mu.Unlock()
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	return &Result{
+		OpDurations: map[int]float64{0: b.delay.Seconds()},
+		OpMemory:    map[int]float64{0: 1},
+	}, nil
+}
+
+func (b *fakeBackend) Runs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.runs
+}
+
+// blockingBackend parks each run until released.
+type blockingBackend struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingBackend) Run(q *Query) (*Result, error) {
+	b.entered <- struct{}{}
+	<-b.release
+	return nil, nil
+}
+
+func q(tenant string, class Class) *Query {
+	return &Query{Tenant: tenant, Class: class, Ops: []costmodel.OpWork{{Key: 0, Units: 1}}}
+}
+
+func mustFD(t *testing.T, opts Options) *FrontDoor {
+	t.Helper()
+	fd, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fd.Shutdown(5 * time.Second) })
+	return fd
+}
+
+func waitOutcome(t *testing.T, tk *Ticket) Disposition {
+	t.Helper()
+	select {
+	case d := <-tk.Done():
+		return d
+	case <-time.After(10 * time.Second):
+		t.Fatal("ticket never resolved")
+		return Disposition{}
+	}
+}
+
+// TestSubmitAdmitComplete: the basic happy path delivers an admitted
+// disposition with the run's latency.
+func TestSubmitAdmitComplete(t *testing.T) {
+	be := &fakeBackend{delay: time.Millisecond}
+	fd := mustFD(t, Options{Backend: be, MaxInFlight: 2})
+	tk, err := fd.Submit(q("acme", ClassLatency))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := waitOutcome(t, tk)
+	if d.Outcome != OutcomeAdmitted || d.Err != nil {
+		t.Fatalf("disposition = %+v", d)
+	}
+	if d.Latency < time.Millisecond {
+		t.Fatalf("latency %v < backend delay", d.Latency)
+	}
+	if !d.DeadlineMet {
+		t.Fatal("deadline-free query reported DeadlineMet=false")
+	}
+	if be.Runs() != 1 {
+		t.Fatalf("backend ran %d times", be.Runs())
+	}
+}
+
+// TestQueueFullRejects: a tenant's bounded queue rejects overflow
+// instead of growing.
+func TestQueueFullRejects(t *testing.T) {
+	be := &blockingBackend{entered: make(chan struct{}, 16), release: make(chan struct{})}
+	defer close(be.release)
+	fd := mustFD(t, Options{Backend: be, MaxInFlight: 1, QueueCap: 2})
+
+	// Fill the slot, then the queue.
+	if _, err := fd.Submit(q("acme", ClassLatency)); err != nil {
+		t.Fatal(err)
+	}
+	<-be.entered
+	for i := 0; i < 2; i++ {
+		if _, err := fd.Submit(q("acme", ClassLatency)); err != nil {
+			t.Fatalf("queue slot %d rejected: %v", i, err)
+		}
+	}
+	tk, err := fd.Submit(q("acme", ClassLatency))
+	if err == nil {
+		t.Fatal("overflow submission accepted")
+	}
+	if d := waitOutcome(t, tk); d.Outcome != OutcomeRejected || d.Reason != "queue_full" {
+		t.Fatalf("disposition = %+v", d)
+	}
+}
+
+// TestCancelShedsQueued: cancelling a queued ticket sheds it; the
+// backend never sees it.
+func TestCancelShedsQueued(t *testing.T) {
+	be := &blockingBackend{entered: make(chan struct{}, 16), release: make(chan struct{})}
+	fd := mustFD(t, Options{Backend: be, MaxInFlight: 1})
+	first, _ := fd.Submit(q("acme", ClassLatency))
+	<-be.entered
+	queued, _ := fd.Submit(q("acme", ClassLatency))
+	queued.Cancel()
+	if d := waitOutcome(t, queued); d.Outcome != OutcomeShed || d.Reason != "cancelled" {
+		t.Fatalf("disposition = %+v", d)
+	}
+	close(be.release)
+	if d := waitOutcome(t, first); d.Outcome != OutcomeAdmitted {
+		t.Fatalf("first query: %+v", d)
+	}
+	st := fd.Stats()
+	if st.Admitted != 1 || st.Shed != 1 || st.Submitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDeadlineExpiryShedsQueued: a query whose deadline passes while
+// queued is shed by the sweep, not run late.
+func TestDeadlineExpiryShedsQueued(t *testing.T) {
+	be := &blockingBackend{entered: make(chan struct{}, 16), release: make(chan struct{})}
+	defer close(be.release)
+	fd := mustFD(t, Options{Backend: be, MaxInFlight: 1, SweepInterval: 2 * time.Millisecond})
+	fd.Submit(q("acme", ClassThroughput)) //nolint:errcheck
+	<-be.entered
+	dq := q("acme", ClassLatency)
+	dq.Deadline = 5 * time.Millisecond
+	tk, _ := fd.Submit(dq)
+	if d := waitOutcome(t, tk); d.Outcome != OutcomeShed || d.Reason != "deadline" {
+		t.Fatalf("disposition = %+v", d)
+	}
+}
+
+// TestRateLimitRejects: a tenant over its token budget is rejected
+// without queueing; an unrelated tenant is unaffected.
+func TestRateLimitRejects(t *testing.T) {
+	be := &fakeBackend{}
+	fd := mustFD(t, Options{Backend: be, MaxInFlight: 4, Rate: 1, Burst: 2})
+	var limited bool
+	for i := 0; i < 4; i++ {
+		if _, err := fd.Submit(q("greedy", ClassThroughput)); err != nil {
+			limited = true
+		}
+	}
+	if !limited {
+		t.Fatal("burst of 4 never hit the 2-token budget")
+	}
+	if _, err := fd.Submit(q("modest", ClassThroughput)); err != nil {
+		t.Fatalf("other tenant rate-limited: %v", err)
+	}
+}
+
+// TestLatencyClassDrainsFirst: with one slot and both classes queued,
+// the latency-class query runs first even though it arrived second.
+func TestLatencyClassDrainsFirst(t *testing.T) {
+	be := &blockingBackend{entered: make(chan struct{}, 16), release: make(chan struct{}, 16)}
+	fd := mustFD(t, Options{Backend: be, MaxInFlight: 1})
+	blocker, _ := fd.Submit(q("t0", ClassThroughput))
+	<-be.entered
+	bulk, _ := fd.Submit(q("t1", ClassThroughput))
+	lat, _ := fd.Submit(q("t2", ClassLatency))
+	be.release <- struct{}{} // finish the blocker
+	<-be.entered             // next admitted query entered the backend
+	be.release <- struct{}{}
+	dLat := waitOutcome(t, lat)
+	if dLat.Outcome != OutcomeAdmitted {
+		t.Fatalf("latency query: %+v", dLat)
+	}
+	select {
+	case d := <-bulk.Done():
+		t.Fatalf("throughput query resolved before latency query released it: %+v", d)
+	default:
+	}
+	be.release <- struct{}{}
+	waitOutcome(t, bulk)
+	waitOutcome(t, blocker)
+}
+
+// TestShutdownShedsQueuedAndDrainsInflight: Shutdown resolves every
+// ticket — queued as shed, in-flight after completion — and rejects
+// later submissions.
+func TestShutdownShedsQueuedAndDrainsInflight(t *testing.T) {
+	be := &blockingBackend{entered: make(chan struct{}, 16), release: make(chan struct{})}
+	fd, err := New(Options{Backend: be, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	running, _ := fd.Submit(q("acme", ClassLatency))
+	<-be.entered
+	queued, _ := fd.Submit(q("acme", ClassLatency))
+
+	shutDone := make(chan bool, 1)
+	go func() { shutDone <- fd.Shutdown(5 * time.Second) }()
+	if d := waitOutcome(t, queued); d.Outcome != OutcomeShed || d.Reason != "shutdown" {
+		t.Fatalf("queued: %+v", d)
+	}
+	select {
+	case <-shutDone:
+		t.Fatal("Shutdown returned with a query still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(be.release)
+	if !<-shutDone {
+		t.Fatal("Shutdown reported an incomplete drain")
+	}
+	if d := waitOutcome(t, running); d.Outcome != OutcomeAdmitted {
+		t.Fatalf("in-flight: %+v", d)
+	}
+	tk, err := fd.Submit(q("acme", ClassLatency))
+	if err == nil {
+		t.Fatal("submission accepted after shutdown")
+	}
+	if d := waitOutcome(t, tk); d.Reason != "shutdown" {
+		t.Fatalf("post-shutdown disposition: %+v", d)
+	}
+}
+
+// TestEstimatorLearnsFromResults: backend-reported per-type stats flow
+// into the cost model, so later admissions are priced from history.
+func TestEstimatorLearnsFromResults(t *testing.T) {
+	be := &fakeBackend{delay: 2 * time.Millisecond}
+	est := costmodel.NewEstimator(8, 0, 0)
+	fd := mustFD(t, Options{Backend: be, MaxInFlight: 1, Estimator: est})
+	tk, _ := fd.Submit(q("acme", ClassLatency))
+	waitOutcome(t, tk)
+	fd.mu.Lock()
+	dur, mem := est.PredictTotals([]costmodel.OpWork{{Key: 0, Units: 1}})
+	fd.mu.Unlock()
+	if dur <= 0 || mem <= 0 {
+		t.Fatalf("estimator never learned: dur=%v mem=%v", dur, mem)
+	}
+}
+
+// TestLearnedControllerShedsHopeless: the learned controller sheds a
+// deadline query whose predicted wait+run exceeds its budget, before
+// it wastes a slot.
+func TestLearnedControllerShedsHopeless(t *testing.T) {
+	head := lsched.NewAdmissionHead(nn.NewParams(1))
+	ctl := NewLearned(head)
+	f := &lsched.AdmissionFeatures{DeadlineHeadroom: -1, LatencySensitive: 1}
+	hopeless := &Query{Tenant: "a", Class: ClassLatency, Deadline: time.Millisecond}
+	if d := ctl.Decide(f, hopeless); d != Shed {
+		t.Fatalf("hopeless deadline query decision = %v, want Shed", d)
+	}
+	f2 := &lsched.AdmissionFeatures{DeadlineHeadroom: 2, FreeSlots: 4, LatencySensitive: 1}
+	if d := ctl.Decide(f2, hopeless); d != Admit {
+		t.Fatalf("healthy query decision = %v, want Admit", d)
+	}
+	// Throughput reservation: marginal score with the last slot free.
+	f3 := &lsched.AdmissionFeatures{TotalQueueDepth: 500, InFlight: 64, PredWait: 10, FreeSlots: 1, TenantShare: 1}
+	bulk := &Query{Tenant: "a", Class: ClassThroughput}
+	if d := ctl.Decide(f3, bulk); d == Admit {
+		t.Fatalf("saturated marginal throughput query admitted (score %v)", head.Score(f3))
+	}
+}
+
+// TestMetricsWiring: the per-tenant counters and per-class histograms
+// land in the registry under their exported names.
+func TestMetricsWiring(t *testing.T) {
+	reg := metrics.NewRegistry()
+	be := &fakeBackend{}
+	fd := mustFD(t, Options{Backend: be, MaxInFlight: 1, Metrics: reg})
+	tk, _ := fd.Submit(q("acme", ClassLatency))
+	waitOutcome(t, tk)
+	snap := reg.Snapshot()
+	if snap.Counters[MetricSubmitted("acme")] != 1 || snap.Counters[MetricAdmitted("acme")] != 1 {
+		t.Fatalf("tenant counters = %v", snap.Counters)
+	}
+	if snap.Histograms[MetricLatency(ClassLatency)].Count != 1 {
+		t.Fatalf("latency histogram missing: %v", snap.Histograms)
+	}
+}

@@ -1,0 +1,78 @@
+package frontdoor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+)
+
+// FuzzDecodeRequest fuzzes the front door's wire boundary: arbitrary
+// bytes must either decode into a fully validated query or error —
+// never panic — and every query the decoder lets through must flow
+// through submit-to-disposition without wedging a queue slot. Seed
+// corpus lives under testdata/fuzz/FuzzDecodeRequest/; run with
+// `go test -fuzz=FuzzDecodeRequest ./internal/frontdoor/` to explore.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"tenant":"acme","class":"latency","deadline_ms":100,"ops":[{"type":0,"blocks":4}]}`))
+	f.Add([]byte(`{"tenant":"","ops":[{"type":0,"blocks":1}]}`))                                                               // missing tenant
+	f.Add([]byte(`{"tenant":"a b","ops":[{"type":0,"blocks":1}]}`))                                                            // bad tenant alphabet
+	f.Add([]byte(`{"tenant":"a","deadline_ms":-5,"ops":[{"type":0,"blocks":1}]}`))                                             // negative deadline
+	f.Add([]byte(`{"tenant":"a","deadline_ms":0,"ops":[{"type":99,"blocks":1}]}`))                                             // unknown op type
+	f.Add([]byte(`{"tenant":"a","ops":[{"type":1,"blocks":-2}]}`))                                                             // negative blocks
+	f.Add([]byte(`{"tenant":"a","class":"weird","ops":[{"type":0,"blocks":1}]}`))                                              // unknown class
+	f.Add([]byte(`{"tenant":"a","ops":[]}`))                                                                                   // empty plan
+	f.Add([]byte(`{"tenant":"a","deadline_ms":99999999999,"ops":[{"type":0}]}`))                                               // huge deadline
+	f.Add([]byte(`not json at all`))                                                                                           //
+	f.Add([]byte(`{"tenant":"a","ops":[{"type":0,"blocks":2097152}]}`))                                                        // oversized op
+	f.Add([]byte(`{"tenant":"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa","ops":[{"type":0}]}`)) // long tenant
+
+	// One shared front door: decoded queries are pushed end-to-end so a
+	// decoder bug that produces a queue-wedging query surfaces as a
+	// hang/leak here, not just a bad struct.
+	fd, err := New(Options{Backend: &fakeBackend{}, MaxInFlight: 2, QueueCap: 64})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { fd.Shutdown(10 * time.Second) })
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeRequest(data)
+		if err != nil {
+			if q != nil {
+				t.Fatalf("error %v alongside non-nil query", err)
+			}
+			return
+		}
+		// The decoder's validation contract.
+		if verr := validTenant(q.Tenant); verr != nil {
+			t.Fatalf("decoder passed invalid tenant: %v", verr)
+		}
+		if q.Class < 0 || q.Class >= numClasses {
+			t.Fatalf("decoder passed class %d", q.Class)
+		}
+		if q.Deadline < 0 || q.Deadline > MaxDeadlineMS*time.Millisecond {
+			t.Fatalf("decoder passed deadline %v", q.Deadline)
+		}
+		if len(q.Ops) == 0 || len(q.Ops) > MaxRequestOps {
+			t.Fatalf("decoder passed %d ops", len(q.Ops))
+		}
+		for _, op := range q.Ops {
+			if op.Key < 0 || op.Key >= plan.NumOpTypes || op.Units < 0 || op.Units > MaxOpBlocks {
+				t.Fatalf("decoder passed op %+v", op)
+			}
+		}
+		// End-to-end: the query must reach a terminal disposition (no
+		// queue-slot leak). Tiny deadlines may legitimately shed.
+		tk, _ := fd.Submit(q)
+		select {
+		case <-tk.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatalf("query from %q wedged without a disposition", data)
+		}
+		st := fd.Stats()
+		if st.Admitted+st.Shed+st.Rejected+int64(st.Queued) != st.Submitted {
+			t.Fatalf("conservation (with queued) broken: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package frontdoor
+
+import "repro/internal/metrics"
+
+// Metric name helpers: the front door's per-tenant and per-class series
+// are composed with metrics.LabeledName so the Prometheus exposition
+// groups them into families. Exported so dashboards and the golden test
+// spell names one way.
+
+// MetricSubmitted is the per-tenant submitted-query counter name.
+func MetricSubmitted(tenant string) string {
+	return metrics.LabeledName("frontdoor_submitted", "tenant", tenant)
+}
+
+// MetricAdmitted is the per-tenant admitted-query counter name.
+func MetricAdmitted(tenant string) string {
+	return metrics.LabeledName("frontdoor_admitted", "tenant", tenant)
+}
+
+// MetricShed is the per-tenant shed-query counter name.
+func MetricShed(tenant string) string {
+	return metrics.LabeledName("frontdoor_shed", "tenant", tenant)
+}
+
+// MetricRejected is the per-tenant rejected-query counter name.
+func MetricRejected(tenant string) string {
+	return metrics.LabeledName("frontdoor_rejected", "tenant", tenant)
+}
+
+// MetricQueueDepth is the per-tenant per-class queue-depth gauge name.
+func MetricQueueDepth(tenant string, class Class) string {
+	return metrics.LabeledName("frontdoor_queue_depth", "tenant", tenant, "class", class.String())
+}
+
+// MetricTenantShare is the per-tenant in-flight-share gauge name (the
+// fairness gauge: the tenant's fraction of executing queries).
+func MetricTenantShare(tenant string) string {
+	return metrics.LabeledName("frontdoor_tenant_share", "tenant", tenant)
+}
+
+// MetricLatency is the per-class end-to-end latency histogram name
+// (admitted queries, submit to completion).
+func MetricLatency(class Class) string {
+	return metrics.LabeledName("frontdoor_latency", "class", class.String())
+}
+
+// MetricWait is the per-class queue-wait histogram name.
+func MetricWait(class Class) string {
+	return metrics.LabeledName("frontdoor_wait", "class", class.String())
+}
+
+// instruments are the front door's cached metric handles; all nil (and
+// so no-op) when metrics are disabled.
+type instruments struct {
+	reg            *metrics.Registry
+	queued         *metrics.Gauge
+	inflight       *metrics.Gauge
+	deadlineMet    *metrics.Counter
+	deadlineMissed *metrics.Counter
+	latency        [numClasses]*metrics.Histogram
+	wait           [numClasses]*metrics.Histogram
+}
+
+type tenantInstruments struct {
+	submitted, admitted, shed, rejected *metrics.Counter
+	depth                               [numClasses]*metrics.Gauge
+	share                               *metrics.Gauge
+}
+
+func newInstruments(reg *metrics.Registry) *instruments {
+	ins := &instruments{
+		reg:            reg,
+		queued:         reg.Gauge("frontdoor_queued"),
+		inflight:       reg.Gauge("frontdoor_inflight"),
+		deadlineMet:    reg.Counter("frontdoor_deadline_met"),
+		deadlineMissed: reg.Counter("frontdoor_deadline_missed"),
+	}
+	for c := Class(0); c < numClasses; c++ {
+		ins.latency[c] = reg.Histogram(MetricLatency(c), nil)
+		ins.wait[c] = reg.Histogram(MetricWait(c), nil)
+	}
+	return ins
+}
+
+// forTenant builds (or re-looks-up) one tenant's instrument set.
+func (ins *instruments) forTenant(tenant string) tenantInstruments {
+	ti := tenantInstruments{
+		submitted: ins.reg.Counter(MetricSubmitted(tenant)),
+		admitted:  ins.reg.Counter(MetricAdmitted(tenant)),
+		shed:      ins.reg.Counter(MetricShed(tenant)),
+		rejected:  ins.reg.Counter(MetricRejected(tenant)),
+		share:     ins.reg.Gauge(MetricTenantShare(tenant)),
+	}
+	for c := Class(0); c < numClasses; c++ {
+		ti.depth[c] = ins.reg.Gauge(MetricQueueDepth(tenant, c))
+	}
+	return ti
+}

@@ -1,0 +1,244 @@
+package frontdoor
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/lsched"
+	"repro/internal/nn"
+)
+
+// overloadConfig parameterizes the open-loop overload run.
+type overloadConfig struct {
+	queries  int
+	tenants  int
+	slots    int
+	service  time.Duration // backend per-query run time
+	overload float64       // offered rate as a multiple of sustainable
+	deadline time.Duration // latency-class deadline
+	queueCap int
+	seed     int64
+	// controller builds the admission controller under test; nil means
+	// a learned controller over a fresh admission head.
+	controller func() Controller
+	// expensiveFrac, when positive, makes that fraction of queries
+	// carry an op key whose service time is `expensive` instead of
+	// `service` — the heterogeneous-cost regime where O-DUR-driven
+	// admission has something to exploit.
+	expensiveFrac float64
+	expensive     time.Duration
+}
+
+// costedBackend sleeps per ops unit by key and reports true per-unit
+// costs back, so the admission estimator's windows converge on them.
+type costedBackend struct {
+	delays map[int]time.Duration
+}
+
+func (b *costedBackend) Run(q *Query) (*Result, error) {
+	total := time.Duration(0)
+	res := &Result{OpDurations: map[int]float64{}, OpMemory: map[int]float64{}}
+	for _, op := range q.Ops {
+		total += b.delays[op.Key] * time.Duration(op.Units)
+		res.OpDurations[op.Key] = b.delays[op.Key].Seconds()
+		res.OpMemory[op.Key] = 1
+	}
+	time.Sleep(total)
+	return res, nil
+}
+
+type overloadResult struct {
+	stats      Stats
+	peakQueued int
+	// latTotal counts latency-class submissions; latTotal minus
+	// len(latLatency) is how many of them were dropped.
+	latTotal int
+	// latLatency holds the end-to-end latencies of admitted
+	// latency-class queries, sorted ascending.
+	latLatency []time.Duration
+}
+
+// runOverload drives an open-loop generator at cfg.overload times the
+// backend's sustainable rate against a learned-admission front door
+// and reports what happened. Open-loop means submissions are paced by
+// the clock, never by completions — exactly the regime that grows
+// queues without bound when admission control is broken.
+func runOverload(t testing.TB, cfg overloadConfig) overloadResult {
+	t.Helper()
+	var be Backend = &fakeBackend{delay: cfg.service}
+	if cfg.expensiveFrac > 0 {
+		be = &costedBackend{delays: map[int]time.Duration{0: cfg.service, 1: cfg.expensive}}
+	}
+	ctrl := Controller(nil)
+	if cfg.controller != nil {
+		ctrl = cfg.controller()
+	} else {
+		ctrl = NewLearned(lsched.NewAdmissionHead(nn.NewParams(cfg.seed)))
+	}
+	fd, err := New(Options{
+		Backend:       be,
+		Controller:    ctrl,
+		MaxInFlight:   cfg.slots,
+		QueueCap:      cfg.queueCap,
+		SweepInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Peak-occupancy monitor: the bounded-memory assertion needs the
+	// worst observed queue depth, not the final one.
+	var peak atomic.Int64
+	monDone := make(chan struct{})
+	go func() {
+		defer close(monDone)
+		tick := time.NewTicker(500 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-monDone:
+				return
+			case <-tick.C:
+				if qd := int64(fd.Stats().Queued); qd > peak.Load() {
+					peak.Store(qd)
+				}
+			}
+		}
+	}()
+
+	meanService := cfg.service.Seconds()
+	if cfg.expensiveFrac > 0 {
+		meanService = (1-cfg.expensiveFrac)*cfg.service.Seconds() + cfg.expensiveFrac*cfg.expensive.Seconds()
+	}
+	sustainable := float64(cfg.slots) / meanService // queries/sec
+	interval := time.Duration(float64(time.Second) / (sustainable * cfg.overload))
+	rng := rand.New(rand.NewSource(cfg.seed))
+	tenantNames := make([]string, cfg.tenants)
+	for i := range tenantNames {
+		tenantNames[i] = string(rune('a' + i))
+	}
+
+	tickets := make([]*Ticket, 0, cfg.queries)
+	classes := make([]Class, 0, cfg.queries)
+	start := time.Now()
+	for i := 0; i < cfg.queries; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		qq := q(tenantNames[rng.Intn(cfg.tenants)], ClassThroughput)
+		if rng.Intn(2) == 0 {
+			qq.Class = ClassLatency
+			qq.Deadline = cfg.deadline
+		}
+		if cfg.expensiveFrac > 0 && rng.Float64() < cfg.expensiveFrac {
+			qq.Ops = []costmodel.OpWork{{Key: 1, Units: 1}}
+		}
+		tk, _ := fd.Submit(qq)
+		tickets = append(tickets, tk)
+		classes = append(classes, qq.Class)
+	}
+
+	res := overloadResult{}
+	for _, c := range classes {
+		if c == ClassLatency {
+			res.latTotal++
+		}
+	}
+	for i, tk := range tickets {
+		select {
+		case d := <-tk.Done():
+			if d.Outcome == OutcomeAdmitted && classes[i] == ClassLatency {
+				res.latLatency = append(res.latLatency, d.Latency)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("ticket %d never resolved", i)
+		}
+	}
+	monDone <- struct{}{}
+	<-monDone
+	if !fd.Shutdown(10 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	res.stats = fd.Stats()
+	res.peakQueued = int(peak.Load())
+	sort.Slice(res.latLatency, func(i, j int) bool { return res.latLatency[i] < res.latLatency[j] })
+	return res
+}
+
+func p99(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	return ds[len(ds)*99/100]
+}
+
+// checkOverload asserts the three regression properties: queue memory
+// stays bounded, overload is actually shed (not absorbed into
+// unbounded queues), and the p99 of *admitted* latency-sensitive
+// queries stays within budget — the whole point of learned admission
+// is that the queries it does admit still meet their SLO.
+func checkOverload(t *testing.T, cfg overloadConfig, res overloadResult) {
+	t.Helper()
+	bound := cfg.tenants * int(numClasses) * cfg.queueCap
+	if res.peakQueued > bound {
+		t.Errorf("peak queue depth %d exceeds configured bound %d", res.peakQueued, bound)
+	}
+	dropped := res.stats.Shed + res.stats.Rejected
+	if dropped == 0 {
+		t.Errorf("2x overload produced zero shed/rejected (stats %+v)", res.stats)
+	}
+	if res.stats.Admitted+res.stats.Shed+res.stats.Rejected != res.stats.Submitted {
+		t.Errorf("conservation broken: %+v", res.stats)
+	}
+	if len(res.latLatency) == 0 {
+		t.Fatal("no latency-class query was admitted at all")
+	}
+	budget := 4 * cfg.deadline // generous for CI noise, far below uncontrolled queueing delay
+	if got := p99(res.latLatency); got > budget {
+		t.Errorf("admitted latency-class p99 = %v, budget %v (n=%d)", got, budget, len(res.latLatency))
+	}
+	t.Logf("overload: submitted=%d admitted=%d shed=%d rejected=%d peakQueued=%d latN=%d p50=%v p99=%v",
+		res.stats.Submitted, res.stats.Admitted, res.stats.Shed, res.stats.Rejected,
+		res.peakQueued, len(res.latLatency),
+		res.latLatency[len(res.latLatency)/2], p99(res.latLatency))
+}
+
+// TestOverloadRegression is the tier-1 overload test: short,
+// deterministic seed, an open-loop generator at 2x the sustainable
+// rate.
+func TestOverloadRegression(t *testing.T) {
+	cfg := overloadConfig{
+		queries:  1500,
+		tenants:  4,
+		slots:    4,
+		service:  400 * time.Microsecond,
+		overload: 2,
+		deadline: 25 * time.Millisecond,
+		queueCap: 256,
+		seed:     42,
+	}
+	checkOverload(t, cfg, runOverload(t, cfg))
+}
+
+// TestOverloadSustained is the long soak variant (skipped under
+// -short): more queries, more tenants, heavier overload.
+func TestOverloadSustained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long overload soak skipped in -short mode")
+	}
+	cfg := overloadConfig{
+		queries:  10000,
+		tenants:  8,
+		slots:    4,
+		service:  400 * time.Microsecond,
+		overload: 3,
+		deadline: 25 * time.Millisecond,
+		queueCap: 256,
+		seed:     7,
+	}
+	checkOverload(t, cfg, runOverload(t, cfg))
+}

@@ -1,0 +1,49 @@
+package frontdoor
+
+import "time"
+
+// bucket is a token-bucket rate limiter: tokens refill continuously at
+// rate per second up to burst; each allowed submission spends one.
+// Guarded by the front door's lock — no internal synchronization.
+type bucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// init configures the bucket. rate <= 0 disables limiting; burst <= 0
+// defaults to max(rate, 1) so a idle tenant can always send a small
+// burst.
+func (b *bucket) init(rate, burst float64, now time.Time) {
+	b.rate = rate
+	b.burst = burst
+	if b.burst <= 0 {
+		b.burst = rate
+		if b.burst < 1 {
+			b.burst = 1
+		}
+	}
+	b.tokens = b.burst
+	b.last = now
+}
+
+// allow reports whether one more submission fits the budget, refilling
+// first.
+func (b *bucket) allow(now time.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

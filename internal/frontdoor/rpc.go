@@ -1,0 +1,34 @@
+package frontdoor
+
+import "repro/internal/rpcsched"
+
+// RPCService is the net/rpc receiver for the front door, mounted on an
+// rpcsched.Server via Mount so query ingress shares the scheduler
+// server's connections — and inherits its per-connection I/O deadlines,
+// in-flight tracking, and graceful-shutdown drain.
+type RPCService struct {
+	fd *FrontDoor
+}
+
+// Mount registers the front door on srv under the "FrontDoor" service
+// name. Shut the front door down before the server: a Submit call
+// blocks until its query resolves, and the server's drain waits for
+// exactly those calls.
+func Mount(srv *rpcsched.Server, fd *FrontDoor) error {
+	return srv.RegisterName("FrontDoor", &RPCService{fd: fd})
+}
+
+// Submit is the RPC method: it validates the request, submits it, and
+// replies with the query's terminal disposition (net/rpc runs each
+// call in its own goroutine, so blocking until the query resolves is
+// the intended shape). Validation failures surface as RPC errors;
+// reject/shed outcomes are normal replies.
+func (s *RPCService) Submit(req *Request, reply *Response) error {
+	q, err := req.Validate()
+	if err != nil {
+		return err
+	}
+	t, _ := s.fd.Submit(q) // a rejection's disposition is already buffered
+	*reply = responseFrom(<-t.Done())
+	return nil
+}

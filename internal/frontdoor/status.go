@@ -1,0 +1,59 @@
+package frontdoor
+
+// StatusData is the /frontdoor endpoint payload: terminal-bucket
+// counts, live occupancy, and per-tenant detail.
+type StatusData struct {
+	Controller string  `json:"controller"`
+	InFlight   int     `json:"in_flight"`
+	Queued     int     `json:"queued"`
+	Submitted  int64   `json:"submitted"`
+	Admitted   int64   `json:"admitted"`
+	Shed       int64   `json:"shed"`
+	Rejected   int64   `json:"rejected"`
+	AvgRunSecs float64 `json:"avg_run_secs"`
+
+	Tenants []TenantStatus `json:"tenants,omitempty"`
+}
+
+// TenantStatus is one tenant's slice of the status payload.
+type TenantStatus struct {
+	Tenant          string `json:"tenant"`
+	QueuedLatency   int    `json:"queued_latency"`
+	QueuedThroughpt int    `json:"queued_throughput"`
+	InFlight        int    `json:"in_flight"`
+	Submitted       int64  `json:"submitted"`
+	Admitted        int64  `json:"admitted"`
+	Shed            int64  `json:"shed"`
+	Rejected        int64  `json:"rejected"`
+}
+
+// Status snapshots the front door for the obs /frontdoor endpoint
+// (wire it as obs.Options.FrontDoor = fd.Status).
+func (fd *FrontDoor) Status() any {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	st := StatusData{
+		Controller: fd.opts.Controller.Name(),
+		InFlight:   fd.inflight,
+		Queued:     fd.queued,
+		Submitted:  fd.submitted,
+		Admitted:   fd.admitted,
+		Shed:       fd.shed,
+		Rejected:   fd.rejected,
+		AvgRunSecs: fd.avgDur,
+	}
+	for _, name := range fd.order {
+		tn := fd.tenants[name]
+		st.Tenants = append(st.Tenants, TenantStatus{
+			Tenant:          tn.name,
+			QueuedLatency:   len(tn.queues[ClassLatency]),
+			QueuedThroughpt: len(tn.queues[ClassThroughput]),
+			InFlight:        tn.inflight,
+			Submitted:       tn.submitted,
+			Admitted:        tn.admitted,
+			Shed:            tn.shed,
+			Rejected:        tn.rejected,
+		})
+	}
+	return st
+}

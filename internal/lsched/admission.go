@@ -1,0 +1,186 @@
+package lsched
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/nn"
+)
+
+// AdmissionFeatures is the state the admission head scores a newly
+// arrived query on: front-door pressure (queue depths, in-flight
+// counts, free executor slots), the cost model's whole-plan O-DUR and
+// O-MEM predictions for this query, and the query's deadline position.
+// All fields are raw (un-normalized) measurements; the head normalizes
+// internally so callers do not share squashing logic.
+type AdmissionFeatures struct {
+	// TenantQueueDepth is the tenant's queued-query count.
+	TenantQueueDepth float64
+	// TotalQueueDepth is the queued-query count across all tenants.
+	TotalQueueDepth float64
+	// InFlight is the number of queries executing right now.
+	InFlight float64
+	// FreeSlots is the number of idle executor slots.
+	FreeSlots float64
+	// TenantShare is the tenant's fraction of in-flight queries (0..1).
+	TenantShare float64
+	// PredDur is the cost model's O-DUR whole-plan duration estimate.
+	PredDur float64
+	// PredMem is the cost model's O-MEM whole-plan memory estimate.
+	PredMem float64
+	// PredWait is the predicted queue wait before this query would start.
+	PredWait float64
+	// DeadlineHeadroom is deadline minus (now + PredWait + PredDur):
+	// positive means the query can still meet its deadline if admitted,
+	// negative means it is already hopeless.
+	DeadlineHeadroom float64
+	// LatencySensitive is 1 for the latency SLO class, 0 for throughput.
+	LatencySensitive float64
+}
+
+// AdmissionFeatureDim is the admission head's input width.
+const AdmissionFeatureDim = 10
+
+// squash maps a non-negative magnitude into [0, 1) with diminishing
+// resolution at scale: x/(x+s).
+func squash(x, s float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return x / (x + s)
+}
+
+// appendVector normalizes the features into dst (AdmissionFeatureDim
+// values). Depth/duration-like inputs are squashed so the head is
+// stable across load regimes; headroom keeps its sign.
+func (f *AdmissionFeatures) appendVector(dst []float64) []float64 {
+	return append(dst,
+		squash(f.TenantQueueDepth, 16),
+		squash(f.TotalQueueDepth, 64),
+		squash(f.InFlight, 64),
+		squash(f.FreeSlots, 8),
+		clamp01(f.TenantShare),
+		squash(f.PredDur, 1),
+		squash(f.PredMem, 1000),
+		squash(f.PredWait, 1),
+		math.Tanh(f.DeadlineHeadroom),
+		f.LatencySensitive,
+	)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// AdmissionHead scores admit-vs-shed for arriving queries: a logistic
+// head over AdmissionFeatures whose parameters live on the agent's
+// nn.Params registry under the "adm." prefix — checkpointing,
+// versioning, and hot-swap promotion all ride the existing policy
+// lifecycle for free. Unlike the event-loop heads it is called from
+// front-door goroutines, so Score and Update are internally locked; the
+// linear form keeps both O(AdmissionFeatureDim) with no tape.
+type AdmissionHead struct {
+	mu sync.Mutex
+	w  *nn.Node // 1×F weight matrix (row vector)
+	b  *nn.Node // scalar bias
+	lr float64
+	// scratch avoids per-call allocation under the lock.
+	scratch []float64
+}
+
+// NewAdmissionHead registers (or re-attaches to) the admission head's
+// parameters on p. A fresh head is prior-initialized to a sane policy
+// rather than noise: positive weight on deadline headroom and free
+// slots, negative weight on queue depth, predicted wait, and predicted
+// memory, and an admit-friendly bias — shedding must be learned from
+// outcomes, not stumbled into on a cold start. Re-attaching to params
+// that already carry "adm." values (a loaded checkpoint) preserves them.
+func NewAdmissionHead(p *nn.Params) *AdmissionHead {
+	_, existed := p.Get("adm.head.W")
+	d := nn.NewDense(p, "adm.head", AdmissionFeatureDim, 1)
+	h := &AdmissionHead{w: d.W, b: d.B, lr: 0.05, scratch: make([]float64, 0, AdmissionFeatureDim)}
+	if !existed {
+		// Same index order as appendVector.
+		prior := [AdmissionFeatureDim]float64{
+			-1.0, // tenant queue depth: pressure against this tenant
+			-1.5, // total queue depth: global pressure
+			-0.5, // in-flight
+			+1.0, // free slots
+			-1.0, // tenant share: fairness pressure on hogs
+			-0.5, // predicted duration
+			-0.5, // predicted memory
+			-1.5, // predicted wait
+			+2.0, // deadline headroom: hopeless queries score low
+			+0.5, // latency-sensitive class gets benefit of the doubt
+		}
+		copy(h.w.Val, prior[:])
+		h.b.Val[0] = 2.0 // admit-friendly: empty-system score ≈ σ(2+…) ≈ 0.9+
+	}
+	return h
+}
+
+// Score returns the head's admit probability for the featurized query
+// (σ of the linear logit). Safe for concurrent use.
+func (h *AdmissionHead) Score(f *AdmissionFeatures) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return sigmoid(h.logitLocked(f))
+}
+
+func (h *AdmissionHead) logitLocked(f *AdmissionFeatures) float64 {
+	h.scratch = f.appendVector(h.scratch[:0])
+	z := h.b.Val[0]
+	for i, x := range h.scratch {
+		z += h.w.Val[i] * x
+	}
+	return z
+}
+
+// Update folds one observed outcome into the head with a single online
+// logistic-regression step: label 1 means admitting a query in this
+// state was right (it met its deadline / completed usefully), label 0
+// means it was wrong (deadline missed, wasted work — the query should
+// have been shed). The gradient of the log loss for a linear logistic
+// model is (σ(z) − y)·x. Safe for concurrent use.
+func (h *AdmissionHead) Update(f *AdmissionFeatures, label float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g := sigmoid(h.logitLocked(f)) - clamp01(label)
+	for i, x := range h.scratch {
+		h.w.Val[i] -= h.lr * g * x
+	}
+	h.b.Val[0] -= h.lr * g
+}
+
+// Weights returns a copy of the head's weights and its bias (tests,
+// status endpoints).
+func (h *AdmissionHead) Weights() ([]float64, float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.w.Val...), h.b.Val[0]
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Admission returns the agent's admission head, registering its
+// parameters on first use. Lazy registration keeps the parameter set —
+// and thus checkpoints — of agents that never serve a front door
+// unchanged.
+func (a *Agent) Admission() *AdmissionHead {
+	if a.adm == nil {
+		a.adm = NewAdmissionHead(a.params)
+	}
+	return a.adm
+}

@@ -1,0 +1,121 @@
+package lsched
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func idleFeatures() *AdmissionFeatures {
+	return &AdmissionFeatures{FreeSlots: 8, DeadlineHeadroom: 5, LatencySensitive: 1}
+}
+
+func swampedFeatures() *AdmissionFeatures {
+	return &AdmissionFeatures{
+		TenantQueueDepth: 200, TotalQueueDepth: 1000, InFlight: 256,
+		TenantShare: 0.9, PredDur: 10, PredWait: 30, DeadlineHeadroom: -20,
+	}
+}
+
+// TestAdmissionPrior: a fresh head must already be a sane policy —
+// admit into an idle system, lean hard against a hopeless query on a
+// swamped one. The learned refinement starts from here, not from noise.
+func TestAdmissionPrior(t *testing.T) {
+	h := NewAdmissionHead(nn.NewParams(1))
+	if s := h.Score(idleFeatures()); s < 0.8 {
+		t.Fatalf("idle-system admit score = %v, want > 0.8", s)
+	}
+	if s := h.Score(swampedFeatures()); s > 0.3 {
+		t.Fatalf("swamped hopeless-query score = %v, want < 0.3", s)
+	}
+}
+
+// TestAdmissionUpdateMovesScore: online logistic steps must move the
+// score toward the observed label.
+func TestAdmissionUpdateMovesScore(t *testing.T) {
+	h := NewAdmissionHead(nn.NewParams(2))
+	f := &AdmissionFeatures{TotalQueueDepth: 30, InFlight: 16, PredDur: 2, DeadlineHeadroom: 0.5}
+	before := h.Score(f)
+	for i := 0; i < 50; i++ {
+		h.Update(f, 0) // admitting in this state kept missing deadlines
+	}
+	after := h.Score(f)
+	if after >= before {
+		t.Fatalf("score did not drop after negative outcomes: %v -> %v", before, after)
+	}
+	for i := 0; i < 200; i++ {
+		h.Update(f, 1)
+	}
+	if final := h.Score(f); final <= after {
+		t.Fatalf("score did not recover after positive outcomes: %v -> %v", after, final)
+	}
+}
+
+// TestAdmissionCheckpointRoundTrip: the head's weights live on the
+// agent's parameter registry, so Serialize/Load must carry a trained
+// admission policy — and re-attaching a head must preserve the loaded
+// values instead of re-running prior init.
+func TestAdmissionCheckpointRoundTrip(t *testing.T) {
+	a := New(DefaultOptions(3))
+	h := a.Admission()
+	f := swampedFeatures()
+	for i := 0; i < 40; i++ {
+		h.Update(f, 1) // push the head away from its prior
+	}
+	trained := h.Score(f)
+	blob, err := a.Params().Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := New(DefaultOptions(99))
+	b.Admission() // register "adm." names so Load finds a home for them
+	if err := b.Params().Load(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Admission().Score(f); got != trained {
+		t.Fatalf("restored score = %v, want trained %v", got, trained)
+	}
+	if w, _ := b.Admission().Weights(); len(w) != AdmissionFeatureDim {
+		t.Fatalf("weights len = %d, want %d", len(w), AdmissionFeatureDim)
+	}
+}
+
+// TestAdmissionLazyRegistration: agents that never serve a front door
+// keep their parameter set (and checkpoint compatibility) unchanged.
+func TestAdmissionLazyRegistration(t *testing.T) {
+	a := New(DefaultOptions(4))
+	if _, ok := a.Params().Get("adm.head.W"); ok {
+		t.Fatal("admission parameters registered before Admission() was called")
+	}
+	a.Admission()
+	if _, ok := a.Params().Get("adm.head.W"); !ok {
+		t.Fatal("Admission() did not register head parameters")
+	}
+	if a.Admission() != a.adm {
+		t.Fatal("Admission() is not idempotent")
+	}
+}
+
+// TestAdmissionConcurrentScoreUpdate: the head is called from
+// front-door goroutines; Score and Update must be race-free.
+func TestAdmissionConcurrentScoreUpdate(t *testing.T) {
+	h := NewAdmissionHead(nn.NewParams(5))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f := &AdmissionFeatures{TotalQueueDepth: float64(g), DeadlineHeadroom: 1}
+			for i := 0; i < 500; i++ {
+				if i%3 == 0 {
+					h.Update(f, float64(i%2))
+				} else {
+					h.Score(f)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

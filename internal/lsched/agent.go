@@ -117,6 +117,8 @@ type Agent struct {
 	inferTape *nn.Tape
 	// cache memoizes per-query encodings across events (fast path only).
 	cache *encoder.Cache
+	// adm is the lazily created admission head (see Admission).
+	adm *AdmissionHead
 
 	recording bool
 	episode   []*step

@@ -1,0 +1,71 @@
+package metrics
+
+import "strings"
+
+// LabeledName composes an instrument name carrying Prometheus-style
+// labels: LabeledName("fd_admitted", "tenant", "acme") returns
+// `fd_admitted{tenant="acme"}`. The registry treats the result as an
+// opaque key — each distinct label combination is its own instrument —
+// while the Prometheus exposition layer (internal/obs) splits the base
+// name from the label block so the series render as one metric family.
+//
+// kv is alternating key, value pairs; a trailing odd key is paired with
+// the empty value. Values are escaped per the exposition format
+// (backslash, double quote, newline). Callers on hot paths should build
+// the name once and cache the returned instrument, as with any
+// registry lookup.
+func LabeledName(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.Grow(len(base) + 16*len(kv))
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		v := ""
+		if i+1 < len(kv) {
+			v = kv[i+1]
+		}
+		b.WriteString(escapeLabelValue(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitLabeledName splits a LabeledName-composed instrument name into
+// its base and label block (including braces). Names without a label
+// block return labels == "".
+func SplitLabeledName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package metrics
+
+import "testing"
+
+func TestLabeledName(t *testing.T) {
+	cases := []struct {
+		base string
+		kv   []string
+		want string
+	}{
+		{"fd_admitted", nil, "fd_admitted"},
+		{"fd_admitted", []string{"tenant", "acme"}, `fd_admitted{tenant="acme"}`},
+		{"fd_latency", []string{"tenant", "acme", "class", "latency"}, `fd_latency{tenant="acme",class="latency"}`},
+		{"fd_x", []string{"odd"}, `fd_x{odd=""}`},
+		{"fd_x", []string{"k", `a"b\c`}, `fd_x{k="a\"b\\c"}`},
+		{"fd_x", []string{"k", "a\nb"}, `fd_x{k="a\nb"}`},
+	}
+	for _, c := range cases {
+		if got := LabeledName(c.base, c.kv...); got != c.want {
+			t.Errorf("LabeledName(%q, %v) = %q, want %q", c.base, c.kv, got, c.want)
+		}
+	}
+}
+
+func TestSplitLabeledName(t *testing.T) {
+	base, labels := SplitLabeledName(`fd_admitted{tenant="acme"}`)
+	if base != "fd_admitted" || labels != `{tenant="acme"}` {
+		t.Fatalf("split = (%q, %q)", base, labels)
+	}
+	base, labels = SplitLabeledName("plain")
+	if base != "plain" || labels != "" {
+		t.Fatalf("split plain = (%q, %q)", base, labels)
+	}
+}
+
+// Labeled names are distinct registry keys: per-tenant series of one
+// family are independent instruments.
+func TestLabeledNamesAreDistinctInstruments(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter(LabeledName("fd_admitted", "tenant", "a"))
+	b := reg.Counter(LabeledName("fd_admitted", "tenant", "b"))
+	if a == b {
+		t.Fatal("distinct label sets shared one counter")
+	}
+	a.Add(2)
+	b.Inc()
+	snap := reg.Snapshot()
+	if snap.Counters[`fd_admitted{tenant="a"}`] != 2 || snap.Counters[`fd_admitted{tenant="b"}`] != 1 {
+		t.Fatalf("snapshot = %v", snap.Counters)
+	}
+}

@@ -48,6 +48,11 @@ type Options struct {
 	// the process wires in, typically via serving.PolicyStatus). Nil
 	// serves an empty object.
 	Policy func() any
+	// FrontDoor, when set, backs the /frontdoor endpoint: a
+	// JSON-serializable snapshot of the query front door (per-tenant
+	// queue depths, admission counters, rate-limit state — typically
+	// frontdoor.Status). Nil serves an empty object.
+	FrontDoor func() any
 }
 
 // Server exposes the observability endpoints. Build with NewServer,
@@ -76,6 +81,7 @@ func NewServer(opts Options) *Server {
 	mux.HandleFunc("/queries", s.handleQueries)
 	mux.HandleFunc("/timeseries", s.handleTimeseries)
 	mux.HandleFunc("/policy", s.handlePolicy)
+	mux.HandleFunc("/frontdoor", s.handleFrontDoor)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -131,6 +137,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /queries        per-query lifecycle summaries (JSON)
   /timeseries     wall-clock sampler ring (JSON)
   /policy         policy lifecycle status (JSON)
+  /frontdoor      query front door status (JSON)
   /debug/pprof/   pprof profiling
 `)
 }
@@ -191,6 +198,14 @@ func (s *Server) handlePolicy(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, s.opts.Policy())
+}
+
+func (s *Server) handleFrontDoor(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.FrontDoor == nil {
+		writeJSON(w, struct{}{})
+		return
+	}
+	writeJSON(w, s.opts.FrontDoor())
 }
 
 // timeseriesPayload is the /timeseries response (and disk-dump) shape.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/metrics"
 )
@@ -12,25 +13,31 @@ import (
 // WritePrometheus renders a registry snapshot in the Prometheus text
 // exposition format (version 0.0.4): counters and gauges as single
 // samples, histograms as cumulative `_bucket{le="..."}` series plus
-// `_sum`/`_count`. Output is sorted by metric name, so identical
-// snapshots render identical bytes (the golden test pins the format).
-// A nil snapshot writes nothing.
+// `_sum`/`_count`. Instrument names composed with metrics.LabeledName
+// carry a `{k="v",...}` label block; the block is preserved on every
+// sample and the base name alone forms the metric family, so per-tenant
+// series of one counter share a single `# TYPE` line. Output is sorted
+// by instrument name, so identical snapshots render identical bytes
+// (the golden test pins the format). A nil snapshot writes nothing.
 func WritePrometheus(w io.Writer, s *metrics.Snapshot) {
 	if s == nil {
 		return
 	}
+	typed := map[string]struct{}{}
 	for _, name := range sortedKeys(s.Counters) {
-		n := promName(name)
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+		base, labels := promParts(name)
+		writeType(w, typed, base, "counter")
+		fmt.Fprintf(w, "%s%s %d\n", base, labels, s.Counters[name])
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		n := promName(name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[name]))
+		base, labels := promParts(name)
+		writeType(w, typed, base, "gauge")
+		fmt.Fprintf(w, "%s%s %s\n", base, labels, promFloat(s.Gauges[name]))
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		n := promName(name)
-		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		base, labels := promParts(name)
+		writeType(w, typed, base, "histogram")
 		var cum int64
 		for i, c := range h.Counts {
 			cum += c
@@ -38,11 +45,40 @@ func WritePrometheus(w io.Writer, s *metrics.Snapshot) {
 			if i < len(h.Bounds) {
 				le = promFloat(h.Bounds[i])
 			}
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum)
+			fmt.Fprintf(w, "%s_bucket%s %d\n", base, withLabel(labels, "le", le), cum)
 		}
-		fmt.Fprintf(w, "%s_sum %s\n", n, promFloat(h.Sum))
-		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", base, labels, promFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", base, labels, h.Count)
 	}
+}
+
+// writeType emits the `# TYPE` header once per metric family: labeled
+// series sort adjacently under their shared base, and Prometheus
+// rejects expositions that repeat a family's TYPE line.
+func writeType(w io.Writer, typed map[string]struct{}, base, kind string) {
+	if _, ok := typed[base]; ok {
+		return
+	}
+	typed[base] = struct{}{}
+	fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+}
+
+// promParts splits an instrument name into its sanitized base name and
+// its label block (empty when the name carries no labels).
+func promParts(name string) (base, labels string) {
+	base, labels = metrics.SplitLabeledName(name)
+	return promName(base), labels
+}
+
+// withLabel appends one `k="v"` pair to a label block, opening a fresh
+// block when there is none — how the histogram `le` label merges with
+// per-tenant labels.
+func withLabel(labels, k, v string) string {
+	pair := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + pair + "}"
 }
 
 // promName sanitizes an instrument name into the Prometheus metric-name

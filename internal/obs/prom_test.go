@@ -15,7 +15,8 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with 
 
 // goldenRegistry builds a fixed registry covering every exposition
 // shape: counters, integral and fractional gauges, a histogram with
-// empty / populated / overflow buckets, and a name needing sanitizing.
+// empty / populated / overflow buckets, a name needing sanitizing, and
+// labeled per-tenant series sharing one metric family.
 func goldenRegistry() *metrics.Registry {
 	reg := metrics.NewRegistry()
 	reg.Counter("engine_workorders_dispatched").Add(1842)
@@ -27,6 +28,16 @@ func goldenRegistry() *metrics.Registry {
 	for _, v := range []float64{0.05, 0.5, 0.7, 5, 5, 50, 5000} {
 		h.Observe(v)
 	}
+	// Labeled series: two tenants of one counter family, a labeled
+	// gauge, and a labeled histogram whose buckets must merge `le` into
+	// the existing label block.
+	reg.Counter(metrics.LabeledName("frontdoor_admitted", "tenant", "acme")).Add(7)
+	reg.Counter(metrics.LabeledName("frontdoor_admitted", "tenant", "zeta")).Add(3)
+	reg.Gauge(metrics.LabeledName("frontdoor_queue_depth", "tenant", "acme", "class", "latency")).Set(4)
+	lh := reg.Histogram(metrics.LabeledName("frontdoor_wait", "class", "latency"), []float64{0.01, 0.1})
+	lh.Observe(0.005)
+	lh.Observe(0.05)
+	lh.Observe(2)
 	return reg
 }
 
@@ -90,5 +101,30 @@ func TestPrometheusBucketsCumulative(t *testing.T) {
 	}
 	if !strings.HasSuffix(last, " 7") {
 		t.Fatalf("+Inf bucket %q, want total 7", last)
+	}
+}
+
+// TestPrometheusLabeledFamilies checks that labeled series render under
+// a single # TYPE line per family and that histogram buckets merge the
+// le label into the series' own label block.
+func TestPrometheusLabeledFamilies(t *testing.T) {
+	var buf bytes.Buffer
+	WritePrometheus(&buf, goldenRegistry().Snapshot())
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE frontdoor_admitted counter"); n != 1 {
+		t.Fatalf("frontdoor_admitted TYPE lines = %d, want 1\n%s", n, out)
+	}
+	for _, want := range []string{
+		`frontdoor_admitted{tenant="acme"} 7`,
+		`frontdoor_admitted{tenant="zeta"} 3`,
+		`frontdoor_queue_depth{tenant="acme",class="latency"} 4`,
+		`frontdoor_wait_bucket{class="latency",le="0.01"} 1`,
+		`frontdoor_wait_bucket{class="latency",le="+Inf"} 3`,
+		`frontdoor_wait_sum{class="latency"}`,
+		`frontdoor_wait_count{class="latency"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }

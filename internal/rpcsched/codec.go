@@ -5,8 +5,6 @@ import (
 	"encoding/gob"
 	"io"
 	"net/rpc"
-	"sync"
-	"time"
 )
 
 // gobCodec is the standard gob wire format for net/rpc (the same frames
@@ -46,7 +44,7 @@ func (c *gobCodec) Close() error { return c.rwc.Close() }
 // closing the connection cannot cut a reply in half.
 type trackedCodec struct {
 	rpc.ServerCodec
-	pending *inflight
+	pending *Inflight
 }
 
 func (c trackedCodec) ReadRequestHeader(r *rpc.Request) error {
@@ -56,62 +54,11 @@ func (c trackedCodec) ReadRequestHeader(r *rpc.Request) error {
 	// net/rpc answers every request whose header was read — even a
 	// body-decode failure gets an error response — so each add here is
 	// balanced by the WriteResponse below.
-	c.pending.add()
+	c.pending.Add()
 	return nil
 }
 
 func (c trackedCodec) WriteResponse(r *rpc.Response, body any) error {
-	defer c.pending.done()
+	defer c.pending.Done()
 	return c.ServerCodec.WriteResponse(r, body)
-}
-
-// inflight is a drain-able counter. Unlike sync.WaitGroup it tolerates
-// add() racing with wait() — new requests can still land on open
-// connections while a shutdown is draining.
-type inflight struct {
-	mu   sync.Mutex
-	n    int
-	zero chan struct{} // non-nil while a waiter wants the zero signal
-}
-
-func (f *inflight) add() {
-	f.mu.Lock()
-	f.n++
-	f.mu.Unlock()
-}
-
-func (f *inflight) done() {
-	f.mu.Lock()
-	f.n--
-	if f.n == 0 && f.zero != nil {
-		close(f.zero)
-		f.zero = nil
-	}
-	f.mu.Unlock()
-}
-
-// wait blocks until the count reaches zero, or until timeout elapses
-// (timeout <= 0 waits indefinitely). It reports whether the count
-// actually drained.
-func (f *inflight) wait(timeout time.Duration) bool {
-	f.mu.Lock()
-	if f.n == 0 {
-		f.mu.Unlock()
-		return true
-	}
-	if f.zero == nil {
-		f.zero = make(chan struct{})
-	}
-	ch := f.zero
-	f.mu.Unlock()
-	if timeout <= 0 {
-		<-ch
-		return true
-	}
-	select {
-	case <-ch:
-		return true
-	case <-time.After(timeout):
-		return false
-	}
 }

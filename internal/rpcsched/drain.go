@@ -1,0 +1,69 @@
+package rpcsched
+
+import (
+	"sync"
+	"time"
+)
+
+// Inflight is a drain-able in-flight counter: the unit of graceful
+// shutdown here and in the layers built on this server (the query front
+// door tracks its dispatched queries with one). Unlike sync.WaitGroup it
+// tolerates Add racing with Wait — new work can still land while a
+// shutdown is draining, and the waiter simply waits for the count to
+// touch zero.
+type Inflight struct {
+	mu   sync.Mutex
+	n    int
+	zero chan struct{} // non-nil while a waiter wants the zero signal
+}
+
+// Add counts one unit of work as in flight.
+func (f *Inflight) Add() {
+	f.mu.Lock()
+	f.n++
+	f.mu.Unlock()
+}
+
+// Done retires one unit of work, signalling waiters at zero.
+func (f *Inflight) Done() {
+	f.mu.Lock()
+	f.n--
+	if f.n == 0 && f.zero != nil {
+		close(f.zero)
+		f.zero = nil
+	}
+	f.mu.Unlock()
+}
+
+// N returns the current in-flight count.
+func (f *Inflight) N() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Wait blocks until the count reaches zero, or until timeout elapses
+// (timeout <= 0 waits indefinitely). It reports whether the count
+// actually drained.
+func (f *Inflight) Wait(timeout time.Duration) bool {
+	f.mu.Lock()
+	if f.n == 0 {
+		f.mu.Unlock()
+		return true
+	}
+	if f.zero == nil {
+		f.zero = make(chan struct{})
+	}
+	ch := f.zero
+	f.mu.Unlock()
+	if timeout <= 0 {
+		<-ch
+		return true
+	}
+	select {
+	case <-ch:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}

@@ -50,7 +50,20 @@ type ServerOptions struct {
 	// goroutine forever. 0 disables deadlines (trusted local links,
 	// net.Pipe tests).
 	IOTimeout time.Duration
+	// WriteChunk caps how many bytes are written under one deadline.
+	// Large streaming responses are split into chunks with a fresh
+	// deadline armed per chunk, so the deadline bounds *stall*, not
+	// total transfer time: a slow-but-live client that keeps draining
+	// survives, while a stalled one is still cut off after IOTimeout.
+	// 0 selects DefaultWriteChunk; only meaningful with IOTimeout > 0.
+	WriteChunk int
 }
+
+// DefaultWriteChunk is the per-deadline write granularity: small enough
+// that a client draining at a few hundred KB/s completes every chunk
+// within a sub-second IOTimeout, large enough to stay off the syscall
+// hot path.
+const DefaultWriteChunk = 32 << 10
 
 // Server answers scheduler-RPC connections with graceful shutdown and
 // optional per-connection I/O deadlines. The zero ServerOptions match
@@ -59,7 +72,7 @@ type Server struct {
 	svc     *Service
 	rpcSrv  *rpc.Server
 	opts    ServerOptions
-	pending inflight
+	pending Inflight
 
 	mu     sync.Mutex
 	lis    net.Listener
@@ -75,7 +88,19 @@ func NewServer(sched engine.Scheduler, opts ServerOptions) (*Server, error) {
 	if err := rpcSrv.RegisterName("LSched", svc); err != nil {
 		return nil, err
 	}
+	if opts.WriteChunk <= 0 {
+		opts.WriteChunk = DefaultWriteChunk
+	}
 	return &Server{svc: svc, rpcSrv: rpcSrv, opts: opts, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// RegisterName exposes an additional RPC receiver on the server, letting
+// higher layers (the query front door) answer on the same connections
+// and inherit the graceful-shutdown drain and per-connection I/O
+// deadlines. Calls to the extra service are tracked by the same
+// in-flight counter as scheduler calls.
+func (s *Server) RegisterName(name string, rcvr any) error {
+	return s.rpcSrv.RegisterName(name, rcvr)
 }
 
 // Serve answers connections from lis until the listener closes (or
@@ -113,7 +138,7 @@ func (s *Server) Serve(lis net.Listener) error {
 			}()
 			var rwc io.ReadWriteCloser = conn
 			if s.opts.IOTimeout > 0 {
-				rwc = deadlineConn{Conn: conn, timeout: s.opts.IOTimeout}
+				rwc = deadlineConn{Conn: conn, timeout: s.opts.IOTimeout, chunk: s.opts.WriteChunk}
 			}
 			s.rpcSrv.ServeCodec(trackedCodec{ServerCodec: newGobCodec(rwc), pending: &s.pending})
 		}(conn)
@@ -142,7 +167,7 @@ func (s *Server) Shutdown(drainTimeout time.Duration) error {
 	// Drain: wait (bounded) for requests that are between header-read
 	// and response-flush. The codec-level count means the responses of
 	// drained calls have reached the socket before teardown.
-	drained := s.pending.wait(drainTimeout)
+	drained := s.pending.Wait(drainTimeout)
 
 	// Tear down the (now idle, or past-deadline) connections and wait
 	// for their serve goroutines.
@@ -198,6 +223,7 @@ func (s *Server) Close() error {
 type deadlineConn struct {
 	net.Conn
 	timeout time.Duration
+	chunk   int
 }
 
 func (c deadlineConn) Read(p []byte) (int, error) {
@@ -207,11 +233,38 @@ func (c deadlineConn) Read(p []byte) (int, error) {
 	return c.Conn.Read(p)
 }
 
+// Write streams p in chunks, re-arming the connection deadline — read
+// side included — before each one. Two stale-deadline failure modes are
+// fixed by this: (1) a single write deadline across a whole large
+// response (the bufio flush of a big reply is one Write call) would kill
+// a slow-but-live client mid-drain, so per-chunk deadlines bound *stall*
+// rather than total transfer time; (2) while a response streams, net/rpc
+// is concurrently parked in ReadRequestHeader for the next request under
+// a read deadline armed before the response started — if that fires the
+// serve loop tears the connection down under the in-flight reply, so
+// every chunk pushes the read deadline forward as evidence the peer is
+// live.
 func (c deadlineConn) Write(p []byte) (int, error) {
-	if err := c.Conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
-		return 0, err
+	chunk := c.chunk
+	if chunk <= 0 {
+		chunk = DefaultWriteChunk
 	}
-	return c.Conn.Write(p)
+	written := 0
+	for written < len(p) {
+		end := written + chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		if err := c.Conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return written, err
+		}
+		n, err := c.Conn.Write(p[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
 }
 
 // Serve registers the service and answers connections from lis until it

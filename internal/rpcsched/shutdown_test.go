@@ -3,6 +3,7 @@ package rpcsched
 import (
 	"net"
 	"net/rpc"
+	"sync"
 	"testing"
 	"time"
 
@@ -168,5 +169,101 @@ func TestShutdownDrainTimeout(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("Shutdown took %v despite a 100ms drain budget", elapsed)
+	}
+}
+
+// bigReply answers every event with a large decision list, so the gob
+// response flushes as one multi-hundred-KB write.
+type bigReply struct{ n int }
+
+func (bigReply) Name() string { return "big" }
+func (b bigReply) OnEvent(st *engine.State, ev engine.Event) []engine.Decision {
+	ds := make([]engine.Decision, b.n)
+	for i := range ds {
+		ds[i] = engine.Decision{QueryID: i, RootOpID: i % 257, PipelineDepth: i % 5, Threads: i % 31}
+	}
+	return ds
+}
+
+// pipeListener hands out pre-made in-memory connections: net.Pipe is
+// synchronous and unbuffered, so the server's write pace is exactly the
+// client's read pace — no kernel socket buffering to hide stalls behind,
+// and no TCP window heuristics to make timing flaky.
+type pipeListener struct {
+	conns chan net.Conn
+	once  sync.Once
+}
+
+func newPipeListener(conns ...net.Conn) *pipeListener {
+	ch := make(chan net.Conn, len(conns))
+	for _, c := range conns {
+		ch <- c
+	}
+	return &pipeListener{conns: ch}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	c, ok := <-l.conns
+	if !ok {
+		return nil, net.ErrClosed
+	}
+	return c, nil
+}
+func (l *pipeListener) Close() error   { l.once.Do(func() { close(l.conns) }); return nil }
+func (l *pipeListener) Addr() net.Addr { return &net.UnixAddr{Name: "pipe", Net: "unix"} }
+
+// throttledConn reads in small sips with a pause after each one — a
+// slow-but-live client: always making progress, never fast.
+type throttledConn struct {
+	net.Conn
+	chunk int
+	pause time.Duration
+}
+
+func (t *throttledConn) Read(p []byte) (int, error) {
+	if len(p) > t.chunk {
+		p = p[:t.chunk]
+	}
+	n, err := t.Conn.Read(p)
+	time.Sleep(t.pause)
+	return n, err
+}
+
+// TestSlowButLiveClientSurvivesLargeResponse is the regression test for
+// the streaming-response deadline fix: a response much larger than the
+// client can drain within one IOTimeout must still arrive intact,
+// because the connection deadline is re-armed per write chunk (bounding
+// stall time, not total transfer time, and keeping the parked
+// next-request read from timing out under an in-flight reply). Before
+// the fix the whole response ran under one stale deadline window and the
+// server killed the connection mid-drain.
+func TestSlowButLiveClientSurvivesLargeResponse(t *testing.T) {
+	const ioTimeout = 200 * time.Millisecond
+	const decisions = 40000 // ~500 KB of gob on the wire
+
+	srv, err := NewServer(bigReply{n: decisions}, ServerOptions{IOTimeout: ioTimeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvConn, cliConn := net.Pipe()
+	go srv.Serve(newPipeListener(srvConn)) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+
+	// ~800 KB/s: the full response takes several IOTimeout windows, but
+	// every individual write chunk drains well within one.
+	client := NewClientConn(&throttledConn{Conn: cliConn, chunk: 8 << 10, pause: 10 * time.Millisecond})
+	defer client.Close()
+
+	start := time.Now()
+	var reply DecisionReply
+	if err := client.rpc.Call("LSched.OnEvent", &EventRequest{}, &reply); err != nil {
+		t.Fatalf("slow-but-live client was cut off mid-response: %v", err)
+	}
+	elapsed := time.Since(start)
+	if len(reply.Decisions) != decisions {
+		t.Fatalf("got %d decisions, want %d", len(reply.Decisions), decisions)
+	}
+	if elapsed < ioTimeout {
+		t.Logf("transfer finished in %v (< one %v deadline window); throttle too weak to exercise the re-arm path", elapsed, ioTimeout)
 	}
 }

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Hot-path microbenchmark runner. Executes the fast-path benchmark
 # suite (tape inference mode, encoding cache, agent scratch buffers,
-# concurrent training rollouts, vectorized live-engine kernels) and
-# writes the results — including the built-in pre-optimization
-# baselines (record-mode encoding, the DisableFastPath agent path,
-# rollouts=1 training, the ScalarKernels engine path) — to
-# BENCH_hotpath.json as before/after pairs.
+# concurrent training rollouts, vectorized live-engine kernels, learned
+# admission control) and writes the results — including the built-in
+# pre-optimization baselines (record-mode encoding, the DisableFastPath
+# agent path, rollouts=1 training, the ScalarKernels engine path, the
+# heuristic admit-everything front door) — to BENCH_hotpath.json as
+# before/after pairs.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 5x; training uses 3x)
 set -euo pipefail
@@ -35,27 +36,35 @@ echo "== live engine kernels (internal/engine)"
 go test -run=NONE -bench='BenchmarkLiveKernels|BenchmarkLiveRun' \
   -benchtime="$benchtime" -benchmem ./internal/engine/ | tee -a "$raw"
 
+echo "== admission A/B (internal/frontdoor)"
+go test -run=NONE -bench=BenchmarkAdmissionAB -benchtime=3x \
+  ./internal/frontdoor/ | tee -a "$raw"
+
 # Collapse benchmark lines into JSON entries. Lines look like:
 #   BenchmarkAgentOnEvent/greedy-fast-8  10000  109192 ns/op  416 B/op  2 allocs/op
 awk '
 /^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)           # strip GOMAXPROCS suffix
-  ns = ""; bytes = ""; allocs = ""
+  ns = ""; bytes = ""; allocs = ""; p99 = ""; shed = ""
   for (i = 2; i <= NF; i++) {
     if ($i == "ns/op")     ns     = $(i-1)
     if ($i == "B/op")      bytes  = $(i-1)
     if ($i == "allocs/op") allocs = $(i-1)
+    if ($i == "p99-ns")    p99    = $(i-1)
+    if ($i == "shed-pct")  shed   = $(i-1)
   }
   if (n++) printf ",\n"
   printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
   if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
   if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  if (p99    != "") printf ", \"p99_ns\": %s", p99
+  if (shed   != "") printf ", \"shed_pct\": %s", shed
   printf "}"
 }
 BEGIN {
   print "{"
-  print "  \"description\": \"Hot-path microbenchmarks: before entries are the pre-optimization code paths kept in-tree for honest A/B (record-mode encoding, DisableFastPath agent, rollouts=1 training, ScalarKernels live engine); after entries are the optimized fast paths.\","
+  print "  \"description\": \"Hot-path microbenchmarks: before entries are the pre-optimization code paths kept in-tree for honest A/B (record-mode encoding, DisableFastPath agent, rollouts=1 training, ScalarKernels live engine, heuristic admit-everything front door); after entries are the optimized fast paths. The admission pair compares p99_ns (end-to-end latency of admitted latency-class queries) and shed_pct (fraction of latency-class queries dropped) under the same seeded 2x-overload trace.\","
   print "  \"pairs\": ["
   print "    {\"before\": \"BenchmarkEncodeSnapshot/record\", \"after\": \"BenchmarkEncodeSnapshot/infer\", \"dimension\": \"gradient-free tape mode\"},"
   print "    {\"before\": \"BenchmarkEncodeSnapshot/infer\", \"after\": \"BenchmarkEncodeSnapshot/cached\", \"dimension\": \"per-query encoding cache\"},"
@@ -66,7 +75,8 @@ BEGIN {
   print "    {\"before\": \"BenchmarkLiveKernels/probe/scalar\", \"after\": \"BenchmarkLiveKernels/probe/vector\", \"dimension\": \"batch hash probe + pooled gather\"},"
   print "    {\"before\": \"BenchmarkLiveKernels/aggregate/scalar\", \"after\": \"BenchmarkLiveKernels/aggregate/vector\", \"dimension\": \"open-addressing sum aggregation\"},"
   print "    {\"before\": \"BenchmarkLiveKernels/sort/scalar\", \"after\": \"BenchmarkLiveKernels/sort/vector\", \"dimension\": \"key-extracted sort kernel\"},"
-  print "    {\"before\": \"BenchmarkLiveRun/scalar\", \"after\": \"BenchmarkLiveRun/vector\", \"dimension\": \"live engine end-to-end (vectorized kernels + block pool)\"}"
+  print "    {\"before\": \"BenchmarkLiveRun/scalar\", \"after\": \"BenchmarkLiveRun/vector\", \"dimension\": \"live engine end-to-end (vectorized kernels + block pool)\"},"
+  print "    {\"before\": \"BenchmarkAdmissionAB/heuristic\", \"after\": \"BenchmarkAdmissionAB/learned\", \"dimension\": \"learned admission control (p99_ns of admitted latency-class queries and shed_pct under 2x overload)\"}"
   print "  ],"
   print "  \"results\": ["
 }

@@ -23,9 +23,9 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/engine/ ./internal/exec/ ./internal/metrics/ ./internal/obs/ ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/"
+echo "== go test -race ./internal/engine/ ./internal/exec/ ./internal/metrics/ ./internal/obs/ ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/ ./internal/frontdoor/"
 go test -race ./internal/engine/ ./internal/exec/ ./internal/metrics/ ./internal/obs/ \
-  ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/
+  ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/ ./internal/frontdoor/
 
 echo "== go test -race -run TestTrainRollouts ./internal/lsched/"
 go test -race -run TestTrainRollouts ./internal/lsched/
@@ -35,6 +35,9 @@ go test -count=1 -run TestStorePutGetPromote ./internal/policystore/
 
 echo "== differential smoke (scalar vs vectorized kernels agree)"
 go test -count=1 -run 'TestDifferential|TestProbePrefersBuildHashChild' ./internal/engine/
+
+echo "== front door smoke (conservation + overload regression, short)"
+go test -count=1 -short -run 'TestConservationUnderChurn|TestOverloadRegression' ./internal/frontdoor/
 
 echo "== bench smoke (hot-path microbenchmarks compile and run once)"
 go test -run=NONE -bench=. -benchtime=1x -benchmem \
