@@ -24,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/policystore"
+	"repro/internal/provenance"
 	"repro/internal/workload"
 )
 
@@ -40,6 +41,7 @@ func main() {
 	timeseriesOut := flag.String("timeseries-out", "", "write the wall-clock sampler's time series JSON to this file at exit")
 	storeDir := flag.String("store", "", "policy store directory (with -policy)")
 	policy := flag.String("policy", "", "evaluate this stored policy version (a number or \"latest\") as the LSched agent instead of training one; requires -store")
+	provOut := flag.String("provenance-out", "", "record evaluation-run scheduling decisions (features, scores, joined outcomes) to this trace file")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -60,6 +62,18 @@ func main() {
 		// A live observer wants the long training phases visible too,
 		// not just the evaluation runs.
 		lab.WatchTraining = *listen != ""
+	}
+	var provFile *os.File
+	if *provOut != "" {
+		f, err := os.Create(*provOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		provFile = f
+		lab.Provenance = provenance.NewRecorder(provenance.Options{})
+		lab.Provenance.Instrument(lab.Metrics) // no-op when -metrics/-listen are off
+		lab.Provenance.AttachSink(f, 256)
 	}
 	var srv *obs.Server
 	var sampler *obs.Sampler
@@ -119,6 +133,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if provFile != nil {
+		if err := lab.Provenance.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := provFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ps := lab.Provenance.Stats()
+		fmt.Fprintf(os.Stderr, "provenance: recorded %d decisions (%d joined) to %s\n",
+			ps.Recorded, ps.Joined, *provOut)
 	}
 	if *withMetrics {
 		if err := printExport(lab.Metrics, lab.Trace, *metricsFormat); err != nil {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/provenance"
 	"repro/internal/workload"
 )
 
@@ -88,6 +89,7 @@ func main() {
 	threads := flag.Int("threads", 4, "live engine worker threads")
 	seed := flag.Int64("seed", 1, "seed for the catalog and admission head")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	provOut := flag.String("provenance-out", "", "record admission decisions to this trace file (replayable; see lsched-policyctl explain)")
 	flag.Parse()
 
 	plans, err := benchPlans(*bench, *sf)
@@ -123,6 +125,29 @@ func main() {
 		log.Fatalf("unknown controller %q", *controller)
 	}
 
+	// Decision provenance: flight recorder spilling to -provenance-out,
+	// a self-calibrating drift detector over the admission features, and
+	// per-tenant/class SLO burn tracking. All three serve via obs.
+	rec := provenance.NewRecorder(provenance.Options{})
+	rec.Instrument(reg)
+	rec.SetFeatureNames(provenance.KindAdmit, lsched.AdmissionFeatureNames())
+	drift := provenance.NewDriftDetector(provenance.DriftConfig{
+		Names:      lsched.AdmissionFeatureNames(),
+		RefSamples: 512, // no training-time snapshot: calibrate on the first live window
+	})
+	drift.Instrument(reg)
+	rec.SetDrift(provenance.KindAdmit, drift)
+	slo := provenance.NewSLOTracker(provenance.SLOConfig{})
+	slo.Instrument(reg)
+	var provFile *os.File
+	if *provOut != "" {
+		provFile, err = os.Create(*provOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec.AttachSink(provFile, 256)
+	}
+
 	fd, err := frontdoor.New(frontdoor.Options{
 		Backend:     &planPool{inner: frontdoor.NewEngineBackend(live, sched), plans: plans},
 		Controller:  ctrl,
@@ -131,19 +156,39 @@ func main() {
 		Rate:        *rate,
 		Burst:       *burst,
 		Metrics:     reg,
+		Provenance:  rec,
+		SLO:         slo,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	if *obsAddr != "" {
-		o := obs.NewServer(obs.Options{Metrics: reg, FrontDoor: fd.Status})
+		o := obs.NewServer(obs.Options{
+			Metrics:    reg,
+			FrontDoor:  fd.Status,
+			Provenance: rec,
+			Drift:      drift,
+			SLO:        slo,
+			Health: func() obs.HealthStatus {
+				st := obs.HealthStatus{Ready: true, Engine: "up"}
+				if pv, ok := ctrl.(interface{ PolicyVersion() int }); ok {
+					st.PolicyVersion = pv.PolicyVersion()
+				}
+				if fd.Draining() {
+					st.Ready = false
+					st.Draining = true
+					st.Detail = "front door draining"
+				}
+				return st
+			},
+		})
 		addr, err := o.Start(*obsAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer o.Close()
-		log.Printf("observability on http://%s (/metrics /frontdoor /timeseries)", addr)
+		log.Printf("observability on http://%s (/metrics /frontdoor /decisions /drift /slo /healthz)", addr)
 	}
 
 	mux := http.NewServeMux()
@@ -165,6 +210,16 @@ func main() {
 		log.Printf("drain timed out; exiting with queries in flight")
 	}
 	srv.Close()
+	if provFile != nil {
+		if err := rec.Flush(); err != nil {
+			log.Printf("provenance flush: %v", err)
+		}
+		if err := provFile.Close(); err != nil {
+			log.Printf("provenance close: %v", err)
+		}
+		ps := rec.Stats()
+		log.Printf("provenance: %d decisions recorded, %d joined, spilled to %s", ps.Recorded, ps.Joined, *provOut)
+	}
 	st := fd.Stats()
 	log.Printf("final: submitted=%d admitted=%d shed=%d rejected=%d", st.Submitted, st.Admitted, st.Shed, st.Rejected)
 }

@@ -126,12 +126,12 @@ func (t *tally) record(class frontdoor.Class, outcome, latencyMS float64) {
 	}
 }
 
-func p50p99(ds []time.Duration) (p50, p99 time.Duration) {
+func percentiles(ds []time.Duration) (p50, p95, p99 time.Duration) {
 	if len(ds) == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
-	return ds[len(ds)/2], ds[len(ds)*99/100]
+	return ds[len(ds)/2], ds[len(ds)*95/100], ds[len(ds)*99/100]
 }
 
 func (t *tally) report(label string) {
@@ -141,9 +141,9 @@ func (t *tally) report(label string) {
 		if total == 0 {
 			continue
 		}
-		p50, p99 := p50p99(t.latencies[c])
-		fmt.Printf("%-10s %-10s admitted=%-5d shed=%-5d rejected=%-5d shed%%=%5.1f p50=%-10v p99=%v\n",
-			label, c, a, s, r, 100*float64(s+r)/float64(total), p50, p99)
+		p50, p95, p99 := percentiles(t.latencies[c])
+		fmt.Printf("%-10s %-10s admitted=%-5d shed=%-5d rejected=%-5d shed%%=%5.1f p50=%-10v p95=%-10v p99=%v\n",
+			label, c, a, s, r, 100*float64(s+r)/float64(total), p50, p95, p99)
 	}
 }
 

@@ -9,6 +9,7 @@
 //	lsched-policyctl -store ./policies promote 3
 //	lsched-policyctl -store ./policies rollback
 //	lsched-policyctl -store ./policies gc -retain 5
+//	lsched-policyctl -trace trace.bin explain 42
 package main
 
 import (
@@ -21,13 +22,32 @@ import (
 	"time"
 
 	"repro/internal/policystore"
+	"repro/internal/provenance"
 )
 
 func main() {
-	storeDir := flag.String("store", "", "policy store directory (required)")
+	storeDir := flag.String("store", "", "policy store directory (required except for explain)")
+	tracePath := flag.String("trace", "", "recorded decision trace for explain (from -provenance-out)")
 	flag.Usage = usage
 	flag.Parse()
-	if *storeDir == "" || flag.NArg() == 0 {
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	args := flag.Args()
+	// explain reads a recorded trace, not the store.
+	if args[0] == "explain" {
+		if *tracePath == "" || len(args) != 2 {
+			fatal(fmt.Errorf("explain needs -trace FILE and a query ID"))
+		}
+		qid, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad query ID %q", args[1]))
+		}
+		cmdExplain(*tracePath, qid)
+		return
+	}
+	if *storeDir == "" {
 		usage()
 		os.Exit(2)
 	}
@@ -35,7 +55,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	args := flag.Args()
 	switch args[0] {
 	case "list":
 		cmdList(store)
@@ -124,6 +143,69 @@ func cmdShow(store *policystore.Store, v int) {
 	fmt.Println(string(data))
 }
 
+// cmdExplain renders every recorded decision for one query ID from a
+// flight-recorder trace: what the policy saw (features), what it
+// scored, what it chose vs the heuristic counterfactual, and how the
+// query turned out.
+func cmdExplain(path string, queryID int64) {
+	recs, err := provenance.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	matched := 0
+	for _, r := range recs {
+		if r.QueryID != queryID {
+			continue
+		}
+		matched++
+		fmt.Printf("seq %d  %s  query %d", r.Seq, r.Kind, r.QueryID)
+		if r.Tenant != "" {
+			fmt.Printf("  tenant %s", r.Tenant)
+		}
+		fmt.Printf("  policy v%d  %s\n", r.PolicyVersion,
+			time.Unix(0, r.UnixNanos).UTC().Format("2006-01-02 15:04:05.000"))
+		agree := "disagrees with"
+		if r.Action == r.Heuristic {
+			agree = "agrees with"
+		}
+		fmt.Printf("  action %d (arg %d), %s heuristic %d\n", r.Action, r.ActionArg, agree, r.Heuristic)
+		fmt.Printf("  scores   %s\n", floatList(r.Scores))
+		fmt.Printf("  features %s\n", floatList(r.Features))
+		switch {
+		case !r.Outcome.Joined:
+			fmt.Println("  outcome  (not joined)")
+		case r.Outcome.Shed:
+			fmt.Println("  outcome  shed")
+		case r.Outcome.Rejected:
+			fmt.Println("  outcome  rejected")
+		default:
+			met := "missed deadline"
+			if r.Outcome.DeadlineMet {
+				met = "met deadline"
+			}
+			fmt.Printf("  outcome  latency %.4fs, %s, dur err %+.4f, mem err %+.1f\n",
+				r.Outcome.LatencySecs, met, r.Outcome.DurPredErr, r.Outcome.MemPredErr)
+		}
+	}
+	if matched == 0 {
+		fmt.Printf("no records for query %d (%d records in trace)\n", queryID, len(recs))
+	}
+}
+
+func floatList(vs []float64) string {
+	if len(vs) == 0 {
+		return "[]"
+	}
+	out := "["
+	for i, v := range vs {
+		if i > 0 {
+			out += " "
+		}
+		out += strconv.FormatFloat(v, 'g', 5, 64)
+	}
+	return out + "]"
+}
+
 func parseVersion(s string) int {
 	if len(s) > 1 && s[0] == 'v' {
 		s = s[1:]
@@ -157,5 +239,8 @@ commands:
   rollback           re-activate the previously active version
   gc [-retain N]     remove old versions (default keeps newest 5,
                      plus the active and previous versions)
+  explain QUERYID    render every recorded decision for a query from a
+                     -trace flight-recorder file (features, scores,
+                     chosen vs heuristic action, joined outcome)
 `)
 }

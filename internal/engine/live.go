@@ -156,7 +156,11 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 	sim := NewSim(cfg)
 	sim.executeHook = ls.execute
 	// Recycle a query's pooled blocks the moment it completes; the live
-	// engine owns this sim, so the observer slot is free.
+	// engine owns this sim, so the observer slot is free. Schedulers
+	// that observe lifecycles themselves are forwarded to.
+	if o, ok := sched.(QueryObserver); ok {
+		ls.observer = o
+	}
 	sim.SetObserver(ls)
 	scaled := make([]Arrival, len(arrivals))
 	for i, a := range arrivals {
@@ -216,6 +220,10 @@ type liveRun struct {
 	executed    *metrics.Counter
 	wallLatency [plan.NumOpTypes]*metrics.Histogram
 	kernels     kernelCounters
+	// observer forwards query completions to the run's scheduler when
+	// it observes lifecycles (e.g. to join flight-recorder entries to
+	// outcomes); the live engine itself owns the sim's observer slot.
+	observer QueryObserver
 }
 
 // opState returns the execution state of one operator under the run
@@ -256,6 +264,9 @@ func (lr *liveRun) QueryCompleted(queryID int, arrival, completion float64) {
 		for _, b := range pooled {
 			lr.pool.Put(b)
 		}
+	}
+	if lr.observer != nil {
+		lr.observer.QueryCompleted(queryID, arrival, completion)
 	}
 }
 

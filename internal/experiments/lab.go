@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lsched"
 	"repro/internal/metrics"
+	"repro/internal/provenance"
 	"repro/internal/selftune"
 	"repro/internal/workload"
 )
@@ -67,6 +68,13 @@ type Lab struct {
 	// sees counters and gauges move during the long training phases of
 	// figure regeneration instead of a silent registry.
 	WatchTraining bool
+
+	// Provenance, when set, is attached to every LSched-family agent the
+	// lab builds or is handed (after training, so only evaluation
+	// decisions record), and evaluation sims forward query completions
+	// to the agent so records join their outcomes. The CLI's
+	// -provenance-out flag populates it and spills the trace at exit.
+	Provenance *provenance.Recorder
 
 	pools    map[workload.Benchmark]*workload.Pool
 	agents   map[string]*lsched.Agent
@@ -161,6 +169,7 @@ func cloneArrivals(in []engine.Arrival) []engine.Arrival {
 // the figure regenerators under a checkpoint restored from a policy
 // store instead of a freshly trained policy.
 func (l *Lab) UseAgent(b workload.Benchmark, a *lsched.Agent) {
+	a.SetProvenance(l.Provenance)
 	l.agents["lsched/"+string(b)] = a
 }
 
@@ -175,6 +184,7 @@ func (l *Lab) LSched(b workload.Benchmark) (*lsched.Agent, error) {
 		return nil, fmt.Errorf("training LSched on %s: %w", b, err)
 	}
 	agent.SetGreedy(true)
+	agent.SetProvenance(l.Provenance)
 	l.agents[key] = agent
 	return agent, nil
 }
@@ -191,6 +201,7 @@ func (l *Lab) Decima(b workload.Benchmark) (*lsched.Agent, error) {
 		return nil, fmt.Errorf("training Decima on %s: %w", b, err)
 	}
 	agent.SetGreedy(true)
+	agent.SetProvenance(l.Provenance)
 	l.agents[key] = agent
 	return agent, nil
 }
@@ -209,6 +220,7 @@ func (l *Lab) Variant(b workload.Benchmark, name string, mod func(*lsched.Option
 		return nil, fmt.Errorf("training variant %s on %s: %w", name, b, err)
 	}
 	agent.SetGreedy(true)
+	agent.SetProvenance(l.Provenance)
 	l.agents[key] = agent
 	return agent, nil
 }
@@ -243,6 +255,11 @@ func (l *Lab) SelfTune(b workload.Benchmark) (*selftune.Scheduler, error) {
 // run's per-query durations.
 func (l *Lab) EvalRun(s engine.Scheduler, arrivals []engine.Arrival, seed int64) (*engine.SimResult, error) {
 	sim := engine.NewSim(l.SimConfig(seed))
+	// Lifecycle-observing schedulers (agents with a flight recorder
+	// attached) get completion callbacks so records join their outcomes.
+	if o, ok := s.(engine.QueryObserver); ok {
+		sim.SetObserver(o)
+	}
 	return sim.Run(s, arrivals)
 }
 
@@ -272,6 +289,11 @@ func (l *Lab) Evaluate(s engine.Scheduler, gen func(rng *rand.Rand) []engine.Arr
 		cfg := l.SimConfig(l.Seed + int64(r)*17)
 		cfg.MeasureOverhead = measureOverhead
 		sim := engine.NewSim(cfg)
+		// Lifecycle-observing schedulers (agents with a flight recorder
+		// attached) get completion callbacks so records join outcomes.
+		if o, ok := s.(engine.QueryObserver); ok {
+			sim.SetObserver(o)
+		}
 		res, err := sim.Run(s, arrivals)
 		if err != nil {
 			return nil, fmt.Errorf("evaluating %s: %w", s.Name(), err)

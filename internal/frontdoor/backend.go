@@ -64,3 +64,14 @@ func (l *lockedScheduler) OnEvent(st *engine.State, ev engine.Event) []engine.De
 	defer l.mu.Unlock()
 	return l.inner.OnEvent(st, ev)
 }
+
+// QueryCompleted forwards lifecycle callbacks (outcome joins, online
+// checkpointing) to the wrapped scheduler under the same lock that
+// serializes OnEvent, since concurrent live runs complete concurrently.
+func (l *lockedScheduler) QueryCompleted(queryID int, arrival, completion float64) {
+	if o, ok := l.inner.(engine.QueryObserver); ok {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		o.QueryCompleted(queryID, arrival, completion)
+	}
+}

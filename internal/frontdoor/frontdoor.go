@@ -29,6 +29,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/lsched"
 	"repro/internal/metrics"
+	"repro/internal/provenance"
 	"repro/internal/rpcsched"
 )
 
@@ -126,6 +127,9 @@ type Ticket struct {
 	enq   time.Time
 	state ticketState
 	feat  lsched.AdmissionFeatures // features at decision time (learning feedback)
+	// provID keys this query's flight-recorder records: the front
+	// door's submission sequence number, unique across tenants.
+	provID int64
 }
 
 type ticketState int
@@ -214,6 +218,13 @@ type Options struct {
 	SweepInterval time.Duration
 	// Metrics instruments the front door (nil disables).
 	Metrics *metrics.Registry
+	// Provenance, when set, flight-records every admission verdict
+	// (KindAdmit, keyed by submission sequence) and joins it to the
+	// query's outcome at completion or shed time.
+	Provenance *provenance.Recorder
+	// SLO, when set, receives one deadline-met observation per
+	// terminal query outcome, keyed by (tenant, class).
+	SLO *provenance.Tracker
 }
 
 func (o *Options) withDefaults() Options {
@@ -265,6 +276,11 @@ type FrontDoor struct {
 	wake    chan struct{}
 	quit    chan struct{}
 	loopWG  sync.WaitGroup
+
+	// provFeat/provScore are fd.mu-guarded scratch for flight-recorder
+	// calls on the admission path (no per-decision allocation).
+	provFeat  []float64
+	provScore [1]float64
 }
 
 // tenant is one tenant's queues, token bucket, and cached instruments.
@@ -311,6 +327,7 @@ func (fd *FrontDoor) Submit(q *Query) (*Ticket, error) {
 
 	fd.mu.Lock()
 	fd.submitted++
+	t.provID = fd.submitted
 	if fd.closed {
 		return fd.rejectLocked(t, nil, "shutdown")
 	}
@@ -392,6 +409,8 @@ func (fd *FrontDoor) shedLocked(t *Ticket, tn *tenant, reason string) {
 	tn.ins.shed.Inc()
 	tn.ins.depth[t.Query.Class].Set(float64(len(tn.queues[t.Query.Class])))
 	fd.ins.queued.Set(float64(fd.queued))
+	fd.opts.Provenance.JoinOutcome(provenance.KindAdmit, t.provID, provenance.Outcome{Shed: true})
+	fd.opts.SLO.Observe(t.Query.Tenant, t.Query.Class.String(), false)
 	t.done <- Disposition{Outcome: OutcomeShed, Reason: reason, Wait: time.Since(t.enq)}
 }
 
@@ -475,7 +494,15 @@ func (fd *FrontDoor) admitOneLocked(now time.Time) bool {
 			}
 			t := q[0]
 			fd.buildFeatures(&t.feat, tn, t, now)
-			switch fd.opts.Controller.Decide(&t.feat, t.Query) {
+			dec := fd.opts.Controller.Decide(&t.feat, t.Query)
+			if dec != Defer {
+				// Flight-record terminal verdicts (defers are transient:
+				// the same query is re-decided on a later pass). The
+				// heuristic baseline admits everything, so its
+				// counterfactual is always Admit.
+				fd.recordAdmissionLocked(t, dec)
+			}
+			switch dec {
 			case Admit:
 				tn.queues[c] = q[1:]
 				if len(tn.queues[c]) == 0 {
@@ -535,6 +562,8 @@ func (fd *FrontDoor) run(t *Ticket, tn *tenant, wait time.Duration) {
 
 	met := err == nil && (t.Query.Deadline <= 0 || latency <= t.Query.Deadline)
 	fd.opts.Controller.Observe(&t.feat, t.Query, met)
+	fd.joinAdmitted(t, res, latency, dur, met)
+	fd.opts.SLO.Observe(t.Query.Tenant, t.Query.Class.String(), met)
 	if res != nil {
 		est := fd.opts.Estimator
 		fd.mu.Lock()
@@ -620,6 +649,75 @@ func (fd *FrontDoor) buildFeatures(f *lsched.AdmissionFeatures, tn *tenant, t *T
 	if q.Class == ClassLatency {
 		f.LatencySensitive = 1
 	}
+}
+
+// admissionScorer is the optional Controller face the flight recorder
+// uses: the learned controller exposes its admit probability so records
+// carry the exact score the verdict came from.
+type admissionScorer interface {
+	AdmissionScore(f *lsched.AdmissionFeatures) float64
+}
+
+// policyVersioned is the optional Controller face naming the
+// policy-store version behind the admission head.
+type policyVersioned interface {
+	PolicyVersion() int
+}
+
+// recordAdmissionLocked flight-records one terminal admission verdict.
+// Caller holds fd.mu; the scratch buffers make this allocation-free.
+func (fd *FrontDoor) recordAdmissionLocked(t *Ticket, dec Decision) {
+	if fd.opts.Provenance == nil {
+		return
+	}
+	score := 1.0
+	if sc, ok := fd.opts.Controller.(admissionScorer); ok {
+		score = sc.AdmissionScore(&t.feat)
+	}
+	version := 0
+	if pv, ok := fd.opts.Controller.(policyVersioned); ok {
+		version = pv.PolicyVersion()
+	}
+	fd.provFeat = t.feat.AppendVector(fd.provFeat[:0])
+	fd.provScore[0] = score
+	fd.opts.Provenance.Record(provenance.KindAdmit, t.provID, t.Query.Tenant,
+		version, fd.provFeat, fd.provScore[:], int32(dec), 0, int32(Admit))
+}
+
+// joinAdmitted joins an admitted query's flight-recorder entry to its
+// outcome, including the cost model's whole-plan prediction errors
+// (actual minus predicted) that ROADMAP item 4's cost model v2 trains
+// on. Actual memory is reconstructed from the backend's per-type means
+// weighted by the plan's work-order units.
+func (fd *FrontDoor) joinAdmitted(t *Ticket, res *Result, latency, dur time.Duration, met bool) {
+	if fd.opts.Provenance == nil {
+		return
+	}
+	out := provenance.Outcome{
+		LatencySecs: latency.Seconds(),
+		DeadlineMet: met,
+		DurPredErr:  dur.Seconds() - t.feat.PredDur,
+	}
+	if res != nil && len(res.OpMemory) > 0 {
+		actualMem := 0.0
+		for _, ow := range t.Query.Ops {
+			u := ow.Units
+			if u < 1 {
+				u = 1
+			}
+			actualMem += res.OpMemory[ow.Key] * float64(u)
+		}
+		out.MemPredErr = actualMem - t.feat.PredMem
+	}
+	fd.opts.Provenance.JoinOutcome(provenance.KindAdmit, t.provID, out)
+}
+
+// Draining reports whether the front door has begun shutdown (new
+// submissions are rejected) — the /healthz readiness signal.
+func (fd *FrontDoor) Draining() bool {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return fd.closed
 }
 
 // Stats is a conservation-accounting snapshot.

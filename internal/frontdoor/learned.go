@@ -32,6 +32,9 @@ type Learned struct {
 	// Train enables online updates from observed outcomes (default on
 	// via NewLearned).
 	Train bool
+	// Version is the policy-store version the admission head was loaded
+	// from (0 = not from the store); flight-recorder records carry it.
+	Version int
 }
 
 // NewLearned wraps an agent's admission head in a controller with
@@ -45,6 +48,16 @@ func (l *Learned) Head() *lsched.AdmissionHead { return l.head }
 
 // Name implements Controller.
 func (l *Learned) Name() string { return "learned" }
+
+// AdmissionScore exposes the head's admit probability for the given
+// features — the score the flight recorder stores with each verdict.
+func (l *Learned) AdmissionScore(f *lsched.AdmissionFeatures) float64 { return l.head.Score(f) }
+
+// PolicyVersion names the policy-store version behind the head.
+func (l *Learned) PolicyVersion() int { return l.Version }
+
+// SetPolicyVersion updates the stamped version (serving hot-swaps).
+func (l *Learned) SetPolicyVersion(v int) { l.Version = v }
 
 // Decide implements Controller.
 func (l *Learned) Decide(f *lsched.AdmissionFeatures, q *Query) Decision {

@@ -1,0 +1,102 @@
+package frontdoor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lsched"
+	"repro/internal/nn"
+	"repro/internal/provenance"
+)
+
+// TestProvenanceRecordsAdmissions: every terminal admission verdict
+// lands in the flight recorder with the exact admission feature vector,
+// and completion joins the outcome (latency, deadline, O-DUR error).
+func TestProvenanceRecordsAdmissions(t *testing.T) {
+	rec := provenance.NewRecorder(provenance.Options{Capacity: 64})
+	slo := provenance.NewSLOTracker(provenance.SLOConfig{})
+	be := &fakeBackend{delay: 2 * time.Millisecond}
+	fd := mustFD(t, Options{Backend: be, MaxInFlight: 2, Provenance: rec, SLO: slo})
+
+	tk, err := fd.Submit(q("acme", ClassLatency))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := waitOutcome(t, tk)
+	if d.Outcome != OutcomeAdmitted {
+		t.Fatalf("disposition = %+v", d)
+	}
+
+	recs := rec.Recent(10)
+	if len(recs) != 1 {
+		t.Fatalf("%d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Kind != provenance.KindAdmit || r.Tenant != "acme" {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.Action != int32(Admit) {
+		t.Fatalf("action = %d, want Admit", r.Action)
+	}
+	if want := len(lsched.AdmissionFeatureNames()); len(r.Features) != want {
+		t.Fatalf("feature vector has %d dims, want %d", len(r.Features), want)
+	}
+	if !r.Outcome.Joined {
+		t.Fatal("outcome never joined")
+	}
+	if !r.Outcome.DeadlineMet || r.Outcome.LatencySecs <= 0 {
+		t.Fatalf("joined outcome = %+v", r.Outcome)
+	}
+	st := rec.Stats()
+	if st.Recorded != 1 || st.Joined != 1 || st.OpenKeys != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The SLO tracker saw the completion as a good outcome.
+	entries := slo.Snapshot().Entries
+	if len(entries) != 1 || entries[0].Good != 1 || entries[0].Bad != 0 {
+		t.Fatalf("slo entries = %+v", entries)
+	}
+}
+
+// TestProvenanceRecordsSheds: a shed verdict records with the learned
+// controller's score and joins a Shed outcome immediately.
+func TestProvenanceRecordsSheds(t *testing.T) {
+	rec := provenance.NewRecorder(provenance.Options{Capacity: 64})
+	slo := provenance.NewSLOTracker(provenance.SLOConfig{})
+	ctrl := NewLearned(lsched.NewAdmissionHead(nn.NewParams(1)))
+	ctrl.ShedBelow = 1.1 // shed everything
+	ctrl.Version = 7
+	fd := mustFD(t, Options{
+		Backend: &fakeBackend{}, Controller: ctrl, MaxInFlight: 2,
+		Provenance: rec, SLO: slo,
+	})
+
+	tk, err := fd.Submit(q("zeta", ClassThroughput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := waitOutcome(t, tk)
+	if d.Outcome != OutcomeShed {
+		t.Fatalf("disposition = %+v", d)
+	}
+
+	recs := rec.Recent(10)
+	if len(recs) != 1 {
+		t.Fatalf("%d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Action != int32(Shed) || r.PolicyVersion != 7 {
+		t.Fatalf("record = %+v", r)
+	}
+	if len(r.Scores) != 1 || r.Scores[0] < 0 || r.Scores[0] > 1 {
+		t.Fatalf("scores = %v, want the admission probability", r.Scores)
+	}
+	if !r.Outcome.Joined || !r.Outcome.Shed {
+		t.Fatalf("outcome = %+v, want joined shed", r.Outcome)
+	}
+	// Shed counts against the tenant's error budget.
+	entries := slo.Snapshot().Entries
+	if len(entries) != 1 || entries[0].Bad != 1 {
+		t.Fatalf("slo entries = %+v", entries)
+	}
+}

@@ -41,6 +41,24 @@ type AdmissionFeatures struct {
 // AdmissionFeatureDim is the admission head's input width.
 const AdmissionFeatureDim = 10
 
+// AdmissionFeatureNames labels the normalized admission vector's
+// positions, in appendVector order — the names the flight recorder and
+// drift detector report admission features under.
+func AdmissionFeatureNames() []string {
+	return []string{
+		"tenant_queue_depth", "total_queue_depth", "in_flight",
+		"free_slots", "tenant_share", "pred_dur", "pred_mem",
+		"pred_wait", "deadline_headroom", "latency_sensitive",
+	}
+}
+
+// AppendVector appends the normalized AdmissionFeatureDim-wide vector —
+// exactly what the admission head scores — into dst, for provenance
+// recording and drift observation.
+func (f *AdmissionFeatures) AppendVector(dst []float64) []float64 {
+	return f.appendVector(dst)
+}
+
 // squash maps a non-negative magnitude into [0, 1) with diminishing
 // resolution at scale: x/(x+s).
 func squash(x, s float64) float64 {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/plan"
 	"repro/internal/predictor"
+	"repro/internal/provenance"
 )
 
 // Options configures an agent. The ablation switches correspond to the
@@ -146,6 +147,15 @@ type Agent struct {
 	mCandidates  *metrics.Gauge
 	mCacheHits   *metrics.Gauge
 	mCacheMisses *metrics.Gauge
+
+	// prov, when attached, receives one flight-recorder record per
+	// scheduling event with candidates: the flat feature arena the
+	// encoder consumed, the root logits (stop logit last), the chosen
+	// root, and the critical-path heuristic's counterfactual pick.
+	// provVersion stamps records with the serving policy-store version.
+	prov            *provenance.Recorder
+	provVersion     int
+	provFeatScratch []float64
 }
 
 // New builds an agent with freshly initialized parameters.
@@ -210,6 +220,34 @@ func (a *Agent) SetFastPath(on bool) { a.opts.DisableFastPath = !on }
 // EncodingCacheStats reports the encoding cache's hit/miss counters.
 func (a *Agent) EncodingCacheStats() (hits, misses uint64) {
 	return a.cache.Hits(), a.cache.Misses()
+}
+
+// SetProvenance attaches a decision flight recorder; every subsequent
+// scheduling event with candidates records one KindSchedule entry. A
+// nil recorder detaches. An Agent drives one engine from one goroutine
+// (the OnEvent contract), so no locking is needed.
+func (a *Agent) SetProvenance(r *provenance.Recorder) { a.prov = r }
+
+// Provenance returns the attached flight recorder (nil when none).
+func (a *Agent) Provenance() *provenance.Recorder { return a.prov }
+
+// SetPolicyVersion stamps subsequent provenance records with the
+// policy-store version these parameters were loaded from (0 = not from
+// the store). serving.HotAgent calls this on install so hot swaps stay
+// attributable record by record.
+func (a *Agent) SetPolicyVersion(v int) { a.provVersion = v }
+
+// PolicyVersion returns the stamped policy-store version.
+func (a *Agent) PolicyVersion() int { return a.provVersion }
+
+// QueryCompleted implements engine.QueryObserver: it joins the query's
+// recorded scheduling decisions to their outcome. Simulated engines
+// carry no deadlines, so completion itself counts as deadline-met.
+func (a *Agent) QueryCompleted(queryID int, arrival, completion float64) {
+	a.prov.JoinOutcome(provenance.KindSchedule, int64(queryID), provenance.Outcome{
+		LatencySecs: completion - arrival,
+		DeadlineMet: true,
+	})
 }
 
 // reseedActions re-seeds the action-sampling stream. Training re-seeds
@@ -343,6 +381,41 @@ func cloneSnapshot(snap *encoder.Snapshot) *encoder.Snapshot {
 		}
 	}
 	return out
+}
+
+// flattenSnapshot serializes a slow-path snapshot's feature tensors
+// into one flat vector (agent scratch, reused across events) in the
+// same query → QF, per-op Feat, per-edge EdgeFeat order the fast
+// path's feature arena uses, so provenance records are comparable
+// across paths.
+func (a *Agent) flattenSnapshot(snap *encoder.Snapshot) []float64 {
+	out := a.provFeatScratch[:0]
+	for qi := range snap.Queries {
+		q := &snap.Queries[qi]
+		out = append(out, q.QF...)
+		for oi := range q.Ops {
+			out = append(out, q.Ops[oi].Feat...)
+			for ci := range q.Ops[oi].Children {
+				out = append(out, q.Ops[oi].Children[ci].EdgeFeat...)
+			}
+		}
+	}
+	a.provFeatScratch = out
+	return out
+}
+
+// criticalPathPick is the heuristic counterfactual recorded with each
+// scheduling decision: the candidate the critical-path baseline would
+// activate (longest pipeline path, first wins ties), mirroring
+// heuristics.CriticalPath without importing it.
+func criticalPathPick(cands []predictor.Candidate) int32 {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].MaxDepth > cands[best].MaxDepth {
+			best = i
+		}
+	}
+	return int32(best)
 }
 
 // anyActiveWork reports whether any query has an activated, unfinished
@@ -485,6 +558,27 @@ func (a *Agent) OnEvent(st *engine.State, ev Event) []engine.Decision {
 			})
 			roots = append(roots, rootChoice{pick: pick, pipePick: pipePick, pipeMax: pipeMax, noStop: noStop})
 			banned[pick] = true
+		}
+		if a.prov != nil {
+			// Flight-record the root decision: the exact flat feature
+			// arena the encoder consumed, every root logit (stop last),
+			// the first pick taken, and what the critical-path heuristic
+			// would have activated instead. The fast path's arena is
+			// already flat; the slow path flattens into agent scratch, so
+			// neither allocates steady-state.
+			feats := a.featArena
+			if !fast {
+				feats = a.flattenSnapshot(snap)
+			}
+			qid, action, actionArg := int64(-1), int32(-1), int32(0)
+			if len(roots) > 0 && roots[0].pick < stopIdx {
+				c := cands[roots[0].pick]
+				qid = int64(snap.Queries[c.QIdx].QueryID)
+				action = int32(roots[0].pick)
+				actionArg = int32(roots[0].pipePick)
+			}
+			a.prov.Record(provenance.KindSchedule, qid, "", a.provVersion,
+				feats, rootLogits.Val, action, actionArg, criticalPathPick(cands))
 		}
 	}
 	// Parallelism degree for every running query.

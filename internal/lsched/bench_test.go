@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/engine"
+	"repro/internal/provenance"
 	"repro/internal/workload"
 )
 
@@ -38,15 +39,26 @@ func benchState(tb testing.TB, nq, threads int) *engine.State {
 //	             path (DisableFastPath) — the pre-optimization "before".
 //	recording:   the fast path while recording an episode (training
 //	             rollouts), which deep-copies each step.
+//	greedy-fast-prov: the serving fast path with the provenance flight
+//	             recorder attached — its overhead vs greedy-fast is the
+//	             cost of decision capture.
 func BenchmarkAgentOnEvent(b *testing.B) {
-	run := func(b *testing.B, disable, record bool) {
+	run := func(b *testing.B, disable, record, prov bool) {
 		opts := DefaultOptions(1)
 		opts.DisableFastPath = disable
 		a := New(opts)
 		a.SetGreedy(!record)
+		if prov {
+			a.SetProvenance(provenance.NewRecorder(provenance.Options{Capacity: 256}))
+		}
 		st := benchState(b, 6, 8)
 		ev := engine.Event{}
 		a.OnEvent(st, ev) // warm scratch, cache, estimator windows
+		if prov {
+			for i := 0; i < 256; i++ { // wrap the ring so slot slabs are warm
+				a.OnEvent(st, ev)
+			}
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -56,7 +68,33 @@ func BenchmarkAgentOnEvent(b *testing.B) {
 			a.OnEvent(st, ev)
 		}
 	}
-	b.Run("greedy-fast", func(b *testing.B) { run(b, false, false) })
-	b.Run("greedy-full", func(b *testing.B) { run(b, true, false) })
-	b.Run("recording", func(b *testing.B) { run(b, false, true) })
+	b.Run("greedy-fast", func(b *testing.B) { run(b, false, false, false) })
+	b.Run("greedy-full", func(b *testing.B) { run(b, true, false, false) })
+	b.Run("recording", func(b *testing.B) { run(b, false, true, false) })
+	b.Run("greedy-fast-prov", func(b *testing.B) { run(b, false, false, true) })
+}
+
+// TestProvenanceRecordingAllocBudget pins the acceptance criterion that
+// attaching the flight recorder costs at most one extra allocation per
+// scheduling decision on the serving fast path (it should cost zero
+// once the ring slabs are warm).
+func TestProvenanceRecordingAllocBudget(t *testing.T) {
+	measure := func(prov bool) float64 {
+		a := New(DefaultOptions(1))
+		a.SetGreedy(true)
+		if prov {
+			a.SetProvenance(provenance.NewRecorder(provenance.Options{Capacity: 256}))
+		}
+		st := benchState(t, 6, 8)
+		ev := engine.Event{}
+		for i := 0; i < 64; i++ { // warm scratch, caches, ring slabs
+			a.OnEvent(st, ev)
+		}
+		return testing.AllocsPerRun(200, func() { a.OnEvent(st, ev) })
+	}
+	base, withProv := measure(false), measure(true)
+	if withProv > base+1 {
+		t.Fatalf("provenance adds %.1f allocs/op (base %.1f, with recorder %.1f), budget is 1",
+			withProv-base, base, withProv)
+	}
 }

@@ -183,9 +183,16 @@ func (o *OnlineAgent) OnEvent(st *engine.State, ev engine.Event) []engine.Decisi
 	return o.agent.OnEvent(st, ev)
 }
 
+// SetPolicyVersion stamps the wrapped agent's provenance records (see
+// Agent.SetPolicyVersion).
+func (o *OnlineAgent) SetPolicyVersion(v int) { o.agent.SetPolicyVersion(v) }
+
 // QueryCompleted implements engine.QueryObserver: checkpointing is
 // driven by completed queries, the paper's query-by-query granularity.
+// The wrapped agent observes too, so its flight-recorder entries join
+// their outcomes.
 func (o *OnlineAgent) QueryCompleted(queryID int, arrival, completion float64) {
+	o.agent.QueryCompleted(queryID, arrival, completion)
 	o.completed++
 	o.durations = append(o.durations, completion-arrival)
 	if o.completed%o.cfg.CheckpointEvery == 0 {

@@ -1,0 +1,93 @@
+package metrics
+
+import "testing"
+
+func TestLabelCapDropsExcessSeries(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetLabelCap(3)
+	for i := 0; i < 3; i++ {
+		c := reg.Counter(LabeledName("fam", "tenant", string(rune('a'+i))))
+		if c == nil {
+			t.Fatalf("series %d under cap was refused", i)
+		}
+		c.Inc()
+	}
+	// Fourth distinct label set: refused, counted, and nil-safe to use.
+	d := reg.Counter(LabeledName("fam", "tenant", "overflow"))
+	if d != nil {
+		t.Fatal("series past the cap was created")
+	}
+	d.Inc() // no-op, must not panic
+	if v := reg.Counter(DroppedSeriesCounter).Value(); v != 1 {
+		t.Fatalf("dropped counter = %d, want 1", v)
+	}
+	// Existing series still resolve (lookup, not creation).
+	if c := reg.Counter(LabeledName("fam", "tenant", "a")); c == nil || c.Value() != 1 {
+		t.Fatal("existing series no longer resolves at cap")
+	}
+	// Repeat refusals keep counting.
+	reg.Counter(LabeledName("fam", "tenant", "overflow2"))
+	if v := reg.Counter(DroppedSeriesCounter).Value(); v != 2 {
+		t.Fatalf("dropped counter = %d, want 2", v)
+	}
+}
+
+func TestLabelCapIsPerFamily(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetLabelCap(1)
+	if reg.Counter(LabeledName("a", "k", "1")) == nil {
+		t.Fatal("family a first series refused")
+	}
+	if reg.Gauge(LabeledName("b", "k", "1")) == nil {
+		t.Fatal("family b first series refused (cap leaked across families)")
+	}
+	if reg.Counter(LabeledName("a", "k", "2")) != nil {
+		t.Fatal("family a second series admitted past cap")
+	}
+}
+
+func TestLabelCapIgnoresUnlabeledNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetLabelCap(1)
+	for _, name := range []string{"one", "two", "three"} {
+		if reg.Counter(name) == nil {
+			t.Fatalf("unlabeled counter %q refused", name)
+		}
+	}
+	if reg.Counter(DroppedSeriesCounter).Value() != 0 {
+		t.Fatal("unlabeled names charged against the label cap")
+	}
+}
+
+func TestLabelCapAppliesToAllInstrumentKinds(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetLabelCap(1)
+	if reg.Histogram(LabeledName("h", "k", "1"), []float64{1, 2}) == nil {
+		t.Fatal("first histogram refused")
+	}
+	if reg.Histogram(LabeledName("h", "k", "2"), []float64{1, 2}) != nil {
+		t.Fatal("second histogram admitted past cap")
+	}
+	if reg.Gauge(LabeledName("g", "k", "1")) == nil {
+		t.Fatal("first gauge refused")
+	}
+	if reg.Gauge(LabeledName("g", "k", "2")) != nil {
+		t.Fatal("second gauge admitted past cap")
+	}
+	if v := reg.Counter(DroppedSeriesCounter).Value(); v != 2 {
+		t.Fatalf("dropped counter = %d, want 2", v)
+	}
+}
+
+func TestLabelCapUnlimited(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetLabelCap(0)
+	for i := 0; i < 2*DefaultLabelCap; i++ {
+		if reg.Counter(LabeledName("fam", "i", string(rune(i)))) == nil {
+			t.Fatalf("series %d refused with cap disabled", i)
+		}
+	}
+	if reg.Counter(DroppedSeriesCounter).Value() != 0 {
+		t.Fatal("drops counted with cap disabled")
+	}
+}

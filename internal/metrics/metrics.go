@@ -156,27 +156,80 @@ func LatencyBuckets() []float64 {
 	return out
 }
 
+// DefaultLabelCap is the per-family labeled-series cap a new registry
+// starts with (see SetLabelCap).
+const DefaultLabelCap = 512
+
+// DroppedSeriesCounter is the counter incremented once per lookup that
+// was refused by the label-cardinality cap.
+const DroppedSeriesCounter = "metrics_labels_dropped"
+
 // Registry holds named instruments. The zero value is not usable; use
 // NewRegistry. A nil *Registry is a valid "metrics disabled" handle:
 // its lookup methods return nil instruments whose operations no-op.
+//
+// Labeled instruments (names composed with LabeledName) are capped per
+// metric family: once a base name has accumulated the cap's worth of
+// distinct label sets, further new label sets return nil instruments
+// (valid no-ops) and increment DroppedSeriesCounter — unbounded label
+// values (tenant IDs, feature names) degrade to a counted drop instead
+// of growing the registry without limit.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	labelCap   int
+	families   map[string]int // base name -> distinct labeled series created
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default label cap.
 func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		labelCap:   DefaultLabelCap,
+		families:   make(map[string]int),
 	}
 }
 
+// SetLabelCap changes the per-family labeled-series cap. n <= 0 removes
+// the cap. Already-created series are never evicted; the cap only
+// refuses new label sets. No-op on a nil registry.
+func (r *Registry) SetLabelCap(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.labelCap = n
+	r.mu.Unlock()
+}
+
+// admitSeriesLocked charges a new instrument name against its family's
+// label cap, reporting whether creation may proceed. Unlabeled names
+// always pass. Caller holds r.mu.
+func (r *Registry) admitSeriesLocked(name string) bool {
+	base, labels := SplitLabeledName(name)
+	if labels == "" {
+		return true
+	}
+	if r.labelCap > 0 && r.families[base] >= r.labelCap {
+		c, ok := r.counters[DroppedSeriesCounter]
+		if !ok {
+			c = &Counter{}
+			r.counters[DroppedSeriesCounter] = c
+		}
+		c.Inc()
+		return false
+	}
+	r.families[base]++
+	return true
+}
+
 // Counter returns the named counter, creating it on first use.
-// Returns nil (a valid no-op counter) on a nil registry.
+// Returns nil (a valid no-op counter) on a nil registry, or when the
+// name's label set was refused by the cardinality cap.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
@@ -185,6 +238,9 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
+		if !r.admitSeriesLocked(name) {
+			return nil
+		}
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -192,7 +248,8 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // Gauge returns the named gauge, creating it on first use.
-// Returns nil (a valid no-op gauge) on a nil registry.
+// Returns nil (a valid no-op gauge) on a nil registry, or when the
+// name's label set was refused by the cardinality cap.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
@@ -201,6 +258,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
+		if !r.admitSeriesLocked(name) {
+			return nil
+		}
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -219,6 +279,9 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
+		if !r.admitSeriesLocked(name) {
+			return nil
+		}
 		if bounds == nil {
 			bounds = LatencyBuckets()
 		}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/provenance"
+)
+
+// DecisionView is one flight-recorder record rendered for the
+// /decisions explain view: feature values paired with their registered
+// names, scores, the chosen action vs the heuristic counterfactual, and
+// the joined outcome when it has arrived.
+type DecisionView struct {
+	Seq           uint64 `json:"seq"`
+	Kind          string `json:"kind"`
+	QueryID       int64  `json:"query_id"`
+	Tenant        string `json:"tenant,omitempty"`
+	PolicyVersion int32  `json:"policy_version"`
+	UnixNanos     int64  `json:"unix_nanos"`
+	Action        int32  `json:"action"`
+	ActionArg     int32  `json:"action_arg"`
+	Heuristic     int32  `json:"heuristic"`
+	// AgreesWithHeuristic reports whether the learned action matched
+	// the baseline's counterfactual — the quickest divergence signal.
+	AgreesWithHeuristic bool      `json:"agrees_with_heuristic"`
+	Scores              []float64 `json:"scores"`
+	// FeatureNames label Features positionally; omitted when the
+	// recorder has no names registered for this kind (or the vector
+	// length does not match them).
+	FeatureNames []string            `json:"feature_names,omitempty"`
+	Features     []float64           `json:"features"`
+	Outcome      *provenance.Outcome `json:"outcome,omitempty"`
+}
+
+// DecisionsPayload is the /decisions response shape.
+type DecisionsPayload struct {
+	Stats   provenance.Stats `json:"stats"`
+	Records []DecisionView   `json:"records"`
+}
+
+// BuildDecisions renders the newest n records (all kinds when kind is
+// nil) from a recorder, oldest first.
+func BuildDecisions(rec *provenance.Recorder, n int, kind *provenance.Kind) DecisionsPayload {
+	out := DecisionsPayload{Stats: rec.Stats(), Records: []DecisionView{}}
+	var names [2][]string
+	names[provenance.KindSchedule] = rec.FeatureNames(provenance.KindSchedule)
+	names[provenance.KindAdmit] = rec.FeatureNames(provenance.KindAdmit)
+	for _, r := range rec.Recent(n) {
+		if kind != nil && r.Kind != *kind {
+			continue
+		}
+		v := DecisionView{
+			Seq:                 r.Seq,
+			Kind:                r.Kind.String(),
+			QueryID:             r.QueryID,
+			Tenant:              r.Tenant,
+			PolicyVersion:       r.PolicyVersion,
+			UnixNanos:           r.UnixNanos,
+			Action:              r.Action,
+			ActionArg:           r.ActionArg,
+			Heuristic:           r.Heuristic,
+			AgreesWithHeuristic: r.Action == r.Heuristic,
+			Scores:              r.Scores,
+			Features:            r.Features,
+		}
+		if kn := names[r.Kind]; len(kn) == len(r.Features) {
+			v.FeatureNames = kn
+		}
+		if r.Outcome.Joined {
+			o := r.Outcome
+			v.Outcome = &o
+		}
+		out.Records = append(out.Records, v)
+	}
+	return out
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		v, err := strconv.Atoi(nStr)
+		if err != nil || v < 0 {
+			http.Error(w, "bad n parameter", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	var kind *provenance.Kind
+	switch k := r.URL.Query().Get("kind"); k {
+	case "":
+	case "schedule":
+		v := provenance.KindSchedule
+		kind = &v
+	case "admit":
+		v := provenance.KindAdmit
+		kind = &v
+	default:
+		http.Error(w, "bad kind parameter (schedule|admit)", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, BuildDecisions(s.opts.Provenance, n, kind))
+}
+
+// driftDetector resolves the serving drift detector: the explicitly
+// wired one, else whichever the recorder has attached (admit first).
+func (s *Server) driftDetector() *provenance.DriftDetector {
+	if s.opts.Drift != nil {
+		return s.opts.Drift
+	}
+	if d := s.opts.Provenance.Drift(provenance.KindAdmit); d != nil {
+		return d
+	}
+	return s.opts.Provenance.Drift(provenance.KindSchedule)
+}
+
+func (s *Server) handleDrift(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.driftDetector().Snapshot())
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.opts.SLO.Snapshot())
+}
+
+// HealthStatus is the /healthz payload.
+type HealthStatus struct {
+	// Ready gates the HTTP status: true serves 200, false serves 503.
+	Ready bool `json:"ready"`
+	// Engine describes the execution backend ("up", "down", ...).
+	Engine string `json:"engine,omitempty"`
+	// Draining reports a shutdown in progress (front door closed).
+	Draining bool `json:"draining"`
+	// PolicyVersion is the active policy-store version (0 = none).
+	PolicyVersion int `json:"policy_version"`
+	// Detail carries an optional human-readable explanation.
+	Detail string `json:"detail,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := HealthStatus{Ready: true}
+	if s.opts.Health != nil {
+		st = s.opts.Health()
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !st.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	w.Write(data) //nolint:errcheck
+}

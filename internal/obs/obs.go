@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/provenance"
 )
 
 // Options configures a Server. Metrics and Trace may each be nil; the
@@ -53,6 +54,22 @@ type Options struct {
 	// queue depths, admission counters, rate-limit state — typically
 	// frontdoor.Status). Nil serves an empty object.
 	FrontDoor func() any
+	// Provenance, when set, backs the /decisions explain view: recent
+	// flight-recorder records with named features, scores, and joined
+	// outcomes (?n=limit, ?kind=schedule|admit filter).
+	Provenance *provenance.Recorder
+	// Drift, when set, backs the /drift endpoint with the detector's
+	// per-feature PSI snapshot. When nil but Provenance carries an
+	// attached detector, that one serves instead.
+	Drift *provenance.DriftDetector
+	// SLO, when set, backs the /slo endpoint: per-tenant/class
+	// multi-window error-budget burn rates.
+	SLO *provenance.Tracker
+	// Health, when set, backs the /healthz readiness endpoint; nil
+	// reports ready (a mounted obs server with no health source is a
+	// live process). Not-ready responses use status 503 so plain HTTP
+	// probes work without parsing the body.
+	Health func() HealthStatus
 }
 
 // Server exposes the observability endpoints. Build with NewServer,
@@ -82,6 +99,10 @@ func NewServer(opts Options) *Server {
 	mux.HandleFunc("/timeseries", s.handleTimeseries)
 	mux.HandleFunc("/policy", s.handlePolicy)
 	mux.HandleFunc("/frontdoor", s.handleFrontDoor)
+	mux.HandleFunc("/decisions", s.handleDecisions)
+	mux.HandleFunc("/drift", s.handleDrift)
+	mux.HandleFunc("/slo", s.handleSLO)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -138,6 +159,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /timeseries     wall-clock sampler ring (JSON)
   /policy         policy lifecycle status (JSON)
   /frontdoor      query front door status (JSON)
+  /decisions      recent learned decisions, explained (JSON; ?n, ?kind)
+  /drift          per-feature PSI drift vs training reference (JSON)
+  /slo            per-tenant/class error-budget burn rates (JSON)
+  /healthz        readiness probe (200 ready / 503 not)
   /debug/pprof/   pprof profiling
 `)
 }

@@ -38,6 +38,11 @@ func goldenRegistry() *metrics.Registry {
 	lh.Observe(0.005)
 	lh.Observe(0.05)
 	lh.Observe(2)
+	// Label-value edge cases: an empty value, a value needing quote and
+	// backslash escaping, and an odd trailing key (pairs with "").
+	reg.Counter(metrics.LabeledName("edge_labels", "tenant", "")).Add(1)
+	reg.Counter(metrics.LabeledName("edge_labels", "tenant", `say "hi"\now`)).Add(2)
+	reg.Gauge(metrics.LabeledName("edge_odd", "dangling")).Set(9)
 	return reg
 }
 
@@ -122,6 +127,11 @@ func TestPrometheusLabeledFamilies(t *testing.T) {
 		`frontdoor_wait_bucket{class="latency",le="+Inf"} 3`,
 		`frontdoor_wait_sum{class="latency"}`,
 		`frontdoor_wait_count{class="latency"} 3`,
+		// Edge cases: empty value renders as tenant="", escaped quotes
+		// and backslashes survive, odd trailing key pairs with "".
+		`edge_labels{tenant=""} 1`,
+		`edge_labels{tenant="say \"hi\"\\now"} 2`,
+		`edge_odd{dangling=""} 9`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)

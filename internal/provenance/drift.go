@@ -1,0 +1,384 @@
+package provenance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Drift detection compares the live feature distribution (a sliding
+// window over recorded decisions) against a training-time reference
+// snapshot, per feature, using the Population Stability Index:
+//
+//	PSI = Σ_bins (pLive − pRef) · ln(pLive / pRef)
+//
+// with both proportions floored at a small epsilon. The usual reading:
+// <0.1 stable, 0.1–0.2 moderate shift, >0.2 action required — the
+// default trip threshold. Each feature's PSI exports as a labeled
+// gauge (provenance_feature_psi{feature="..."}) so a shifted workload
+// is visible per dimension, not just as a scalar alarm.
+
+const psiEps = 1e-4
+
+// FeatureRef is one feature's reference distribution: bin edges from
+// training-sample quantiles and the per-bin probabilities.
+type FeatureRef struct {
+	// Name labels the feature in gauges and /drift.
+	Name string `json:"name"`
+	// Edges are the interior bin boundaries, ascending; values bin by
+	// upper-bound search, so there are len(Edges)+1 bins.
+	Edges []float64 `json:"edges"`
+	// Probs are the reference per-bin probabilities (floored, sum ~1).
+	Probs []float64 `json:"probs"`
+}
+
+// Reference is a training-time feature-distribution snapshot.
+type Reference struct {
+	Features []FeatureRef `json:"features"`
+}
+
+// BuildReference builds a reference from training-time sample vectors
+// (each of dimension len(names)) using quantile bin edges. Degenerate
+// (constant) features collapse to a single bin and contribute zero PSI
+// until their live values leave that bin's range entirely.
+func BuildReference(names []string, samples [][]float64, bins int) (*Reference, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("provenance: BuildReference needs samples")
+	}
+	if bins < 2 {
+		bins = 10
+	}
+	dim := len(names)
+	for i, s := range samples {
+		if len(s) != dim {
+			return nil, fmt.Errorf("provenance: sample %d has dim %d, want %d", i, len(s), dim)
+		}
+	}
+	ref := &Reference{Features: make([]FeatureRef, dim)}
+	col := make([]float64, len(samples))
+	for f := 0; f < dim; f++ {
+		for i, s := range samples {
+			col[i] = s[f]
+		}
+		sort.Float64s(col)
+		var edges []float64
+		for b := 1; b < bins; b++ {
+			q := col[(b*len(col))/bins]
+			// An edge at the column max would leave a permanently empty
+			// top bin (values bin by v <= edge); skipping it collapses a
+			// constant feature to a single bin.
+			if q >= col[len(col)-1] {
+				continue
+			}
+			if len(edges) == 0 || q > edges[len(edges)-1] {
+				edges = append(edges, q)
+			}
+		}
+		counts := make([]float64, len(edges)+1)
+		for _, v := range col {
+			counts[binIndex(edges, v)]++
+		}
+		probs := make([]float64, len(counts))
+		for i, c := range counts {
+			probs[i] = math.Max(c/float64(len(col)), psiEps)
+		}
+		ref.Features[f] = FeatureRef{Name: names[f], Edges: edges, Probs: probs}
+	}
+	return ref, nil
+}
+
+// binIndex places v by upper-bound search: bin i holds v <= edges[i],
+// last bin holds the rest.
+func binIndex(edges []float64, v float64) int {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// DriftConfig configures a DriftDetector.
+type DriftConfig struct {
+	// Names label the feature dimensions (required).
+	Names []string
+	// Window is the live sliding-window size (default 512).
+	Window int
+	// MinSamples gates PSI: below this many live samples every PSI
+	// reports 0 (default Window/2 — thinner windows make the PSI
+	// estimate noisy enough to false-trip a 0.2 threshold).
+	MinSamples int
+	// Threshold is the per-feature PSI trip level (default 0.2).
+	Threshold float64
+	// Bins is the reference bin count for self-calibration (default 10).
+	Bins int
+	// RefSamples > 0 enables self-calibration: the first RefSamples
+	// observations build the reference instead of requiring
+	// SetReference — used by CLIs with no training-time snapshot.
+	RefSamples int
+	// UpdateEvery refreshes gauges every N observations (default 64).
+	UpdateEvery int
+}
+
+// DriftDetector maintains per-feature live bin counts over a sliding
+// window and scores them against the reference. Observe is O(dim ·
+// log bins) with zero steady-state allocations; a nil detector no-ops.
+type DriftDetector struct {
+	mu  sync.Mutex
+	cfg DriftConfig
+	ref *Reference
+
+	// calib accumulates self-calibration samples until RefSamples.
+	calib [][]float64
+
+	// binRing[pos*dim+f] is the bin index feature f's value landed in
+	// for window slot pos; counts[f] are the live per-bin tallies.
+	binRing []uint16
+	counts  [][]float64
+	pos     int
+	n       int // live samples currently in window
+	seen    uint64
+	skipped uint64 // vectors whose length mismatched the reference
+
+	psi     []float64
+	gauges  []*metrics.Gauge
+	gMax    *metrics.Gauge
+	gCount  *metrics.Gauge
+	mTrips  *metrics.Counter
+	tripped []bool
+}
+
+// NewDriftDetector builds a detector; call SetReference (or configure
+// RefSamples for self-calibration) before observations score.
+func NewDriftDetector(cfg DriftConfig) *DriftDetector {
+	if cfg.Window <= 0 {
+		cfg.Window = 512
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = cfg.Window / 2
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 0.2
+	}
+	if cfg.Bins < 2 {
+		cfg.Bins = 10
+	}
+	if cfg.UpdateEvery <= 0 {
+		cfg.UpdateEvery = 64
+	}
+	d := &DriftDetector{cfg: cfg}
+	dim := len(cfg.Names)
+	d.psi = make([]float64, dim)
+	d.tripped = make([]bool, dim)
+	return d
+}
+
+// Instrument attaches per-feature PSI gauges, a max-PSI gauge, a
+// drifted-feature count gauge, and an edge-triggered trip counter.
+func (d *DriftDetector) Instrument(reg *metrics.Registry) {
+	if d == nil || reg == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gauges = make([]*metrics.Gauge, len(d.cfg.Names))
+	for i, name := range d.cfg.Names {
+		d.gauges[i] = reg.Gauge(metrics.LabeledName("provenance_feature_psi", "feature", name))
+	}
+	d.gMax = reg.Gauge("provenance_drift_max_psi")
+	d.gCount = reg.Gauge("provenance_drift_features")
+	d.mTrips = reg.Counter("provenance_drift_trips")
+}
+
+// SetReference installs the training-time snapshot; its dimension must
+// match the configured names. Resets the live window.
+func (d *DriftDetector) SetReference(ref *Reference) error {
+	if d == nil {
+		return nil
+	}
+	if len(ref.Features) != len(d.cfg.Names) {
+		return fmt.Errorf("provenance: reference has %d features, detector expects %d", len(ref.Features), len(d.cfg.Names))
+	}
+	for i, fr := range ref.Features {
+		if len(fr.Probs) != len(fr.Edges)+1 {
+			return fmt.Errorf("provenance: reference feature %d: %d probs for %d edges", i, len(fr.Probs), len(fr.Edges))
+		}
+	}
+	d.mu.Lock()
+	d.ref = ref
+	d.calib = nil
+	dim := len(d.cfg.Names)
+	d.binRing = make([]uint16, d.cfg.Window*dim)
+	d.counts = make([][]float64, dim)
+	for f := range d.counts {
+		d.counts[f] = make([]float64, len(ref.Features[f].Probs))
+	}
+	d.pos, d.n = 0, 0
+	for i := range d.psi {
+		d.psi[i] = 0
+		d.tripped[i] = false
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// Reference returns the installed reference (nil while calibrating).
+func (d *DriftDetector) Reference() *Reference {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ref
+}
+
+// Observe feeds one live feature vector. Vectors whose length doesn't
+// match the detector's dimension are counted and skipped.
+func (d *DriftDetector) Observe(vec []float64) {
+	if d == nil {
+		return
+	}
+	dim := len(d.cfg.Names)
+	d.mu.Lock()
+	if len(vec) != dim {
+		d.skipped++
+		d.mu.Unlock()
+		return
+	}
+	if d.ref == nil {
+		if d.cfg.RefSamples <= 0 {
+			d.skipped++
+			d.mu.Unlock()
+			return
+		}
+		d.calib = append(d.calib, append([]float64(nil), vec...))
+		if len(d.calib) < d.cfg.RefSamples {
+			d.mu.Unlock()
+			return
+		}
+		ref, err := BuildReference(d.cfg.Names, d.calib, d.cfg.Bins)
+		d.mu.Unlock()
+		if err != nil {
+			return
+		}
+		d.SetReference(ref) //nolint:errcheck // dims match by construction
+		return
+	}
+	// Evict the slot's previous occupant, then bin and store.
+	base := d.pos * dim
+	if d.n == d.cfg.Window {
+		for f := 0; f < dim; f++ {
+			d.counts[f][d.binRing[base+f]]--
+		}
+	} else {
+		d.n++
+	}
+	for f := 0; f < dim; f++ {
+		b := binIndex(d.ref.Features[f].Edges, vec[f])
+		d.binRing[base+f] = uint16(b)
+		d.counts[f][b]++
+	}
+	d.pos = (d.pos + 1) % d.cfg.Window
+	d.seen++
+	refresh := d.seen%uint64(d.cfg.UpdateEvery) == 0
+	if refresh {
+		d.refreshLocked()
+	}
+	d.mu.Unlock()
+}
+
+// refreshLocked recomputes PSI and pushes gauges. Caller holds d.mu.
+func (d *DriftDetector) refreshLocked() {
+	if d.n < d.cfg.MinSamples {
+		return
+	}
+	maxPSI, drifted, trips := 0.0, 0, 0
+	for f := range d.psi {
+		ref := d.ref.Features[f]
+		psi := 0.0
+		for b, pRef := range ref.Probs {
+			pLive := math.Max(d.counts[f][b]/float64(d.n), psiEps)
+			psi += (pLive - pRef) * math.Log(pLive/pRef)
+		}
+		d.psi[f] = psi
+		if d.gauges != nil {
+			d.gauges[f].Set(psi)
+		}
+		if psi > maxPSI {
+			maxPSI = psi
+		}
+		over := psi > d.cfg.Threshold
+		if over {
+			drifted++
+			if !d.tripped[f] {
+				trips++
+			}
+		}
+		d.tripped[f] = over
+	}
+	d.gMax.Set(maxPSI)
+	d.gCount.Set(float64(drifted))
+	if trips > 0 {
+		d.mTrips.Add(int64(trips))
+	}
+}
+
+// FeatureDrift is one feature's drift state in a snapshot.
+type FeatureDrift struct {
+	Name    string  `json:"name"`
+	PSI     float64 `json:"psi"`
+	Drifted bool    `json:"drifted"`
+}
+
+// DriftStatus is the /drift payload.
+type DriftStatus struct {
+	// Calibrating reports the self-calibration phase (no reference yet).
+	Calibrating bool `json:"calibrating"`
+	// Window is the live sliding-window capacity; Samples how full it is.
+	Window  int `json:"window"`
+	Samples int `json:"samples"`
+	// Observed counts vectors fed since the reference was installed;
+	// Skipped counts dimension-mismatched (or pre-reference) vectors.
+	Observed uint64 `json:"observed"`
+	Skipped  uint64 `json:"skipped,omitempty"`
+	// Threshold is the per-feature PSI trip level.
+	Threshold float64 `json:"threshold"`
+	// MaxPSI is the worst per-feature PSI; Features lists all of them.
+	MaxPSI   float64        `json:"max_psi"`
+	Features []FeatureDrift `json:"features"`
+}
+
+// Snapshot returns the current drift state (PSI recomputed fresh).
+func (d *DriftDetector) Snapshot() DriftStatus {
+	if d == nil {
+		return DriftStatus{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := DriftStatus{
+		Calibrating: d.ref == nil,
+		Window:      d.cfg.Window,
+		Samples:     d.n,
+		Observed:    d.seen,
+		Skipped:     d.skipped,
+		Threshold:   d.cfg.Threshold,
+		Features:    make([]FeatureDrift, len(d.cfg.Names)),
+	}
+	if d.ref != nil && d.n >= d.cfg.MinSamples {
+		d.refreshLocked()
+	}
+	for f, name := range d.cfg.Names {
+		st.Features[f] = FeatureDrift{Name: name, PSI: d.psi[f], Drifted: d.tripped[f]}
+		if d.psi[f] > st.MaxPSI {
+			st.MaxPSI = d.psi[f]
+		}
+	}
+	return st
+}

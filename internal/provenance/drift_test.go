@@ -1,0 +1,235 @@
+package provenance
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// trainingSamples draws from the "training" distribution: feature 0
+// uniform on [0,1), feature 1 normal-ish around 10.
+func trainingSamples(rng *rand.Rand, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{rng.Float64(), 10 + rng.NormFloat64()}
+	}
+	return out
+}
+
+func TestBinIndex(t *testing.T) {
+	edges := []float64{1, 2, 3}
+	cases := []struct {
+		v    float64
+		want int
+	}{{0.5, 0}, {1, 0}, {1.5, 1}, {2, 1}, {2.5, 2}, {3, 2}, {100, 3}}
+	for _, c := range cases {
+		if got := binIndex(edges, c.v); got != c.want {
+			t.Errorf("binIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if got := binIndex(nil, 5); got != 0 {
+		t.Errorf("binIndex with no edges = %d, want 0", got)
+	}
+}
+
+func TestBuildReferenceShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	names := []string{"u", "n"}
+	ref, err := BuildReference(names, trainingSamples(rng, 1000), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Features) != 2 {
+		t.Fatalf("reference has %d features", len(ref.Features))
+	}
+	for _, fr := range ref.Features {
+		if len(fr.Probs) != len(fr.Edges)+1 {
+			t.Fatalf("%s: %d probs for %d edges", fr.Name, len(fr.Probs), len(fr.Edges))
+		}
+		sum := 0.0
+		for _, p := range fr.Probs {
+			sum += p
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("%s: probs sum to %v", fr.Name, sum)
+		}
+	}
+	// A constant feature must collapse to one bin, not error.
+	constant := make([][]float64, 50)
+	for i := range constant {
+		constant[i] = []float64{5}
+	}
+	ref, err = BuildReference([]string{"c"}, constant, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Features[0].Edges) != 0 || len(ref.Features[0].Probs) != 1 {
+		t.Fatalf("constant feature: edges=%v probs=%v", ref.Features[0].Edges, ref.Features[0].Probs)
+	}
+
+	if _, err := BuildReference(names, nil, 10); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if _, err := BuildReference(names, [][]float64{{1}}, 10); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestDriftQuietOnTrainingDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	names := []string{"u", "n"}
+	ref, err := BuildReference(names, trainingSamples(rng, 2000), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriftDetector(DriftConfig{Names: names, Window: 256, UpdateEvery: 16})
+	reg := metrics.NewRegistry()
+	d.Instrument(reg)
+	if err := d.SetReference(ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range trainingSamples(rng, 1000) {
+		d.Observe(s)
+	}
+	st := d.Snapshot()
+	if st.Calibrating {
+		t.Fatal("still calibrating with a reference installed")
+	}
+	if st.MaxPSI > 0.1 {
+		t.Fatalf("in-distribution stream scored MaxPSI %v, want < 0.1", st.MaxPSI)
+	}
+	for _, f := range st.Features {
+		if f.Drifted {
+			t.Fatalf("feature %s flagged drifted at PSI %v", f.Name, f.PSI)
+		}
+	}
+	if v := reg.Counter("provenance_drift_trips").Value(); v != 0 {
+		t.Fatalf("trips counter = %d on in-distribution stream", v)
+	}
+	if v := reg.Gauge("provenance_drift_features").Value(); v != 0 {
+		t.Fatalf("drifted-features gauge = %v", v)
+	}
+}
+
+func TestDriftTripsOnShiftedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	names := []string{"u", "n"}
+	ref, err := BuildReference(names, trainingSamples(rng, 2000), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriftDetector(DriftConfig{Names: names, Window: 256, UpdateEvery: 16})
+	reg := metrics.NewRegistry()
+	d.Instrument(reg)
+	if err := d.SetReference(ref); err != nil {
+		t.Fatal(err)
+	}
+	// Feature 1 shifts +5 sigma; feature 0 stays in distribution.
+	for i := 0; i < 1000; i++ {
+		d.Observe([]float64{rng.Float64(), 15 + rng.NormFloat64()})
+	}
+	st := d.Snapshot()
+	if st.MaxPSI <= st.Threshold {
+		t.Fatalf("shifted stream MaxPSI %v did not exceed threshold %v", st.MaxPSI, st.Threshold)
+	}
+	var shifted, stable *FeatureDrift
+	for i := range st.Features {
+		switch st.Features[i].Name {
+		case "n":
+			shifted = &st.Features[i]
+		case "u":
+			stable = &st.Features[i]
+		}
+	}
+	if !shifted.Drifted {
+		t.Fatalf("shifted feature not flagged: PSI %v", shifted.PSI)
+	}
+	if stable.Drifted {
+		t.Fatalf("stable feature wrongly flagged: PSI %v", stable.PSI)
+	}
+	if v := reg.Counter("provenance_drift_trips").Value(); v < 1 {
+		t.Fatalf("trips counter = %d, want >= 1", v)
+	}
+	if v := reg.Gauge(metrics.LabeledName("provenance_feature_psi", "feature", "n")).Value(); v <= 0.2 {
+		t.Fatalf("per-feature gauge = %v, want > 0.2", v)
+	}
+}
+
+func TestDriftSelfCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	names := []string{"u", "n"}
+	d := NewDriftDetector(DriftConfig{Names: names, Window: 128, RefSamples: 200, UpdateEvery: 16})
+	for _, s := range trainingSamples(rng, 199) {
+		d.Observe(s)
+	}
+	if !d.Snapshot().Calibrating {
+		t.Fatal("reference built before RefSamples observations")
+	}
+	d.Observe([]float64{0.5, 10})
+	if d.Snapshot().Calibrating {
+		t.Fatal("reference not built at RefSamples observations")
+	}
+	// Post-calibration shifted stream still trips.
+	for i := 0; i < 500; i++ {
+		d.Observe([]float64{rng.Float64() + 3, 10 + rng.NormFloat64()})
+	}
+	if st := d.Snapshot(); st.MaxPSI <= st.Threshold {
+		t.Fatalf("post-calibration shift not detected: MaxPSI %v", st.MaxPSI)
+	}
+}
+
+func TestDriftSkipsMismatchedVectors(t *testing.T) {
+	d := NewDriftDetector(DriftConfig{Names: []string{"a"}, Window: 16})
+	ref, err := BuildReference([]string{"a"}, [][]float64{{1}, {2}, {3}, {4}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetReference(ref); err != nil {
+		t.Fatal(err)
+	}
+	d.Observe([]float64{1, 2}) // wrong dimension
+	d.Observe(nil)
+	d.Observe([]float64{1})
+	st := d.Snapshot()
+	if st.Skipped != 2 || st.Samples != 1 {
+		t.Fatalf("skipped=%d samples=%d, want 2/1", st.Skipped, st.Samples)
+	}
+	// Mismatched reference refused.
+	bad := &Reference{Features: []FeatureRef{{}, {}}}
+	if err := d.SetReference(bad); err == nil {
+		t.Fatal("mismatched reference accepted")
+	}
+}
+
+func TestNilDriftDetector(t *testing.T) {
+	var d *DriftDetector
+	d.Observe([]float64{1})
+	d.Instrument(metrics.NewRegistry())
+	if err := d.SetReference(&Reference{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Snapshot(); st.Window != 0 {
+		t.Fatalf("nil snapshot = %+v", st)
+	}
+}
+
+func TestDriftObserveSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	names := []string{"u", "n"}
+	ref, err := BuildReference(names, trainingSamples(rng, 500), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriftDetector(DriftConfig{Names: names, Window: 128, UpdateEvery: 32})
+	if err := d.SetReference(ref); err != nil {
+		t.Fatal(err)
+	}
+	vec := []float64{0.5, 10.1}
+	for i := 0; i < 256; i++ {
+		d.Observe(vec)
+	}
+	if allocs := testing.AllocsPerRun(500, func() { d.Observe(vec) }); allocs > 0 {
+		t.Fatalf("Observe allocates %.1f/op, want 0", allocs)
+	}
+}

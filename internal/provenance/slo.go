@@ -1,0 +1,234 @@
+package provenance
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// SLO burn-rate tracking: each (tenant, class) pair gets an error
+// budget of 1−objective on the deadline-met rate, observed over two
+// rolling windows (short 5m for fast paging, long 1h for sustained
+// burn — the standard multi-window alerting shape). The burn rate is
+//
+//	burn = errorRate / (1 − objective)
+//
+// so burn 1.0 consumes the budget exactly at sustainable pace; a
+// short-window burn ≫ 1 with a long-window burn > 1 is the actionable
+// page. Rates export as slo_burn_rate{tenant,class,window} gauges and
+// the /slo JSON snapshot.
+
+// SLOConfig configures a Tracker.
+type SLOConfig struct {
+	// Objective is the target success (deadline-met) rate, default 0.99.
+	Objective float64
+	// Short and Long are the two burn windows (default 5m and 1h).
+	Short, Long time.Duration
+	// Buckets subdivides each window's ring (default 60).
+	Buckets int
+	// Now is injectable for tests; nil uses time.Now.
+	Now func() time.Time
+}
+
+type sloKey struct{ tenant, class string }
+
+type burnWin struct {
+	bucket time.Duration
+	good   []int64
+	bad    []int64
+	stamp  []int64 // bucket epoch occupying each slot; -1 = empty
+}
+
+func newBurnWin(window time.Duration, buckets int) burnWin {
+	w := burnWin{
+		bucket: window / time.Duration(buckets),
+		good:   make([]int64, buckets),
+		bad:    make([]int64, buckets),
+		stamp:  make([]int64, buckets),
+	}
+	for i := range w.stamp {
+		w.stamp[i] = -1
+	}
+	return w
+}
+
+func (w *burnWin) observe(now time.Time, good bool) {
+	idx := now.UnixNano() / int64(w.bucket)
+	slot := idx % int64(len(w.stamp))
+	if w.stamp[slot] != idx {
+		w.stamp[slot] = idx
+		w.good[slot], w.bad[slot] = 0, 0
+	}
+	if good {
+		w.good[slot]++
+	} else {
+		w.bad[slot]++
+	}
+}
+
+// totals sums the slots still inside the window ending now.
+func (w *burnWin) totals(now time.Time) (good, bad int64) {
+	idx := now.UnixNano() / int64(w.bucket)
+	min := idx - int64(len(w.stamp)) + 1
+	for i := range w.stamp {
+		if w.stamp[i] >= min && w.stamp[i] <= idx {
+			good += w.good[i]
+			bad += w.bad[i]
+		}
+	}
+	return good, bad
+}
+
+type sloSeries struct {
+	short, long   burnWin
+	good, bad     int64 // lifetime
+	gShort, gLong *metrics.Gauge
+}
+
+// Tracker tracks per-(tenant, class) SLO burn. A nil *Tracker no-ops
+// every method, so callers observe unconditionally.
+type Tracker struct {
+	mu     sync.Mutex
+	cfg    SLOConfig
+	reg    *metrics.Registry
+	series map[sloKey]*sloSeries
+}
+
+// NewSLOTracker builds a tracker.
+func NewSLOTracker(cfg SLOConfig) *Tracker {
+	if cfg.Objective <= 0 || cfg.Objective >= 1 {
+		cfg.Objective = 0.99
+	}
+	if cfg.Short <= 0 {
+		cfg.Short = 5 * time.Minute
+	}
+	if cfg.Long <= 0 {
+		cfg.Long = time.Hour
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 60
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Tracker{cfg: cfg, series: make(map[sloKey]*sloSeries)}
+}
+
+// Instrument attaches burn-rate gauges for every (tenant, class) seen.
+func (t *Tracker) Instrument(reg *metrics.Registry) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.reg = reg
+	t.mu.Unlock()
+}
+
+// Observe records one query outcome for (tenant, class): good = true
+// when the query completed within its deadline (or had none).
+func (t *Tracker) Observe(tenant, class string, good bool) {
+	if t == nil {
+		return
+	}
+	now := t.cfg.Now()
+	t.mu.Lock()
+	key := sloKey{tenant: tenant, class: class}
+	s := t.series[key]
+	if s == nil {
+		s = &sloSeries{
+			short: newBurnWin(t.cfg.Short, t.cfg.Buckets),
+			long:  newBurnWin(t.cfg.Long, t.cfg.Buckets),
+		}
+		if t.reg != nil {
+			s.gShort = t.reg.Gauge(metrics.LabeledName("slo_burn_rate",
+				"tenant", tenant, "class", class, "window", t.cfg.Short.String()))
+			s.gLong = t.reg.Gauge(metrics.LabeledName("slo_burn_rate",
+				"tenant", tenant, "class", class, "window", t.cfg.Long.String()))
+		}
+		t.series[key] = s
+	}
+	if good {
+		s.good++
+	} else {
+		s.bad++
+	}
+	s.short.observe(now, good)
+	s.long.observe(now, good)
+	sg, sb := s.short.totals(now)
+	lg, lb := s.long.totals(now)
+	t.mu.Unlock()
+
+	s.gShort.Set(t.burn(sg, sb))
+	s.gLong.Set(t.burn(lg, lb))
+}
+
+// burn converts window totals into an error-budget burn rate.
+func (t *Tracker) burn(good, bad int64) float64 {
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	errRate := float64(bad) / float64(total)
+	return errRate / (1 - t.cfg.Objective)
+}
+
+// SLOWindow is one window's state in a snapshot.
+type SLOWindow struct {
+	Window    string  `json:"window"`
+	Good      int64   `json:"good"`
+	Bad       int64   `json:"bad"`
+	ErrorRate float64 `json:"error_rate"`
+	BurnRate  float64 `json:"burn_rate"`
+}
+
+// SLOEntry is one (tenant, class) series in a snapshot.
+type SLOEntry struct {
+	Tenant string `json:"tenant"`
+	Class  string `json:"class"`
+	// Good/Bad are lifetime outcome counts.
+	Good    int64       `json:"good"`
+	Bad     int64       `json:"bad"`
+	Windows []SLOWindow `json:"windows"`
+}
+
+// SLOStatus is the /slo payload.
+type SLOStatus struct {
+	Objective float64    `json:"objective"`
+	Entries   []SLOEntry `json:"entries"`
+}
+
+// Snapshot returns every series' current burn state, sorted by
+// (tenant, class) for stable rendering.
+func (t *Tracker) Snapshot() SLOStatus {
+	if t == nil {
+		return SLOStatus{}
+	}
+	now := t.cfg.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := SLOStatus{Objective: t.cfg.Objective}
+	for key, s := range t.series {
+		e := SLOEntry{Tenant: key.tenant, Class: key.class, Good: s.good, Bad: s.bad}
+		for _, w := range []struct {
+			name string
+			win  *burnWin
+		}{{t.cfg.Short.String(), &s.short}, {t.cfg.Long.String(), &s.long}} {
+			g, b := w.win.totals(now)
+			sw := SLOWindow{Window: w.name, Good: g, Bad: b, BurnRate: t.burn(g, b)}
+			if g+b > 0 {
+				sw.ErrorRate = float64(b) / float64(g+b)
+			}
+			e.Windows = append(e.Windows, sw)
+		}
+		st.Entries = append(st.Entries, e)
+	}
+	sort.Slice(st.Entries, func(i, j int) bool {
+		if st.Entries[i].Tenant != st.Entries[j].Tenant {
+			return st.Entries[i].Tenant < st.Entries[j].Tenant
+		}
+		return st.Entries[i].Class < st.Entries[j].Class
+	})
+	return st
+}

@@ -1,0 +1,131 @@
+package provenance
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func TestSLOBurnMath(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(SLOConfig{Objective: 0.99, Now: clk.now})
+	reg := metrics.NewRegistry()
+	tr.Instrument(reg)
+
+	// 99 good + 1 bad = 1% error rate = exactly burn 1.0 at a 99%
+	// objective.
+	for i := 0; i < 99; i++ {
+		tr.Observe("acme", "latency", true)
+	}
+	tr.Observe("acme", "latency", false)
+
+	st := tr.Snapshot()
+	if len(st.Entries) != 1 {
+		t.Fatalf("%d entries, want 1", len(st.Entries))
+	}
+	e := st.Entries[0]
+	if e.Tenant != "acme" || e.Class != "latency" || e.Good != 99 || e.Bad != 1 {
+		t.Fatalf("entry = %+v", e)
+	}
+	for _, w := range e.Windows {
+		if w.BurnRate < 0.999 || w.BurnRate > 1.001 {
+			t.Fatalf("window %s burn = %v, want 1.0", w.Window, w.BurnRate)
+		}
+		if w.ErrorRate != 0.01 {
+			t.Fatalf("window %s error rate = %v", w.Window, w.ErrorRate)
+		}
+	}
+	g := reg.Gauge(metrics.LabeledName("slo_burn_rate",
+		"tenant", "acme", "class", "latency", "window", "5m0s"))
+	if v := g.Value(); v < 0.999 || v > 1.001 {
+		t.Fatalf("short burn gauge = %v", v)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(SLOConfig{Now: clk.now})
+
+	// All-bad burst, then advance past the short window with a clean
+	// stream: the short burn must recover while the long window still
+	// remembers.
+	for i := 0; i < 10; i++ {
+		tr.Observe("t", "c", false)
+	}
+	clk.advance(6 * time.Minute)
+	for i := 0; i < 10; i++ {
+		tr.Observe("t", "c", true)
+	}
+	e := tr.Snapshot().Entries[0]
+	short, long := e.Windows[0], e.Windows[1]
+	if short.Bad != 0 || short.Good != 10 {
+		t.Fatalf("short window = %+v, want the burst expired", short)
+	}
+	if short.BurnRate != 0 {
+		t.Fatalf("short burn = %v, want 0", short.BurnRate)
+	}
+	if long.Bad != 10 || long.Good != 10 {
+		t.Fatalf("long window = %+v, want burst retained", long)
+	}
+	if long.BurnRate <= short.BurnRate {
+		t.Fatal("long burn should exceed recovered short burn")
+	}
+
+	// Advance past the long window too: everything expires.
+	clk.advance(2 * time.Hour)
+	tr.Observe("t", "c", true)
+	e = tr.Snapshot().Entries[0]
+	if e.Windows[1].Bad != 0 || e.Windows[1].Good != 1 {
+		t.Fatalf("long window after expiry = %+v", e.Windows[1])
+	}
+	// Lifetime counters never expire.
+	if e.Good != 11 || e.Bad != 10 {
+		t.Fatalf("lifetime = %d/%d, want 11/10", e.Good, e.Bad)
+	}
+}
+
+func TestSLOSnapshotOrdering(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(SLOConfig{Now: clk.now})
+	tr.Observe("zeta", "latency", true)
+	tr.Observe("acme", "throughput", true)
+	tr.Observe("acme", "latency", false)
+	st := tr.Snapshot()
+	want := []struct{ tenant, class string }{
+		{"acme", "latency"}, {"acme", "throughput"}, {"zeta", "latency"},
+	}
+	if len(st.Entries) != len(want) {
+		t.Fatalf("%d entries", len(st.Entries))
+	}
+	for i, w := range want {
+		if st.Entries[i].Tenant != w.tenant || st.Entries[i].Class != w.class {
+			t.Fatalf("entry %d = %s/%s, want %s/%s",
+				i, st.Entries[i].Tenant, st.Entries[i].Class, w.tenant, w.class)
+		}
+	}
+}
+
+func TestSLONilTracker(t *testing.T) {
+	var tr *Tracker
+	tr.Observe("t", "c", true)
+	tr.Instrument(metrics.NewRegistry())
+	if st := tr.Snapshot(); len(st.Entries) != 0 {
+		t.Fatalf("nil snapshot = %+v", st)
+	}
+}
+
+func TestSLODefaults(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{})
+	if tr.cfg.Objective != 0.99 || tr.cfg.Short != 5*time.Minute || tr.cfg.Long != time.Hour || tr.cfg.Buckets != 60 {
+		t.Fatalf("defaults = %+v", tr.cfg)
+	}
+}

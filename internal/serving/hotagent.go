@@ -53,8 +53,18 @@ type HotAgent struct {
 // a swap.
 func NewHotAgent(initial engine.Scheduler, version int) *HotAgent {
 	h := &HotAgent{}
+	stampPolicyVersion(initial, version)
 	h.cur.Store(&slot{sched: initial, version: version})
 	return h
+}
+
+// stampPolicyVersion pushes the policy-store version into schedulers
+// that record decision provenance (lsched.Agent, lsched.OnlineAgent),
+// so every flight-recorder entry names the checkpoint that produced it.
+func stampPolicyVersion(sched engine.Scheduler, version int) {
+	if s, ok := sched.(interface{ SetPolicyVersion(int) }); ok {
+		s.SetPolicyVersion(version)
+	}
 }
 
 // Instrument attaches the swap counter to a registry (nil is a no-op).
@@ -70,6 +80,7 @@ func (h *HotAgent) Instrument(reg *metrics.Registry) {
 // finish on the policy they started with, the next event runs the new
 // one.
 func (h *HotAgent) Install(sched engine.Scheduler, version int) {
+	stampPolicyVersion(sched, version)
 	h.cur.Store(&slot{sched: sched, version: version})
 	h.swaps.Add(1)
 	h.mSwaps.Inc()

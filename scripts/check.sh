@@ -23,9 +23,10 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/engine/ ./internal/exec/ ./internal/metrics/ ./internal/obs/ ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/ ./internal/frontdoor/"
+echo "== go test -race ./internal/engine/ ./internal/exec/ ./internal/metrics/ ./internal/obs/ ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/ ./internal/frontdoor/ ./internal/provenance/"
 go test -race ./internal/engine/ ./internal/exec/ ./internal/metrics/ ./internal/obs/ \
-  ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/ ./internal/frontdoor/
+  ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/ ./internal/frontdoor/ \
+  ./internal/provenance/
 
 echo "== go test -race -run TestTrainRollouts ./internal/lsched/"
 go test -race -run TestTrainRollouts ./internal/lsched/
@@ -38,6 +39,9 @@ go test -count=1 -run 'TestDifferential|TestProbePrefersBuildHashChild' ./intern
 
 echo "== front door smoke (conservation + overload regression, short)"
 go test -count=1 -short -run 'TestConservationUnderChurn|TestOverloadRegression' ./internal/frontdoor/
+
+echo "== drift-detector smoke (shifted feature stream trips the gauge, training stream stays quiet)"
+go test -count=1 -run 'TestDriftTripsOnShiftedStream|TestDriftQuietOnTrainingDistribution' ./internal/provenance/
 
 echo "== bench smoke (hot-path microbenchmarks compile and run once)"
 go test -run=NONE -bench=. -benchtime=1x -benchmem \
