@@ -49,6 +49,16 @@ func (w *Window) Observe(v float64) {
 // Count returns how many observations the window currently holds.
 func (w *Window) Count() int { return len(w.vals) }
 
+// Reset empties the window in place, keeping its backing array, so a
+// recycled estimator starts its next run from the prior without
+// re-allocating.
+func (w *Window) Reset() {
+	w.vals = w.vals[:0]
+	w.next = 0
+	w.full = false
+	w.seq = 0
+}
+
 // ordered returns the window's values oldest-first.
 func (w *Window) ordered() []float64 {
 	if !w.full {
@@ -120,6 +130,11 @@ type Estimator struct {
 	memPrior float64
 	dur      map[int]*Window
 	mem      map[int]*Window
+	// par tracks the recent intra-work-order morsel parallelism per key
+	// (see ObserveParallelism). Keys never observed have no entry and an
+	// implicit parallelism of 1, which keeps every pre-morsel behavior
+	// (and persisted policy compatibility) bit-identical.
+	par map[int]*Window
 	// Prediction-quality instruments (nil when metrics are disabled):
 	// at every completion the estimator scores the prediction it would
 	// have made for that work order against the measurement, before
@@ -136,6 +151,24 @@ func NewEstimator(k int, durPrior, memPrior float64) *Estimator {
 	return &Estimator{
 		k: k, durPrior: durPrior, memPrior: memPrior,
 		dur: make(map[int]*Window), mem: make(map[int]*Window),
+		par: make(map[int]*Window),
+	}
+}
+
+// Reset empties every window in place while keeping the per-key map
+// entries and window buffers. A reset estimator is observationally
+// identical to a fresh one (empty windows predict the prior), which is
+// what lets the live engine recycle estimators across runs without the
+// per-run window-allocation ladder.
+func (e *Estimator) Reset() {
+	for _, w := range e.dur {
+		w.Reset()
+	}
+	for _, w := range e.mem {
+		w.Reset()
+	}
+	for _, w := range e.par {
+		w.Reset()
 	}
 }
 
@@ -159,22 +192,62 @@ func (e *Estimator) Instrument(reg *metrics.Registry) {
 // learned scheduler's O-DUR/O-MEM features carry at that moment.
 func (e *Estimator) ObserveCompletion(opKey int, duration, memory float64) {
 	dw, mw := e.durWin(opKey), e.memWin(opKey)
+	pm := e.parMean(opKey)
 	if e.updates != nil {
-		derr := duration - dw.Predict()
+		derr := duration - dw.Predict()/pm
 		e.durErr.Observe(math.Abs(derr))
 		e.memErr.Observe(math.Abs(memory - mw.Predict()))
 		e.lastErr.Set(derr)
 		e.updates.Inc()
 	}
-	dw.Observe(duration)
+	// The duration window stores SERIAL work: a work order that ran as p
+	// concurrent morsels reports duration*p of work, and predictions
+	// divide back by the operator's recent parallelism. This keeps the
+	// regression's input stationary when the morsel driver's helper
+	// availability fluctuates between work orders of one operator —
+	// without it, wall durations alternating between split and unsplit
+	// executions read as noise and widen O-DUR error.
+	dw.Observe(duration * pm)
 	mw.Observe(memory)
+}
+
+// ObserveParallelism records the morsel parallelism one work order of
+// the operator actually achieved (1 = ran unsplit). The live engine
+// reports this from its morsel driver; simulated runs never call it,
+// leaving those keys at implicit parallelism 1.
+func (e *Estimator) ObserveParallelism(opKey int, p float64) {
+	if p < 1 {
+		p = 1
+	}
+	w, ok := e.par[opKey]
+	if !ok {
+		w = NewWindow(e.k, 1)
+		e.par[opKey] = w
+	}
+	w.Observe(p)
+}
+
+// parMean returns the operator's recent mean morsel parallelism, 1 when
+// never observed.
+func (e *Estimator) parMean(opKey int) float64 {
+	w, ok := e.par[opKey]
+	if !ok {
+		return 1
+	}
+	m := w.Mean()
+	if m < 1 {
+		return 1
+	}
+	return m
 }
 
 // EstimateDuration predicts the duration of the operator's next work
 // order (footnote 1's regression) multiplied by the remaining work-order
-// count, yielding the O-DUR feature.
+// count, yielding the O-DUR feature. The window's serial-work
+// prediction is scaled back to wall time by the operator's recent
+// morsel parallelism.
 func (e *Estimator) EstimateDuration(opKey, remainingWorkOrders int) float64 {
-	return e.durWin(opKey).Predict() * float64(remainingWorkOrders)
+	return e.durWin(opKey).Predict() / e.parMean(opKey) * float64(remainingWorkOrders)
 }
 
 // EstimateMemory is EstimateDuration's analogue for O-MEM.
@@ -206,7 +279,7 @@ func (e *Estimator) PredictTotals(ops []OpWork) (dur, mem float64) {
 		if u < 1 {
 			u = 1
 		}
-		dur += e.durWin(ow.Key).Predict() * float64(u)
+		dur += e.durWin(ow.Key).Predict() / e.parMean(ow.Key) * float64(u)
 		mem += e.memWin(ow.Key).Predict() * float64(u)
 	}
 	return dur, mem

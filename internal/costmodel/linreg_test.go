@@ -131,3 +131,55 @@ func TestPredictTotalsAggregatesPerKeyWindows(t *testing.T) {
 		t.Fatalf("prior fallback = (%v, %v), want (1, 0.5)", dur, mem)
 	}
 }
+
+// Morsel-aware O-DUR: the duration window stores serial work
+// (duration * parallelism) and predictions divide back by the
+// operator's recent parallelism, so wall estimates track wall time even
+// when work orders split into concurrent morsels — and operators that
+// never report parallelism behave exactly as before.
+func TestEstimatorMorselParallelismNormalization(t *testing.T) {
+	e := NewEstimator(4, 1, 1)
+	// Each work order carries 40 units of serial work but runs as 4
+	// concurrent morsels, finishing in 10 wall-seconds.
+	for i := 0; i < 4; i++ {
+		e.ObserveParallelism(1, 4)
+		e.ObserveCompletion(1, 10, 2)
+	}
+	if got := e.EstimateDuration(1, 2); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("normalized wall estimate %v, want 20", got)
+	}
+	dur, _ := e.PredictTotals([]OpWork{{Key: 1, Units: 2}})
+	if math.Abs(dur-20) > 1e-9 {
+		t.Fatalf("PredictTotals wall estimate %v, want 20", dur)
+	}
+	// A parallelism drop to 1 (no idle helpers anymore) scales the same
+	// serial work back up toward full wall duration.
+	for i := 0; i < 8; i++ {
+		e.ObserveParallelism(1, 1)
+	}
+	if got := e.EstimateDuration(1, 1); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("serial wall estimate %v, want 40", got)
+	}
+}
+
+func TestEstimatorWithoutParallelismUnchanged(t *testing.T) {
+	e := NewEstimator(4, 1, 1)
+	ref := NewEstimator(4, 1, 1)
+	for i := 0; i < 6; i++ {
+		d := float64(10 + i)
+		e.ObserveCompletion(3, d, 1)
+		ref.ObserveCompletion(3, d, 1)
+	}
+	// No ObserveParallelism calls: estimates must be bit-identical to
+	// the pre-morsel estimator for every remaining-work multiplier.
+	for _, rem := range []int{1, 2, 7} {
+		if e.EstimateDuration(3, rem) != ref.EstimateDuration(3, rem) {
+			t.Fatalf("parallelism-free estimate diverged at rem=%d", rem)
+		}
+	}
+	// Sub-1 and garbage parallelism observations clamp to 1.
+	e.ObserveParallelism(3, 0.25)
+	if e.EstimateDuration(3, 1) != ref.EstimateDuration(3, 1) {
+		t.Fatal("clamped parallelism should leave estimates unchanged")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/exec"
+	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
@@ -90,12 +91,41 @@ func requireBlocksEqual(t *testing.T, label string, a, b *storage.Block) {
 					t.Fatalf("%s: col %d row %d: %v vs %v", label, ci, r, av.Floats[r], bv.Floats[r])
 				}
 			case storage.StringCol:
-				if av.Strings[r] != bv.Strings[r] {
-					t.Fatalf("%s: col %d row %d: %q vs %q", label, ci, r, av.Strings[r], bv.Strings[r])
+				if as, bs := stringAt(av, r), stringAt(bv, r); as != bs {
+					t.Fatalf("%s: col %d row %d: %q vs %q", label, ci, r, as, bs)
 				}
 			}
 		}
 	}
+}
+
+// stringAt reads row r of a string column in either representation, so
+// block comparisons are indifferent to dictionary coding.
+func stringAt(v *storage.ColumnVector, r int) string {
+	if v.Strings != nil {
+		return v.Strings[r]
+	}
+	return v.Dict.Value(v.Codes[r])
+}
+
+// diffDict covers every tag value diffBlock emits; sharing one instance
+// across blocks mirrors the storage layer's per-relation dictionary.
+var diffDict = storage.NewDictionary([]string{"v0", "v1", "v2", "v3", "v4", "v5"})
+
+// encodeTagWith rewrites a diffBlock's tag column to dictionary codes
+// under the given dictionary, in place.
+func encodeTagWith(b *storage.Block, dict *storage.Dictionary) *storage.Block {
+	v := &b.Vectors[2]
+	codes := make([]int64, len(v.Strings))
+	for i, s := range v.Strings {
+		c, ok := dict.Code(s)
+		if !ok {
+			panic("encodeTagWith: tag value missing from dictionary")
+		}
+		codes[i] = c
+	}
+	v.Codes, v.Dict, v.Strings = codes, dict, nil
+	return b
 }
 
 // lastOutput pops the most recent output of an op state.
@@ -135,8 +165,8 @@ func TestDifferentialSelect(t *testing.T) {
 			p := singleOpPlan(op)
 			sLR, sSts := newDiffRun(true, p)
 			vLR, vSts := newDiffRun(false, p)
-			sKept := sLR.runSelect(op, sSts[op.ID], in)
-			vKept := vLR.runSelect(op, vSts[op.ID], in)
+			sKept := sLR.runSelect(nil, op, sSts[op.ID], in)
+			vKept := vLR.runSelect(nil, op, vSts[op.ID], in)
 			label := fmt.Sprintf("select pred#%d rows=%d", pi, rows)
 			if sKept != vKept {
 				t.Fatalf("%s: scalar kept %d, vector kept %d", label, sKept, vKept)
@@ -264,8 +294,8 @@ func TestDifferentialSort(t *testing.T) {
 		in := diffBlock(rng, rows)
 		sLR, sSts := newDiffRun(true, p)
 		vLR, vSts := newDiffRun(false, p)
-		sLR.runSort(op, sSts[op.ID], in)
-		vLR.runSort(op, vSts[op.ID], in)
+		sLR.runSort(nil, op, sSts[op.ID], in)
+		vLR.runSort(nil, op, vSts[op.ID], in)
 		// Exact order: duplicate keys are broken by row index on both
 		// paths, so the full permutation must agree.
 		requireBlocksEqual(t, fmt.Sprintf("sort rows=%d", rows),
@@ -294,7 +324,7 @@ func TestDifferentialFuzz(t *testing.T) {
 		selPlan := singleOpPlan(selOp)
 		sLR, sSts := newDiffRun(true, selPlan)
 		vLR, vSts := newDiffRun(false, selPlan)
-		if sk, vk := sLR.runSelect(selOp, sSts[0], in), vLR.runSelect(selOp, vSts[0], in); sk != vk {
+		if sk, vk := sLR.runSelect(nil, selOp, sSts[0], in), vLR.runSelect(nil, selOp, vSts[0], in); sk != vk {
 			t.Fatalf("round %d: select kept %d vs %d", round, sk, vk)
 		}
 		requireBlocksEqual(t, fmt.Sprintf("fuzz select %d", round), lastOutput(sSts[0]), lastOutput(vSts[0]))
@@ -335,8 +365,8 @@ func TestDifferentialFuzz(t *testing.T) {
 		sortPlan := singleOpPlan(sortOp)
 		sS, sSSts := newDiffRun(true, sortPlan)
 		vS, vSSts := newDiffRun(false, sortPlan)
-		sS.runSort(sortOp, sSSts[0], in)
-		vS.runSort(sortOp, vSSts[0], in)
+		sS.runSort(nil, sortOp, sSSts[0], in)
+		vS.runSort(nil, sortOp, vSSts[0], in)
 		requireBlocksEqual(t, fmt.Sprintf("fuzz sort %d", round), lastOutput(sSSts[0]), lastOutput(vSSts[0]))
 	}
 }
@@ -382,5 +412,268 @@ func TestProbePrefersBuildHashChild(t *testing.T) {
 				t.Fatalf("probe matched %d of %d rows: build-side child selection picked the wrong child", matched, len(keys))
 			}
 		})
+	}
+}
+
+// --- Wave-2 differentials: dictionary strings, radix probe, morsels,
+// fusion. Same contract as above: scalar and vector paths must agree
+// exactly, for any morsel count.
+
+func TestDifferentialSelectDictString(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for _, operand := range []string{"v3", "v0", "zzz"} {
+		for _, rows := range []int{0, 1, 257, 1000} {
+			in := encodeTagWith(diffBlock(rng, rows), diffDict)
+			op := &plan.Operator{Type: plan.Select, Pred: plan.Predicate{Kind: plan.PredStringEq, Column: "tag", SOperand: operand}}
+			p := singleOpPlan(op)
+			sLR, sSts := newDiffRun(true, p)
+			vLR, vSts := newDiffRun(false, p)
+			sKept := sLR.runSelect(nil, op, sSts[op.ID], in)
+			vKept := vLR.runSelect(nil, op, vSts[op.ID], in)
+			label := fmt.Sprintf("dict select %q rows=%d", operand, rows)
+			if sKept != vKept {
+				t.Fatalf("%s: scalar kept %d, vector kept %d", label, sKept, vKept)
+			}
+			requireBlocksEqual(t, label, lastOutput(sSts[op.ID]), lastOutput(vSts[op.ID]))
+		}
+	}
+}
+
+func TestDifferentialSortDictKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	op := &plan.Operator{Type: plan.Sort, Columns: []string{"tag"}}
+	p := singleOpPlan(op)
+	for _, rows := range []int{0, 1, 2, 100, 1000} {
+		in := encodeTagWith(diffBlock(rng, rows), diffDict)
+		sLR, sSts := newDiffRun(true, p)
+		vLR, vSts := newDiffRun(false, p)
+		sLR.runSort(nil, op, sSts[op.ID], in)
+		vLR.runSort(nil, op, vSts[op.ID], in)
+		// The scalar path compares decoded strings, the vector path sorts
+		// codes; the dictionary is sorted, so the exact permutation
+		// (including row-index tie-breaks) must agree.
+		requireBlocksEqual(t, fmt.Sprintf("dict sort rows=%d", rows),
+			lastOutput(sSts[op.ID]), lastOutput(vSts[op.ID]))
+	}
+}
+
+// dictJoinPlan is joinDiffPlan keyed on the string tag column.
+func dictJoinPlan() (*plan.Plan, *plan.Operator, *plan.Operator) {
+	b := plan.NewBuilder("diff-join-dict")
+	scan := b.Add(&plan.Operator{Type: plan.TableScan, InputRelations: []string{"diff"}})
+	build := b.Add(&plan.Operator{Type: plan.BuildHash, Columns: []string{"tag"}})
+	b.ConnectAuto(scan, build)
+	probe := b.Add(&plan.Operator{Type: plan.ProbeHash, Columns: []string{"tag"}})
+	b.Connect(build, probe, false)
+	return b.MustBuild(), build, probe
+}
+
+func TestDifferentialBuildProbeDictKey(t *testing.T) {
+	// probeDict deliberately assigns different codes to the same tag
+	// values (extra entries shift every shared value's code), so a probe
+	// comparing raw codes across dictionaries would match the wrong rows.
+	probeDict := storage.NewDictionary([]string{"a0", "v0", "v1", "v2", "v3", "v4", "v5", "zz"})
+	rng := rand.New(rand.NewSource(707))
+	for round := 0; round < 10; round++ {
+		for _, pd := range []*storage.Dictionary{diffDict, probeDict} {
+			p, buildOp, probeOp := dictJoinPlan()
+			sLR, sSts := newDiffRun(true, p)
+			vLR, vSts := newDiffRun(false, p)
+			q := newQueryState(0, p, 0)
+			for b := 0; b < 1+rng.Intn(3); b++ {
+				blk := encodeTagWith(diffBlock(rng, rng.Intn(400)), diffDict)
+				// Drop some tag values from the build side so probes miss.
+				for i := range blk.Vectors[2].Codes {
+					if blk.Vectors[2].Codes[i] >= 4 {
+						blk.Vectors[2].Codes[i] = 0
+					}
+				}
+				sLR.runBuild(buildOp, sSts[buildOp.ID], blk)
+				vLR.runBuild(buildOp, vSts[buildOp.ID], blk)
+			}
+			probeBlk := encodeTagWith(diffBlock(rng, rng.Intn(400)), pd)
+			sm := sLR.runProbe(q, probeOp, sSts[probeOp.ID], probeBlk)
+			vm := vLR.runProbe(q, probeOp, vSts[probeOp.ID], probeBlk)
+			label := fmt.Sprintf("dict probe round %d shared=%v", round, pd == diffDict)
+			if sm != vm {
+				t.Fatalf("%s: scalar matched %d, vector matched %d", label, sm, vm)
+			}
+			requireBlocksEqual(t, label, lastOutput(sSts[probeOp.ID]), lastOutput(vSts[probeOp.ID]))
+		}
+	}
+}
+
+// TestDifferentialProbePartitioned pushes the probe batch past
+// partitionedProbeMin so the vector path takes the radix-partitioned
+// probe, and compares it against the scalar map probe.
+func TestDifferentialProbePartitioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	p, buildOp, probeOp := joinDiffPlan()
+	sLR, sSts := newDiffRun(true, p)
+	vLR, vSts := newDiffRun(false, p)
+	q := newQueryState(0, p, 0)
+	buildBlk := diffBlock(rng, 2000)
+	sLR.runBuild(buildOp, sSts[buildOp.ID], buildBlk)
+	vLR.runBuild(buildOp, vSts[buildOp.ID], buildBlk)
+	probeBlk := diffBlock(rng, 6000)
+	for i := range probeBlk.Vectors[0].Ints {
+		if rng.Intn(3) == 0 {
+			probeBlk.Vectors[0].Ints[i] = int64(1000 + rng.Intn(100))
+		}
+	}
+	sm := sLR.runProbe(q, probeOp, sSts[probeOp.ID], probeBlk)
+	vm := vLR.runProbe(q, probeOp, vSts[probeOp.ID], probeBlk)
+	if sm != vm {
+		t.Fatalf("partitioned probe: scalar matched %d, vector matched %d", sm, vm)
+	}
+	requireBlocksEqual(t, "partitioned probe", lastOutput(sSts[probeOp.ID]), lastOutput(vSts[probeOp.ID]))
+}
+
+// newMorselRun builds a bare vector-path liveRun with morsel splitting
+// forced on: a bound of morsels and a gate holding helpers tokens.
+func newMorselRun(p *plan.Plan, morsels, helpers int) (*liveRun, []*liveOpState) {
+	lr, sts := newDiffRun(false, p)
+	lr.morsels = morsels
+	lr.morselGate = make(chan struct{}, helpers)
+	for i := 0; i < helpers; i++ {
+		lr.morselGate <- struct{}{}
+	}
+	lr.morselSplits = &metrics.Counter{}
+	lr.morselHelpers = &metrics.Counter{}
+	return lr, sts
+}
+
+// TestDifferentialMorsels runs large select, probe, and sort work
+// orders split across concurrent morsels and requires bit-identical
+// output to the scalar path — including sort tie-breaks across morsel
+// boundaries (diffBlock has 40 distinct keys over 40000 rows, so every
+// key's run of duplicates spans several morsel ranges).
+func TestDifferentialMorsels(t *testing.T) {
+	const rows = 40000
+	rng := rand.New(rand.NewSource(909))
+	in := diffBlock(rng, rows)
+
+	selOp := &plan.Operator{Type: plan.Select, Pred: plan.Predicate{Kind: plan.PredIntLess, Column: "key", Operand: 60}}
+	selPlan := singleOpPlan(selOp)
+	sLR, sSts := newDiffRun(true, selPlan)
+	mLR, mSts := newMorselRun(selPlan, 4, 3)
+	if sk, mk := sLR.runSelect(nil, selOp, sSts[0], in), mLR.runSelect(nil, selOp, mSts[0], in); sk != mk {
+		t.Fatalf("morsel select kept %d, scalar kept %d", mk, sk)
+	}
+	requireBlocksEqual(t, "morsel select", lastOutput(sSts[0]), lastOutput(mSts[0]))
+	if mLR.morselSplits.Value() == 0 {
+		t.Fatal("morsel select did not split: the differential exercised nothing")
+	}
+
+	jp, buildOp, probeOp := joinDiffPlan()
+	sJ, sJSts := newDiffRun(true, jp)
+	mJ, mJSts := newMorselRun(jp, 4, 3)
+	jq := newQueryState(0, jp, 0)
+	buildBlk := diffBlock(rng, 1500)
+	sJ.runBuild(buildOp, sJSts[buildOp.ID], buildBlk)
+	mJ.runBuild(buildOp, mJSts[buildOp.ID], buildBlk)
+	if sm, mm := sJ.runProbe(jq, probeOp, sJSts[probeOp.ID], in), mJ.runProbe(jq, probeOp, mJSts[probeOp.ID], in); sm != mm {
+		t.Fatalf("morsel probe matched %d, scalar matched %d", mm, sm)
+	}
+	requireBlocksEqual(t, "morsel probe", lastOutput(sJSts[probeOp.ID]), lastOutput(mJSts[probeOp.ID]))
+
+	sortOp := &plan.Operator{Type: plan.Sort, Columns: []string{"key"}}
+	sortPlan := singleOpPlan(sortOp)
+	sS, sSSts := newDiffRun(true, sortPlan)
+	for _, helpers := range []int{1, 2, 3} {
+		mS, mSSts := newMorselRun(sortPlan, 4, helpers)
+		sS.runSort(nil, sortOp, sSSts[0], in)
+		mS.runSort(nil, sortOp, mSSts[0], in)
+		requireBlocksEqual(t, fmt.Sprintf("morsel sort helpers=%d", helpers),
+			lastOutput(sSSts[0]), lastOutput(mSSts[0]))
+	}
+}
+
+// TestDifferentialFusedSelect pins the fusion decision and its
+// semantics: a select feeding a sole Aggregate parent emits only the
+// aggregate's key column, and the aggregate result over the slim
+// blocks matches the scalar pipeline over full-width blocks. A select
+// feeding a BuildHash whose probe draws its main input from the build
+// must NOT fuse (the probe would read the slimmed block as its input).
+func TestDifferentialFusedSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	in := diffBlock(rng, 2000)
+
+	b := plan.NewBuilder("fused-agg")
+	scan := b.Add(&plan.Operator{Type: plan.TableScan, InputRelations: []string{"diff"}})
+	selOp := b.Add(&plan.Operator{Type: plan.Select, Pred: plan.Predicate{Kind: plan.PredIntLess, Column: "key", Operand: 60}})
+	b.ConnectAuto(scan, selOp)
+	aggOp := b.Add(&plan.Operator{Type: plan.Aggregate, Columns: []string{"key"}})
+	b.ConnectAuto(selOp, aggOp)
+	finOp := b.Add(&plan.Operator{Type: plan.FinalizeAggregate})
+	b.ConnectAuto(aggOp, finOp)
+	p := b.MustBuild()
+
+	sLR, sSts := newDiffRun(true, p)
+	vLR, vSts := newDiffRun(false, p)
+	// Fusion needs the engine's schema cache; wire a Live into the bare run.
+	vLR.live = NewLive(nil, LiveConfig{Threads: 1})
+	q := newQueryState(0, p, 0)
+
+	sKept := sLR.runSelect(nil, selOp, sSts[selOp.ID], in)
+	vKept := vLR.runSelect(nil, selOp, vSts[selOp.ID], in)
+	if sKept != vKept {
+		t.Fatalf("fused select kept %d, scalar kept %d", vKept, sKept)
+	}
+	slim := lastOutput(vSts[selOp.ID])
+	if slim.Schema.NumColumns() != 1 {
+		t.Fatalf("select feeding a sole aggregate emitted %d columns, want fused single column", slim.Schema.NumColumns())
+	}
+	sLR.runAggregate(aggOp, sSts[aggOp.ID], lastOutput(sSts[selOp.ID]))
+	vLR.runAggregate(aggOp, vSts[aggOp.ID], slim)
+	sLR.runFinalize(q, finOp, sSts[finOp.ID])
+	vLR.runFinalize(q, finOp, vSts[finOp.ID])
+	sM := groupsOf(t, lastOutput(sSts[finOp.ID]))
+	vM := groupsOf(t, lastOutput(vSts[finOp.ID]))
+	if len(sM) != len(vM) {
+		t.Fatalf("fused pipeline: %d vs %d groups", len(vM), len(sM))
+	}
+	for k, v := range sM {
+		if vM[k] != v {
+			t.Fatalf("fused pipeline: group %d = %v vector, %v scalar", k, vM[k], v)
+		}
+	}
+
+	// Unsafe shape: probe's main (last) child is the build, so the probe
+	// would draw the select's slimmed block as its input. Must stay wide.
+	b2 := plan.NewBuilder("unfusable-build")
+	scan2 := b2.Add(&plan.Operator{Type: plan.TableScan, InputRelations: []string{"diff"}})
+	sel2 := b2.Add(&plan.Operator{Type: plan.Select, Pred: plan.Predicate{Kind: plan.PredIntLess, Column: "key", Operand: 60}})
+	b2.ConnectAuto(scan2, sel2)
+	build2 := b2.Add(&plan.Operator{Type: plan.BuildHash, Columns: []string{"key"}})
+	b2.ConnectAuto(sel2, build2)
+	probe2 := b2.Add(&plan.Operator{Type: plan.ProbeHash, Columns: []string{"key"}})
+	b2.Connect(build2, probe2, false)
+	p2 := b2.MustBuild()
+	uLR, uSts := newDiffRun(false, p2)
+	uLR.live = vLR.live
+	uLR.runSelect(nil, sel2, uSts[sel2.ID], in)
+	if got := lastOutput(uSts[sel2.ID]).Schema.NumColumns(); got != in.Schema.NumColumns() {
+		t.Fatalf("select feeding a probed build emitted %d columns, want unfused %d", got, in.Schema.NumColumns())
+	}
+
+	// Safe build shape: the probe draws its main input elsewhere (the
+	// build connects first), so the select→build edge may slim.
+	b3 := plan.NewBuilder("fusable-build")
+	scan3 := b3.Add(&plan.Operator{Type: plan.TableScan, InputRelations: []string{"diff"}})
+	sel3 := b3.Add(&plan.Operator{Type: plan.Select, Pred: plan.Predicate{Kind: plan.PredIntLess, Column: "key", Operand: 60}})
+	b3.ConnectAuto(scan3, sel3)
+	build3 := b3.Add(&plan.Operator{Type: plan.BuildHash, Columns: []string{"key"}})
+	b3.ConnectAuto(sel3, build3)
+	scanP := b3.Add(&plan.Operator{Type: plan.TableScan, InputRelations: []string{"probe"}})
+	probe3 := b3.Add(&plan.Operator{Type: plan.ProbeHash, Columns: []string{"key"}})
+	b3.Connect(build3, probe3, false)
+	b3.ConnectAuto(scanP, probe3)
+	p3 := b3.MustBuild()
+	fLR, fSts := newDiffRun(false, p3)
+	fLR.live = vLR.live
+	fLR.runSelect(nil, sel3, fSts[sel3.ID], in)
+	if got := lastOutput(fSts[sel3.ID]).Schema.NumColumns(); got != 1 {
+		t.Fatalf("select feeding an un-probed build emitted %d columns, want fused single column", got)
 	}
 }

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/costmodel"
 	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/plan"
@@ -20,8 +22,13 @@ import (
 // table, and durations are measured wall-clock.
 //
 // Work orders run on the vectorized kernels of internal/exec by
-// default: typed branch-hoisted selection, open-addressing hash tables
-// with batch probe, pooled-block gather, and a key-extracted sort. The
+// default: typed branch-hoisted selection, radix-partitioned
+// open-addressing hash tables with batch probe, dictionary-coded string
+// columns that run through the integer kernels, pooled-block gather,
+// and a radix sort on the key-extracted path. A Select whose sole
+// consumer is a blocking operator fuses its projection into that
+// consumer's input column, and large work orders split into row-range
+// morsels that soak up idle worker threads (see live_morsel.go). The
 // pre-vectorization scalar per-row path is retained behind
 // LiveConfig.ScalarKernels for honest A/B benchmarking and the
 // scalar/vector differential tests (mirroring the agent's
@@ -29,9 +36,47 @@ import (
 //
 // The engine executes one workload per Run call. Queries arrive on the
 // wall clock according to their Arrival offsets (scaled by TimeScale).
+// Live keeps its block pool and scratch buffers across Run calls so
+// steady-state serving reaches a near-zero per-query allocation rate;
+// all of that shared state is mutex- or sync.Pool-guarded, which is
+// what keeps concurrent RunOne calls from independent executor workers
+// safe.
 type Live struct {
 	cfg     LiveConfig
 	catalog *storage.Catalog
+	// pool recycles materialized output blocks across work orders and
+	// across runs.
+	pool *exec.BlockPool
+	// scratch holds per-worker *exec.Scratch buffers (selection
+	// vectors, sort pairs, probe marks) reused across runs.
+	scratch sync.Pool
+	// aggTables recycles grouped-aggregate hash tables across queries:
+	// a completed query's table is Reset (capacity kept) and handed to
+	// the next query's Aggregate operator, so steady-state serving
+	// skips the grow-from-minimum ladder entirely.
+	aggTables sync.Pool
+	// estimators recycles Reset cost estimators across Run calls, so
+	// the per-opKey windows (and their backing arrays) are allocated
+	// once, not per run. Each Run draws its own, keeping concurrent
+	// RunOne calls isolated.
+	estimators sync.Pool
+	// opFree recycles per-query op-state slices (and the structs in
+	// them) across query completions.
+	opMu   sync.Mutex
+	opFree [][]*liveOpState
+	// morsels is the resolved per-work-order split bound (1 = off).
+	morsels int
+	// fused caches the single-column projection schemas the fused
+	// select path emits, keyed by (input schema, column); schemas must
+	// be pointer-stable because the block pool keys free lists by
+	// schema pointer.
+	fmu   sync.Mutex
+	fused map[fusedKey]*storage.Schema
+}
+
+type fusedKey struct {
+	schema *storage.Schema
+	col    int
 }
 
 // LiveConfig configures a live engine.
@@ -46,6 +91,13 @@ type LiveConfig struct {
 	// vectorized kernels — the pre-optimization baseline kept in-tree
 	// for A/B benchmarks and differential tests.
 	ScalarKernels bool
+	// Morsels bounds how many row-range morsels one large work order
+	// may split into to recruit idle workers: 0 resolves to
+	// min(4, Threads, GOMAXPROCS), 1 disables splitting, larger values
+	// are clamped to the engine's fixed per-work-order fan-out bound.
+	// Splitting never changes results — morsel outputs are stitched
+	// back in row order (see live_morsel.go).
+	Morsels int
 	// Metrics, when non-nil, receives the engine's counters and latency
 	// histograms plus the live executor's own wall-clock instruments.
 	// Worker goroutines update them concurrently, so the registry's
@@ -63,7 +115,46 @@ func NewLive(catalog *storage.Catalog, cfg LiveConfig) *Live {
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = 1
 	}
-	return &Live{cfg: cfg, catalog: catalog}
+	m := cfg.Morsels
+	if m <= 0 {
+		m = cfg.Threads
+		if p := runtime.GOMAXPROCS(0); p < m {
+			m = p
+		}
+		if m > 4 {
+			m = 4
+		}
+	}
+	if m > maxMorselParts {
+		m = maxMorselParts
+	}
+	lv := &Live{
+		cfg:     cfg,
+		catalog: catalog,
+		pool:    exec.NewBlockPool(),
+		morsels: m,
+		fused:   make(map[fusedKey]*storage.Schema),
+	}
+	// Registry lookups are nil-safe: with metrics disabled these are
+	// nil instruments whose operations no-op.
+	reg := cfg.Metrics
+	lv.pool.Instrument(reg.Counter("live_block_pool_hits"), reg.Counter("live_block_pool_misses"))
+	return lv
+}
+
+// fusedSchema returns the cached single-column schema for the fused
+// select→consumer path, creating it on first use. Caching keeps the
+// schema pointer stable so pooled fused blocks recycle.
+func (lv *Live) fusedSchema(s *storage.Schema, col int) *storage.Schema {
+	key := fusedKey{schema: s, col: col}
+	lv.fmu.Lock()
+	defer lv.fmu.Unlock()
+	if sc, ok := lv.fused[key]; ok {
+		return sc
+	}
+	sc := storage.MustSchema(s.Columns[col])
+	lv.fused[key] = sc
+	return sc
 }
 
 // liveOpState is the execution-time state of one operator.
@@ -73,10 +164,13 @@ type liveOpState struct {
 	// parents.
 	outputs []*storage.Block
 	// hash is the BuildHash result shared with ProbeHash parents
-	// (scalar path).
+	// (scalar path, integer keys).
 	hash map[int64]int
+	// hashStr is the scalar-path build table for string join keys: the
+	// pre-dictionary engine hashed the strings themselves.
+	hashStr map[string]int
 	// vhash is the BuildHash result on the vectorized path.
-	vhash *exec.CountTable
+	vhash *exec.RadixTable
 	// aggState accumulates partial aggregates (scalar path).
 	aggState map[int64]float64
 	// vagg accumulates partial aggregates on the vectorized path.
@@ -121,10 +215,12 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 	// executed and its measured wall time becomes the virtual duration.
 	// This keeps scheduling semantics identical across engines.
 	ls := &liveRun{
-		live:   lv,
-		scalar: lv.cfg.ScalarKernels,
-		pool:   exec.NewBlockPool(),
-		states: make(map[int][]*liveOpState),
+		live:    lv,
+		scalar:  lv.cfg.ScalarKernels,
+		pool:    lv.pool,
+		scratch: &lv.scratch,
+		morsels: lv.morsels,
+		states:  make(map[int][]*liveOpState),
 		result: &LiveResult{
 			Durations:   make(map[int]float64),
 			OpDurations: make(map[plan.OpType]float64),
@@ -132,6 +228,17 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 			OutputRows:  make(map[int]int),
 		},
 		opCounts: make(map[plan.OpType]int),
+	}
+	if ls.scalar {
+		ls.morsels = 1
+	}
+	if ls.morsels > 1 && lv.cfg.Threads > 1 {
+		// Helper tokens: a splitting work order may borrow up to
+		// Threads-1 extra goroutines beyond the one it runs on.
+		ls.morselGate = make(chan struct{}, lv.cfg.Threads-1)
+		for i := 0; i < lv.cfg.Threads-1; i++ {
+			ls.morselGate <- struct{}{}
+		}
 	}
 	reg := lv.cfg.Metrics
 	if reg != nil {
@@ -142,7 +249,6 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 	}
 	// Registry lookups are nil-safe: with metrics disabled these are
 	// nil instruments whose operations no-op.
-	ls.pool.Instrument(reg.Counter("live_block_pool_hits"), reg.Counter("live_block_pool_misses"))
 	ls.kernels = kernelCounters{
 		sel:         reg.Counter("live_kernel_wo_select"),
 		build:       reg.Counter("live_kernel_wo_build"),
@@ -152,9 +258,16 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 		passthrough: reg.Counter("live_kernel_wo_passthrough"),
 		finalize:    reg.Counter("live_kernel_wo_finalize"),
 	}
-	cfg := SimConfig{Threads: lv.cfg.Threads, Seed: 1, Metrics: lv.cfg.Metrics, Trace: lv.cfg.Trace}
+	ls.morselSplits = reg.Counter("live_morsel_splits")
+	ls.morselHelpers = reg.Counter("live_morsel_helpers")
+	est, _ := lv.estimators.Get().(*costmodel.Estimator)
+	cfg := SimConfig{Threads: lv.cfg.Threads, Seed: 1, Metrics: lv.cfg.Metrics, Trace: lv.cfg.Trace, Estimator: est}
 	sim := NewSim(cfg)
 	sim.executeHook = ls.execute
+	// The morsel driver reports achieved parallelism into the sim's
+	// estimator so O-DUR predictions stay in wall-clock units (see
+	// costmodel.ObserveParallelism).
+	ls.estimator = sim.State().Estimator
 	// Recycle a query's pooled blocks the moment it completes; the live
 	// engine owns this sim, so the observer slot is free. Schedulers
 	// that observe lifecycles themselves are forwarded to.
@@ -167,6 +280,10 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 		scaled[i] = Arrival{Plan: a.Plan, At: a.At * lv.cfg.TimeScale}
 	}
 	res, err := sim.Run(sched, scaled)
+	// The sim (and the liveRun holding ls.estimator) is dead either
+	// way, so its estimator goes back to the pool for the next run.
+	sim.State().Estimator.Reset()
+	lv.estimators.Put(sim.State().Estimator)
 	if err != nil {
 		return nil, err
 	}
@@ -186,9 +303,10 @@ func (lv *Live) Run(sched Scheduler, arrivals []Arrival) (*LiveResult, error) {
 
 // RunOne executes a single plan arriving immediately — the unit of work
 // a query front door dispatches per admitted request. The plan is
-// cloned first, so shared templates can be submitted concurrently; Live
-// itself is stateless across Run calls, which is what makes concurrent
-// RunOne calls from independent executor workers safe.
+// cloned first, so shared templates can be submitted concurrently; the
+// state Live carries across Run calls (block pool, scratch buffers,
+// fused-schema cache) is concurrency-safe, which is what makes
+// concurrent RunOne calls from independent executor workers safe.
 func (lv *Live) RunOne(sched Scheduler, p *plan.Plan) (*LiveResult, error) {
 	return lv.Run(sched, []Arrival{{Plan: p.Clone(), At: 0}})
 }
@@ -206,8 +324,18 @@ type liveRun struct {
 	pool *exec.BlockPool
 	// scratch holds per-worker *exec.Scratch buffers (selection
 	// vectors, sort pairs); sync.Pool gives each concurrently executing
-	// work order its own.
-	scratch   sync.Pool
+	// work order (and each morsel helper) its own. nil (in bare test
+	// constructions) degrades to per-call allocation.
+	scratch *sync.Pool
+	// morsels bounds the per-work-order split fan-out (1 = off).
+	morsels int
+	// morselGate holds one token per borrowable helper thread; nil when
+	// morsels are off, which the acquire path treats as "no helpers".
+	morselGate chan struct{}
+	// estimator receives achieved morsel parallelism (estMu-guarded:
+	// worker goroutines report concurrently). nil in bare tests.
+	estimator *costmodel.Estimator
+	estMu     sync.Mutex
 	mu        sync.Mutex
 	states    map[int][]*liveOpState
 	result    *LiveResult
@@ -217,9 +345,11 @@ type liveRun struct {
 	// executed counts work orders from inside the worker goroutines; a
 	// lossless, race-safe instrumentation ends a run with this equal to
 	// LiveResult.WorkOrders.
-	executed    *metrics.Counter
-	wallLatency [plan.NumOpTypes]*metrics.Histogram
-	kernels     kernelCounters
+	executed      *metrics.Counter
+	wallLatency   [plan.NumOpTypes]*metrics.Histogram
+	kernels       kernelCounters
+	morselSplits  *metrics.Counter
+	morselHelpers *metrics.Counter
 	// observer forwards query completions to the run's scheduler when
 	// it observes lifecycles (e.g. to join flight-recorder entries to
 	// outcomes); the live engine itself owns the sim's observer slot.
@@ -238,13 +368,75 @@ func (lr *liveRun) opState(queryID, opID int) *liveOpState {
 // getScratch borrows a per-worker scratch buffer; callers must return
 // it with putScratch once the work order's kernels are done with it.
 func (lr *liveRun) getScratch() *exec.Scratch {
-	if s, ok := lr.scratch.Get().(*exec.Scratch); ok {
-		return s
+	if lr.scratch != nil {
+		if s, ok := lr.scratch.Get().(*exec.Scratch); ok {
+			return s
+		}
 	}
 	return &exec.Scratch{}
 }
 
-func (lr *liveRun) putScratch(s *exec.Scratch) { lr.scratch.Put(s) }
+func (lr *liveRun) putScratch(s *exec.Scratch) {
+	if lr.scratch != nil {
+		lr.scratch.Put(s)
+	}
+}
+
+// getAggTable draws a recycled grouped-aggregate table from the owning
+// Live (bare test runs allocate fresh ones).
+func (lr *liveRun) getAggTable() *exec.SumTable {
+	if lr.live != nil {
+		if t, ok := lr.live.aggTables.Get().(*exec.SumTable); ok {
+			return t
+		}
+	}
+	return exec.NewSumTable(0)
+}
+
+// getOpStates draws a recycled per-query op-state slice from the owning
+// Live, re-using the structs left in it by completed queries; bare test
+// runs allocate fresh ones. Called with lr.mu held.
+func (lr *liveRun) getOpStates(n int) []*liveOpState {
+	var sts []*liveOpState
+	if lr.live != nil {
+		lr.live.opMu.Lock()
+		if k := len(lr.live.opFree); k > 0 {
+			sts = lr.live.opFree[k-1][:0]
+			lr.live.opFree = lr.live.opFree[:k-1]
+		}
+		lr.live.opMu.Unlock()
+	}
+	for len(sts) < n && len(sts) < cap(sts) {
+		sts = sts[:len(sts)+1]
+		if sts[len(sts)-1] == nil {
+			sts[len(sts)-1] = &liveOpState{}
+		}
+	}
+	for len(sts) < n {
+		sts = append(sts, &liveOpState{})
+	}
+	return sts
+}
+
+// putOpStates resets a completed query's op states (keeping their
+// slice capacities) and parks the slice for the next query.
+func (lr *liveRun) putOpStates(sts []*liveOpState) {
+	if lr.live == nil {
+		return
+	}
+	for _, st := range sts {
+		st.outputs = st.outputs[:0]
+		st.pooled = st.pooled[:0]
+		st.hash = nil
+		st.hashStr = nil
+		st.vhash = nil
+		st.aggState = nil
+		st.vagg = nil
+	}
+	lr.live.opMu.Lock()
+	lr.live.opFree = append(lr.live.opFree, sts)
+	lr.live.opMu.Unlock()
+}
 
 // QueryCompleted implements QueryObserver: once a query finishes, no
 // work order can reference its intermediate blocks anymore, so its
@@ -260,11 +452,19 @@ func (lr *liveRun) QueryCompleted(queryID int, arrival, completion float64) {
 		st.mu.Lock()
 		pooled := st.pooled
 		st.pooled = nil
+		vagg := st.vagg
+		st.vagg = nil
 		st.mu.Unlock()
 		for _, b := range pooled {
 			lr.pool.Put(b)
 		}
+		st.pooled = pooled[:0] // keep the slice capacity for the next query
+		if vagg != nil && lr.live != nil {
+			vagg.Reset()
+			lr.live.aggTables.Put(vagg)
+		}
 	}
+	lr.putOpStates(sts)
 	if lr.observer != nil {
 		lr.observer.QueryCompleted(queryID, arrival, completion)
 	}
@@ -277,10 +477,7 @@ func (lr *liveRun) execute(q *QueryState, os *OpState, wo WorkOrder) (dur, mem f
 	lr.mu.Lock()
 	sts, ok := lr.states[q.ID]
 	if !ok {
-		sts = make([]*liveOpState, len(q.Plan.Ops))
-		for i := range sts {
-			sts[i] = &liveOpState{}
-		}
+		sts = lr.getOpStates(len(q.Plan.Ops))
 		lr.states[q.ID] = sts
 	}
 	if lr.opTotals == nil {
@@ -333,9 +530,40 @@ func (lr *liveRun) inputBlock(q *QueryState, op *plan.Operator, st *liveOpState,
 	return cs.outputs[idx%len(cs.outputs)]
 }
 
-// keyColumn picks the operator's key column index in a block (first
-// declared column present, else the first int column).
+// keyColumn picks the operator's key column index in a block: the first
+// declared column present that the kernels can key on (an int column,
+// or a dictionary-coded string column whose codes preserve string
+// order), else the first such column in the schema.
 func keyColumn(op *plan.Operator, b *storage.Block) int {
+	keyable := func(i int) bool {
+		switch b.Schema.Columns[i].Type {
+		case storage.Int64Col:
+			return true
+		case storage.StringCol:
+			v := &b.Vectors[i]
+			return v.Codes != nil && v.Dict != nil
+		}
+		return false
+	}
+	for _, c := range op.Columns {
+		if i := b.Schema.ColumnIndex(c); i >= 0 && keyable(i) {
+			return i
+		}
+	}
+	for i := range b.Schema.Columns {
+		if keyable(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// intKeyColumn is keyColumn restricted to integer columns. The
+// selectivity fallback in selectPredicate realizes its estimate as an
+// integer range filter, which has no meaning over dictionary codes —
+// restricting it keeps the fallback's behavior identical to the
+// pre-dictionary engine (pass through blocks with no int column).
+func intKeyColumn(op *plan.Operator, b *storage.Block) int {
 	for _, c := range op.Columns {
 		if i := b.Schema.ColumnIndex(c); i >= 0 && b.Schema.Columns[i].Type == storage.Int64Col {
 			return i
@@ -347,6 +575,21 @@ func keyColumn(op *plan.Operator, b *storage.Block) int {
 		}
 	}
 	return -1
+}
+
+// keyVec returns the int64 key vector of a keyColumn pick: the Ints of
+// an integer column, or the Codes of a dictionary-coded string column
+// (with its dictionary). The dictionary is sorted, so code order is
+// string order and the integer kernels compute string semantics.
+func keyVec(b *storage.Block, col int) ([]int64, *storage.Dictionary) {
+	v := &b.Vectors[col]
+	if v.Ints != nil {
+		return v.Ints, nil
+	}
+	if v.Codes != nil && v.Dict != nil {
+		return v.Codes, v.Dict
+	}
+	return nil, nil
 }
 
 // runWorkOrder executes one (operator, block) unit and returns the rows
@@ -381,7 +624,7 @@ func (lr *liveRun) runWorkOrder(q *QueryState, op *plan.Operator, st *liveOpStat
 	}
 	switch op.Type {
 	case plan.Select:
-		return lr.runSelect(op, st, in)
+		return lr.runSelect(q, op, st, in)
 	case plan.BuildHash:
 		return lr.runBuild(op, st, in)
 	case plan.ProbeHash, plan.IndexNestedLoopJoin, plan.MergeJoin, plan.NestedLoopJoin:
@@ -389,7 +632,7 @@ func (lr *liveRun) runWorkOrder(q *QueryState, op *plan.Operator, st *liveOpStat
 	case plan.Aggregate, plan.Distinct, plan.Window:
 		return lr.runAggregate(op, st, in)
 	case plan.Sort, plan.TopK:
-		return lr.runSort(op, st, in)
+		return lr.runSort(q, op, st, in)
 	default:
 		// Pass-through operators reference the input block unchanged:
 		// columnar blocks are immutable here.
@@ -413,13 +656,13 @@ func selectPredicate(op *plan.Operator, in *storage.Block) (plan.Predicate, int)
 		// Benchmark templates carry selectivities rather than literal
 		// predicates; realize the estimate as a range filter over the
 		// key column so live cardinalities track the optimizer's.
-		col = keyColumn(op, in)
+		col = intKeyColumn(op, in)
 		pred = plan.Predicate{Kind: plan.PredIntLess, Operand: int64(op.Selectivity * 1000)}
 	}
 	return pred, col
 }
 
-func (lr *liveRun) runSelect(op *plan.Operator, st *liveOpState, in *storage.Block) int {
+func (lr *liveRun) runSelect(q *QueryState, op *plan.Operator, st *liveOpState, in *storage.Block) int {
 	pred, col := selectPredicate(op, in)
 	if col < 0 {
 		st.mu.Lock()
@@ -430,14 +673,16 @@ func (lr *liveRun) runSelect(op *plan.Operator, st *liveOpState, in *storage.Blo
 	if lr.scalar {
 		return lr.runSelectScalar(pred, col, st, in)
 	}
-	return lr.runSelectVector(pred, col, st, in)
+	return lr.runSelectVector(q, op, pred, col, st, in)
 }
 
 // runSelectScalar is the retained per-row path: loop-invariant work is
-// hoisted (the row count is read once, the predicate kind and column
-// vector are dispatched once per block instead of per row through
-// evalPred), but every work order still allocates its kept-row list and
-// a fresh materialized block.
+// hoisted (the row count is read once, the predicate kind, column
+// vector, and — for coded strings — the dictionary are dispatched once
+// per block instead of per row through evalPred), but every work order
+// still allocates its kept-row list and a fresh materialized block, and
+// string predicates over coded columns still decode and compare the
+// string per row, which is the honest pre-dictionary cost.
 func (lr *liveRun) runSelectScalar(pred plan.Predicate, col int, st *liveOpState, in *storage.Block) int {
 	n := in.NumRows()
 	kept := make([]int, 0, n)
@@ -482,6 +727,13 @@ func (lr *liveRun) runSelectScalar(pred plan.Predicate, col int, st *liveOpState
 					kept = append(kept, i)
 				}
 			}
+		} else if codes := vec.Codes; codes != nil && vec.Dict != nil {
+			dict := vec.Dict
+			for i, c := range codes[:n] {
+				if dict.Value(c) == pred.SOperand {
+					kept = append(kept, i)
+				}
+			}
 		}
 	default:
 		for i := 0; i < n; i++ {
@@ -508,14 +760,19 @@ func evalPred(p plan.Predicate, v *storage.ColumnVector, i int) bool {
 	case plan.PredFloatLess:
 		return v.Floats != nil && v.Floats[i] < p.FOperand
 	case plan.PredStringEq:
-		return v.Strings != nil && v.Strings[i] == p.SOperand
+		if v.Strings != nil {
+			return v.Strings[i] == p.SOperand
+		}
+		return v.Codes != nil && v.Dict != nil && v.Dict.Value(v.Codes[i]) == p.SOperand
 	default:
 		return true
 	}
 }
 
 // projectRows materializes the kept row indices of a block with fresh
-// allocations — the scalar path's materialization.
+// allocations — the scalar path's materialization. A dictionary-coded
+// string column stays coded (the dictionary is relation-wide state, not
+// something a row projection re-derives).
 func projectRows(in *storage.Block, rows []int) *storage.Block {
 	out := &storage.Block{
 		Header:  storage.BlockHeader{BlockID: in.Header.BlockID, Relation: in.Header.Relation, Rows: len(rows)},
@@ -536,6 +793,12 @@ func projectRows(in *storage.Block, rows []int) *storage.Block {
 			for i, r := range rows {
 				dst.Floats[i] = src.Floats[r]
 			}
+		case src.Codes != nil:
+			dst.Codes = make([]int64, len(rows))
+			for i, r := range rows {
+				dst.Codes[i] = src.Codes[r]
+			}
+			dst.Dict = src.Dict
 		case src.Strings != nil:
 			dst.Strings = make([]string, len(rows))
 			for i, r := range rows {
@@ -551,24 +814,42 @@ func (lr *liveRun) runBuild(op *plan.Operator, st *liveOpState, in *storage.Bloc
 	if col < 0 {
 		return 0
 	}
-	vec := in.Vectors[col].Ints
+	keys, dict := keyVec(in, col)
+	if keys == nil {
+		return 0
+	}
 	st.mu.Lock()
 	if lr.scalar {
-		if st.hash == nil {
-			st.hash = make(map[int64]int, len(vec))
-		}
-		for _, k := range vec {
-			st.hash[k]++
+		if dict == nil {
+			if st.hash == nil {
+				st.hash = make(map[int64]int, len(keys))
+			}
+			for _, k := range keys {
+				st.hash[k]++
+			}
+		} else {
+			// Honest scalar string build: the pre-dictionary engine keyed
+			// its map by the strings, so decode each row and pay the
+			// string hashing cost per insert.
+			if st.hashStr == nil {
+				st.hashStr = make(map[string]int, len(keys))
+			}
+			for _, c := range keys {
+				st.hashStr[dict.Value(c)]++
+			}
 		}
 	} else {
 		if st.vhash == nil {
-			st.vhash = exec.NewCountTable(len(vec))
+			st.vhash = exec.NewRadixTable(len(keys))
 		}
-		st.vhash.AddBatch(vec)
+		st.vhash.AddBatch(keys)
+		if dict != nil {
+			st.vhash.SetDict(dict)
+		}
 	}
 	st.outputs = append(st.outputs, in)
 	st.mu.Unlock()
-	return len(vec)
+	return len(keys)
 }
 
 // buildChildState finds a probe operator's build-side input: the
@@ -602,17 +883,21 @@ func (lr *liveRun) buildChildState(q *QueryState, op *plan.Operator) *liveOpStat
 func (lr *liveRun) runProbe(q *QueryState, op *plan.Operator, st *liveOpState, in *storage.Block) int {
 	build := lr.buildChildState(q, op)
 	col := keyColumn(op, in)
-	if col < 0 || in.Vectors[col].Ints == nil {
+	if col < 0 {
+		return 0
+	}
+	if keys, _ := keyVec(in, col); keys == nil {
 		return 0
 	}
 	if lr.scalar {
 		return lr.runProbeScalar(build, st, in, col)
 	}
-	return lr.runProbeVector(build, st, in, col)
+	return lr.runProbeVector(q, op, build, st, in, col)
 }
 
 func (lr *liveRun) runProbeScalar(build, st *liveOpState, in *storage.Block, col int) int {
 	matched := make([]int, 0, in.NumRows())
+	keys, dict := keyVec(in, col)
 	if build != nil {
 		// Probe under the build-side lock. The scheduler only activates
 		// a probe after its build input completed (the edge is pipeline-
@@ -621,9 +906,21 @@ func (lr *liveRun) runProbeScalar(build, st *liveOpState, in *storage.Block, col
 		// ever overlapped, and the lock makes the executor safe under
 		// any interleaving, not just the scheduled one.
 		build.mu.Lock()
-		if build.hash != nil {
-			for i, k := range in.Vectors[col].Ints {
-				if build.hash[k] > 0 {
+		if dict == nil {
+			if build.hash != nil {
+				for i, k := range keys {
+					if build.hash[k] > 0 {
+						matched = append(matched, i)
+					}
+				}
+			}
+		} else if build.hashStr != nil {
+			// Honest scalar string join: the code vector and dictionary
+			// are hoisted out of the loop, but each row still decodes its
+			// key and does a string-keyed map lookup — the per-row cost a
+			// string join pays without dictionary codes.
+			for i, c := range keys {
+				if build.hashStr[dict.Value(c)] > 0 {
 					matched = append(matched, i)
 				}
 			}
@@ -639,59 +936,72 @@ func (lr *liveRun) runProbeScalar(build, st *liveOpState, in *storage.Block, col
 
 func (lr *liveRun) runAggregate(op *plan.Operator, st *liveOpState, in *storage.Block) int {
 	col := keyColumn(op, in)
+	var keys []int64
+	if col >= 0 {
+		keys, _ = keyVec(in, col)
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if lr.scalar {
 		if st.aggState == nil {
 			st.aggState = make(map[int64]float64)
 		}
-		if col < 0 {
+		if keys == nil {
 			st.aggState[0] += float64(in.NumRows())
 			return 1
 		}
-		for _, k := range in.Vectors[col].Ints {
+		for _, k := range keys {
 			st.aggState[k]++
 		}
 		return len(st.aggState)
 	}
 	if st.vagg == nil {
-		st.vagg = exec.NewSumTable(0)
+		st.vagg = lr.getAggTable()
 	}
-	if col < 0 {
+	if keys == nil {
 		st.vagg.Add(0, float64(in.NumRows()))
 		return 1
 	}
-	st.vagg.AddOnes(in.Vectors[col].Ints)
+	st.vagg.AddOnes(keys)
 	return st.vagg.Len()
 }
+
+// aggOutSchema is the fixed output schema of FinalizeAggregate, hoisted
+// to package scope so finalize work orders don't rebuild (and
+// re-allocate) it per call — pool recycling also needs the pointer
+// stable across runs.
+var aggOutSchema = storage.MustSchema(
+	storage.Column{Name: "group", Type: storage.Int64Col},
+	storage.Column{Name: "value", Type: storage.Float64Col},
+)
 
 func (lr *liveRun) runFinalize(q *QueryState, op *plan.Operator, st *liveOpState) int {
 	child := op.Children()[0].Child
 	cs := lr.opState(q.ID, child.ID)
 	cs.mu.Lock()
-	var keys []int64
-	var vals []float64
 	if cs.vagg != nil {
-		keys = make([]int64, 0, cs.vagg.Len())
-		vals = make([]float64, 0, cs.vagg.Len())
-		keys, vals = cs.vagg.Export(keys, vals)
-	} else {
-		keys = make([]int64, 0, len(cs.aggState))
-		vals = make([]float64, 0, len(cs.aggState))
-		for k, v := range cs.aggState {
-			keys = append(keys, k)
-			vals = append(vals, v)
-		}
+		// Vector path: export straight into a pooled block's vectors, so
+		// steady-state finalize reuses the previous query's backing arrays.
+		groups := cs.vagg.Len()
+		out := lr.pool.Get(aggOutSchema, groups)
+		keys, vals := cs.vagg.Export(out.Vectors[0].Ints[:0], out.Vectors[1].Floats[:0])
+		cs.mu.Unlock()
+		out.Vectors[0].Ints, out.Vectors[1].Floats = keys, vals
+		out.Header.Relation = "agg:" + q.Plan.QueryName
+		lr.emitPooled(st, out)
+		return groups
+	}
+	keys := make([]int64, 0, len(cs.aggState))
+	vals := make([]float64, 0, len(cs.aggState))
+	for k, v := range cs.aggState {
+		keys = append(keys, k)
+		vals = append(vals, v)
 	}
 	cs.mu.Unlock()
 	groups := len(keys)
-	schema := storage.MustSchema(
-		storage.Column{Name: "group", Type: storage.Int64Col},
-		storage.Column{Name: "value", Type: storage.Float64Col},
-	)
 	out := &storage.Block{
 		Header:  storage.BlockHeader{Relation: "agg:" + q.Plan.QueryName, Rows: groups},
-		Schema:  schema,
+		Schema:  aggOutSchema,
 		Vectors: []storage.ColumnVector{{Ints: keys}, {Floats: vals}},
 	}
 	st.mu.Lock()
@@ -700,36 +1010,55 @@ func (lr *liveRun) runFinalize(q *QueryState, op *plan.Operator, st *liveOpState
 	return groups
 }
 
-func (lr *liveRun) runSort(op *plan.Operator, st *liveOpState, in *storage.Block) int {
+func (lr *liveRun) runSort(q *QueryState, op *plan.Operator, st *liveOpState, in *storage.Block) int {
 	col := keyColumn(op, in)
-	if col < 0 || in.Vectors[col].Ints == nil {
+	var keys []int64
+	var dict *storage.Dictionary
+	if col >= 0 {
+		keys, dict = keyVec(in, col)
+	}
+	if keys == nil {
 		st.mu.Lock()
 		st.outputs = append(st.outputs, in)
 		st.mu.Unlock()
 		return in.NumRows()
 	}
 	if lr.scalar {
-		return lr.runSortScalar(st, in, col)
+		return lr.runSortScalar(st, in, keys, dict)
 	}
-	return lr.runSortVector(st, in, col)
+	return lr.runSortVector(q, op, st, in, keys)
 }
 
-func (lr *liveRun) runSortScalar(st *liveOpState, in *storage.Block, col int) int {
+func (lr *liveRun) runSortScalar(st *liveOpState, in *storage.Block, keys []int64, dict *storage.Dictionary) int {
 	order := make([]int, in.NumRows())
 	for i := range order {
 		order[i] = i
 	}
-	keys := in.Vectors[col].Ints
 	// Ties order by row index so the output is a deterministic total
 	// order — the same contract the vectorized sort kernel keeps, which
 	// is what lets the differential tests compare exact output order.
-	sort.Slice(order, func(a, b int) bool {
-		ka, kb := keys[order[a]], keys[order[b]]
-		if ka != kb {
-			return ka < kb
-		}
-		return order[a] < order[b]
-	})
+	if dict == nil {
+		sort.Slice(order, func(a, b int) bool {
+			ka, kb := keys[order[a]], keys[order[b]]
+			if ka != kb {
+				return ka < kb
+			}
+			return order[a] < order[b]
+		})
+	} else {
+		// Honest scalar string sort: the code vector and dictionary are
+		// hoisted out of the comparator, but each comparison still
+		// decodes and compares the strings — the pre-dictionary cost.
+		// The dictionary is sorted, so this agrees with code order and
+		// the differential tests can compare exact output order.
+		sort.Slice(order, func(a, b int) bool {
+			sa, sb := dict.Value(keys[order[a]]), dict.Value(keys[order[b]])
+			if sa != sb {
+				return sa < sb
+			}
+			return order[a] < order[b]
+		})
+	}
 	out := projectRows(in, order)
 	st.mu.Lock()
 	st.outputs = append(st.outputs, out)

@@ -9,9 +9,22 @@ import (
 // The vectorized work-order runners. Each one is the block-at-a-time
 // counterpart of a scalar runner in live.go: the kernel dispatch
 // (predicate kind, column type) happens once per block in
-// internal/exec, row loops are tight typed scans, intermediate row
-// sets live in reusable selection vectors, and materialized outputs
-// are gathered into blocks recycled through the run's BlockPool.
+// internal/exec, row loops are tight typed scans over ints, floats, or
+// dictionary codes, intermediate row sets live in reusable selection
+// vectors, and materialized outputs are gathered into blocks recycled
+// through the run's BlockPool. Two block-level optimizations layer on
+// top:
+//
+//   - Fusion: a Select whose single consumer is a blocking operator
+//     that only reads its key column (Aggregate/Distinct/Window, or a
+//     BuildHash nothing probes through — see fuseParent) gathers just
+//     that column, skipping the wide materialization entirely.
+//   - Morsels: large filters, probes, and sorts split into row-range
+//     morsels over the shared selection vector when idle workers exist
+//     (see live_morsel.go), stitched back in row order.
+//
+// Both paths keep a closure-free serial fallback so the common unsplit
+// work order allocates nothing.
 
 // emitPooled appends a pool-drawn output block to the operator's output
 // list and records it for recycling at query completion.
@@ -22,46 +35,179 @@ func (lr *liveRun) emitPooled(st *liveOpState, out *storage.Block) {
 	st.mu.Unlock()
 }
 
-func (lr *liveRun) runSelectVector(pred plan.Predicate, col int, st *liveOpState, in *storage.Block) int {
-	sc := lr.getScratch()
-	sel := exec.Filter(pred, &in.Vectors[col], in.NumRows(), sc.Sel)
-	sc.Sel = sel
-	out := exec.Gather(lr.pool, in, sel)
-	kept := len(sel)
-	lr.putScratch(sc)
-	lr.emitPooled(st, out)
-	return kept
+// mainChild returns the child whose outputs op draws its input blocks
+// from (the last edge — see inputBlock), nil for leaves.
+func mainChild(op *plan.Operator) *plan.Operator {
+	ch := op.Children()
+	if len(ch) == 0 {
+		return nil
+	}
+	return ch[len(ch)-1].Child
 }
 
-func (lr *liveRun) runProbeVector(build, st *liveOpState, in *storage.Block, col int) int {
+// fuseParent decides whether a Select's projection can fuse into its
+// consumer: the select then emits only the consumer's key column
+// instead of materializing every column of the kept rows. Safe exactly
+// when the select has one parent, that parent draws its main input
+// from the select, and the parent never re-exposes the select's rows
+// downstream:
+//
+//   - Aggregate/Distinct/Window consume blocks into aggregate state and
+//     emit nothing, so nobody else ever reads the slim block.
+//   - BuildHash appends its input to its outputs, which a sibling
+//     operator could draw as ITS main input (inputBlock reads the last
+//     child's outputs — probes often list the build last). Fusing is
+//     only safe when no grandparent draws its main input from the
+//     build.
+func (lr *liveRun) fuseParent(op *plan.Operator) *plan.Operator {
+	parents := op.Parents()
+	if len(parents) != 1 {
+		return nil
+	}
+	p := parents[0].Parent
+	if mainChild(p) != op {
+		return nil
+	}
+	switch p.Type {
+	case plan.Aggregate, plan.Distinct, plan.Window:
+		return p
+	case plan.BuildHash:
+		for _, e := range p.Parents() {
+			if mainChild(e.Parent) == p {
+				return nil
+			}
+		}
+		return p
+	}
+	return nil
+}
+
+func (lr *liveRun) runSelectVector(q *QueryState, op *plan.Operator, pred plan.Predicate, col int, st *liveOpState, in *storage.Block) int {
+	n := in.NumRows()
 	sc := lr.getScratch()
-	sel := sc.Sel[:0]
+	sel := exec.GrowSel(sc.Sel, n)
+	sc.Sel = sel
+	var kept []int
+	if lr.splitParts(n) > 1 {
+		var counts [maxMorselParts]int
+		par := lr.runMorsels(n, func(p, lo, hi int) {
+			counts[p] = len(exec.FilterRange(pred, &in.Vectors[col], lo, hi, sel[lo:hi]))
+		})
+		lr.notePar(q, op, par)
+		kept = compactSel(sel, &counts, par, n)
+	} else {
+		kept = exec.FilterRange(pred, &in.Vectors[col], 0, n, sel)
+	}
+	var out *storage.Block
+	if fp := lr.fuseParent(op); fp != nil && lr.live != nil {
+		if kcol := keyColumn(fp, in); kcol >= 0 {
+			// Fused select→consumer: gather only the consumer's key
+			// column into a slim single-column block.
+			schema := lr.live.fusedSchema(in.Schema, kcol)
+			out = exec.GatherFused(lr.pool, in, schema, kcol, kept)
+		}
+	}
+	if out == nil {
+		out = lr.gatherAll(in, kept)
+	}
+	lr.putScratch(sc)
+	lr.emitPooled(st, out)
+	return len(kept)
+}
+
+// gatherAll materializes the selected rows of every column into a
+// pooled block, splitting the copy across morsels when the selection is
+// large (each morsel writes a disjoint output row range).
+func (lr *liveRun) gatherAll(in *storage.Block, sel []int) *storage.Block {
+	k := len(sel)
+	out := lr.pool.GetLike(in, in.Schema, nil, k)
+	out.Header.BlockID = in.Header.BlockID
+	out.Header.Relation = in.Header.Relation
+	if lr.splitParts(k) > 1 {
+		lr.runMorsels(k, func(_, lo, hi int) {
+			exec.GatherRange(out, in, nil, sel, lo, hi)
+		})
+	} else {
+		exec.GatherRange(out, in, nil, sel, 0, k)
+	}
+	return out
+}
+
+func (lr *liveRun) runProbeVector(q *QueryState, op *plan.Operator, build, st *liveOpState, in *storage.Block, col int) int {
+	n := in.NumRows()
+	sc := lr.getScratch()
+	keys, dict := keyVec(in, col)
+	kept := sc.Sel[:0]
 	if build != nil {
 		// Probe under the build-side lock, mirroring the scalar path:
 		// the scheduler never overlaps build and probe work orders (the
 		// edge is pipeline-breaking), but the lock keeps the executor
 		// safe under any interleaving.
 		build.mu.Lock()
-		sel = build.vhash.ProbeBatch(in.Vectors[col].Ints, sc.Sel)
+		tbl := build.vhash
+		switch {
+		case tbl == nil:
+			// No table built (e.g. build side drew only empty blocks).
+		case dict != nil || tbl.Dict() != nil:
+			// String-keyed join: codes compare directly when both sides
+			// share a dictionary, translate through the build dictionary
+			// otherwise; a dict/int representation mismatch matches
+			// nothing (ProbeDict handles all three).
+			kept = tbl.ProbeDict(dict, keys, sc)
+		case lr.splitParts(n) > 1:
+			sel := exec.GrowSel(sc.Sel, n)
+			sc.Sel = sel
+			var counts [maxMorselParts]int
+			par := lr.runMorsels(n, func(p, lo, hi int) {
+				counts[p] = len(tbl.ProbeRange(keys, lo, hi, sel[lo:hi]))
+			})
+			lr.notePar(q, op, par)
+			kept = compactSel(sel, &counts, par, n)
+		default:
+			// Radix-partitioned probe: scatter keys into cache-sized
+			// partitions, probe each partition's table run, re-emit in
+			// row order (falls back to the inline probe on small blocks).
+			kept = tbl.ProbeBatchPartitioned(keys, sc)
+		}
 		build.mu.Unlock()
 	}
-	sc.Sel = sel
-	out := exec.Gather(lr.pool, in, sel)
-	matched := len(sel)
+	out := lr.gatherAll(in, kept)
+	matched := len(kept)
 	lr.putScratch(sc)
 	lr.emitPooled(st, out)
 	return matched
 }
 
-func (lr *liveRun) runSortVector(st *liveOpState, in *storage.Block, col int) int {
+func (lr *liveRun) runSortVector(q *QueryState, op *plan.Operator, st *liveOpState, in *storage.Block, keys []int64) int {
+	n := in.NumRows()
 	sc := lr.getScratch()
-	pairs := exec.BuildPairs(in.Vectors[col].Ints, sc.Pairs)
+	pairs := exec.BuildPairs(keys, sc.Pairs)
 	sc.Pairs = pairs
-	exec.SortPairs(pairs)
+	if lr.splitParts(n) > 1 {
+		// Morsel sort: radix-sort disjoint runs concurrently, then merge.
+		// The radix passes are stable and merging compares (key, row), so
+		// the output is the same (key, row)-ordered permutation the
+		// unsplit sort produces, for any morsel count.
+		var bounds [maxMorselParts + 1]int
+		par := lr.runMorsels(n, func(p, lo, hi int) {
+			msc := lr.getScratch()
+			msc.Pairs2 = exec.SortPairsScratch(pairs[lo:hi], msc.Pairs2)
+			lr.putScratch(msc)
+		})
+		lr.notePar(q, op, par)
+		if par > 1 {
+			for p := 0; p <= par; p++ {
+				bounds[p], _ = morselSpan(p, par, n)
+			}
+			sc.Pairs2 = exec.MergeRuns(pairs, bounds[:par+1], sc.Pairs2)
+		}
+	} else {
+		sc.Pairs2 = exec.SortPairsScratch(pairs, sc.Pairs2)
+	}
 	sel := exec.PairsToSel(pairs, sc.Sel)
 	sc.Sel = sel
-	out := exec.Gather(lr.pool, in, sel)
+	out := lr.gatherAll(in, sel)
 	lr.putScratch(sc)
 	lr.emitPooled(st, out)
-	return in.NumRows()
+	return n
 }

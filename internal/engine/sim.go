@@ -59,6 +59,12 @@ type SimConfig struct {
 	// completion, query admit/finish, scheduler decisions, trigger
 	// firings, cost-model updates). Nil disables tracing at zero cost.
 	Trace *metrics.Tracer
+	// Estimator, when non-nil, is used instead of allocating a fresh
+	// one. The live engine passes Reset estimators recycled from prior
+	// runs (a reset estimator is observationally identical to a new
+	// one); callers handing one in must not share it across concurrent
+	// sims.
+	Estimator *costmodel.Estimator
 }
 
 // ThreadChange adjusts the pool size mid-run: Delta workers are added
@@ -170,6 +176,28 @@ type Sim struct {
 	// invariant tests use it to verify work conservation at the only
 	// point where it must hold.
 	afterDispatch func()
+	// batchBuf/dursBuf/memsBuf are reused across dispatch rounds so a
+	// live run's event loop does not allocate per round on the steady
+	// state (the live alloc-budget test pins this).
+	batchBuf []dispatched
+	dursBuf  []float64
+	memsBuf  []float64
+	// freeEvents recycles popped event structs: a run pushes one
+	// completion per work order, but only ~threads+arrivals are ever in
+	// flight, so the free list caps event allocations at the high-water
+	// mark instead of one per completion.
+	freeEvents []*simEvent
+	// execJobs feeds the run's pool of executor goroutines (live runs
+	// only): dispatch rounds send batch indices into the channel
+	// instead of spawning a fresh goroutine per work order. execBatch/
+	// dursBuf/memsBuf are published before the sends and read back
+	// after execWG.Wait, so the channel and wait group carry all the
+	// necessary happens-before edges.
+	execJobs  chan int
+	execBatch []dispatched
+	execWG    sync.WaitGroup
+	// chainBuf is reused across apply calls for pipelineChain results.
+	chainBuf []int
 	// instr holds the cached metric handles (all-nil when disabled).
 	instr *simInstruments
 }
@@ -187,12 +215,16 @@ func NewSim(cfg SimConfig) *Sim {
 	if window <= 0 {
 		window = 8
 	}
+	est := cfg.Estimator
+	if est == nil {
+		est = costmodel.NewEstimator(window, 1, 1)
+	}
 	s := &Sim{
 		cfg:  cfg,
 		cost: cost,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		state: &State{
-			Estimator: costmodel.NewEstimator(window, 1, 1),
+			Estimator: est,
 		},
 		result:     SimResult{Durations: make(map[int]float64)},
 		runningWOs: make(map[int]int),
@@ -220,7 +252,9 @@ func (s *Sim) Run(sched Scheduler, arrivals []Arrival) (*SimResult, error) {
 		if a.Plan == nil {
 			return nil, fmt.Errorf("engine: nil plan in arrivals")
 		}
-		s.push(&simEvent{at: a.At, kind: EvQueryArrival, arr: &a})
+		ev := s.newEvent()
+		ev.at, ev.kind, ev.arr = a.At, EvQueryArrival, &a
+		s.push(ev)
 	}
 	for _, tc := range s.cfg.ThreadChanges {
 		kind := EvThreadAdded
@@ -228,8 +262,21 @@ func (s *Sim) Run(sched Scheduler, arrivals []Arrival) (*SimResult, error) {
 			kind = EvThreadRemoved
 		}
 		if tc.Delta != 0 {
-			s.push(&simEvent{at: tc.At, kind: kind, delta: tc.Delta})
+			ev := s.newEvent()
+			ev.at, ev.kind, ev.delta = tc.At, kind, tc.Delta
+			s.push(ev)
 		}
+	}
+	if s.executeHook != nil && s.cfg.Threads > 1 {
+		jobs := make(chan int, s.cfg.Threads)
+		s.execJobs = jobs
+		for i := 0; i < s.cfg.Threads; i++ {
+			go s.execWorker(jobs)
+		}
+		defer func() {
+			close(jobs)
+			s.execJobs = nil
+		}()
 	}
 	for len(s.events) > 0 {
 		ev := heap.Pop(&s.events).(*simEvent)
@@ -245,6 +292,9 @@ func (s *Sim) Run(sched Scheduler, arrivals []Arrival) (*SimResult, error) {
 		case EvThreadAdded, EvThreadRemoved:
 			s.handlePoolChange(sched, ev)
 		}
+		// Handlers consume payloads by value (stats is copied, arr is a
+		// pointer into the arrivals slice), so the struct can be reused.
+		s.freeEvents = append(s.freeEvents, ev)
 		if s.stalled() {
 			return nil, fmt.Errorf("engine: scheduler %q stalled with %d unfinished queries at t=%v",
 				sched.Name(), len(s.state.Queries), s.state.Now)
@@ -264,6 +314,17 @@ func (s *Sim) push(e *simEvent) {
 	e.seq = s.seq
 	s.seq++
 	heap.Push(&s.events, e)
+}
+
+// newEvent draws a recycled event struct or allocates a fresh one.
+func (s *Sim) newEvent() *simEvent {
+	if n := len(s.freeEvents); n > 0 {
+		e := s.freeEvents[n-1]
+		s.freeEvents = s.freeEvents[:n-1]
+		*e = simEvent{}
+		return e
+	}
+	return &simEvent{}
 }
 
 func (s *Sim) handleArrival(sched Scheduler, ev *simEvent) {
@@ -451,7 +512,8 @@ func (s *Sim) apply(d Decision) {
 			return
 		}
 	}
-	chain := pipelineChain(q, root.Op, d.PipelineDepth)
+	chain := appendPipelineChain(s.chainBuf[:0], q, root.Op, d.PipelineDepth)
+	s.chainBuf = chain
 	for i, opID := range chain {
 		os := q.OpStates[opID]
 		os.Active = true
@@ -512,7 +574,7 @@ func (s *Sim) dispatch() {
 	if mem := s.activeMemory(); mem > s.cost.BufferCapacity {
 		thrash = 1 + s.cost.ThrashFactor*(mem-s.cost.BufferCapacity)/s.cost.BufferCapacity
 	}
-	var batch []dispatched
+	batch := s.batchBuf[:0]
 	for ti := range s.state.Threads {
 		t := &s.state.Threads[ti]
 		if t.Busy {
@@ -549,7 +611,13 @@ func (s *Sim) dispatch() {
 	}
 	if len(batch) > 0 {
 		s.executeBatch(batch)
+		// Drop the round's query/op pointers before parking the buffer so
+		// reuse does not pin completed queries' state.
+		for i := range batch {
+			batch[i] = dispatched{}
+		}
 	}
+	s.batchBuf = batch
 	// Refresh the occupancy gauge after assignment: the values set at
 	// scheduler invocation are pre-dispatch, so a wall-clock sampler
 	// reading between events would otherwise always see the pool as
@@ -564,11 +632,21 @@ func (s *Sim) dispatch() {
 // executeHook — concurrently when the round assigned several threads —
 // and converts the measured (duration, memory) into completion events.
 func (s *Sim) executeBatch(batch []dispatched) {
-	durs := make([]float64, len(batch))
-	mems := make([]float64, len(batch))
+	durs := growFloats(s.dursBuf, len(batch))
+	mems := growFloats(s.memsBuf, len(batch))
+	s.dursBuf, s.memsBuf = durs, mems
 	if len(batch) == 1 {
 		durs[0], mems[0] = s.executeHook(batch[0].q, batch[0].os, batch[0].wo)
+	} else if s.execJobs != nil {
+		s.execBatch = batch
+		s.execWG.Add(len(batch))
+		for i := range batch {
+			s.execJobs <- i
+		}
+		s.execWG.Wait()
 	} else {
+		// No worker pool (pool grew past the initial single thread):
+		// fall back to a goroutine per work order.
 		var wg sync.WaitGroup
 		for i := range batch {
 			wg.Add(1)
@@ -588,19 +666,29 @@ func (s *Sim) executeBatch(batch []dispatched) {
 	}
 }
 
+// execWorker is one goroutine of the run's executor pool: it executes
+// work orders by batch index until the job channel closes at run end.
+func (s *Sim) execWorker(jobs <-chan int) {
+	for i := range jobs {
+		d := s.execBatch[i]
+		s.dursBuf[i], s.memsBuf[i] = s.executeHook(d.q, d.os, d.wo)
+		s.execWG.Done()
+	}
+}
+
 // pushCompletion schedules the work order's completion event.
 func (s *Sim) pushCompletion(wo WorkOrder, dur, mem float64, threadID int) {
-	s.push(&simEvent{
-		at:   s.state.Now + dur,
-		kind: EvOperatorDone,
-		stats: CompletionStats{
-			WorkOrder:  wo,
-			Duration:   dur,
-			Memory:     mem,
-			ThreadID:   threadID,
-			FinishedAt: s.state.Now + dur,
-		},
-	})
+	ev := s.newEvent()
+	ev.at = s.state.Now + dur
+	ev.kind = EvOperatorDone
+	ev.stats = CompletionStats{
+		WorkOrder:  wo,
+		Duration:   dur,
+		Memory:     mem,
+		ThreadID:   threadID,
+		FinishedAt: s.state.Now + dur,
+	}
+	s.push(ev)
 }
 
 // pickWorkOrder selects the next work order for thread t: prefer the
@@ -640,3 +728,12 @@ func (s *Sim) pickWorkOrder(t *ThreadInfo) (WorkOrder, *QueryState, *OpState) {
 }
 
 func opKey(queryID, opID int) int { return queryID*1024 + opID }
+
+// growFloats returns a slice of length exactly n, reusing the backing
+// array when capacity allows.
+func growFloats(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}

@@ -124,7 +124,13 @@ type QueryObserver interface {
 // extra operators. It is the set of operators a Decision with
 // PipelineDepth=depth activates together with the root.
 func pipelineChain(q *QueryState, root *plan.Operator, depth int) []int {
-	chain := []int{root.ID}
+	return appendPipelineChain(nil, q, root, depth)
+}
+
+// appendPipelineChain is pipelineChain writing into a caller-supplied
+// buffer, so the dispatch hot path can reuse one slice across decisions.
+func appendPipelineChain(buf []int, q *QueryState, root *plan.Operator, depth int) []int {
+	chain := append(buf, root.ID)
 	cur := root
 	for len(chain)-1 < depth {
 		var next *plan.Operator

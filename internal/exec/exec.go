@@ -34,13 +34,45 @@ type Scratch struct {
 	Sel []int
 	// Pairs is the reusable key-extraction buffer for sort kernels.
 	Pairs []KeyRow
+	// Pairs2 is the radix-sort / partition-scatter ping-pong buffer.
+	Pairs2 []KeyRow
+	// Marks is the per-row match bitmap the partitioned probe uses to
+	// re-emit matches in ascending row order. Kernels that set bits
+	// clear them again before returning, so it is all-false between
+	// calls.
+	Marks []bool
+	// DictMap is the per-probe-code membership table of the translated
+	// dictionary probe (probe-side code -> present in build table).
+	DictMap []uint8
 }
 
-// growSel returns sel with length exactly n, reusing its backing array
-// when capacity allows.
-func growSel(sel []int, n int) []int {
+// GrowSel returns sel with length exactly n, reusing its backing array
+// when capacity allows. Exported for callers (the engine's morsel
+// driver) that carve a shared selection vector into per-morsel ranges
+// before invoking the range kernels.
+func GrowSel(sel []int, n int) []int {
 	if cap(sel) < n {
 		return make([]int, n)
 	}
 	return sel[:n]
+}
+
+func growSel(sel []int, n int) []int { return GrowSel(sel, n) }
+
+// growMarks returns an all-false bitmap of length n (see Scratch.Marks
+// for the clear-on-exit invariant that makes reuse sound).
+func growMarks(m []bool, n int) []bool {
+	if cap(m) < n {
+		return make([]bool, n)
+	}
+	return m[:n]
+}
+
+// growPairs returns pairs with length exactly n, reusing the backing
+// array when capacity allows.
+func growPairs(pairs []KeyRow, n int) []KeyRow {
+	if cap(pairs) < n {
+		return make([]KeyRow, n)
+	}
+	return pairs[:n]
 }

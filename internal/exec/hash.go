@@ -221,6 +221,15 @@ func (t *SumTable) Add(k int64, v float64) {
 	}
 }
 
+// Reset clears the table for reuse while keeping its capacity, so a
+// pooled table serves its next query without re-growing.
+func (t *SumTable) Reset() {
+	for i := range t.used {
+		t.used[i] = false
+	}
+	t.n = 0
+}
+
 // AddOnes adds 1 to the accumulator of every key in one block's key
 // column — the count-per-group aggregate kernel.
 func (t *SumTable) AddOnes(keys []int64) {

@@ -101,6 +101,79 @@ func (p *BlockPool) Get(schema *storage.Schema, rows int) *storage.Block {
 	return b
 }
 
+// GetLike returns a pooled block with the given output schema and
+// exactly rows rows, each vector sized to match the REPRESENTATION of
+// its source column in block in — in particular a dictionary-coded
+// string column gets a Codes vector sharing in's dictionary, not a
+// fresh Strings vector. cols maps output columns to source column
+// indices (nil = identity); it is how the fused select path requests a
+// single-column projection block. Like Get, vectors are sized but not
+// zeroed, and a nil pool degrades to plain allocation.
+func (p *BlockPool) GetLike(in *storage.Block, schema *storage.Schema, cols []int, rows int) *storage.Block {
+	var b *storage.Block
+	if p != nil {
+		p.mu.Lock()
+		if list := p.free[schema]; len(list) > 0 {
+			b = list[len(list)-1]
+			p.free[schema] = list[:len(list)-1]
+		}
+		p.mu.Unlock()
+	}
+	if b == nil {
+		if p != nil {
+			p.misses.Inc()
+		}
+		b = &storage.Block{
+			Schema:  schema,
+			Vectors: make([]storage.ColumnVector, schema.NumColumns()),
+		}
+	} else {
+		p.hits.Inc()
+	}
+	b.Header = storage.BlockHeader{Rows: rows}
+	for i, col := range schema.Columns {
+		si := i
+		if cols != nil {
+			si = cols[i]
+		}
+		src := &in.Vectors[si]
+		v := &b.Vectors[i]
+		switch col.Type {
+		case storage.Int64Col:
+			if cap(v.Ints) < rows {
+				v.Ints = make([]int64, rows)
+			} else {
+				v.Ints = v.Ints[:rows]
+			}
+		case storage.Float64Col:
+			if cap(v.Floats) < rows {
+				v.Floats = make([]float64, rows)
+			} else {
+				v.Floats = v.Floats[:rows]
+			}
+		case storage.StringCol:
+			if src.Codes != nil || (src.Strings == nil && src.Dict != nil) {
+				if cap(v.Codes) < rows {
+					v.Codes = make([]int64, rows)
+				} else {
+					v.Codes = v.Codes[:rows]
+				}
+				v.Dict = src.Dict
+				v.Strings = nil
+			} else {
+				if cap(v.Strings) < rows {
+					v.Strings = make([]string, rows)
+				} else {
+					v.Strings = v.Strings[:rows]
+				}
+				v.Codes = nil
+				v.Dict = nil
+			}
+		}
+	}
+	return b
+}
+
 // Put returns a block to the pool for reuse. The caller must guarantee
 // no one references the block anymore. No-op on a nil pool; blocks
 // beyond the per-schema bound are dropped to the GC.

@@ -1,0 +1,124 @@
+package exec
+
+// LSD radix sort for the key-extracted sort path. Above a cutoff the
+// comparison sort's n·log n branchy compares lose to 8 counting-sort
+// passes of sequential loads and scattered-but-streaming stores; below
+// it the quicksort's cache residency wins. Keys are biased by the sign
+// bit so signed order falls out of unsigned digit order, and every
+// counting pass is stable — BuildPairs emits rows ascending, so equal
+// keys keep ascending row order and the (Key, Row) tie-break contract
+// of SortPairs holds without ever comparing rows.
+
+// radixSortCutoff is the input size above which the radix sort
+// replaces the quicksort.
+const radixSortCutoff = 1 << 11
+
+// signBias flips the sign bit so int64 keys compare correctly as
+// unsigned digit strings.
+const signBias = uint64(1) << 63
+
+// SortPairsScratch sorts pairs ascending by (Key, Row), choosing radix
+// sort above the cutoff and the in-place quicksort below it. tmp is the
+// caller-owned ping-pong buffer; the (possibly grown) buffer is
+// returned for reuse. The sorted result is always left in pairs.
+func SortPairsScratch(pairs []KeyRow, tmp []KeyRow) []KeyRow {
+	if len(pairs) <= radixSortCutoff {
+		SortPairs(pairs)
+		return tmp
+	}
+	return radixSortPairs(pairs, tmp)
+}
+
+func radixSortPairs(pairs, tmp []KeyRow) []KeyRow {
+	n := len(pairs)
+	tmp = growPairs(tmp, n)
+	// One histogram pass over the input counts all eight digits at once.
+	var counts [8][256]int
+	for _, p := range pairs {
+		u := uint64(p.Key) ^ signBias
+		counts[0][u&0xff]++
+		counts[1][(u>>8)&0xff]++
+		counts[2][(u>>16)&0xff]++
+		counts[3][(u>>24)&0xff]++
+		counts[4][(u>>32)&0xff]++
+		counts[5][(u>>40)&0xff]++
+		counts[6][(u>>48)&0xff]++
+		counts[7][(u>>56)&0xff]++
+	}
+	src, dst := pairs, tmp
+	for d := 0; d < 8; d++ {
+		c := &counts[d]
+		// A digit that is constant across the input permutes nothing;
+		// skipping it saves the whole pass (common for small keys,
+		// where the high digits are all zero).
+		if c[(uint64(src[0].Key)^signBias)>>(8*uint(d))&0xff] == n {
+			continue
+		}
+		// Exclusive prefix sums turn counts into output offsets.
+		sum := 0
+		for b := 0; b < 256; b++ {
+			c[b], sum = sum, sum+c[b]
+		}
+		shift := 8 * uint(d)
+		for _, p := range src {
+			b := (uint64(p.Key) ^ signBias) >> shift & 0xff
+			dst[c[b]] = p
+			c[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &pairs[0] {
+		copy(pairs, src)
+	}
+	return tmp
+}
+
+// MergeRuns merges the sorted runs pairs[bounds[i]:bounds[i+1]] into a
+// single (Key, Row)-ascending sequence, leaving the result in pairs.
+// bounds must be ascending with bounds[0] == 0 and the last bound ==
+// len(pairs). The engine's morsel sort sorts each row-range
+// independently and merges here; because the merge compares the full
+// (Key, Row) order, the result is bit-identical to a serial sort
+// regardless of how many morsels the block was split into. tmp is
+// caller-owned scratch, returned (possibly grown) for reuse.
+func MergeRuns(pairs []KeyRow, bounds []int, tmp []KeyRow) []KeyRow {
+	if len(bounds) < 3 {
+		return tmp // zero or one run: already sorted
+	}
+	tmp = growPairs(tmp, bounds[len(bounds)-1])
+	src, dst := pairs, tmp
+	cur := append([]int(nil), bounds...)
+	for len(cur) > 2 {
+		next := cur[:1]
+		for i := 0; i+2 < len(cur); i += 2 {
+			mergeTwo(src, dst, cur[i], cur[i+1], cur[i+2])
+			next = append(next, cur[i+2])
+		}
+		if len(cur)%2 == 0 {
+			// Odd run out: copy it through so the ping-pong stays aligned.
+			last := len(cur) - 2
+			copy(dst[cur[last]:cur[last+1]], src[cur[last]:cur[last+1]])
+			next = append(next, cur[last+1])
+		}
+		src, dst = dst, src
+		cur = next
+	}
+	if &src[0] != &pairs[0] {
+		copy(pairs, src)
+	}
+	return tmp
+}
+
+// mergeTwo merges src[lo:mid] and src[mid:hi] into dst[lo:hi].
+func mergeTwo(src, dst []KeyRow, lo, mid, hi int) {
+	i, j := lo, mid
+	for k := lo; k < hi; k++ {
+		if i < mid && (j >= hi || !pairLess(src[j], src[i])) {
+			dst[k] = src[i]
+			i++
+		} else {
+			dst[k] = src[j]
+			j++
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSortPairs is the reference (Key, Row) sort the kernels must match.
+func refSortPairs(pairs []KeyRow) {
+	sort.Slice(pairs, func(a, b int) bool { return pairLess(pairs[a], pairs[b]) })
+}
+
+func randomKeys(rng *rand.Rand, n int) []int64 {
+	keys := make([]int64, n)
+	for i := range keys {
+		switch rng.Intn(4) {
+		case 0:
+			keys[i] = int64(rng.Intn(16)) // heavy duplicates
+		case 1:
+			keys[i] = rng.Int63()
+		case 2:
+			keys[i] = -rng.Int63()
+		default:
+			keys[i] = int64(rng.Intn(1 << 20))
+		}
+	}
+	return keys
+}
+
+func TestRadixSortMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var tmp []KeyRow
+	for _, n := range []int{0, 1, 17, radixSortCutoff, radixSortCutoff + 1, 3*radixSortCutoff + 5} {
+		keys := randomKeys(rng, n)
+		got := BuildPairs(keys, nil)
+		want := BuildPairs(keys, nil)
+		tmp = SortPairsScratch(got, tmp)
+		refSortPairs(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d position %d: got %+v, want %+v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Radix passes are stable and BuildPairs emits rows ascending, so equal
+// keys must come out in ascending row order — the tie-break contract
+// the differential tests compare exact output order against.
+func TestRadixSortTieBreakStable(t *testing.T) {
+	n := radixSortCutoff * 2
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i % 3) // three heavily duplicated keys
+	}
+	pairs := BuildPairs(keys, nil)
+	SortPairsScratch(pairs, nil)
+	for i := 1; i < n; i++ {
+		if pairs[i-1].Key > pairs[i].Key {
+			t.Fatalf("keys out of order at %d", i)
+		}
+		if pairs[i-1].Key == pairs[i].Key && pairs[i-1].Row >= pairs[i].Row {
+			t.Fatalf("tie at %d not broken by ascending row: %d then %d", i, pairs[i-1].Row, pairs[i].Row)
+		}
+	}
+}
+
+func TestMergeRunsMatchesSerialSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, runs := range []int{2, 3, 4, 5, 7} {
+		n := 1000*runs + 37
+		keys := randomKeys(rng, n)
+		got := BuildPairs(keys, nil)
+		want := BuildPairs(keys, nil)
+		bounds := make([]int, runs+1)
+		for p := 0; p <= runs; p++ {
+			bounds[p] = p * n / runs
+		}
+		for p := 0; p < runs; p++ {
+			SortPairs(got[bounds[p]:bounds[p+1]])
+		}
+		MergeRuns(got, bounds, nil)
+		refSortPairs(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("runs=%d position %d: got %+v, want %+v", runs, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package exec
+
+import "repro/internal/storage"
+
+// Radix-partitioned hash join. A monolithic open-addressing table
+// larger than cache turns every probe into a likely miss; partitioning
+// build and probe keys by a radix of the key hash splits one big table
+// into cache-sized sub-tables, and probing partition-at-a-time keeps
+// each sub-table resident while it is probed. The partition digit is
+// taken from a DIFFERENT range of the hash than the sub-tables' slot
+// hash (which uses the top bits): using the same bits would make every
+// key in a partition collide into one slot run of its sub-table.
+
+const (
+	// radixBits fixes the partition fanout. 64 partitions keep each
+	// sub-table of a ~256k-key build side around L2 size.
+	radixBits       = 6
+	radixPartitions = 1 << radixBits
+	// radixPartShift positions the partition digit well below the slot
+	// hash's top bits.
+	radixPartShift = 21
+	// partitionedProbeMin is the probe batch size below which the
+	// scatter/restitch overhead of partition-at-a-time probing outweighs
+	// its locality win and the straight inline probe is used instead.
+	partitionedProbeMin = 4096
+)
+
+// radixPart maps a key to its partition.
+func radixPart(k int64) int {
+	return int((uint64(k) * fibMult >> radixPartShift) & (radixPartitions - 1))
+}
+
+// RadixTable is the radix-partitioned join build side: one CountTable
+// per partition, populated lazily. It carries the build-side dictionary
+// when the join key is a dictionary-coded string column, so probes can
+// translate codes across dictionaries.
+type RadixTable struct {
+	parts [radixPartitions]CountTable
+	// dict is the build-side dictionary for coded string keys (nil for
+	// integer keys). Probing a coded table with a different probe-side
+	// dictionary goes through ProbeDict's translation.
+	dict *storage.Dictionary
+}
+
+// NewRadixTable returns a table pre-sized for about hint build rows
+// spread across the partitions.
+func NewRadixTable(hint int) *RadixTable {
+	t := &RadixTable{}
+	if per := hint / radixPartitions; per > tableMinCap/2 {
+		for i := range t.parts {
+			t.parts[i].init(capFor(per))
+		}
+	}
+	return t
+}
+
+// SetDict records the build-side dictionary (nil for integer keys).
+func (t *RadixTable) SetDict(d *storage.Dictionary) { t.dict = d }
+
+// Dict returns the build-side dictionary, nil for integer keys.
+func (t *RadixTable) Dict() *storage.Dictionary {
+	if t == nil {
+		return nil
+	}
+	return t.dict
+}
+
+// Add inserts one key into its partition.
+func (t *RadixTable) Add(k int64) {
+	t.parts[radixPart(k)].Add(k)
+}
+
+// AddBatch inserts every key of one block's key column.
+func (t *RadixTable) AddBatch(keys []int64) {
+	for _, k := range keys {
+		t.parts[radixPart(k)].Add(k)
+	}
+}
+
+// Count returns the build-row count of k (0 when absent).
+func (t *RadixTable) Count(k int64) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.parts[radixPart(k)].Count(k)
+}
+
+// Len returns the number of distinct keys across all partitions.
+func (t *RadixTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.parts {
+		n += t.parts[i].n
+	}
+	return n
+}
+
+// Total returns the total number of inserted keys (build rows).
+func (t *RadixTable) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	var total int64
+	for i := range t.parts {
+		total += t.parts[i].total
+	}
+	return total
+}
+
+// ProbeBatch fills sel with the indices of keys present in the table,
+// probing each key's partition inline — the small-batch probe path.
+// The returned selection vector reuses sel's backing array.
+func (t *RadixTable) ProbeBatch(keys []int64, sel []int) []int {
+	sel = growSel(sel, len(keys))
+	if t == nil {
+		return sel[:0]
+	}
+	return t.ProbeRange(keys, 0, len(keys), sel)
+}
+
+// ProbeRange probes rows [lo, hi) of the key column, writing kept
+// absolute row indices into sel (len >= hi-lo) and returning the kept
+// prefix — the morsel-parallel probe entry point (disjoint ranges of
+// one shared selection vector need no synchronization; the table is
+// read-only during probes).
+func (t *RadixTable) ProbeRange(keys []int64, lo, hi int, sel []int) []int {
+	k := 0
+	for i, key := range keys[lo:hi] {
+		sel[k] = lo + i
+		if t.parts[radixPart(key)].has(key) {
+			k++
+		}
+	}
+	return sel[:k]
+}
+
+// ProbeBatchPartitioned is the cache-conscious probe for large batches:
+// scatter (key, row) pairs by partition, probe partition-at-a-time so
+// each sub-table stays cache-resident, then re-emit matches in
+// ascending row order via the scratch mark bitmap — the output is
+// bit-identical to ProbeBatch. Falls back to the inline probe below
+// partitionedProbeMin rows.
+func (t *RadixTable) ProbeBatchPartitioned(keys []int64, sc *Scratch) []int {
+	n := len(keys)
+	if t == nil {
+		sc.Sel = growSel(sc.Sel, n)
+		return sc.Sel[:0]
+	}
+	if n < partitionedProbeMin {
+		sc.Sel = growSel(sc.Sel, n)
+		return t.ProbeRange(keys, 0, n, sc.Sel)
+	}
+	// Histogram then scatter pairs into partition-contiguous order.
+	var counts [radixPartitions + 1]int
+	for _, k := range keys {
+		counts[radixPart(k)+1]++
+	}
+	for p := 1; p <= radixPartitions; p++ {
+		counts[p] += counts[p-1]
+	}
+	scat := growPairs(sc.Pairs2, n)
+	sc.Pairs2 = scat
+	var off [radixPartitions]int
+	copy(off[:], counts[:radixPartitions])
+	for i, k := range keys {
+		p := radixPart(k)
+		scat[off[p]] = KeyRow{Key: k, Row: int32(i)}
+		off[p]++
+	}
+	marks := growMarks(sc.Marks, n)
+	sc.Marks = marks
+	for p := 0; p < radixPartitions; p++ {
+		tbl := &t.parts[p]
+		if tbl.keys == nil {
+			continue
+		}
+		for _, pr := range scat[counts[p]:counts[p+1]] {
+			if tbl.has(pr.Key) {
+				marks[pr.Row] = true
+			}
+		}
+	}
+	sel := growSel(sc.Sel, n)
+	sc.Sel = sel
+	k := 0
+	for i := 0; i < n; i++ {
+		sel[k] = i
+		if marks[i] {
+			k++
+			marks[i] = false // restore the all-false invariant
+		}
+	}
+	return sel[:k]
+}
+
+// ProbeDict probes dictionary codes against a table built over coded
+// string keys. With a shared dictionary, codes are directly comparable
+// and the integer probe runs unchanged. With distinct dictionaries the
+// per-value translation (decode probe value, re-encode in the build
+// dictionary, probe) is hoisted out of the row loop into a
+// per-probe-code membership table — dictionaries are small next to
+// blocks — leaving integer lookups in the row loop.
+func (t *RadixTable) ProbeDict(probeDict *storage.Dictionary, codes []int64, sc *Scratch) []int {
+	n := len(codes)
+	if t == nil || t.dict == nil || probeDict == nil {
+		sc.Sel = growSel(sc.Sel, n)
+		return sc.Sel[:0]
+	}
+	if t.dict == probeDict {
+		return t.ProbeBatchPartitioned(codes, sc)
+	}
+	m := sc.DictMap
+	if cap(m) < probeDict.Len() {
+		m = make([]uint8, probeDict.Len())
+	} else {
+		m = m[:probeDict.Len()]
+	}
+	sc.DictMap = m
+	for c := range m {
+		m[c] = 0
+		if bc, ok := t.dict.Code(probeDict.Value(int64(c))); ok && t.Count(bc) > 0 {
+			m[c] = 1
+		}
+	}
+	sel := growSel(sc.Sel, n)
+	sc.Sel = sel
+	k := 0
+	for i, c := range codes {
+		sel[k] = i
+		if m[c] == 1 {
+			k++
+		}
+	}
+	return sel[:k]
+}
+
+// has reports whether k is present (the probe inner loop, shared by the
+// inline and partitioned probes).
+func (t *CountTable) has(k int64) bool {
+	if t.keys == nil {
+		return false
+	}
+	i := hashSlot(k, t.shift)
+	for t.used[i] {
+		if t.keys[i] == k {
+			return true
+		}
+		i = (i + 1) & t.mask
+	}
+	return false
+}

@@ -16,9 +16,20 @@ import (
 //
 // Semantics match the scalar engine's per-row evalPred: a typed
 // predicate over a column of the wrong type keeps nothing; PredNone and
-// unknown kinds keep everything.
+// unknown kinds keep everything. A string-equality predicate over a
+// dictionary-coded column resolves the operand to its code once and
+// runs the integer-equality loop over codes.
 func Filter(pred plan.Predicate, v *storage.ColumnVector, n int, sel []int) []int {
 	sel = growSel(sel, n)
+	return FilterRange(pred, v, 0, n, sel)
+}
+
+// FilterRange is Filter restricted to rows [lo, hi): it writes the kept
+// absolute row indices into sel (which must have len >= hi-lo) and
+// returns the kept prefix. The engine's morsel driver hands each morsel
+// a disjoint sub-range of one shared selection vector, so concurrent
+// range filters over one block need no synchronization.
+func FilterRange(pred plan.Predicate, v *storage.ColumnVector, lo, hi int, sel []int) []int {
 	k := 0
 	switch pred.Kind {
 	case plan.PredIntLess:
@@ -27,8 +38,8 @@ func Filter(pred plan.Predicate, v *storage.ColumnVector, n int, sel []int) []in
 			return sel[:0]
 		}
 		op := pred.Operand
-		for i, x := range vals[:n] {
-			sel[k] = i
+		for i, x := range vals[lo:hi] {
+			sel[k] = lo + i
 			if x < op {
 				k++
 			}
@@ -39,8 +50,8 @@ func Filter(pred plan.Predicate, v *storage.ColumnVector, n int, sel []int) []in
 			return sel[:0]
 		}
 		op := pred.Operand
-		for i, x := range vals[:n] {
-			sel[k] = i
+		for i, x := range vals[lo:hi] {
+			sel[k] = lo + i
 			if x >= op {
 				k++
 			}
@@ -51,8 +62,8 @@ func Filter(pred plan.Predicate, v *storage.ColumnVector, n int, sel []int) []in
 			return sel[:0]
 		}
 		op := pred.Operand
-		for i, x := range vals[:n] {
-			sel[k] = i
+		for i, x := range vals[lo:hi] {
+			sel[k] = lo + i
 			if x == op {
 				k++
 			}
@@ -63,29 +74,46 @@ func Filter(pred plan.Predicate, v *storage.ColumnVector, n int, sel []int) []in
 			return sel[:0]
 		}
 		op := pred.FOperand
-		for i, x := range vals[:n] {
-			sel[k] = i
+		for i, x := range vals[lo:hi] {
+			sel[k] = lo + i
 			if x < op {
 				k++
 			}
 		}
 	case plan.PredStringEq:
+		if codes := v.Codes; codes != nil && v.Dict != nil {
+			// Dictionary-coded column: the string compare leaves the
+			// row loop entirely — resolve the operand to its code once
+			// and the loop is integer equality over codes. An operand
+			// outside the dictionary matches nothing.
+			op, ok := v.Dict.Code(pred.SOperand)
+			if !ok {
+				return sel[:0]
+			}
+			for i, x := range codes[lo:hi] {
+				sel[k] = lo + i
+				if x == op {
+					k++
+				}
+			}
+			break
+		}
 		vals := v.Strings
 		if vals == nil {
 			return sel[:0]
 		}
 		op := pred.SOperand
-		for i, x := range vals[:n] {
-			sel[k] = i
+		for i, x := range vals[lo:hi] {
+			sel[k] = lo + i
 			if x == op {
 				k++
 			}
 		}
 	default:
-		for i := range sel {
-			sel[i] = i
+		for i := lo; i < hi; i++ {
+			sel[k] = i
+			k++
 		}
-		k = n
 	}
 	return sel[:k]
 }

@@ -85,11 +85,20 @@ func (s *Schema) ColumnIndex(name string) int {
 func (s *Schema) NumColumns() int { return len(s.Columns) }
 
 // ColumnVector is one column's values within a single block. Exactly one
-// of the slices is non-nil, matching the column's declared type.
+// of the value slices is non-nil, matching the column's declared type.
+// A StringCol column has two representations: plain (Strings non-nil)
+// or dictionary-coded (Codes non-nil with Dict pointing at the
+// relation-wide order-preserving dictionary; see EncodeColumn).
 type ColumnVector struct {
 	Ints    []int64
 	Floats  []float64
 	Strings []string
+	// Codes holds dictionary codes for a coded string column. Code
+	// order equals string order (the dictionary is sorted), so integer
+	// kernels over codes compute string semantics.
+	Codes []int64
+	// Dict decodes Codes; shared by every block of the relation.
+	Dict *Dictionary
 }
 
 // Len returns the number of values stored in the vector.
@@ -101,6 +110,8 @@ func (v *ColumnVector) Len() int {
 		return len(v.Floats)
 	case v.Strings != nil:
 		return len(v.Strings)
+	case v.Codes != nil:
+		return len(v.Codes)
 	default:
 		return 0
 	}
@@ -154,7 +165,22 @@ func (b *Block) Validate() error {
 				return fmt.Errorf("storage: block %d column %q missing float vector", b.Header.BlockID, col.Name)
 			}
 		case StringCol:
-			if v.Strings == nil && b.Header.Rows > 0 {
+			switch {
+			case v.Strings != nil:
+				// plain representation
+			case v.Codes != nil:
+				if v.Dict == nil {
+					return fmt.Errorf("storage: block %d column %q has codes but no dictionary",
+						b.Header.BlockID, col.Name)
+				}
+				max := int64(v.Dict.Len())
+				for _, c := range v.Codes {
+					if c < 0 || c >= max {
+						return fmt.Errorf("storage: block %d column %q has code %d outside dictionary of %d",
+							b.Header.BlockID, col.Name, c, max)
+					}
+				}
+			case b.Header.Rows > 0:
 				return fmt.Errorf("storage: block %d column %q missing string vector", b.Header.BlockID, col.Name)
 			}
 		}

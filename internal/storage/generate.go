@@ -19,6 +19,10 @@ type GenSpec struct {
 	// Sequential, when true, makes an integer column a 0..n-1 sequence —
 	// a synthetic primary key.
 	Sequential bool
+	// DictEncode, when true on a string column, dictionary-encodes the
+	// column after generation (see EncodeColumn): blocks carry codes
+	// into a shared order-preserving dictionary instead of raw strings.
+	DictEncode bool
 }
 
 // Generator synthesizes relations deterministically from a seed. It stands
@@ -69,6 +73,13 @@ func (g *Generator) Relation(name string, n, blockRows int, specs []GenSpec) (*R
 		start += rows
 		if n == 0 {
 			break
+		}
+	}
+	for _, s := range specs {
+		if s.DictEncode && s.Column.Type == StringCol {
+			if err := EncodeColumn(rel, s.Column.Name); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return rel, nil

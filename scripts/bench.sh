@@ -33,7 +33,7 @@ echo "== training rollouts (root)"
 go test -run=NONE -bench=BenchmarkTrainRollouts -benchtime=3x . | tee -a "$raw"
 
 echo "== live engine kernels (internal/engine)"
-go test -run=NONE -bench='BenchmarkLiveKernels|BenchmarkLiveRun' \
+go test -run=NONE -bench='BenchmarkLiveKernels|BenchmarkLiveRun|BenchmarkLiveMorsels' \
   -benchtime="$benchtime" -benchmem ./internal/engine/ | tee -a "$raw"
 
 echo "== admission A/B (internal/frontdoor)"
@@ -75,7 +75,12 @@ BEGIN {
   print "    {\"before\": \"BenchmarkLiveKernels/probe/scalar\", \"after\": \"BenchmarkLiveKernels/probe/vector\", \"dimension\": \"batch hash probe + pooled gather\"},"
   print "    {\"before\": \"BenchmarkLiveKernels/aggregate/scalar\", \"after\": \"BenchmarkLiveKernels/aggregate/vector\", \"dimension\": \"open-addressing sum aggregation\"},"
   print "    {\"before\": \"BenchmarkLiveKernels/sort/scalar\", \"after\": \"BenchmarkLiveKernels/sort/vector\", \"dimension\": \"key-extracted sort kernel\"},"
-  print "    {\"before\": \"BenchmarkLiveRun/scalar\", \"after\": \"BenchmarkLiveRun/vector\", \"dimension\": \"live engine end-to-end (vectorized kernels + block pool)\"},"
+  print "    {\"before\": \"BenchmarkLiveKernels/strselect/scalar\", \"after\": \"BenchmarkLiveKernels/strselect/vector\", \"dimension\": \"dictionary-coded string selection (code compare vs decode+string compare)\"},"
+  print "    {\"before\": \"BenchmarkLiveKernels/radixsort/scalar\", \"after\": \"BenchmarkLiveKernels/radixsort/vector\", \"dimension\": \"LSD radix sort on the key-extracted path (64k rows, wide key range)\"},"
+  print "    {\"before\": \"BenchmarkLiveKernels/partprobe/scalar\", \"after\": \"BenchmarkLiveKernels/partprobe/vector\", \"dimension\": \"radix-partitioned hash probe (16k-row batches, high-cardinality build)\"},"
+  print "    {\"before\": \"BenchmarkLiveKernels/fusedselect/scalar\", \"after\": \"BenchmarkLiveKernels/fusedselect/vector\", \"dimension\": \"fused select->project->consumer (single-column gather)\"},"
+  print "    {\"before\": \"BenchmarkLiveMorsels/unsplit\", \"after\": \"BenchmarkLiveMorsels/split\", \"dimension\": \"morsel-parallel work orders (expected wash on a 1-core host; records the split-bookkeeping overhead bound)\"},"
+  print "    {\"before\": \"BenchmarkLiveRun/scalar\", \"after\": \"BenchmarkLiveRun/vector\", \"dimension\": \"live engine end-to-end, steady state (vectorized kernels + fusion + block/estimator/agg-table recycling)\"},"
   print "    {\"before\": \"BenchmarkAdmissionAB/heuristic\", \"after\": \"BenchmarkAdmissionAB/learned\", \"dimension\": \"learned admission control (p99_ns of admitted latency-class queries and shed_pct under 2x overload)\"}"
   print "  ],"
   print "  \"results\": ["

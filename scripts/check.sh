@@ -37,6 +37,12 @@ go test -count=1 -run TestStorePutGetPromote ./internal/policystore/
 echo "== differential smoke (scalar vs vectorized kernels agree)"
 go test -count=1 -run 'TestDifferential|TestProbePrefersBuildHashChild' ./internal/engine/
 
+echo "== fusion/morsel race smoke (concurrent morsels inside one work order, fused select)"
+go test -race -count=1 -run 'TestLiveMorsels|TestDifferentialMorsels|TestDifferentialFusedSelect' ./internal/engine/
+
+echo "== dictionary encoding smoke (encode/decode round trip)"
+go test -count=1 -run 'TestDict' ./internal/storage/
+
 echo "== front door smoke (conservation + overload regression, short)"
 go test -count=1 -short -run 'TestConservationUnderChurn|TestOverloadRegression' ./internal/frontdoor/
 
