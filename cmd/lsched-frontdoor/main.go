@@ -18,12 +18,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
@@ -38,30 +36,6 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/workload"
 )
-
-// planPool maps incoming requests onto executable plans: the wire
-// format carries an operator summary, not a full plan, so the server
-// picks a benchmark plan by hashing the summary. The mapping is
-// deterministic — identical requests execute identical plans — which
-// keeps the admission estimator's online cost windows consistent with
-// what actually runs.
-type planPool struct {
-	inner frontdoor.Backend
-	plans []*plan.Plan
-	mu    sync.Mutex
-}
-
-func (pp *planPool) Run(q *frontdoor.Query) (*frontdoor.Result, error) {
-	h := fnv.New64a()
-	for _, op := range q.Ops {
-		fmt.Fprintf(h, "%d:%d;", op.Key, op.Units)
-	}
-	pp.mu.Lock()
-	p := pp.plans[int(h.Sum64()%uint64(len(pp.plans)))].Clone()
-	pp.mu.Unlock()
-	q.Payload = p
-	return pp.inner.Run(q)
-}
 
 func benchPlans(bench string, sf float64) ([]*plan.Plan, error) {
 	switch bench {
@@ -148,8 +122,12 @@ func main() {
 		rec.AttachSink(provFile, 256)
 	}
 
+	pool, err := frontdoor.NewPlanPool(frontdoor.NewEngineBackend(live, sched), plans)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fd, err := frontdoor.New(frontdoor.Options{
-		Backend:     &planPool{inner: frontdoor.NewEngineBackend(live, sched), plans: plans},
+		Backend:     pool,
 		Controller:  ctrl,
 		MaxInFlight: *slots,
 		QueueCap:    *queueCap,

@@ -8,6 +8,11 @@
 //	lsched-loadgen -target http://localhost:8080/query -rate 200 -n 2000
 //	lsched-loadgen -target ... -tenants 8 -latency-frac 0.7 -deadline 50ms
 //
+// With -targets, submissions round-robin across several ingresses (a
+// fleet of front doors, or lsched-cluster coordinators):
+//
+//	lsched-loadgen -targets http://h1:8080/query,http://h2:8080/query -rate 400
+//
 // A/B mode (-ab) skips the network: it builds two identical in-process
 // front doors over the live engine — one with the heuristic
 // admit-everything baseline, one with the learned admission head — and
@@ -27,6 +32,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +47,7 @@ import (
 
 func main() {
 	target := flag.String("target", "http://localhost:8080/query", "front door URL (remote mode)")
+	targets := flag.String("targets", "", "comma-separated front door URLs; submissions round-robin across them (overrides -target)")
 	ab := flag.Bool("ab", false, "in-process learned-vs-heuristic A/B instead of remote traffic")
 	n := flag.Int("n", 1000, "queries to submit")
 	rate := flag.Float64("rate", 100, "offered rate in queries/sec (remote mode)")
@@ -60,7 +67,19 @@ func main() {
 		runAB(plans, *n, *overload, *tenants, *latencyFrac, *deadline, *slots, *threads, *seed)
 		return
 	}
-	runRemote(*target, plans, *n, *rate, *tenants, *latencyFrac, *deadline, *seed)
+	urls := []string{*target}
+	if *targets != "" {
+		urls = urls[:0]
+		for _, u := range strings.Split(*targets, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			log.Fatal("-targets has no usable URLs")
+		}
+	}
+	runRemote(urls, plans, *n, *rate, *tenants, *latencyFrac, *deadline, *seed)
 }
 
 func benchPlans(bench string, sf float64) []*plan.Plan {
@@ -147,7 +166,10 @@ func (t *tally) report(label string) {
 	}
 }
 
-func runRemote(target string, plans []*plan.Plan, n int, rate float64, tenants int, latencyFrac float64, deadline time.Duration, seed int64) {
+// runRemote offers the trace to one or more front doors; with several
+// targets, submissions round-robin across them (a poor man's client-side
+// balancer for a fleet of lsched-frontdoor or lsched-cluster ingresses).
+func runRemote(targets []string, plans []*plan.Plan, n int, rate float64, tenants int, latencyFrac float64, deadline time.Duration, seed int64) {
 	trace := genTrace(plans, n, tenants, latencyFrac, deadline, seed)
 	interval := time.Duration(float64(time.Second) / rate)
 	var wg sync.WaitGroup
@@ -165,6 +187,7 @@ func runRemote(target string, plans []*plan.Plan, n int, rate float64, tenants i
 			Ops:        frontdoor.SummarizePlan(plans[s.planIdx]),
 		}
 		body, _ := json.Marshal(req)
+		target := targets[i%len(targets)]
 		wg.Add(1)
 		go func(s spec) {
 			defer wg.Done()
@@ -190,7 +213,8 @@ func runRemote(target string, plans []*plan.Plan, n int, rate float64, tenants i
 		}(s)
 	}
 	wg.Wait()
-	fmt.Printf("offered %d queries at %.0f q/s to %s in %v\n", n, rate, target, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("offered %d queries at %.0f q/s to %s in %v\n",
+		n, rate, strings.Join(targets, ","), time.Since(start).Round(time.Millisecond))
 	tl.report("remote")
 }
 

@@ -162,6 +162,9 @@ func cmdExplain(path string, queryID int64) {
 		if r.Tenant != "" {
 			fmt.Printf("  tenant %s", r.Tenant)
 		}
+		if r.NodeID != "" {
+			fmt.Printf("  node %s", r.NodeID)
+		}
 		fmt.Printf("  policy v%d  %s\n", r.PolicyVersion,
 			time.Unix(0, r.UnixNanos).UTC().Format("2006-01-02 15:04:05.000"))
 		agree := "disagrees with"

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestNodeFailureRedispatch is the failure drill the subsystem exists
+// to pass: a 3-node cluster loses one node mid-run. Queries routed to
+// the dead node but not yet started must re-dispatch to the survivors,
+// the conservation invariant (every submitted query terminal exactly
+// once) must hold with zero lost, and the dead node's health gauge
+// must read 0 within one heartbeat interval of the coordinator
+// noticing.
+func TestNodeFailureRedispatch(t *testing.T) {
+	const heartbeat = 40 * time.Millisecond
+	reg := metrics.NewRegistry()
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		nodes[i] = testNode(t, fmt.Sprintf("node-%d", i), unitSleepBackend(100*time.Microsecond))
+	}
+	lc, err := NewLocalCluster(Options{
+		MaxPerNode:        2,
+		HeartbeatInterval: heartbeat,
+		Metrics:           reg,
+	}, nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 300
+	var wg sync.WaitGroup
+	var failures int64
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := lc.Coord.Run(testQuery(fmt.Sprintf("tenant-%d", i%8), 2+i%16)); err != nil {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	// Kill node 1 while queries are queued on it (MaxPerNode bounds
+	// dispatch, so a burst of 300 leaves most queries queued).
+	time.Sleep(5 * time.Millisecond)
+	killedAt := time.Now()
+	lc.Kill(1)
+
+	// The health gauge must flip within one heartbeat interval of the
+	// failure being detectable (in-flight submits fail immediately; the
+	// probe is the backstop). Allow one interval plus scheduling slack.
+	gauge := reg.Gauge(metrics.LabeledName("cluster_node_healthy", "node", "node-1"))
+	flipDeadline := killedAt.Add(heartbeat + 100*time.Millisecond)
+	for gauge.Value() != 0 {
+		if time.Now().After(flipDeadline) {
+			t.Fatal("health gauge did not flip to 0 within one heartbeat interval of the kill")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	wg.Wait()
+	st := lc.Coord.Status()
+	if st.Completed+st.Failed != n {
+		t.Fatalf("lost queries: completed=%d failed=%d, want sum %d", st.Completed, st.Failed, n)
+	}
+	if int64(failures) != st.Failed {
+		t.Fatalf("caller saw %d failures, coordinator counted %d", failures, st.Failed)
+	}
+	if st.Failed != 0 {
+		// Two healthy nodes remained and the budget allows 3 routes;
+		// nothing should have run out of places to go.
+		t.Fatalf("%d queries failed despite surviving nodes", st.Failed)
+	}
+	if st.Redispatched == 0 {
+		t.Fatal("no queries re-dispatched; the kill never orphaned queued work (test lost its race)")
+	}
+	for _, ns := range st.Nodes {
+		if ns.ID == "node-1" {
+			if ns.Healthy {
+				t.Fatal("killed node still marked healthy")
+			}
+			if ns.Queued != 0 {
+				t.Fatalf("killed node still holds %d queued queries", ns.Queued)
+			}
+		}
+	}
+
+	// Revive: the next heartbeat marks it routable again and the gauge
+	// flips back.
+	lc.Revive(1)
+	rejoinDeadline := time.Now().Add(10*heartbeat + time.Second)
+	for gauge.Value() != 1 {
+		if time.Now().After(rejoinDeadline) {
+			t.Fatal("revived node never rejoined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := lc.Coord.Run(testQuery("tenant-0", 1)); err != nil {
+		t.Fatalf("query after rejoin failed: %v", err)
+	}
+	if !lc.Close(time.Second) {
+		t.Fatal("coordinator drain timed out")
+	}
+}

@@ -2,11 +2,19 @@ package frontdoor
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/plan"
 )
+
+// BackendFunc adapts a function to the Backend interface (test stubs,
+// benchmark backends).
+type BackendFunc func(q *Query) (*Result, error)
+
+// Run implements Backend.
+func (f BackendFunc) Run(q *Query) (*Result, error) { return f(q) }
 
 // EngineBackend executes admitted queries on the live engine: each
 // query's *plan.Plan (from Query.Payload) runs as a single-arrival
@@ -49,6 +57,42 @@ func (b *EngineBackend) Run(q *Query) (*Result, error) {
 		out.OpMemory[int(t)] = m
 	}
 	return out, nil
+}
+
+// PlanPool maps incoming requests onto executable plans: the wire
+// format carries an operator summary, not a full plan, so the server
+// picks a benchmark plan by hashing the summary. The mapping is
+// deterministic — identical requests execute identical plans — which
+// keeps the admission estimator's online cost windows consistent with
+// what actually runs, on a single server and across the cluster's
+// nodes alike (every node holding the same plan set maps a routed
+// query to the same plan, whichever node it lands on).
+type PlanPool struct {
+	inner Backend
+	plans []*plan.Plan
+	mu    sync.Mutex
+}
+
+// NewPlanPool wraps a backend with the summary-to-plan mapping.
+func NewPlanPool(inner Backend, plans []*plan.Plan) (*PlanPool, error) {
+	if inner == nil || len(plans) == 0 {
+		return nil, fmt.Errorf("frontdoor: NewPlanPool needs a backend and at least one plan")
+	}
+	return &PlanPool{inner: inner, plans: plans}, nil
+}
+
+// Run implements Backend: hash the op summary, clone the selected
+// plan into the query payload, execute on the wrapped backend.
+func (pp *PlanPool) Run(q *Query) (*Result, error) {
+	h := fnv.New64a()
+	for _, op := range q.Ops {
+		fmt.Fprintf(h, "%d:%d;", op.Key, op.Units)
+	}
+	pp.mu.Lock()
+	p := pp.plans[int(h.Sum64()%uint64(len(pp.plans)))].Clone()
+	pp.mu.Unlock()
+	q.Payload = p
+	return pp.inner.Run(q)
 }
 
 // lockedScheduler serializes OnEvent across concurrent live runs.

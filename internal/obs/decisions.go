@@ -17,6 +17,7 @@ type DecisionView struct {
 	Kind          string `json:"kind"`
 	QueryID       int64  `json:"query_id"`
 	Tenant        string `json:"tenant,omitempty"`
+	NodeID        string `json:"node_id,omitempty"`
 	PolicyVersion int32  `json:"policy_version"`
 	UnixNanos     int64  `json:"unix_nanos"`
 	Action        int32  `json:"action"`
@@ -56,6 +57,7 @@ func BuildDecisions(rec *provenance.Recorder, n int, kind *provenance.Kind) Deci
 			Kind:                r.Kind.String(),
 			QueryID:             r.QueryID,
 			Tenant:              r.Tenant,
+			NodeID:              r.NodeID,
 			PolicyVersion:       r.PolicyVersion,
 			UnixNanos:           r.UnixNanos,
 			Action:              r.Action,

@@ -65,6 +65,11 @@ type Options struct {
 	// SLO, when set, backs the /slo endpoint: per-tenant/class
 	// multi-window error-budget burn rates.
 	SLO *provenance.Tracker
+	// Cluster, when set, backs the /cluster endpoint: a
+	// JSON-serializable snapshot of the routing layer (per-node health,
+	// queue depths, policy versions, conservation counters — typically
+	// cluster.Status). Nil serves an empty object.
+	Cluster func() any
 	// Health, when set, backs the /healthz readiness endpoint; nil
 	// reports ready (a mounted obs server with no health source is a
 	// live process). Not-ready responses use status 503 so plain HTTP
@@ -102,6 +107,7 @@ func NewServer(opts Options) *Server {
 	mux.HandleFunc("/decisions", s.handleDecisions)
 	mux.HandleFunc("/drift", s.handleDrift)
 	mux.HandleFunc("/slo", s.handleSLO)
+	mux.HandleFunc("/cluster", s.handleCluster)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -162,6 +168,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /decisions      recent learned decisions, explained (JSON; ?n, ?kind)
   /drift          per-feature PSI drift vs training reference (JSON)
   /slo            per-tenant/class error-budget burn rates (JSON)
+  /cluster        routing layer: per-node health and counters (JSON)
   /healthz        readiness probe (200 ready / 503 not)
   /debug/pprof/   pprof profiling
 `)
@@ -231,6 +238,14 @@ func (s *Server) handleFrontDoor(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, s.opts.FrontDoor())
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.Cluster == nil {
+		writeJSON(w, struct{}{})
+		return
+	}
+	writeJSON(w, s.opts.Cluster())
 }
 
 // timeseriesPayload is the /timeseries response (and disk-dump) shape.

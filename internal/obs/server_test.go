@@ -176,10 +176,44 @@ func TestServerNilSources(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/metrics.json", "/trace", "/trace.chrome", "/queries", "/timeseries"} {
+	for _, path := range []string{"/metrics", "/metrics.json", "/trace", "/trace.chrome", "/queries", "/timeseries", "/cluster"} {
 		if code, _ := get(t, addr, path); code != http.StatusOK {
 			t.Errorf("%s status = %d, want 200", path, code)
 		}
+	}
+}
+
+// TestServerCluster: /cluster serves whatever snapshot the routing
+// layer provides, verbatim as JSON.
+func TestServerCluster(t *testing.T) {
+	type nodeView struct {
+		ID      string `json:"id"`
+		Healthy bool   `json:"healthy"`
+	}
+	type clusterView struct {
+		Policy string     `json:"policy"`
+		Nodes  []nodeView `json:"nodes"`
+	}
+	srv := NewServer(Options{
+		Cluster: func() any {
+			return clusterView{Policy: "least-loaded", Nodes: []nodeView{{ID: "node-0", Healthy: true}}}
+		},
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, addr, "/cluster")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var got clusterView
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Policy != "least-loaded" || len(got.Nodes) != 1 || got.Nodes[0].ID != "node-0" {
+		t.Fatalf("cluster payload = %+v", got)
 	}
 }
 

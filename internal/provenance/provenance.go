@@ -88,6 +88,11 @@ type Record struct {
 	QueryID int64 `json:"query_id"`
 	// Tenant is the submitting tenant (admissions only).
 	Tenant string `json:"tenant,omitempty"`
+	// NodeID names the cluster node whose policy took the decision
+	// (empty on single-node deployments). It is stamped per recorder
+	// (SetNodeID), so traces spilled by different nodes stay
+	// attributable after they are merged.
+	NodeID string `json:"node_id,omitempty"`
 	// PolicyVersion is the policy-store version of the deciding policy
 	// (0 = not from the store), stamped by serving.HotAgent on swap so
 	// a bad promotion is attributable record by record.
@@ -139,11 +144,12 @@ type Options struct {
 // disabled" handle: every method no-ops, so call sites record
 // unconditionally like metrics instruments.
 type Recorder struct {
-	mu   sync.Mutex
-	ring []Record
-	seq  uint64 // last assigned sequence; slot index is seq % cap
-	open map[openKey]uint64
-	now  func() int64
+	mu     sync.Mutex
+	ring   []Record
+	seq    uint64 // last assigned sequence; slot index is seq % cap
+	open   map[openKey]uint64
+	now    func() int64
+	nodeID string
 
 	names [numKinds][]string
 	drift [numKinds]*DriftDetector
@@ -184,6 +190,19 @@ func (r *Recorder) Instrument(reg *metrics.Registry) {
 	r.mSpilled = reg.Counter("provenance_spilled_records")
 	r.mSpillErrs = reg.Counter("provenance_spill_errors")
 	r.mOpen = reg.Gauge("provenance_open_keys")
+}
+
+// SetNodeID stamps every subsequently recorded decision with the
+// cluster node identity, so merged multi-node traces stay attributable
+// record by record (lsched-policyctl explain prints it). Set it once at
+// process start, before traffic.
+func (r *Recorder) SetNodeID(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.nodeID = id
+	r.mu.Unlock()
 }
 
 // SetFeatureNames labels one kind's feature-vector positions for the
@@ -249,6 +268,7 @@ func (r *Recorder) Record(kind Kind, queryID int64, tenant string, policyVersion
 	slot.Kind = kind
 	slot.QueryID = queryID
 	slot.Tenant = tenant
+	slot.NodeID = r.nodeID
 	slot.PolicyVersion = int32(policyVersion)
 	slot.UnixNanos = r.now()
 	slot.Features = append(slot.Features[:0], features...)

@@ -21,17 +21,25 @@ import (
 // payload: u32 count, then per record:
 //
 //	u64 seq | u8 kind | i64 queryID | u16 tenantLen | tenant bytes |
+//	u16 nodeIDLen | nodeID bytes (version >= 2) |
 //	i32 policyVersion | i64 unixNanos | i32 action | i32 actionArg |
 //	i32 heuristic | u8 outcomeFlags | f64 latency | f64 durPredErr |
 //	f64 memPredErr | u32 nFeatures | f64... | u32 nScores | f64...
 //
 // outcomeFlags bits: 1 joined, 2 deadlineMet, 4 shed, 8 rejected.
+//
+// Version history: v1 had no nodeID field. The writer emits the
+// current version; the reader accepts every version listed here, so
+// traces recorded before the cluster work (and traces from mixed-age
+// node fleets) keep loading — v1 records decode with NodeID "".
 
 const (
-	spillVersion    = 1
+	spillVersion    = 2
+	spillVersionV1  = 1 // pre-cluster frames: no nodeID field
 	maxFramePayload = 64 << 20
 	maxVecLen       = 1 << 20
 	maxTenantLen    = 1 << 12
+	maxNodeIDLen    = 1 << 8
 )
 
 var spillMagic = [4]byte{'L', 'S', 'P', 'V'}
@@ -154,6 +162,13 @@ func encodeRecord(b *bytes.Buffer, rec *Record) {
 	binary.LittleEndian.PutUint16(tl[:], uint16(len(rec.Tenant)))
 	b.Write(tl[:])
 	b.WriteString(rec.Tenant)
+	if len(rec.NodeID) > maxNodeIDLen {
+		rec.NodeID = rec.NodeID[:maxNodeIDLen]
+	}
+	var nl [2]byte
+	binary.LittleEndian.PutUint16(nl[:], uint16(len(rec.NodeID)))
+	b.Write(nl[:])
+	b.WriteString(rec.NodeID)
 	putU32(b, uint32(rec.PolicyVersion))
 	putU64(b, uint64(rec.UnixNanos))
 	putU32(b, uint32(rec.Action))
@@ -251,7 +266,7 @@ func (d *decoder) floats(n int) ([]float64, error) {
 	return out, nil
 }
 
-func decodeRecord(d *decoder) (Record, error) {
+func decodeRecord(d *decoder, version byte) (Record, error) {
 	var rec Record
 	var err error
 	if rec.Seq, err = d.u64(); err != nil {
@@ -276,6 +291,15 @@ func decodeRecord(d *decoder) (Record, error) {
 	}
 	if rec.Tenant, err = d.str(int(tl)); err != nil {
 		return rec, err
+	}
+	if version >= 2 {
+		nl, err := d.u16()
+		if err != nil {
+			return rec, err
+		}
+		if rec.NodeID, err = d.str(int(nl)); err != nil {
+			return rec, err
+		}
 	}
 	pv, err := d.u32()
 	if err != nil {
@@ -361,7 +385,7 @@ func ReadAll(r io.Reader) ([]Record, error) {
 		if [4]byte(hdr[:4]) != spillMagic {
 			return nil, fmt.Errorf("provenance: bad frame magic %q", hdr[:4])
 		}
-		if hdr[4] != spillVersion {
+		if hdr[4] != spillVersion && hdr[4] != spillVersionV1 {
 			return nil, fmt.Errorf("provenance: unsupported spill version %d", hdr[4])
 		}
 		plen := binary.LittleEndian.Uint32(hdr[5:9])
@@ -382,7 +406,7 @@ func ReadAll(r io.Reader) ([]Record, error) {
 			return nil, err
 		}
 		for i := uint32(0); i < count; i++ {
-			rec, err := decodeRecord(d)
+			rec, err := decodeRecord(d, hdr[4])
 			if err != nil {
 				return nil, fmt.Errorf("provenance: record %d: %w", i, err)
 			}

@@ -2,6 +2,8 @@ package provenance
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
@@ -59,6 +61,85 @@ func TestSpillRoundTripBitIdentical(t *testing.T) {
 	}
 	if !got[0].Outcome.Joined || !got[0].Outcome.DeadlineMet {
 		t.Fatalf("joined outcome did not survive the round trip: %+v", got[0].Outcome)
+	}
+}
+
+// TestSpillNodeIDRoundTrip pins the cluster attribution path: a
+// recorder stamped with a node identity spills it, and a merged read
+// keeps each record's origin.
+func TestSpillNodeIDRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	for _, node := range []string{"node-0", "node-1"} {
+		r := testRecorder(8)
+		r.SetNodeID(node)
+		r.AttachSink(&buf, 4)
+		r.Record(KindSchedule, 5, "", 3, []float64{1, 2}, []float64{0.5}, 1, 0, 1)
+		if err := r.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 2 || got[0].NodeID != "node-0" || got[1].NodeID != "node-1" {
+		t.Fatalf("merged trace lost node attribution: %+v", got)
+	}
+}
+
+// TestReadAllDecodesV1Frames pins backward compatibility: traces
+// spilled before the node-ID field existed (format version 1) must
+// still load, with NodeID empty. The v1 record layout is hand-encoded
+// here — it is frozen history, not shared code.
+func TestReadAllDecodesV1Frames(t *testing.T) {
+	var payload bytes.Buffer
+	putU32(&payload, 1) // count
+	putU64(&payload, 42)
+	payload.WriteByte(byte(KindAdmit))
+	putU64(&payload, uint64(int64(9)))
+	tenant := "acme"
+	var tl [2]byte
+	binary.LittleEndian.PutUint16(tl[:], uint16(len(tenant)))
+	payload.Write(tl[:])
+	payload.WriteString(tenant)
+	// No nodeID field in v1.
+	putU32(&payload, uint32(int32(3)))  // policyVersion
+	putU64(&payload, uint64(int64(17))) // unixNanos
+	putU32(&payload, uint32(int32(1)))  // action
+	putU32(&payload, uint32(int32(0)))  // actionArg
+	putU32(&payload, uint32(int32(1)))  // heuristic
+	payload.WriteByte(1 | 2)            // joined, deadlineMet
+	putU64(&payload, math.Float64bits(0.25))
+	putU64(&payload, math.Float64bits(-0.5))
+	putU64(&payload, math.Float64bits(2.0))
+	putU32(&payload, 2)
+	putU64(&payload, math.Float64bits(1.5))
+	putU64(&payload, math.Float64bits(-1.5))
+	putU32(&payload, 1)
+	putU64(&payload, math.Float64bits(0.75))
+
+	var frame bytes.Buffer
+	frame.Write(spillMagic[:])
+	frame.WriteByte(spillVersionV1)
+	putU32(&frame, uint32(payload.Len()))
+	putU32(&frame, crc32.ChecksumIEEE(payload.Bytes()))
+	frame.Write(payload.Bytes())
+
+	got, err := ReadAll(bytes.NewReader(frame.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d records, want 1", len(got))
+	}
+	r := got[0]
+	if r.Seq != 42 || r.Kind != KindAdmit || r.QueryID != 9 || r.Tenant != "acme" ||
+		r.NodeID != "" || r.PolicyVersion != 3 || r.UnixNanos != 17 ||
+		r.Action != 1 || r.Heuristic != 1 || !r.Outcome.Joined || !r.Outcome.DeadlineMet {
+		t.Fatalf("v1 record decoded wrong: %+v", r)
+	}
+	if len(r.Features) != 2 || len(r.Scores) != 1 || r.Features[0] != 1.5 || r.Scores[0] != 0.75 {
+		t.Fatalf("v1 vectors decoded wrong: %+v", r)
 	}
 }
 

@@ -3,6 +3,7 @@ package rpcsched
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/rpc"
 	"sync"
@@ -304,6 +305,74 @@ func Dial(network, address string) (*Client, error) {
 		return nil, fmt.Errorf("rpcsched: dial: %w", err)
 	}
 	return &Client{name: "rpc://" + address, rpc: c}, nil
+}
+
+// RetryOptions tunes DialRetry's backoff schedule. The zero value
+// selects the defaults noted per field.
+type RetryOptions struct {
+	// Attempts is the bounded attempt budget (default 5; values < 1
+	// select the default — a single try is Attempts: 1).
+	Attempts int
+	// BaseDelay is the wait after the first failure (default 50ms);
+	// subsequent waits double up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 2s).
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay that is randomized (default
+	// 0.5): the sleep is delay*(1-Jitter) + rand*delay*Jitter, so a
+	// fleet of reconnecting coordinators does not thunder in lockstep.
+	Jitter float64
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.Attempts < 1 {
+		o.Attempts = 5
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 50 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Second
+	}
+	if o.Jitter <= 0 || o.Jitter > 1 {
+		o.Jitter = 0.5
+	}
+	return o
+}
+
+// DialRetry dials with exponential backoff plus jitter under a bounded
+// attempt budget, so a peer that is restarting (a rescheduled worker
+// node, a coordinator failing over) is reconnected to instead of
+// erroring the caller out on the first refused connection. It returns
+// the last dial error once the budget is exhausted.
+func DialRetry(network, address string, opts RetryOptions) (*Client, error) {
+	o := opts.withDefaults()
+	delay := o.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < o.Attempts; attempt++ {
+		if attempt > 0 {
+			sleep := time.Duration(float64(delay) * (1 - o.Jitter))
+			sleep += time.Duration(rand.Int63n(int64(float64(delay)*o.Jitter) + 1))
+			time.Sleep(sleep)
+			if delay *= 2; delay > o.MaxDelay {
+				delay = o.MaxDelay
+			}
+		}
+		c, err := rpc.Dial(network, address)
+		if err == nil {
+			return &Client{name: "rpc://" + address, rpc: c}, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("rpcsched: dial %s (after %d attempts): %w", address, o.Attempts, lastErr)
+}
+
+// Call invokes an arbitrary service method on the connection — the
+// scheduler server multiplexes extra receivers (the front door, cluster
+// nodes) onto the same connections via RegisterName, and this is the
+// client half of that arrangement.
+func (c *Client) Call(serviceMethod string, args, reply any) error {
+	return c.rpc.Call(serviceMethod, args, reply)
 }
 
 // NewClientConn builds a client over an existing connection.

@@ -40,6 +40,10 @@ echo "== admission A/B (internal/frontdoor)"
 go test -run=NONE -bench=BenchmarkAdmissionAB -benchtime=3x \
   ./internal/frontdoor/ | tee -a "$raw"
 
+echo "== cluster routing A/B (internal/cluster)"
+go test -run=NONE -bench=BenchmarkClusterRouting -benchtime=3x \
+  ./internal/cluster/ | tee -a "$raw"
+
 # Collapse benchmark lines into JSON entries. Lines look like:
 #   BenchmarkAgentOnEvent/greedy-fast-8  10000  109192 ns/op  416 B/op  2 allocs/op
 awk '
@@ -64,7 +68,7 @@ awk '
 }
 BEGIN {
   print "{"
-  print "  \"description\": \"Hot-path microbenchmarks: before entries are the pre-optimization code paths kept in-tree for honest A/B (record-mode encoding, DisableFastPath agent, rollouts=1 training, ScalarKernels live engine, heuristic admit-everything front door); after entries are the optimized fast paths. The admission pair compares p99_ns (end-to-end latency of admitted latency-class queries) and shed_pct (fraction of latency-class queries dropped) under the same seeded 2x-overload trace.\","
+  print "  \"description\": \"Hot-path microbenchmarks: before entries are the pre-optimization code paths kept in-tree for honest A/B (record-mode encoding, DisableFastPath agent, rollouts=1 training, ScalarKernels live engine, heuristic admit-everything front door); after entries are the optimized fast paths. The admission pair compares p99_ns (end-to-end latency of admitted latency-class queries) and shed_pct (fraction of latency-class queries dropped) under the same seeded 2x-overload trace. The cluster routing pair compares p99_ns of light queries on a 4-node cluster replaying the same skewed heavy/light trace under round-robin vs least-predicted-load routing.\","
   print "  \"pairs\": ["
   print "    {\"before\": \"BenchmarkEncodeSnapshot/record\", \"after\": \"BenchmarkEncodeSnapshot/infer\", \"dimension\": \"gradient-free tape mode\"},"
   print "    {\"before\": \"BenchmarkEncodeSnapshot/infer\", \"after\": \"BenchmarkEncodeSnapshot/cached\", \"dimension\": \"per-query encoding cache\"},"
@@ -81,7 +85,8 @@ BEGIN {
   print "    {\"before\": \"BenchmarkLiveKernels/fusedselect/scalar\", \"after\": \"BenchmarkLiveKernels/fusedselect/vector\", \"dimension\": \"fused select->project->consumer (single-column gather)\"},"
   print "    {\"before\": \"BenchmarkLiveMorsels/unsplit\", \"after\": \"BenchmarkLiveMorsels/split\", \"dimension\": \"morsel-parallel work orders (expected wash on a 1-core host; records the split-bookkeeping overhead bound)\"},"
   print "    {\"before\": \"BenchmarkLiveRun/scalar\", \"after\": \"BenchmarkLiveRun/vector\", \"dimension\": \"live engine end-to-end, steady state (vectorized kernels + fusion + block/estimator/agg-table recycling)\"},"
-  print "    {\"before\": \"BenchmarkAdmissionAB/heuristic\", \"after\": \"BenchmarkAdmissionAB/learned\", \"dimension\": \"learned admission control (p99_ns of admitted latency-class queries and shed_pct under 2x overload)\"}"
+  print "    {\"before\": \"BenchmarkAdmissionAB/heuristic\", \"after\": \"BenchmarkAdmissionAB/learned\", \"dimension\": \"learned admission control (p99_ns of admitted latency-class queries and shed_pct under 2x overload)\"},"
+  print "    {\"before\": \"BenchmarkClusterRouting/round-robin\", \"after\": \"BenchmarkClusterRouting/least-loaded\", \"dimension\": \"load-aware cluster routing (p99_ns of light queries on a 4-node cluster under a skewed heavy/light trace)\"}"
   print "  ],"
   print "  \"results\": ["
 }

@@ -23,10 +23,10 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/engine/ ./internal/exec/ ./internal/metrics/ ./internal/obs/ ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/ ./internal/frontdoor/ ./internal/provenance/"
+echo "== go test -race ./internal/engine/ ./internal/exec/ ./internal/metrics/ ./internal/obs/ ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/ ./internal/frontdoor/ ./internal/provenance/ ./internal/cluster/"
 go test -race ./internal/engine/ ./internal/exec/ ./internal/metrics/ ./internal/obs/ \
   ./internal/policystore/ ./internal/serving/ ./internal/rpcsched/ ./internal/frontdoor/ \
-  ./internal/provenance/
+  ./internal/provenance/ ./internal/cluster/
 
 echo "== go test -race -run TestTrainRollouts ./internal/lsched/"
 go test -race -run TestTrainRollouts ./internal/lsched/
@@ -49,9 +49,40 @@ go test -count=1 -short -run 'TestConservationUnderChurn|TestOverloadRegression'
 echo "== drift-detector smoke (shifted feature stream trips the gauge, training stream stays quiet)"
 go test -count=1 -run 'TestDriftTripsOnShiftedStream|TestDriftQuietOnTrainingDistribution' ./internal/provenance/
 
+echo "== cluster smoke (2 real nodes + coordinator over TCP, 200 queries, zero lost)"
+smokedir=$(mktemp -d)
+cleanup_cluster() {
+  kill "${node0_pid:-}" "${node1_pid:-}" "${coord_pid:-}" 2>/dev/null || true
+  rm -rf "$smokedir"
+}
+trap cleanup_cluster EXIT
+go build -o "$smokedir" ./cmd/lsched-node ./cmd/lsched-cluster ./cmd/lsched-loadgen
+"$smokedir/lsched-node" -listen 127.0.0.1:17471 -id smoke-0 -sf 0.02 >"$smokedir/node0.log" 2>&1 &
+node0_pid=$!
+"$smokedir/lsched-node" -listen 127.0.0.1:17472 -id smoke-1 -sf 0.02 >"$smokedir/node1.log" 2>&1 &
+node1_pid=$!
+"$smokedir/lsched-cluster" -nodes 127.0.0.1:17471,127.0.0.1:17472 \
+  -listen 127.0.0.1:17480 -heartbeat 200ms >"$smokedir/coord.log" 2>&1 &
+coord_pid=$!
+for _ in $(seq 1 100); do
+  if (echo > /dev/tcp/127.0.0.1/17480) 2>/dev/null; then break; fi
+  sleep 0.1
+done
+"$smokedir/lsched-loadgen" -target http://127.0.0.1:17480/query -n 200 -rate 400 -sf 0.02
+kill -TERM "$coord_pid"
+wait "$coord_pid"
+if ! grep -q "lost=0" "$smokedir/coord.log"; then
+  echo "cluster smoke: coordinator lost queries" >&2
+  cat "$smokedir/coord.log" >&2
+  exit 1
+fi
+grep "cluster:" "$smokedir/coord.log"
+kill "$node0_pid" "$node1_pid" 2>/dev/null || true
+wait "$node0_pid" "$node1_pid" 2>/dev/null || true
+
 echo "== bench smoke (hot-path microbenchmarks compile and run once)"
 go test -run=NONE -bench=. -benchtime=1x -benchmem \
   ./internal/nn/ ./internal/encoder/ ./internal/lsched/ ./internal/serving/ \
-  ./internal/engine/
+  ./internal/engine/ ./internal/cluster/
 
 echo "OK"
