@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -109,8 +110,14 @@ func BenchmarkFig15Ablation(b *testing.B) { runFigure(b, "15") }
 // sequential episode collection (rollouts=1) versus four concurrent
 // rollouts per policy update (rollouts=4). Both variants train the
 // same 12-episode TPC-H workload; the parallel trainer is a
-// deterministic function of (seed, rollouts), so this isolates the
-// wall-clock effect of concurrent episode simulation.
+// deterministic function of (seed, rollouts) regardless of processor
+// count, so this isolates the wall-clock effect of concurrent episode
+// simulation. The trainer caps its worker pool at GOMAXPROCS — on a
+// single-processor run the rollouts=4 arm collects sequentially and
+// skips the per-round policy snapshot, so it should track the
+// rollouts=1 arm instead of paying goroutine overhead for parallelism
+// the host cannot deliver. The procs metric records the processor
+// count the numbers were taken at.
 func BenchmarkTrainRollouts(b *testing.B) {
 	pool, err := workload.NewPool(workload.BenchTPCH, 1)
 	if err != nil {
@@ -118,6 +125,7 @@ func BenchmarkTrainRollouts(b *testing.B) {
 	}
 	for _, rollouts := range []int{1, 4} {
 		b.Run(fmt.Sprintf("%d", rollouts), func(b *testing.B) {
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
 			for i := 0; i < b.N; i++ {
 				agent := lsched.New(lsched.DefaultOptions(1))
 				cfg := lsched.DefaultTrainConfig(1)

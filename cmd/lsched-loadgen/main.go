@@ -21,6 +21,13 @@
 // side:
 //
 //	lsched-loadgen -ab -n 1500 -overload 2 -slots 4
+//
+// Sweep mode (-sweep) steps the offered load across several multiples
+// of the sustainable rate and replays the trace per controller at each
+// step, printing the overload curve — admitted latency-class p99 and
+// drop rate versus offered load:
+//
+//	lsched-loadgen -sweep -n 1500 -sweep-loads 0.5,1,1.5,2,3 -slots 4
 package main
 
 import (
@@ -49,6 +56,8 @@ func main() {
 	target := flag.String("target", "http://localhost:8080/query", "front door URL (remote mode)")
 	targets := flag.String("targets", "", "comma-separated front door URLs; submissions round-robin across them (overrides -target)")
 	ab := flag.Bool("ab", false, "in-process learned-vs-heuristic A/B instead of remote traffic")
+	sweep := flag.Bool("sweep", false, "in-process stepped offered-load sweep per controller (overload curve)")
+	sweepLoads := flag.String("sweep-loads", "0.5,1,1.5,2,3", "comma-separated offered-load multiples for -sweep")
 	n := flag.Int("n", 1000, "queries to submit")
 	rate := flag.Float64("rate", 100, "offered rate in queries/sec (remote mode)")
 	overload := flag.Float64("overload", 2, "offered rate as a multiple of sustainable (-ab mode)")
@@ -59,12 +68,23 @@ func main() {
 	sf := flag.Float64("sf", 0.1, "benchmark scale factor")
 	slots := flag.Int("slots", 4, "front door executor slots (-ab mode)")
 	threads := flag.Int("threads", 4, "live engine worker threads (-ab mode)")
+	shards := flag.Int("shards", 0, "admission shards for in-process front doors (0 = GOMAXPROCS)")
+	singleLoop := flag.Bool("single-loop", false, "use the legacy single drain-loop admission core in-process")
 	seed := flag.Int64("seed", 1, "trace seed")
 	flag.Parse()
 
 	plans := benchPlans(*bench, *sf)
+	core := coreOptions{shards: *shards, singleLoop: *singleLoop}
+	if *sweep {
+		loads, err := parseLoads(*sweepLoads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runSweep(plans, *n, loads, *tenants, *latencyFrac, *deadline, *slots, *threads, *seed, core)
+		return
+	}
 	if *ab {
-		runAB(plans, *n, *overload, *tenants, *latencyFrac, *deadline, *slots, *threads, *seed)
+		runAB(plans, *n, *overload, *tenants, *latencyFrac, *deadline, *slots, *threads, *seed, core)
 		return
 	}
 	urls := []string{*target}
@@ -93,6 +113,32 @@ func benchPlans(bench string, sf float64) []*plan.Plan {
 	}
 	log.Fatalf("unknown benchmark %q", bench)
 	return nil
+}
+
+// coreOptions carries the admission-core knobs shared by every
+// in-process front door the loadgen builds.
+type coreOptions struct {
+	shards     int
+	singleLoop bool
+}
+
+func parseLoads(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		var x float64
+		if _, err := fmt.Sscanf(f, "%g", &x); err != nil || x <= 0 {
+			return nil, fmt.Errorf("-sweep-loads: bad multiple %q", f)
+		}
+		out = append(out, x)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-sweep-loads is empty")
+	}
+	return out, nil
 }
 
 // spec is one pre-generated trace entry, shared verbatim across A/B
@@ -218,9 +264,23 @@ func runRemote(targets []string, plans []*plan.Plan, n int, rate float64, tenant
 	tl.report("remote")
 }
 
+// curvePoint extracts the latency-class overload-curve coordinates
+// from a finished tally: admitted p99 and the drop fraction.
+func (t *tally) curvePoint() (p99 time.Duration, dropPct float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := frontdoor.ClassLatency
+	_, _, p99 = percentiles(t.latencies[c])
+	total := t.admitted[c] + t.shed[c] + t.rejected[c]
+	if total > 0 {
+		dropPct = 100 * float64(t.shed[c]+t.rejected[c]) / float64(total)
+	}
+	return p99, dropPct
+}
+
 // liveArm builds one complete A/B arm: a fresh catalog-backed live
 // engine plus a front door under the given controller.
-func liveArm(plans []*plan.Plan, ctrl frontdoor.Controller, slots, threads int, seed int64) *frontdoor.FrontDoor {
+func liveArm(plans []*plan.Plan, ctrl frontdoor.Controller, slots, threads int, seed int64, core coreOptions) *frontdoor.FrontDoor {
 	catalog, err := workload.SyntheticCatalog(plans, 2048, 8, seed)
 	if err != nil {
 		log.Fatal(err)
@@ -230,6 +290,8 @@ func liveArm(plans []*plan.Plan, ctrl frontdoor.Controller, slots, threads int, 
 		Backend:     frontdoor.NewEngineBackend(live, heuristics.Fair{}),
 		Controller:  ctrl,
 		MaxInFlight: slots,
+		Shards:      core.shards,
+		SingleLoop:  core.singleLoop,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -259,7 +321,71 @@ func estimateService(plans []*plan.Plan, trace []spec, threads int, seed int64) 
 	return time.Since(start) / time.Duration(sample)
 }
 
-func runAB(plans []*plan.Plan, n int, overload float64, tenants int, latencyFrac float64, deadline time.Duration, slots, threads int, seed int64) {
+// playTrace offers the trace to one front door open-loop at the given
+// inter-arrival interval, waits for every ticket to resolve, drains the
+// door, and returns the tally.
+func playTrace(fd *frontdoor.FrontDoor, plans []*plan.Plan, trace []spec, interval time.Duration) *tally {
+	var wg sync.WaitGroup
+	var tl tally
+	start := time.Now()
+	for i, s := range trace {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		req := frontdoor.Request{
+			Tenant:     s.tenant,
+			Class:      s.class.String(),
+			DeadlineMS: int64(s.deadline / time.Millisecond),
+			Ops:        frontdoor.SummarizePlan(plans[s.planIdx]),
+		}
+		q, err := req.Validate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		q.Payload = plans[s.planIdx].Clone()
+		tk, err := fd.Submit(q)
+		if err != nil {
+			tl.record(s.class, 2, 0)
+			continue
+		}
+		wg.Add(1)
+		go func(s spec, tk *frontdoor.Ticket) {
+			defer wg.Done()
+			d := <-tk.Done()
+			switch d.Outcome {
+			case frontdoor.OutcomeAdmitted:
+				tl.record(s.class, 0, float64(d.Latency)/float64(time.Millisecond))
+			case frontdoor.OutcomeShed:
+				tl.record(s.class, 1, 0)
+			default:
+				tl.record(s.class, 2, 0)
+			}
+		}(s, tk)
+	}
+	wg.Wait()
+	if !fd.Shutdown(30 * time.Second) {
+		log.Fatal("drain timed out")
+	}
+	return &tl
+}
+
+// abArms builds the two controllers every in-process mode compares.
+// Fresh instances per call: controller state (the learned head's
+// online updates) must not leak across arms or sweep steps.
+func abArms(seed int64) []struct {
+	name string
+	ctrl frontdoor.Controller
+} {
+	return []struct {
+		name string
+		ctrl frontdoor.Controller
+	}{
+		{"heuristic", frontdoor.NewHeuristic()},
+		{"learned", frontdoor.NewLearned(lsched.NewAdmissionHead(nn.NewParams(seed)))},
+	}
+}
+
+func runAB(plans []*plan.Plan, n int, overload float64, tenants int, latencyFrac float64, deadline time.Duration, slots, threads int, seed int64, core coreOptions) {
 	trace := genTrace(plans, n, tenants, latencyFrac, deadline, seed)
 	service := estimateService(plans, trace, threads, seed)
 	sustainable := float64(slots) / service.Seconds()
@@ -267,56 +393,55 @@ func runAB(plans []*plan.Plan, n int, overload float64, tenants int, latencyFrac
 	fmt.Printf("service≈%v, sustainable≈%.0f q/s, offering %.1fx (%d queries, %d tenants, %.0f%% latency-class, deadline %v)\n",
 		service.Round(time.Microsecond), sustainable, overload, n, tenants, 100*latencyFrac, deadline)
 
-	arms := []struct {
-		name string
-		ctrl frontdoor.Controller
-	}{
-		{"heuristic", frontdoor.NewHeuristic()},
-		{"learned", frontdoor.NewLearned(lsched.NewAdmissionHead(nn.NewParams(seed)))},
+	for _, arm := range abArms(seed) {
+		fd := liveArm(plans, arm.ctrl, slots, threads, seed, core)
+		playTrace(fd, plans, trace, interval).report(arm.name)
 	}
-	for _, arm := range arms {
-		fd := liveArm(plans, arm.ctrl, slots, threads, seed)
-		var wg sync.WaitGroup
-		var tl tally
-		start := time.Now()
-		for i, s := range trace {
-			if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
-				time.Sleep(d)
+}
+
+// runSweep replays the same seeded trace at each offered-load multiple
+// for each controller and prints the overload curve: latency-class p99
+// and drop rate versus offered load. Each (arm, load) cell gets a fresh
+// front door and a fresh controller so steps are independent.
+func runSweep(plans []*plan.Plan, n int, loads []float64, tenants int, latencyFrac float64, deadline time.Duration, slots, threads int, seed int64, core coreOptions) {
+	trace := genTrace(plans, n, tenants, latencyFrac, deadline, seed)
+	service := estimateService(plans, trace, threads, seed)
+	sustainable := float64(slots) / service.Seconds()
+	fmt.Printf("service≈%v, sustainable≈%.0f q/s, sweeping %v (%d queries/step, %d tenants, %.0f%% latency-class, deadline %v)\n",
+		service.Round(time.Microsecond), sustainable, loads, n, tenants, 100*latencyFrac, deadline)
+
+	type point struct {
+		p99  time.Duration
+		drop float64
+	}
+	curves := map[string][]point{}
+	var names []string
+	for _, x := range loads {
+		interval := time.Duration(float64(time.Second) / (sustainable * x))
+		for _, arm := range abArms(seed) {
+			fd := liveArm(plans, arm.ctrl, slots, threads, seed, core)
+			tl := playTrace(fd, plans, trace, interval)
+			tl.report(fmt.Sprintf("%s x%.1f", arm.name, x))
+			p99, drop := tl.curvePoint()
+			if _, seen := curves[arm.name]; !seen {
+				names = append(names, arm.name)
 			}
-			req := frontdoor.Request{
-				Tenant:     s.tenant,
-				Class:      s.class.String(),
-				DeadlineMS: int64(s.deadline / time.Millisecond),
-				Ops:        frontdoor.SummarizePlan(plans[s.planIdx]),
-			}
-			q, err := req.Validate()
-			if err != nil {
-				log.Fatal(err)
-			}
-			q.Payload = plans[s.planIdx].Clone()
-			tk, err := fd.Submit(q)
-			if err != nil {
-				tl.record(s.class, 2, 0)
-				continue
-			}
-			wg.Add(1)
-			go func(s spec, tk *frontdoor.Ticket) {
-				defer wg.Done()
-				d := <-tk.Done()
-				switch d.Outcome {
-				case frontdoor.OutcomeAdmitted:
-					tl.record(s.class, 0, float64(d.Latency)/float64(time.Millisecond))
-				case frontdoor.OutcomeShed:
-					tl.record(s.class, 1, 0)
-				default:
-					tl.record(s.class, 2, 0)
-				}
-			}(s, tk)
+			curves[arm.name] = append(curves[arm.name], point{p99, drop})
 		}
-		wg.Wait()
-		if !fd.Shutdown(30 * time.Second) {
-			log.Fatal("drain timed out")
+	}
+
+	fmt.Printf("\noverload curve (latency class, admitted p99 / dropped %%):\n")
+	fmt.Printf("%-8s", "load")
+	for _, name := range names {
+		fmt.Printf(" %22s", name)
+	}
+	fmt.Println()
+	for i, x := range loads {
+		fmt.Printf("%-8s", fmt.Sprintf("x%.1f", x))
+		for _, name := range names {
+			pt := curves[name][i]
+			fmt.Printf(" %15v %5.1f%%", pt.p99.Round(10*time.Microsecond), pt.drop)
 		}
-		tl.report(arm.name)
+		fmt.Println()
 	}
 }

@@ -7,6 +7,7 @@ package costmodel
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/metrics"
 )
@@ -124,7 +125,15 @@ func (w *Window) Mean() float64 {
 
 // Estimator tracks one Window per (operator) key for durations and memory
 // usage, supplying the O-DUR and O-MEM dynamic features.
+//
+// An Estimator is safe for concurrent use: observations take the write
+// lock, predictions take the read lock and never mutate (a key with no
+// window predicts the prior, which is exactly what a freshly inserted
+// empty window would predict). The sharded front door relies on this —
+// every shard's admission pass calls PredictTotals while executor
+// goroutines feed completions back in.
 type Estimator struct {
+	mu       sync.RWMutex
 	k        int
 	durPrior float64
 	memPrior float64
@@ -161,6 +170,8 @@ func NewEstimator(k int, durPrior, memPrior float64) *Estimator {
 // what lets the live engine recycle estimators across runs without the
 // per-run window-allocation ladder.
 func (e *Estimator) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, w := range e.dur {
 		w.Reset()
 	}
@@ -191,6 +202,8 @@ func (e *Estimator) Instrument(reg *metrics.Registry) {
 // records how wrong the pre-update prediction was — the error signal a
 // learned scheduler's O-DUR/O-MEM features carry at that moment.
 func (e *Estimator) ObserveCompletion(opKey int, duration, memory float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	dw, mw := e.durWin(opKey), e.memWin(opKey)
 	pm := e.parMean(opKey)
 	if e.updates != nil {
@@ -216,6 +229,8 @@ func (e *Estimator) ObserveCompletion(opKey int, duration, memory float64) {
 // reports this from its morsel driver; simulated runs never call it,
 // leaving those keys at implicit parallelism 1.
 func (e *Estimator) ObserveParallelism(opKey int, p float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if p < 1 {
 		p = 1
 	}
@@ -247,12 +262,16 @@ func (e *Estimator) parMean(opKey int) float64 {
 // prediction is scaled back to wall time by the operator's recent
 // morsel parallelism.
 func (e *Estimator) EstimateDuration(opKey, remainingWorkOrders int) float64 {
-	return e.durWin(opKey).Predict() / e.parMean(opKey) * float64(remainingWorkOrders)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.predictDurLocked(opKey) / e.parMean(opKey) * float64(remainingWorkOrders)
 }
 
 // EstimateMemory is EstimateDuration's analogue for O-MEM.
 func (e *Estimator) EstimateMemory(opKey, remainingWorkOrders int) float64 {
-	return e.memWin(opKey).Predict() * float64(remainingWorkOrders)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.predictMemLocked(opKey) * float64(remainingWorkOrders)
 }
 
 // OpWork describes one slice of an incoming plan for whole-plan
@@ -274,17 +293,38 @@ type OpWork struct {
 // completed queries). Units < 1 count as 1 (every operator has at least
 // one work order).
 func (e *Estimator) PredictTotals(ops []OpWork) (dur, mem float64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	for _, ow := range ops {
 		u := ow.Units
 		if u < 1 {
 			u = 1
 		}
-		dur += e.durWin(ow.Key).Predict() / e.parMean(ow.Key) * float64(u)
-		mem += e.memWin(ow.Key).Predict() * float64(u)
+		dur += e.predictDurLocked(ow.Key) / e.parMean(ow.Key) * float64(u)
+		mem += e.predictMemLocked(ow.Key) * float64(u)
 	}
 	return dur, mem
 }
 
+// predictDurLocked predicts without inserting a window, so it is safe
+// under the read lock; a missing key predicts the prior, exactly what a
+// fresh empty window would.
+func (e *Estimator) predictDurLocked(key int) float64 {
+	if w, ok := e.dur[key]; ok {
+		return w.Predict()
+	}
+	return e.durPrior
+}
+
+func (e *Estimator) predictMemLocked(key int) float64 {
+	if w, ok := e.mem[key]; ok {
+		return w.Predict()
+	}
+	return e.memPrior
+}
+
+// durWin returns (inserting if needed) the key's duration window.
+// Callers hold the write lock.
 func (e *Estimator) durWin(key int) *Window {
 	w, ok := e.dur[key]
 	if !ok {

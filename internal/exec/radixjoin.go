@@ -23,6 +23,14 @@ const (
 	// scatter/restitch overhead of partition-at-a-time probing outweighs
 	// its locality win and the straight inline probe is used instead.
 	partitionedProbeMin = 4096
+	// partitionedBuildMin is the distinct-key count below which the whole
+	// build side is cache-resident anyway, so partitioning the probe buys
+	// no locality and only pays the scatter/restitch pass. ~4k keys is
+	// ~64KiB of open-addressing table — comfortably inside L2; measured
+	// crossover on the live-kernel benches: a 128-key build probed at 4k
+	// rows runs ~20% faster inline, while an 8k-key build still wins
+	// partitioned.
+	partitionedBuildMin = 4096
 )
 
 // radixPart maps a key to its partition.
@@ -141,14 +149,15 @@ func (t *RadixTable) ProbeRange(keys []int64, lo, hi int, sel []int) []int {
 // each sub-table stays cache-resident, then re-emit matches in
 // ascending row order via the scratch mark bitmap — the output is
 // bit-identical to ProbeBatch. Falls back to the inline probe below
-// partitionedProbeMin rows.
+// partitionedProbeMin rows, or when the build side itself is under
+// partitionedBuildMin distinct keys.
 func (t *RadixTable) ProbeBatchPartitioned(keys []int64, sc *Scratch) []int {
 	n := len(keys)
 	if t == nil {
 		sc.Sel = growSel(sc.Sel, n)
 		return sc.Sel[:0]
 	}
-	if n < partitionedProbeMin {
+	if n < partitionedProbeMin || t.Len() < partitionedBuildMin {
 		sc.Sel = growSel(sc.Sel, n)
 		return t.ProbeRange(keys, 0, n, sc.Sel)
 	}

@@ -1,7 +1,7 @@
 // Package frontdoor is the multi-tenant query ingress in front of the
 // live engine: every arriving query is validated, rate-limited, and
-// placed in its tenant's bounded per-SLO-class queue; a drain loop
-// admits queries into a bounded executor-slot pool, consulting an
+// placed in its tenant's bounded per-SLO-class queue; admission passes
+// drain the queues into a bounded executor-slot pool, consulting an
 // admission Controller — the heuristic tail-drop baseline or the
 // learned head on the LSched agent (fed by queue depth, in-flight
 // counts, and the cost model's whole-plan O-DUR/O-MEM predictions) —
@@ -9,6 +9,15 @@
 // (rpc.go) ingresses layer on top; the RPC ingress mounts on an
 // rpcsched.Server so it inherits the graceful-shutdown drain and
 // per-connection I/O deadlines.
+//
+// Two cores implement the machinery behind one FrontDoor facade. The
+// default sharded core (shard.go) hash-partitions tenants across
+// power-of-two shards, each owning its tenants' queues, token buckets,
+// deadline sweep, and drain loop, so Submit → admit → dispatch never
+// crosses a global lock; cross-shard load state lives in atomics and
+// executor slots are a CAS semaphore with bounded work-stealing. The
+// legacy single-mutex, single-drain-loop core (single.go) is retained
+// under Options.SingleLoop as the honest A/B baseline.
 //
 // Every submitted query reaches exactly one terminal bucket, giving
 // the conservation invariant the stress tests pin:
@@ -18,19 +27,19 @@
 // Rejected means never queued (validation, rate limit, full queue,
 // shutting down); shed means queued but dropped (load shedding,
 // deadline expiry, cancellation, shutdown); admitted means handed an
-// executor slot.
+// executor slot. On the sharded core the invariant holds as a sum
+// over per-shard terminal buckets.
 package frontdoor
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
 	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/lsched"
 	"repro/internal/metrics"
 	"repro/internal/provenance"
-	"repro/internal/rpcsched"
 )
 
 // Class is a query's SLO class.
@@ -127,8 +136,15 @@ type Ticket struct {
 	enq   time.Time
 	state ticketState
 	feat  lsched.AdmissionFeatures // features at decision time (learning feedback)
+	// predDur/predMem cache the estimator's totals for this query: the
+	// prediction depends only on the query's ops, so re-decisions of a
+	// deferred ticket reuse it instead of re-walking the cost windows
+	// on every admission pass. Guarded by the owner core/shard lock.
+	predDur, predMem float64
+	predDone         bool
 	// provID keys this query's flight-recorder records: the front
-	// door's submission sequence number, unique across tenants.
+	// door's submission sequence number, unique across tenants (and,
+	// on the sharded core, across shards).
 	provID int64
 }
 
@@ -146,11 +162,13 @@ func (t *Ticket) Done() <-chan Disposition { return t.done }
 
 // Cancel withdraws a still-queued query (counted as shed). Cancelling
 // an admitted or already-resolved ticket is a no-op.
-func (t *Ticket) Cancel() { t.fd.cancel(t) }
+func (t *Ticket) Cancel() { t.fd.core.cancel(t) }
 
 // Controller makes the admission decision for the query at the head of
-// a queue. Decide runs under the front door's lock — implementations
-// must not block or resubmit.
+// a queue. Decide runs under the deciding shard's lock (the whole-door
+// lock on the single-loop core) and may run concurrently from several
+// shards — implementations must be safe for concurrent use and must
+// not block or resubmit.
 type Controller interface {
 	Name() string
 	// Decide returns the action for the candidate query given the
@@ -213,9 +231,18 @@ type Options struct {
 	// Estimator prices incoming plans (O-DUR/O-MEM); nil creates one
 	// with generic priors, fed online by backend results.
 	Estimator *costmodel.Estimator
-	// SweepInterval is how often the drain loop sheds expired queued
+	// SweepInterval is how often each drain loop sheds expired queued
 	// queries even when no completions arrive (default 25ms).
 	SweepInterval time.Duration
+	// Shards is the number of independent tenant shards (rounded up to
+	// a power of two, default GOMAXPROCS). Each shard owns its tenants'
+	// queues, buckets, deadline sweep, and drain loop. Ignored when
+	// SingleLoop is set.
+	Shards int
+	// SingleLoop selects the original single-mutex, single-drain-loop
+	// core instead of the sharded one — kept for honest A/B comparison
+	// (BenchmarkFrontDoorSubmit) and as a fallback.
+	SingleLoop bool
 	// Metrics instruments the front door (nil disables).
 	Metrics *metrics.Registry
 	// Provenance, when set, flight-records every admission verdict
@@ -247,7 +274,40 @@ func (o *Options) withDefaults() Options {
 	if out.SweepInterval <= 0 {
 		out.SweepInterval = 25 * time.Millisecond
 	}
+	if out.Shards <= 0 {
+		out.Shards = runtime.GOMAXPROCS(0)
+	}
+	out.Shards = ceilPow2(out.Shards)
+	if out.Shards > maxShards {
+		out.Shards = maxShards
+	}
 	return out
+}
+
+// maxShards caps the shard count: beyond this, per-shard drain
+// goroutines and sweep tickers cost more than the contention they
+// remove.
+const maxShards = 256
+
+// ceilPow2 rounds n up to the next power of two (n >= 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// admissionCore is the machinery behind the FrontDoor facade: the
+// sharded core (shard.go, the default) or the single-loop core
+// (single.go, Options.SingleLoop).
+type admissionCore interface {
+	submit(t *Ticket) (*Ticket, error)
+	cancel(t *Ticket)
+	draining() bool
+	stats() Stats
+	status() StatusData
+	shutdown(drainTimeout time.Duration) bool
 }
 
 // FrontDoor is the admission-controlled query ingress. Build with New,
@@ -256,34 +316,12 @@ func (o *Options) withDefaults() Options {
 type FrontDoor struct {
 	opts Options
 	ins  *instruments
-
-	mu       sync.Mutex
-	tenants  map[string]*tenant
-	order    []string // round-robin tenant order
-	rrNext   int
-	inflight int
-	queued   int
-	// queuedClass tracks per-SLO-class occupancy: the latency class
-	// drains first, so a latency query's wait estimate must not count
-	// the throughput backlog behind it.
-	queuedClass [numClasses]int
-	avgDur      float64 // EWMA of admitted-query service time (seconds)
-	closed      bool
-
-	submitted, admitted, shed, rejected int64
-
-	pending rpcsched.Inflight // executing queries (shutdown drain)
-	wake    chan struct{}
-	quit    chan struct{}
-	loopWG  sync.WaitGroup
-
-	// provFeat/provScore are fd.mu-guarded scratch for flight-recorder
-	// calls on the admission path (no per-decision allocation).
-	provFeat  []float64
-	provScore [1]float64
+	core admissionCore
 }
 
 // tenant is one tenant's queues, token bucket, and cached instruments.
+// A tenant belongs to exactly one core (and, on the sharded core, one
+// shard); all fields are guarded by its owner's lock.
 type tenant struct {
 	name     string
 	queues   [numClasses][]*Ticket
@@ -301,15 +339,12 @@ func New(opts Options) (*FrontDoor, error) {
 		return nil, fmt.Errorf("frontdoor: Options.Backend is required")
 	}
 	o := opts.withDefaults()
-	fd := &FrontDoor{
-		opts:    o,
-		ins:     newInstruments(o.Metrics),
-		tenants: make(map[string]*tenant),
-		wake:    make(chan struct{}, 1),
-		quit:    make(chan struct{}),
+	fd := &FrontDoor{opts: o, ins: newInstruments(o.Metrics)}
+	if o.SingleLoop {
+		fd.core = newSingleCore(fd)
+	} else {
+		fd.core = newShardedCore(fd)
 	}
-	fd.loopWG.Add(1)
-	go fd.drainLoop()
 	return fd, nil
 }
 
@@ -324,305 +359,69 @@ func (fd *FrontDoor) Estimator() *costmodel.Estimator { return fd.opts.Estimator
 // rejected submissions also return a non-nil error.
 func (fd *FrontDoor) Submit(q *Query) (*Ticket, error) {
 	t := &Ticket{Query: q, fd: fd, done: make(chan Disposition, 1), enq: time.Now()}
-
-	fd.mu.Lock()
-	fd.submitted++
-	t.provID = fd.submitted
-	if fd.closed {
-		return fd.rejectLocked(t, nil, "shutdown")
-	}
-	tn, ok := fd.tenants[q.Tenant]
-	if !ok {
-		if len(fd.tenants) >= fd.opts.MaxTenants {
-			return fd.rejectLocked(t, nil, "tenant_limit")
-		}
-		tn = &tenant{name: q.Tenant}
-		tn.bucket.init(fd.opts.Rate, fd.opts.Burst, t.enq)
-		tn.ins = fd.ins.forTenant(q.Tenant)
-		fd.tenants[q.Tenant] = tn
-		fd.order = append(fd.order, q.Tenant)
-	}
-	tn.submitted++
-	tn.ins.submitted.Inc()
-	if !tn.bucket.allow(t.enq) {
-		return fd.rejectLocked(t, tn, "rate_limit")
-	}
-	if q.Class < 0 || q.Class >= numClasses {
-		return fd.rejectLocked(t, tn, "bad_class")
-	}
-	if len(tn.queues[q.Class]) >= fd.opts.QueueCap {
-		return fd.rejectLocked(t, tn, "queue_full")
-	}
-	tn.queues[q.Class] = append(tn.queues[q.Class], t)
-	fd.queued++
-	fd.queuedClass[q.Class]++
-	tn.ins.depth[q.Class].Set(float64(len(tn.queues[q.Class])))
-	fd.ins.queued.Set(float64(fd.queued))
-	fd.mu.Unlock()
-
-	fd.kick()
-	return t, nil
+	return fd.core.submit(t)
 }
 
-// rejectLocked resolves t as rejected and releases the lock.
-func (fd *FrontDoor) rejectLocked(t *Ticket, tn *tenant, reason string) (*Ticket, error) {
-	fd.rejected++
-	if tn != nil {
-		tn.rejected++
-		tn.ins.rejected.Inc()
-	} else {
-		fd.ins.forTenant(t.Query.Tenant).rejected.Inc()
-	}
-	t.state = stateResolved
-	fd.mu.Unlock()
-	t.done <- Disposition{Outcome: OutcomeRejected, Reason: reason}
-	return t, fmt.Errorf("frontdoor: rejected: %s", reason)
+// Draining reports whether the front door has begun shutdown (new
+// submissions are rejected) — the /healthz readiness signal.
+func (fd *FrontDoor) Draining() bool { return fd.core.draining() }
+
+// Stats is a conservation-accounting snapshot. On the sharded core the
+// terminal counts are sums over per-shard buckets; after a quiesce
+// (shutdown, or all tickets resolved) they are exact.
+type Stats struct {
+	Submitted, Admitted, Shed, Rejected int64
+	Queued, InFlight                    int
 }
 
-// cancel withdraws a queued ticket (Ticket.Cancel).
-func (fd *FrontDoor) cancel(t *Ticket) {
-	fd.mu.Lock()
-	if t.state != stateQueued {
-		fd.mu.Unlock()
-		return
-	}
-	tn := fd.tenants[t.Query.Tenant]
-	q := tn.queues[t.Query.Class]
-	for i, qt := range q {
-		if qt == t {
-			tn.queues[t.Query.Class] = append(q[:i], q[i+1:]...)
-			break
-		}
-	}
-	fd.shedLocked(t, tn, "cancelled")
-	fd.mu.Unlock()
+// Stats returns the current terminal-bucket counts.
+func (fd *FrontDoor) Stats() Stats { return fd.core.stats() }
+
+// Status snapshots the front door for the obs /frontdoor endpoint
+// (wire it as obs.Options.FrontDoor = fd.Status).
+func (fd *FrontDoor) Status() any { return fd.core.status() }
+
+// Shutdown stops the front door: new submissions are rejected, every
+// queued query is shed ("shutdown"), and in-flight queries are drained
+// (bounded by drainTimeout; <= 0 waits indefinitely). It reports
+// whether the drain completed.
+func (fd *FrontDoor) Shutdown(drainTimeout time.Duration) bool {
+	return fd.core.shutdown(drainTimeout)
 }
 
-// shedLocked marks an (already dequeued) ticket shed. Caller holds
-// fd.mu and has removed t from its queue.
-func (fd *FrontDoor) shedLocked(t *Ticket, tn *tenant, reason string) {
-	t.state = stateResolved
-	fd.shed++
-	fd.queued--
-	fd.queuedClass[t.Query.Class]--
-	tn.shed++
-	tn.ins.shed.Inc()
-	tn.ins.depth[t.Query.Class].Set(float64(len(tn.queues[t.Query.Class])))
-	fd.ins.queued.Set(float64(fd.queued))
-	fd.opts.Provenance.JoinOutcome(provenance.KindAdmit, t.provID, provenance.Outcome{Shed: true})
-	fd.opts.SLO.Observe(t.Query.Tenant, t.Query.Class.String(), false)
-	t.done <- Disposition{Outcome: OutcomeShed, Reason: reason, Wait: time.Since(t.enq)}
+// loadSnapshot is the load view admission features are computed from:
+// whole-door occupancy at (approximately) decision time. The single
+// core reads it under its lock; the sharded core assembles it from the
+// global atomics (see shard.go).
+type loadSnapshot struct {
+	queued    int     // queued queries, all classes
+	queuedLat int     // queued latency-class queries
+	inflight  int     // executing queries
+	avgDur    float64 // EWMA of admitted-query service time (seconds)
 }
 
-// kick wakes the drain loop (non-blocking).
-func (fd *FrontDoor) kick() {
-	select {
-	case fd.wake <- struct{}{}:
-	default:
-	}
-}
-
-// drainLoop is the admission loop: whenever woken (submission,
-// completion, cancellation, or the sweep ticker) it sheds expired
-// queued queries and fills free executor slots, visiting the latency
-// class first and round-robining across tenants within a class.
-func (fd *FrontDoor) drainLoop() {
-	defer fd.loopWG.Done()
-	ticker := time.NewTicker(fd.opts.SweepInterval)
-	defer ticker.Stop()
-	for {
-		fd.dispatch()
-		select {
-		case <-fd.wake:
-		case <-ticker.C:
-		case <-fd.quit:
-			return
-		}
-	}
-}
-
-// dispatch runs one admission pass.
-func (fd *FrontDoor) dispatch() {
-	now := time.Now()
-	fd.mu.Lock()
-	defer fd.mu.Unlock()
-	if fd.closed {
-		return
-	}
-	fd.expireLocked(now)
-	for fd.inflight < fd.opts.MaxInFlight && fd.queued > 0 {
-		if !fd.admitOneLocked(now) {
-			break // everything available was deferred
-		}
-	}
-}
-
-// expireLocked sheds every queued query whose deadline has passed:
-// running it could only produce a late answer.
-func (fd *FrontDoor) expireLocked(now time.Time) {
-	for _, name := range fd.order {
-		tn := fd.tenants[name]
-		for c := Class(0); c < numClasses; c++ {
-			q := tn.queues[c]
-			kept := q[:0]
-			for _, t := range q {
-				if t.Query.Deadline > 0 && now.Sub(t.enq) > t.Query.Deadline {
-					tn.queues[c] = kept // shedLocked reads the queue for depth
-					fd.shedLocked(t, tn, "deadline")
-					continue
-				}
-				kept = append(kept, t)
-			}
-			tn.queues[c] = kept
-			tn.ins.depth[c].Set(float64(len(kept)))
-		}
-	}
-}
-
-// admitOneLocked scans for one admittable query (latency class first,
-// round-robin across tenants) and dispatches it. It returns whether it
-// made progress (admitted or shed something); false means every queued
-// query was deferred this pass and the loop should wait.
-func (fd *FrontDoor) admitOneLocked(now time.Time) bool {
-	n := len(fd.order)
-	for c := Class(0); c < numClasses; c++ {
-		for i := 0; i < n; i++ {
-			tn := fd.tenants[fd.order[(fd.rrNext+i)%n]]
-			q := tn.queues[c]
-			if len(q) == 0 {
-				continue
-			}
-			t := q[0]
-			fd.buildFeatures(&t.feat, tn, t, now)
-			dec := fd.opts.Controller.Decide(&t.feat, t.Query)
-			if dec != Defer {
-				// Flight-record terminal verdicts (defers are transient:
-				// the same query is re-decided on a later pass). The
-				// heuristic baseline admits everything, so its
-				// counterfactual is always Admit.
-				fd.recordAdmissionLocked(t, dec)
-			}
-			switch dec {
-			case Admit:
-				tn.queues[c] = q[1:]
-				if len(tn.queues[c]) == 0 {
-					tn.queues[c] = nil // release the drained backing array
-				}
-				fd.rrNext = (fd.rrNext + i + 1) % n
-				fd.admitLocked(t, tn, now)
-				return true
-			case Shed:
-				tn.queues[c] = q[1:]
-				if len(tn.queues[c]) == 0 {
-					tn.queues[c] = nil
-				}
-				fd.shedLocked(t, tn, "load")
-				// Progress: the caller rescans, so this tenant's next
-				// head is reconsidered immediately.
-				return true
-			case Defer:
-				// Leave queued; try other tenants/classes.
-			}
-		}
-	}
-	return false
-}
-
-// admitLocked hands t an executor slot. Caller holds fd.mu and has
-// dequeued t.
-func (fd *FrontDoor) admitLocked(t *Ticket, tn *tenant, now time.Time) {
-	t.state = stateAdmitted
-	fd.admitted++
-	fd.queued--
-	fd.queuedClass[t.Query.Class]--
-	fd.inflight++
-	tn.admitted++
-	tn.inflight++
-	tn.ins.admitted.Inc()
-	tn.ins.depth[t.Query.Class].Set(float64(len(tn.queues[t.Query.Class])))
-	if fd.inflight > 0 {
-		tn.ins.share.Set(float64(tn.inflight) / float64(fd.inflight))
-	}
-	fd.ins.queued.Set(float64(fd.queued))
-	fd.ins.inflight.Set(float64(fd.inflight))
-	wait := now.Sub(t.enq)
-	fd.ins.wait[t.Query.Class].Observe(wait.Seconds())
-	fd.pending.Add()
-	go fd.run(t, tn, wait)
-}
-
-// run executes an admitted query on the backend and delivers its
-// disposition. Runs in its own goroutine.
-func (fd *FrontDoor) run(t *Ticket, tn *tenant, wait time.Duration) {
-	defer fd.pending.Done()
-	started := time.Now()
-	res, err := fd.opts.Backend.Run(t.Query)
-	dur := time.Since(started)
-	latency := wait + dur
-
-	met := err == nil && (t.Query.Deadline <= 0 || latency <= t.Query.Deadline)
-	fd.opts.Controller.Observe(&t.feat, t.Query, met)
-	fd.joinAdmitted(t, res, latency, dur, met)
-	fd.opts.SLO.Observe(t.Query.Tenant, t.Query.Class.String(), met)
-	if res != nil {
-		est := fd.opts.Estimator
-		fd.mu.Lock()
-		for k, d := range res.OpDurations {
-			est.ObserveCompletion(k, d, res.OpMemory[k])
-		}
-		fd.mu.Unlock()
-	}
-
-	fd.mu.Lock()
-	fd.inflight--
-	tn.inflight--
-	if fd.inflight > 0 {
-		tn.ins.share.Set(float64(tn.inflight) / float64(fd.inflight))
-	} else {
-		tn.ins.share.Set(0)
-	}
-	fd.ins.inflight.Set(float64(fd.inflight))
-	// EWMA of service time, the PredWait scale.
-	if fd.avgDur == 0 {
-		fd.avgDur = dur.Seconds()
-	} else {
-		fd.avgDur = 0.9*fd.avgDur + 0.1*dur.Seconds()
-	}
-	fd.mu.Unlock()
-
-	fd.ins.latency[t.Query.Class].Observe(latency.Seconds())
-	if t.Query.Deadline > 0 {
-		if met {
-			fd.ins.deadlineMet.Inc()
-		} else {
-			fd.ins.deadlineMissed.Inc()
-		}
-	}
-	t.done <- Disposition{
-		Outcome: OutcomeAdmitted, Wait: wait, Latency: latency,
-		DeadlineMet: met, Err: err,
-	}
-	fd.kick()
-}
-
-// buildFeatures fills f with the admission features for t under the
-// current state. Caller holds fd.mu.
-func (fd *FrontDoor) buildFeatures(f *lsched.AdmissionFeatures, tn *tenant, t *Ticket, now time.Time) {
+// fillFeatures computes the admission features for t given the load
+// view. The caller holds the lock guarding tn.
+func fillFeatures(f *lsched.AdmissionFeatures, o *Options, tn *tenant, t *Ticket, now time.Time, v loadSnapshot) {
 	q := t.Query
-	dur, mem := fd.opts.Estimator.PredictTotals(q.Ops)
+	if !t.predDone {
+		t.predDur, t.predMem = o.Estimator.PredictTotals(q.Ops)
+		t.predDone = true
+	}
+	dur, mem := t.predDur, t.predMem
 	// Predicted wait: how long until this query would actually start,
 	// with every slot busy and the queue ahead of it to drain first.
 	wait := 0.0
-	if fd.opts.MaxInFlight > 0 {
+	if o.MaxInFlight > 0 {
 		// The latency class drains first, so only same-class occupancy
 		// is ahead of a latency query; throughput queries wait behind
 		// everything.
-		ahead := float64(fd.queuedClass[ClassLatency])
+		ahead := float64(v.queuedLat)
 		if q.Class == ClassThroughput {
-			ahead = float64(fd.queued)
+			ahead = float64(v.queued)
 		}
-		backlog := float64(fd.inflight) + ahead/2
-		wait = backlog * fd.avgDur / float64(fd.opts.MaxInFlight)
+		backlog := float64(v.inflight) + ahead/2
+		wait = backlog * v.avgDur / float64(o.MaxInFlight)
 	}
 	headroom := 0.0
 	if q.Deadline > 0 {
@@ -632,14 +431,14 @@ func (fd *FrontDoor) buildFeatures(f *lsched.AdmissionFeatures, tn *tenant, t *T
 		headroom = remaining - wait - dur
 	}
 	share := 0.0
-	if fd.inflight > 0 {
-		share = float64(tn.inflight) / float64(fd.inflight)
+	if v.inflight > 0 {
+		share = float64(tn.inflight) / float64(v.inflight)
 	}
 	*f = lsched.AdmissionFeatures{
 		TenantQueueDepth: float64(len(tn.queues[ClassLatency]) + len(tn.queues[ClassThroughput])),
-		TotalQueueDepth:  float64(fd.queued),
-		InFlight:         float64(fd.inflight),
-		FreeSlots:        float64(fd.opts.MaxInFlight - fd.inflight),
+		TotalQueueDepth:  float64(v.queued),
+		InFlight:         float64(v.inflight),
+		FreeSlots:        float64(o.MaxInFlight - v.inflight),
 		TenantShare:      share,
 		PredDur:          dur,
 		PredMem:          mem,
@@ -664,24 +463,27 @@ type policyVersioned interface {
 	PolicyVersion() int
 }
 
-// recordAdmissionLocked flight-records one terminal admission verdict.
-// Caller holds fd.mu; the scratch buffers make this allocation-free.
-func (fd *FrontDoor) recordAdmissionLocked(t *Ticket, dec Decision) {
-	if fd.opts.Provenance == nil {
-		return
+// recordAdmission flight-records one terminal admission verdict. The
+// caller owns featBuf/scoreBuf (per-core or per-shard scratch, guarded
+// by the caller's lock) so the hot path stays allocation-free; the
+// (possibly regrown) feature buffer is returned for reuse.
+func recordAdmission(o *Options, t *Ticket, dec Decision, featBuf []float64, scoreBuf *[1]float64) []float64 {
+	if o.Provenance == nil {
+		return featBuf
 	}
 	score := 1.0
-	if sc, ok := fd.opts.Controller.(admissionScorer); ok {
+	if sc, ok := o.Controller.(admissionScorer); ok {
 		score = sc.AdmissionScore(&t.feat)
 	}
 	version := 0
-	if pv, ok := fd.opts.Controller.(policyVersioned); ok {
+	if pv, ok := o.Controller.(policyVersioned); ok {
 		version = pv.PolicyVersion()
 	}
-	fd.provFeat = t.feat.AppendVector(fd.provFeat[:0])
-	fd.provScore[0] = score
-	fd.opts.Provenance.Record(provenance.KindAdmit, t.provID, t.Query.Tenant,
-		version, fd.provFeat, fd.provScore[:], int32(dec), 0, int32(Admit))
+	featBuf = t.feat.AppendVector(featBuf[:0])
+	scoreBuf[0] = score
+	o.Provenance.Record(provenance.KindAdmit, t.provID, t.Query.Tenant,
+		version, featBuf, scoreBuf[:], int32(dec), 0, int32(Admit))
+	return featBuf
 }
 
 // joinAdmitted joins an admitted query's flight-recorder entry to its
@@ -689,8 +491,8 @@ func (fd *FrontDoor) recordAdmissionLocked(t *Ticket, dec Decision) {
 // (actual minus predicted) that ROADMAP item 4's cost model v2 trains
 // on. Actual memory is reconstructed from the backend's per-type means
 // weighted by the plan's work-order units.
-func (fd *FrontDoor) joinAdmitted(t *Ticket, res *Result, latency, dur time.Duration, met bool) {
-	if fd.opts.Provenance == nil {
+func joinAdmitted(o *Options, t *Ticket, res *Result, latency, dur time.Duration, met bool) {
+	if o.Provenance == nil {
 		return
 	}
 	out := provenance.Outcome{
@@ -709,57 +511,5 @@ func (fd *FrontDoor) joinAdmitted(t *Ticket, res *Result, latency, dur time.Dura
 		}
 		out.MemPredErr = actualMem - t.feat.PredMem
 	}
-	fd.opts.Provenance.JoinOutcome(provenance.KindAdmit, t.provID, out)
-}
-
-// Draining reports whether the front door has begun shutdown (new
-// submissions are rejected) — the /healthz readiness signal.
-func (fd *FrontDoor) Draining() bool {
-	fd.mu.Lock()
-	defer fd.mu.Unlock()
-	return fd.closed
-}
-
-// Stats is a conservation-accounting snapshot.
-type Stats struct {
-	Submitted, Admitted, Shed, Rejected int64
-	Queued, InFlight                    int
-}
-
-// Stats returns the current terminal-bucket counts.
-func (fd *FrontDoor) Stats() Stats {
-	fd.mu.Lock()
-	defer fd.mu.Unlock()
-	return Stats{
-		Submitted: fd.submitted, Admitted: fd.admitted,
-		Shed: fd.shed, Rejected: fd.rejected,
-		Queued: fd.queued, InFlight: fd.inflight,
-	}
-}
-
-// Shutdown stops the front door: new submissions are rejected, every
-// queued query is shed ("shutdown"), and in-flight queries are drained
-// (bounded by drainTimeout; <= 0 waits indefinitely). It reports
-// whether the drain completed.
-func (fd *FrontDoor) Shutdown(drainTimeout time.Duration) bool {
-	fd.mu.Lock()
-	if fd.closed {
-		fd.mu.Unlock()
-		return fd.pending.Wait(drainTimeout)
-	}
-	fd.closed = true
-	for _, name := range fd.order {
-		tn := fd.tenants[name]
-		for c := Class(0); c < numClasses; c++ {
-			pending := tn.queues[c]
-			tn.queues[c] = nil
-			for _, t := range pending {
-				fd.shedLocked(t, tn, "shutdown")
-			}
-		}
-	}
-	fd.mu.Unlock()
-	close(fd.quit)
-	fd.loopWG.Wait()
-	return fd.pending.Wait(drainTimeout)
+	o.Provenance.JoinOutcome(provenance.KindAdmit, t.provID, out)
 }

@@ -256,9 +256,7 @@ func TestEstimatorLearnsFromResults(t *testing.T) {
 	fd := mustFD(t, Options{Backend: be, MaxInFlight: 1, Estimator: est})
 	tk, _ := fd.Submit(q("acme", ClassLatency))
 	waitOutcome(t, tk)
-	fd.mu.Lock()
 	dur, mem := est.PredictTotals([]costmodel.OpWork{{Key: 0, Units: 1}})
-	fd.mu.Unlock()
 	if dur <= 0 || mem <= 0 {
 		t.Fatalf("estimator never learned: dur=%v mem=%v", dur, mem)
 	}

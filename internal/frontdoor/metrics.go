@@ -1,6 +1,10 @@
 package frontdoor
 
-import "repro/internal/metrics"
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+)
 
 // Metric name helpers: the front door's per-tenant and per-class series
 // are composed with metrics.LabeledName so the Prometheus exposition
@@ -49,6 +53,21 @@ func MetricWait(class Class) string {
 	return metrics.LabeledName("frontdoor_wait", "class", class.String())
 }
 
+// MetricShardQueued is the per-shard queued-query gauge name (sharded
+// core only).
+func MetricShardQueued(shard int) string {
+	return metrics.LabeledName("frontdoor_shard_queued", "shard", strconv.Itoa(shard))
+}
+
+// MetricShardInFlight is the per-shard executing-query gauge name.
+func MetricShardInFlight(shard int) string {
+	return metrics.LabeledName("frontdoor_shard_inflight", "shard", strconv.Itoa(shard))
+}
+
+// MetricSteals is the cross-shard work-steal counter name: admissions
+// performed by a shard other than the query's owner.
+const MetricSteals = "frontdoor_steals"
+
 // instruments are the front door's cached metric handles; all nil (and
 // so no-op) when metrics are disabled.
 type instruments struct {
@@ -57,8 +76,18 @@ type instruments struct {
 	inflight       *metrics.Gauge
 	deadlineMet    *metrics.Counter
 	deadlineMissed *metrics.Counter
+	steals         *metrics.Counter
 	latency        [numClasses]*metrics.Histogram
 	wait           [numClasses]*metrics.Histogram
+}
+
+// shardInstruments are one shard's metric handles. They are created
+// per shard by the sharded core (the single-loop core never registers
+// shard series, keeping its exposition — and the golden file pinning
+// it — unchanged).
+type shardInstruments struct {
+	queued   *metrics.Gauge
+	inflight *metrics.Gauge
 }
 
 type tenantInstruments struct {
@@ -80,6 +109,19 @@ func newInstruments(reg *metrics.Registry) *instruments {
 		ins.wait[c] = reg.Histogram(MetricWait(c), nil)
 	}
 	return ins
+}
+
+// forShard builds one shard's instrument set (sharded core only; also
+// registers the door-level steal counter on first use so single-loop
+// registries never carry shard series).
+func (ins *instruments) forShard(shard int) shardInstruments {
+	if ins.steals == nil {
+		ins.steals = ins.reg.Counter(MetricSteals)
+	}
+	return shardInstruments{
+		queued:   ins.reg.Gauge(MetricShardQueued(shard)),
+		inflight: ins.reg.Gauge(MetricShardInFlight(shard)),
+	}
 }
 
 // forTenant builds (or re-looks-up) one tenant's instrument set.

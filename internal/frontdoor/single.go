@@ -1,0 +1,417 @@
+package frontdoor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/lsched"
+	"repro/internal/provenance"
+	"repro/internal/rpcsched"
+)
+
+// singleCore is the original front-door machinery: one mutex over all
+// tenant state, drained by one goroutine. It is retained behind
+// Options.SingleLoop as the honest A/B baseline for the sharded core
+// (BenchmarkFrontDoorSubmit compares the two) and exercises exactly
+// the code path PR 6 shipped.
+type singleCore struct {
+	fd   *FrontDoor
+	opts *Options
+	ins  *instruments
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	order    []string // round-robin tenant order
+	rrNext   int
+	inflight int
+	queued   int
+	// queuedClass tracks per-SLO-class occupancy: the latency class
+	// drains first, so a latency query's wait estimate must not count
+	// the throughput backlog behind it.
+	queuedClass [numClasses]int
+	avgDur      float64 // EWMA of admitted-query service time (seconds)
+	closed      bool
+
+	submitted, admitted, shed, rejected int64
+
+	pending rpcsched.Inflight // executing queries (shutdown drain)
+	wake    chan struct{}
+	quit    chan struct{}
+	loopWG  sync.WaitGroup
+
+	// provFeat/provScore are mu-guarded scratch for flight-recorder
+	// calls on the admission path (no per-decision allocation).
+	provFeat  []float64
+	provScore [1]float64
+}
+
+// newSingleCore builds and starts the single-loop core.
+func newSingleCore(owner *FrontDoor) *singleCore {
+	fd := &singleCore{
+		fd:      owner,
+		opts:    &owner.opts,
+		ins:     owner.ins,
+		tenants: make(map[string]*tenant),
+		wake:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+	}
+	fd.loopWG.Add(1)
+	go fd.drainLoop()
+	return fd
+}
+
+// submit validates, rate-limits, and enqueues t (FrontDoor.Submit).
+func (fd *singleCore) submit(t *Ticket) (*Ticket, error) {
+	q := t.Query
+	fd.mu.Lock()
+	fd.submitted++
+	t.provID = fd.submitted
+	if fd.closed {
+		return fd.rejectLocked(t, nil, "shutdown")
+	}
+	tn, ok := fd.tenants[q.Tenant]
+	if !ok {
+		if len(fd.tenants) >= fd.opts.MaxTenants {
+			return fd.rejectLocked(t, nil, "tenant_limit")
+		}
+		tn = &tenant{name: q.Tenant}
+		tn.bucket.init(fd.opts.Rate, fd.opts.Burst, t.enq)
+		tn.ins = fd.ins.forTenant(q.Tenant)
+		fd.tenants[q.Tenant] = tn
+		fd.order = append(fd.order, q.Tenant)
+	}
+	tn.submitted++
+	tn.ins.submitted.Inc()
+	if !tn.bucket.allow(t.enq) {
+		return fd.rejectLocked(t, tn, "rate_limit")
+	}
+	if q.Class < 0 || q.Class >= numClasses {
+		return fd.rejectLocked(t, tn, "bad_class")
+	}
+	if len(tn.queues[q.Class]) >= fd.opts.QueueCap {
+		return fd.rejectLocked(t, tn, "queue_full")
+	}
+	tn.queues[q.Class] = append(tn.queues[q.Class], t)
+	fd.queued++
+	fd.queuedClass[q.Class]++
+	tn.ins.depth[q.Class].Set(float64(len(tn.queues[q.Class])))
+	fd.ins.queued.Set(float64(fd.queued))
+	fd.mu.Unlock()
+
+	fd.kick()
+	return t, nil
+}
+
+// rejectLocked resolves t as rejected and releases the lock.
+func (fd *singleCore) rejectLocked(t *Ticket, tn *tenant, reason string) (*Ticket, error) {
+	fd.rejected++
+	if tn != nil {
+		tn.rejected++
+		tn.ins.rejected.Inc()
+	} else {
+		fd.ins.forTenant(t.Query.Tenant).rejected.Inc()
+	}
+	t.state = stateResolved
+	fd.mu.Unlock()
+	t.done <- Disposition{Outcome: OutcomeRejected, Reason: reason}
+	return t, fmt.Errorf("frontdoor: rejected: %s", reason)
+}
+
+// cancel withdraws a queued ticket (Ticket.Cancel).
+func (fd *singleCore) cancel(t *Ticket) {
+	fd.mu.Lock()
+	if t.state != stateQueued {
+		fd.mu.Unlock()
+		return
+	}
+	tn := fd.tenants[t.Query.Tenant]
+	q := tn.queues[t.Query.Class]
+	for i, qt := range q {
+		if qt == t {
+			tn.queues[t.Query.Class] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	fd.shedLocked(t, tn, "cancelled")
+	fd.mu.Unlock()
+}
+
+// shedLocked marks an (already dequeued) ticket shed. Caller holds
+// fd.mu and has removed t from its queue.
+func (fd *singleCore) shedLocked(t *Ticket, tn *tenant, reason string) {
+	t.state = stateResolved
+	fd.shed++
+	fd.queued--
+	fd.queuedClass[t.Query.Class]--
+	tn.shed++
+	tn.ins.shed.Inc()
+	tn.ins.depth[t.Query.Class].Set(float64(len(tn.queues[t.Query.Class])))
+	fd.ins.queued.Set(float64(fd.queued))
+	fd.opts.Provenance.JoinOutcome(provenance.KindAdmit, t.provID, provenance.Outcome{Shed: true})
+	fd.opts.SLO.Observe(t.Query.Tenant, t.Query.Class.String(), false)
+	t.done <- Disposition{Outcome: OutcomeShed, Reason: reason, Wait: time.Since(t.enq)}
+}
+
+// kick wakes the drain loop (non-blocking).
+func (fd *singleCore) kick() {
+	select {
+	case fd.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drainLoop is the admission loop: whenever woken (submission,
+// completion, cancellation, or the sweep ticker) it sheds expired
+// queued queries and fills free executor slots, visiting the latency
+// class first and round-robining across tenants within a class.
+func (fd *singleCore) drainLoop() {
+	defer fd.loopWG.Done()
+	ticker := time.NewTicker(fd.opts.SweepInterval)
+	defer ticker.Stop()
+	for {
+		fd.dispatch()
+		select {
+		case <-fd.wake:
+		case <-ticker.C:
+		case <-fd.quit:
+			return
+		}
+	}
+}
+
+// dispatch runs one admission pass.
+func (fd *singleCore) dispatch() {
+	now := time.Now()
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	if fd.closed {
+		return
+	}
+	fd.expireLocked(now)
+	for fd.inflight < fd.opts.MaxInFlight && fd.queued > 0 {
+		if !fd.admitOneLocked(now) {
+			break // everything available was deferred
+		}
+	}
+}
+
+// expireLocked sheds every queued query whose deadline has passed:
+// running it could only produce a late answer.
+func (fd *singleCore) expireLocked(now time.Time) {
+	for _, name := range fd.order {
+		tn := fd.tenants[name]
+		for c := Class(0); c < numClasses; c++ {
+			q := tn.queues[c]
+			kept := q[:0]
+			for _, t := range q {
+				if t.Query.Deadline > 0 && now.Sub(t.enq) > t.Query.Deadline {
+					tn.queues[c] = kept // shedLocked reads the queue for depth
+					fd.shedLocked(t, tn, "deadline")
+					continue
+				}
+				kept = append(kept, t)
+			}
+			tn.queues[c] = kept
+			tn.ins.depth[c].Set(float64(len(kept)))
+		}
+	}
+}
+
+// admitOneLocked scans for one admittable query (latency class first,
+// round-robin across tenants) and dispatches it. It returns whether it
+// made progress (admitted or shed something); false means every queued
+// query was deferred this pass and the loop should wait.
+func (fd *singleCore) admitOneLocked(now time.Time) bool {
+	n := len(fd.order)
+	for c := Class(0); c < numClasses; c++ {
+		for i := 0; i < n; i++ {
+			tn := fd.tenants[fd.order[(fd.rrNext+i)%n]]
+			q := tn.queues[c]
+			if len(q) == 0 {
+				continue
+			}
+			t := q[0]
+			fd.buildFeatures(&t.feat, tn, t, now)
+			dec := fd.opts.Controller.Decide(&t.feat, t.Query)
+			if dec != Defer {
+				// Flight-record terminal verdicts (defers are transient:
+				// the same query is re-decided on a later pass). The
+				// heuristic baseline admits everything, so its
+				// counterfactual is always Admit.
+				fd.provFeat = recordAdmission(fd.opts, t, dec, fd.provFeat, &fd.provScore)
+			}
+			switch dec {
+			case Admit:
+				tn.queues[c] = q[1:]
+				if len(tn.queues[c]) == 0 {
+					tn.queues[c] = nil // release the drained backing array
+				}
+				fd.rrNext = (fd.rrNext + i + 1) % n
+				fd.admitLocked(t, tn, now)
+				return true
+			case Shed:
+				tn.queues[c] = q[1:]
+				if len(tn.queues[c]) == 0 {
+					tn.queues[c] = nil
+				}
+				fd.shedLocked(t, tn, "load")
+				// Progress: the caller rescans, so this tenant's next
+				// head is reconsidered immediately.
+				return true
+			case Defer:
+				// Leave queued; try other tenants/classes.
+			}
+		}
+	}
+	return false
+}
+
+// admitLocked hands t an executor slot. Caller holds fd.mu and has
+// dequeued t.
+func (fd *singleCore) admitLocked(t *Ticket, tn *tenant, now time.Time) {
+	t.state = stateAdmitted
+	fd.admitted++
+	fd.queued--
+	fd.queuedClass[t.Query.Class]--
+	fd.inflight++
+	tn.admitted++
+	tn.inflight++
+	tn.ins.admitted.Inc()
+	tn.ins.depth[t.Query.Class].Set(float64(len(tn.queues[t.Query.Class])))
+	if fd.inflight > 0 {
+		tn.ins.share.Set(float64(tn.inflight) / float64(fd.inflight))
+	}
+	fd.ins.queued.Set(float64(fd.queued))
+	fd.ins.inflight.Set(float64(fd.inflight))
+	wait := now.Sub(t.enq)
+	fd.ins.wait[t.Query.Class].Observe(wait.Seconds())
+	fd.pending.Add()
+	go fd.run(t, tn, wait)
+}
+
+// run executes an admitted query on the backend and delivers its
+// disposition. Runs in its own goroutine.
+func (fd *singleCore) run(t *Ticket, tn *tenant, wait time.Duration) {
+	defer fd.pending.Done()
+	started := time.Now()
+	res, err := fd.opts.Backend.Run(t.Query)
+	dur := time.Since(started)
+	latency := wait + dur
+
+	met := err == nil && (t.Query.Deadline <= 0 || latency <= t.Query.Deadline)
+	fd.opts.Controller.Observe(&t.feat, t.Query, met)
+	joinAdmitted(fd.opts, t, res, latency, dur, met)
+	fd.opts.SLO.Observe(t.Query.Tenant, t.Query.Class.String(), met)
+	if res != nil {
+		est := fd.opts.Estimator
+		for k, d := range res.OpDurations {
+			est.ObserveCompletion(k, d, res.OpMemory[k])
+		}
+	}
+
+	fd.mu.Lock()
+	fd.inflight--
+	tn.inflight--
+	if fd.inflight > 0 {
+		tn.ins.share.Set(float64(tn.inflight) / float64(fd.inflight))
+	} else {
+		tn.ins.share.Set(0)
+	}
+	fd.ins.inflight.Set(float64(fd.inflight))
+	// EWMA of service time, the PredWait scale.
+	if fd.avgDur == 0 {
+		fd.avgDur = dur.Seconds()
+	} else {
+		fd.avgDur = 0.9*fd.avgDur + 0.1*dur.Seconds()
+	}
+	fd.mu.Unlock()
+
+	fd.ins.latency[t.Query.Class].Observe(latency.Seconds())
+	if t.Query.Deadline > 0 {
+		if met {
+			fd.ins.deadlineMet.Inc()
+		} else {
+			fd.ins.deadlineMissed.Inc()
+		}
+	}
+	t.done <- Disposition{
+		Outcome: OutcomeAdmitted, Wait: wait, Latency: latency,
+		DeadlineMet: met, Err: err,
+	}
+	fd.kick()
+}
+
+// buildFeatures fills f with the admission features for t under the
+// current state. Caller holds fd.mu.
+func (fd *singleCore) buildFeatures(f *lsched.AdmissionFeatures, tn *tenant, t *Ticket, now time.Time) {
+	fillFeatures(f, fd.opts, tn, t, now, loadSnapshot{
+		queued:    fd.queued,
+		queuedLat: fd.queuedClass[ClassLatency],
+		inflight:  fd.inflight,
+		avgDur:    fd.avgDur,
+	})
+}
+
+// draining reports whether shutdown has begun.
+func (fd *singleCore) draining() bool {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return fd.closed
+}
+
+// stats returns the current terminal-bucket counts.
+func (fd *singleCore) stats() Stats {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return Stats{
+		Submitted: fd.submitted, Admitted: fd.admitted,
+		Shed: fd.shed, Rejected: fd.rejected,
+		Queued: fd.queued, InFlight: fd.inflight,
+	}
+}
+
+// status snapshots the core for the obs /frontdoor endpoint.
+func (fd *singleCore) status() StatusData {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	st := StatusData{
+		Controller: fd.opts.Controller.Name(),
+		InFlight:   fd.inflight,
+		Queued:     fd.queued,
+		Submitted:  fd.submitted,
+		Admitted:   fd.admitted,
+		Shed:       fd.shed,
+		Rejected:   fd.rejected,
+		AvgRunSecs: fd.avgDur,
+	}
+	for _, name := range fd.order {
+		tn := fd.tenants[name]
+		st.Tenants = append(st.Tenants, tenantStatusOf(tn))
+	}
+	return st
+}
+
+// shutdown stops the core (FrontDoor.Shutdown).
+func (fd *singleCore) shutdown(drainTimeout time.Duration) bool {
+	fd.mu.Lock()
+	if fd.closed {
+		fd.mu.Unlock()
+		return fd.pending.Wait(drainTimeout)
+	}
+	fd.closed = true
+	for _, name := range fd.order {
+		tn := fd.tenants[name]
+		for c := Class(0); c < numClasses; c++ {
+			pending := tn.queues[c]
+			tn.queues[c] = nil
+			for _, t := range pending {
+				fd.shedLocked(t, tn, "shutdown")
+			}
+		}
+	}
+	fd.mu.Unlock()
+	close(fd.quit)
+	fd.loopWG.Wait()
+	return fd.pending.Wait(drainTimeout)
+}

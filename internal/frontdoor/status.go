@@ -1,7 +1,8 @@
 package frontdoor
 
 // StatusData is the /frontdoor endpoint payload: terminal-bucket
-// counts, live occupancy, and per-tenant detail.
+// counts, live occupancy, per-tenant detail, and — on the sharded
+// core — the per-shard breakdown.
 type StatusData struct {
 	Controller string  `json:"controller"`
 	InFlight   int     `json:"in_flight"`
@@ -13,6 +14,9 @@ type StatusData struct {
 	AvgRunSecs float64 `json:"avg_run_secs"`
 
 	Tenants []TenantStatus `json:"tenants,omitempty"`
+	// Shards breaks occupancy and terminal counts down by shard.
+	// Absent on the single-loop core.
+	Shards []ShardStatus `json:"shards,omitempty"`
 }
 
 // TenantStatus is one tenant's slice of the status payload.
@@ -27,33 +31,31 @@ type TenantStatus struct {
 	Rejected        int64  `json:"rejected"`
 }
 
-// Status snapshots the front door for the obs /frontdoor endpoint
-// (wire it as obs.Options.FrontDoor = fd.Status).
-func (fd *FrontDoor) Status() any {
-	fd.mu.Lock()
-	defer fd.mu.Unlock()
-	st := StatusData{
-		Controller: fd.opts.Controller.Name(),
-		InFlight:   fd.inflight,
-		Queued:     fd.queued,
-		Submitted:  fd.submitted,
-		Admitted:   fd.admitted,
-		Shed:       fd.shed,
-		Rejected:   fd.rejected,
-		AvgRunSecs: fd.avgDur,
+// ShardStatus is one shard's slice of the status payload. Stolen
+// counts admissions of this shard's queries performed by a peer's
+// drain loop (work-stealing).
+type ShardStatus struct {
+	Shard     int   `json:"shard"`
+	Tenants   int   `json:"tenants"`
+	Queued    int   `json:"queued"`
+	InFlight  int   `json:"in_flight"`
+	Submitted int64 `json:"submitted"`
+	Admitted  int64 `json:"admitted"`
+	Shed      int64 `json:"shed"`
+	Rejected  int64 `json:"rejected"`
+	Stolen    int64 `json:"stolen"`
+}
+
+// tenantStatusOf snapshots one tenant under its owner's lock.
+func tenantStatusOf(tn *tenant) TenantStatus {
+	return TenantStatus{
+		Tenant:          tn.name,
+		QueuedLatency:   len(tn.queues[ClassLatency]),
+		QueuedThroughpt: len(tn.queues[ClassThroughput]),
+		InFlight:        tn.inflight,
+		Submitted:       tn.submitted,
+		Admitted:        tn.admitted,
+		Shed:            tn.shed,
+		Rejected:        tn.rejected,
 	}
-	for _, name := range fd.order {
-		tn := fd.tenants[name]
-		st.Tenants = append(st.Tenants, TenantStatus{
-			Tenant:          tn.name,
-			QueuedLatency:   len(tn.queues[ClassLatency]),
-			QueuedThroughpt: len(tn.queues[ClassThroughput]),
-			InFlight:        tn.inflight,
-			Submitted:       tn.submitted,
-			Admitted:        tn.admitted,
-			Shed:            tn.shed,
-			Rejected:        tn.rejected,
-		})
-	}
-	return st
 }

@@ -18,22 +18,36 @@ import (
 //
 // Run under -race (scripts/check.sh includes this package in the race
 // set); the invariant plus the race detector covers the queue
-// bookkeeping, cancel-vs-admit races, and shutdown shedding.
+// bookkeeping, cancel-vs-admit races, and shutdown shedding. Both
+// cores run the same churn: the single-loop core for the legacy path,
+// the sharded core at 8 shards/8 procs for the parallel one.
 func TestConservationUnderChurn(t *testing.T) {
+	t.Run("single", func(t *testing.T) {
+		conservationChurn(t, func(o *Options) { o.SingleLoop = true })
+	})
+	t.Run("sharded", func(t *testing.T) {
+		withProcs(t, 8)
+		conservationChurn(t, func(o *Options) { o.Shards = 8 })
+	})
+}
+
+func conservationChurn(t *testing.T, tune func(*Options)) {
 	const (
 		tenants     = 6
 		producers   = 4 // per tenant
 		perProducer = 120
 	)
 	be := &fakeBackend{delay: 200 * time.Microsecond}
-	fd, err := New(Options{
+	opts := Options{
 		Backend:       be,
 		MaxInFlight:   4,
 		QueueCap:      8,
 		Rate:          2000,
 		Burst:         50,
 		SweepInterval: time.Millisecond,
-	})
+	}
+	tune(&opts)
+	fd, err := New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package lsched
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/nn"
 )
@@ -101,15 +102,33 @@ func clamp01(v float64) float64 {
 // nn.Params registry under the "adm." prefix — checkpointing,
 // versioning, and hot-swap promotion all ride the existing policy
 // lifecycle for free. Unlike the event-loop heads it is called from
-// front-door goroutines, so Score and Update are internally locked; the
-// linear form keeps both O(AdmissionFeatureDim) with no tape.
+// front-door goroutines — concurrently from every shard of a sharded
+// front door — so Score is lock-free: it reads an immutable weight
+// snapshot republished by Update, which takes the head's mutex. A
+// mutex-guarded Score would be a global serialization point across
+// shards, exactly what the sharded front door exists to remove. The
+// linear form keeps both paths O(AdmissionFeatureDim) with no tape.
 type AdmissionHead struct {
-	mu sync.Mutex
-	w  *nn.Node // 1×F weight matrix (row vector)
-	b  *nn.Node // scalar bias
-	lr float64
+	mu     sync.Mutex
+	params *nn.Params
+	w      *nn.Node // 1×F weight matrix (row vector)
+	b      *nn.Node // scalar bias
+	lr     float64
 	// scratch avoids per-call allocation under the lock.
 	scratch []float64
+	// snap is the immutable weights+bias copy Score reads without
+	// locking. Update republishes it after every gradient step. The
+	// snapshot is stamped with the params version so out-of-band weight
+	// changes (checkpoint Load, optimizer steps — both BumpVersion) are
+	// picked up lazily on the next Score instead of serving stale values.
+	snap atomic.Pointer[admSnapshot]
+}
+
+// admSnapshot is one immutable published state of the admission head.
+type admSnapshot struct {
+	w       [AdmissionFeatureDim]float64
+	b       float64
+	version uint64
 }
 
 // NewAdmissionHead registers (or re-attaches to) the admission head's
@@ -122,7 +141,7 @@ type AdmissionHead struct {
 func NewAdmissionHead(p *nn.Params) *AdmissionHead {
 	_, existed := p.Get("adm.head.W")
 	d := nn.NewDense(p, "adm.head", AdmissionFeatureDim, 1)
-	h := &AdmissionHead{w: d.W, b: d.B, lr: 0.05, scratch: make([]float64, 0, AdmissionFeatureDim)}
+	h := &AdmissionHead{params: p, w: d.W, b: d.B, lr: 0.05, scratch: make([]float64, 0, AdmissionFeatureDim)}
 	if !existed {
 		// Same index order as appendVector.
 		prior := [AdmissionFeatureDim]float64{
@@ -140,15 +159,40 @@ func NewAdmissionHead(p *nn.Params) *AdmissionHead {
 		copy(h.w.Val, prior[:])
 		h.b.Val[0] = 2.0 // admit-friendly: empty-system score ≈ σ(2+…) ≈ 0.9+
 	}
+	h.publishLocked()
 	return h
 }
 
+// publishLocked copies the current parameters into a fresh immutable
+// snapshot for lock-free scoring. Caller holds h.mu (or is the sole
+// owner, as in NewAdmissionHead).
+func (h *AdmissionHead) publishLocked() {
+	s := &admSnapshot{b: h.b.Val[0], version: h.params.Version()}
+	copy(s.w[:], h.w.Val)
+	h.snap.Store(s)
+}
+
 // Score returns the head's admit probability for the featurized query
-// (σ of the linear logit). Safe for concurrent use.
+// (σ of the linear logit). Safe for concurrent use and lock-free on
+// the steady path: it reads the latest published snapshot, so
+// concurrent Updates never serialize scoring across front-door shards.
+// A params-version mismatch (checkpoint Load, optimizer step) takes
+// the slow path once to republish.
 func (h *AdmissionHead) Score(f *AdmissionFeatures) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return sigmoid(h.logitLocked(f))
+	s := h.snap.Load()
+	if s.version != h.params.Version() {
+		h.mu.Lock()
+		h.publishLocked()
+		h.mu.Unlock()
+		s = h.snap.Load()
+	}
+	var buf [AdmissionFeatureDim]float64
+	v := f.appendVector(buf[:0])
+	z := s.b
+	for i, x := range v {
+		z += s.w[i] * x
+	}
+	return sigmoid(z)
 }
 
 func (h *AdmissionHead) logitLocked(f *AdmissionFeatures) float64 {
@@ -174,6 +218,7 @@ func (h *AdmissionHead) Update(f *AdmissionFeatures, label float64) {
 		h.w.Val[i] -= h.lr * g * x
 	}
 	h.b.Val[0] -= h.lr * g
+	h.publishLocked()
 }
 
 // Weights returns a copy of the head's weights and its bias (tests,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -158,11 +159,21 @@ func Train(agent *Agent, cfg TrainConfig) (*TrainResult, error) {
 	if rollouts < 1 {
 		rollouts = 1
 	}
-	// Worker pool for concurrent rollouts. The main agent collects the
-	// round's first episode itself; extra workers are structural clones
-	// that re-load the frozen policy at the start of every round.
+	// Worker pool for concurrent rollouts, capped at GOMAXPROCS: more
+	// goroutines than processors cannot simulate any faster, and each
+	// extra worker costs a policy snapshot load per round. Capping
+	// changes only execution parallelism — the round size (and so the
+	// averaged gradient, the rng consumption order, and every episode's
+	// seed) still comes from cfg.Rollouts, so results are bit-identical
+	// at any processor count. The main agent collects its share of
+	// episodes itself; extra workers are structural clones that re-load
+	// the frozen policy at the start of every round.
+	parallelism := rollouts
+	if p := runtime.GOMAXPROCS(0); parallelism > p {
+		parallelism = p
+	}
 	workers := []*Agent{agent}
-	for len(workers) < rollouts {
+	for len(workers) < parallelism {
 		w := New(agent.opts)
 		w.SetGreedy(false)
 		workers = append(workers, w)
@@ -206,27 +217,43 @@ func Train(agent *Agent, cfg TrainConfig) (*TrainResult, error) {
 			sc.Seed = simSeed(ep)
 			rolls[i].simCfg = sc
 		}
-		if n == 1 {
-			r := &rolls[0]
-			r.steps, r.result, r.err = runRollout(agent, r.arrivals, r.simCfg, actionSeed(r.ep))
+		if n == 1 || len(workers) == 1 {
+			// Sequential collection (single episode, or a single
+			// effective worker): the policy does not change during a
+			// round, so running every episode on the main agent matches
+			// the parallel result without the snapshot round-trip.
+			for i := range rolls {
+				r := &rolls[i]
+				r.steps, r.result, r.err = runRollout(agent, r.arrivals, r.simCfg, actionSeed(r.ep))
+				if r.err != nil {
+					break
+				}
+			}
 		} else {
 			frozen, err := agent.params.Serialize()
 			if err != nil {
 				return nil, err
 			}
 			var wg sync.WaitGroup
-			for i := range rolls {
-				w := workers[i]
+			for wi, w := range workers {
 				if w != agent {
 					if err := w.params.Load(frozen); err != nil {
 						return nil, err
 					}
 				}
 				wg.Add(1)
-				go func(r *rollout, w *Agent) {
+				// Worker wi walks episodes wi, wi+W, wi+2W, … so a round
+				// larger than the pool still collects every episode.
+				go func(wi int, w *Agent) {
 					defer wg.Done()
-					r.steps, r.result, r.err = runRollout(w, r.arrivals, r.simCfg, actionSeed(r.ep))
-				}(&rolls[i], w)
+					for i := wi; i < n; i += len(workers) {
+						r := &rolls[i]
+						r.steps, r.result, r.err = runRollout(w, r.arrivals, r.simCfg, actionSeed(r.ep))
+						if r.err != nil {
+							return
+						}
+					}
+				}(wi, w)
 			}
 			wg.Wait()
 		}

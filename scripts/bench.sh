@@ -2,11 +2,13 @@
 # Hot-path microbenchmark runner. Executes the fast-path benchmark
 # suite (tape inference mode, encoding cache, agent scratch buffers,
 # concurrent training rollouts, vectorized live-engine kernels, learned
-# admission control) and writes the results — including the built-in
+# admission control, the sharded admission core, and the offered-load
+# overload curve) and writes the results — including the built-in
 # pre-optimization baselines (record-mode encoding, the DisableFastPath
 # agent path, rollouts=1 training, the ScalarKernels engine path, the
-# heuristic admit-everything front door) — to BENCH_hotpath.json as
-# before/after pairs.
+# heuristic admit-everything front door, the single drain-loop
+# admission core) — to BENCH_hotpath.json as before/after pairs.
+# The submit A/B runs at -cpu 1,4,8; each result carries a procs field.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 5x; training uses 3x)
 set -euo pipefail
@@ -40,6 +42,16 @@ echo "== admission A/B (internal/frontdoor)"
 go test -run=NONE -bench=BenchmarkAdmissionAB -benchtime=3x \
   ./internal/frontdoor/ | tee -a "$raw"
 
+# Fixed iteration count: the suite default (5x) is too few round trips
+# for a RunParallel benchmark to settle.
+echo "== front door submit, single-loop vs sharded (internal/frontdoor)"
+go test -run=NONE -bench=BenchmarkFrontDoorSubmit -benchtime=20000x \
+  -cpu 1,4,8 ./internal/frontdoor/ | tee -a "$raw"
+
+echo "== overload curve (internal/frontdoor)"
+go test -run=NONE -bench=BenchmarkOverloadCurve -benchtime=3x \
+  ./internal/frontdoor/ | tee -a "$raw"
+
 echo "== cluster routing A/B (internal/cluster)"
 go test -run=NONE -bench=BenchmarkClusterRouting -benchtime=3x \
   ./internal/cluster/ | tee -a "$raw"
@@ -49,17 +61,24 @@ go test -run=NONE -bench=BenchmarkClusterRouting -benchtime=3x \
 awk '
 /^Benchmark/ {
   name = $1
-  sub(/-[0-9]+$/, "", name)           # strip GOMAXPROCS suffix
-  ns = ""; bytes = ""; allocs = ""; p99 = ""; shed = ""
+  procs = ""                          # GOMAXPROCS suffix -> its own field
+  if (match(name, /-[0-9]+$/)) {
+    procs = substr(name, RSTART + 1)
+    sub(/-[0-9]+$/, "", name)
+  }
+  ns = ""; bytes = ""; allocs = ""; p99 = ""; shed = ""; procsm = ""
   for (i = 2; i <= NF; i++) {
     if ($i == "ns/op")     ns     = $(i-1)
     if ($i == "B/op")      bytes  = $(i-1)
     if ($i == "allocs/op") allocs = $(i-1)
     if ($i == "p99-ns")    p99    = $(i-1)
     if ($i == "shed-pct")  shed   = $(i-1)
+    if ($i == "procs")     procsm = $(i-1)
   }
+  if (procsm != "") procs = procsm + 0  # a reported procs metric wins
   if (n++) printf ",\n"
   printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+  if (procs  != "") printf ", \"procs\": %s", procs
   if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
   if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
   if (p99    != "") printf ", \"p99_ns\": %s", p99
@@ -68,7 +87,7 @@ awk '
 }
 BEGIN {
   print "{"
-  print "  \"description\": \"Hot-path microbenchmarks: before entries are the pre-optimization code paths kept in-tree for honest A/B (record-mode encoding, DisableFastPath agent, rollouts=1 training, ScalarKernels live engine, heuristic admit-everything front door); after entries are the optimized fast paths. The admission pair compares p99_ns (end-to-end latency of admitted latency-class queries) and shed_pct (fraction of latency-class queries dropped) under the same seeded 2x-overload trace. The cluster routing pair compares p99_ns of light queries on a 4-node cluster replaying the same skewed heavy/light trace under round-robin vs least-predicted-load routing.\","
+  print "  \"description\": \"Hot-path microbenchmarks: before entries are the pre-optimization code paths kept in-tree for honest A/B (record-mode encoding, DisableFastPath agent, rollouts=1 training, ScalarKernels live engine, heuristic admit-everything front door, single drain-loop admission core); after entries are the optimized fast paths. Entries with a procs field were taken at that GOMAXPROCS (the submit A/B runs at -cpu 1,4,8; compare arms at matching procs). The admission pair compares p99_ns (end-to-end latency of admitted latency-class queries) and shed_pct (fraction of latency-class queries dropped) under the same seeded 2x-overload trace. The overload-curve pairs sweep offered load from 0.5x to 3x the sustainable rate and record p99_ns and shed_pct per controller at each step. The cluster routing pair compares p99_ns of light queries on a 4-node cluster replaying the same skewed heavy/light trace under round-robin vs least-predicted-load routing.\","
   print "  \"pairs\": ["
   print "    {\"before\": \"BenchmarkEncodeSnapshot/record\", \"after\": \"BenchmarkEncodeSnapshot/infer\", \"dimension\": \"gradient-free tape mode\"},"
   print "    {\"before\": \"BenchmarkEncodeSnapshot/infer\", \"after\": \"BenchmarkEncodeSnapshot/cached\", \"dimension\": \"per-query encoding cache\"},"
@@ -86,6 +105,12 @@ BEGIN {
   print "    {\"before\": \"BenchmarkLiveMorsels/unsplit\", \"after\": \"BenchmarkLiveMorsels/split\", \"dimension\": \"morsel-parallel work orders (expected wash on a 1-core host; records the split-bookkeeping overhead bound)\"},"
   print "    {\"before\": \"BenchmarkLiveRun/scalar\", \"after\": \"BenchmarkLiveRun/vector\", \"dimension\": \"live engine end-to-end, steady state (vectorized kernels + fusion + block/estimator/agg-table recycling)\"},"
   print "    {\"before\": \"BenchmarkAdmissionAB/heuristic\", \"after\": \"BenchmarkAdmissionAB/learned\", \"dimension\": \"learned admission control (p99_ns of admitted latency-class queries and shed_pct under 2x overload)\"},"
+  print "    {\"before\": \"BenchmarkFrontDoorSubmit/single\", \"after\": \"BenchmarkFrontDoorSubmit/sharded\", \"dimension\": \"sharded admission core (submit->admit->dispatch round trip under concurrent submitters; compare at matching procs)\"},"
+  print "    {\"before\": \"BenchmarkOverloadCurve/heuristic/x0.5\", \"after\": \"BenchmarkOverloadCurve/learned/x0.5\", \"dimension\": \"overload curve at 0.5x sustainable (below saturation)\"},"
+  print "    {\"before\": \"BenchmarkOverloadCurve/heuristic/x1.0\", \"after\": \"BenchmarkOverloadCurve/learned/x1.0\", \"dimension\": \"overload curve at the sustainable rate\"},"
+  print "    {\"before\": \"BenchmarkOverloadCurve/heuristic/x1.5\", \"after\": \"BenchmarkOverloadCurve/learned/x1.5\", \"dimension\": \"overload curve at 1.5x sustainable\"},"
+  print "    {\"before\": \"BenchmarkOverloadCurve/heuristic/x2.0\", \"after\": \"BenchmarkOverloadCurve/learned/x2.0\", \"dimension\": \"overload curve at 2x sustainable\"},"
+  print "    {\"before\": \"BenchmarkOverloadCurve/heuristic/x3.0\", \"after\": \"BenchmarkOverloadCurve/learned/x3.0\", \"dimension\": \"overload curve at 3x sustainable\"},"
   print "    {\"before\": \"BenchmarkClusterRouting/round-robin\", \"after\": \"BenchmarkClusterRouting/least-loaded\", \"dimension\": \"load-aware cluster routing (p99_ns of light queries on a 4-node cluster under a skewed heavy/light trace)\"}"
   print "  ],"
   print "  \"results\": ["

@@ -46,6 +46,21 @@ go test -count=1 -run 'TestDict' ./internal/storage/
 echo "== front door smoke (conservation + overload regression, short)"
 go test -count=1 -short -run 'TestConservationUnderChurn|TestOverloadRegression' ./internal/frontdoor/
 
+echo "== sharded front door race smoke (conservation churn, cross-shard fairness, work stealing at 8 procs)"
+go test -race -count=1 -run 'TestConservationUnderChurn|TestCrossShardFairness|TestWorkStealingConservation|TestShardRouting' ./internal/frontdoor/
+
+echo "== mutex-contention smoke (sharded submit path must not contend the single-loop global lock)"
+mutexdir=$(mktemp -d)
+go test -run=NONE -bench='BenchmarkFrontDoorSubmit/sharded' -benchtime=5000x -cpu 8 \
+  -mutexprofile "$mutexdir/mutex.out" -o "$mutexdir/frontdoor.test" ./internal/frontdoor/
+top=$(go tool pprof -top -nodecount=20 "$mutexdir/frontdoor.test" "$mutexdir/mutex.out")
+echo "$top" | sed -n '1,10p'
+if echo "$top" | grep -q 'singleCore'; then
+  echo "mutex smoke: singleCore lock shows up in sharded-arm contention profile" >&2
+  exit 1
+fi
+rm -rf "$mutexdir"
+
 echo "== drift-detector smoke (shifted feature stream trips the gauge, training stream stays quiet)"
 go test -count=1 -run 'TestDriftTripsOnShiftedStream|TestDriftQuietOnTrainingDistribution' ./internal/provenance/
 
